@@ -1,0 +1,290 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — chain-split thresholds (Algorithm 3.1's knobs): sweeping
+``split_threshold`` flips the scsg plan between follow and split and
+the measured work tracks the flip.
+
+A2 — call memoization in buffered chain-split evaluation: without the
+shared call graph, DAG-shaped chain data is re-expanded once per path
+(exponential in the number of diamonds).
+
+A3 — existence checking: early termination of the bottom-up fixpoint
+once a witness appears (paper §5), versus running to fixpoint.
+
+A4 — tabling: memoized top-down evaluation versus plain SLD on
+DAG-shaped data.
+"""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.analysis.cost import CostModel
+from repro.analysis.normalize import normalize
+from repro.engine.database import Database
+from repro.engine.tabling import TabledEvaluator
+from repro.engine.topdown import TopDownEvaluator
+from repro.core.buffered import BufferedChainEvaluator
+from repro.core.existence import ExistenceChecker
+from repro.core.magic import MagicSetsEvaluator
+from repro.workloads import FamilyConfig, family_database
+
+from .harness import print_table, run_once
+
+# ----------------------------------------------------------------------
+# A1 — threshold sweep
+# ----------------------------------------------------------------------
+
+#: Thresholds with follow == split (no quantitative gray zone), so the
+#: decision is purely the two-threshold rule of Algorithm 3.1.
+THRESHOLDS = [1.0, 8.0, 16.0, 1e9]
+
+
+def _scsg_db():
+    return family_database(
+        FamilyConfig(levels=5, width=12, countries=2, parents_per_child=2, seed=7)
+    )
+
+
+def _plan_kind(magic) -> str:
+    """Classify the rewrite: does binding propagation cross the weak
+    linkage (follow), only the parent chain (split), or nothing at all
+    (oversplit)?"""
+    magic_rule_bodies = [
+        rule.body
+        for rule in magic.program
+        if rule.head.name.startswith("magic_") and rule.body
+    ]
+    names = {lit.name for body in magic_rule_bodies for lit in body}
+    if "same_country" in names:
+        return "follow"
+    if "parent" in names:
+        return "split"
+    return "oversplit"
+
+
+def test_threshold_ablation_table(benchmark):
+    def build():
+        db = _scsg_db()
+        query = parse_query("scsg(p0_0, Y)")[0]
+        rows = []
+        for threshold in THRESHOLDS:
+            model = CostModel(
+                db, split_threshold=threshold, follow_threshold=threshold
+            )
+            evaluator = MagicSetsEvaluator(
+                db, cost_model=model, chain_split=True
+            )
+            magic = evaluator.rewrite(query)
+            _, counters, _ = evaluator.evaluate(query)
+            rows.append([threshold, _plan_kind(magic), counters.total_work])
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "A1 split-threshold ablation on scsg (parent ratio ~2, weak "
+        "linkage ratio ~29)",
+        ["threshold", "plan", "work"],
+        rows,
+    )
+    # threshold < parent ratio: even the strong linkage is severed —
+    # no bindings propagate and work regresses toward full evaluation.
+    assert rows[0][1] == "oversplit"
+    # thresholds between the two ratios: the intended chain-split.
+    assert rows[1][1] == "split"
+    assert rows[2][1] == "split"
+    # threshold above the weak ratio: classic follow, work jumps.
+    assert rows[-1][1] == "follow"
+    best = rows[1][2]
+    assert rows[0][2] > best
+    assert rows[-1][2] > best * 3
+
+
+# ----------------------------------------------------------------------
+# A2 — memoization in buffered evaluation
+# ----------------------------------------------------------------------
+
+
+def _diamond_chain_db(diamonds):
+    """A chain of `diamonds` diamond gadgets: paths double per gadget."""
+    db = Database()
+    db.load_source(
+        """
+        reach(X, Y) :- target(X, Y).
+        reach(X, Y) :- edge(X, X1), reach(X1, Y).
+        """
+    )
+    node = 0
+    for _ in range(diamonds):
+        entry, left, right, exit_node = node, node + 1, node + 2, node + 3
+        db.add_fact("edge", (f"v{entry}", f"v{left}"))
+        db.add_fact("edge", (f"v{entry}", f"v{right}"))
+        db.add_fact("edge", (f"v{left}", f"v{exit_node}"))
+        db.add_fact("edge", (f"v{right}", f"v{exit_node}"))
+        node = exit_node
+    db.add_fact("target", (f"v{node}", "gold"))
+    return db, node
+
+
+@pytest.mark.parametrize("memoize", [True, False], ids=["memo", "nomemo"])
+def test_memoization(benchmark, memoize):
+    db, _ = _diamond_chain_db(8)
+    rect, compiled = normalize(db.program, Predicate("reach", 2))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    query = parse_query("reach(v0, Y)")[0]
+    evaluator = BufferedChainEvaluator(rect_db, compiled, memoize=memoize)
+    run_once(benchmark, lambda: evaluator.evaluate(query))
+
+
+def test_memoization_table(benchmark):
+    def build():
+        rows = []
+        for diamonds in (4, 6, 8):
+            db, _ = _diamond_chain_db(diamonds)
+            rect, compiled = normalize(db.program, Predicate("reach", 2))
+            rect_db = Database()
+            rect_db.program = rect
+            rect_db.relations = db.relations
+            query = parse_query("reach(v0, Y)")[0]
+            with_memo_answers, with_memo = BufferedChainEvaluator(
+                rect_db, compiled, memoize=True
+            ).evaluate(query)
+            without_answers, without = BufferedChainEvaluator(
+                rect_db, compiled, memoize=False
+            ).evaluate(query)
+            assert with_memo_answers.rows() == without_answers.rows()
+            rows.append(
+                [diamonds, with_memo.total_work, without.total_work]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "A2 buffered evaluation: call memoization on diamond chains "
+        "(paths double per diamond)",
+        ["diamonds", "work (memoized)", "work (no sharing)"],
+        rows,
+    )
+    # Memoized work is linear in diamonds; unshared work is
+    # exponential — the gap must grow.
+    gaps = [row[2] / max(row[1], 1) for row in rows]
+    assert gaps[-1] > gaps[0] * 2
+
+
+# ----------------------------------------------------------------------
+# A3 — existence checking
+# ----------------------------------------------------------------------
+
+
+def test_existence_table(benchmark):
+    def build():
+        db = Database()
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        for i in range(80):
+            db.add_fact("parent", (f"n{i}", f"n{i+1}"))
+        checker = ExistenceChecker(db)
+        rows = []
+        for target, label in [("n1", "near"), ("n40", "middle"), ("n79", "far")]:
+            found, early = checker.exists_bottom_up(f"anc(n0, {target})")
+            assert found
+            query = parse_query("anc(n0, Y)")[0]
+            _, full, _ = MagicSetsEvaluator(db).evaluate(query)
+            rows.append([label, early.total_work, full.total_work])
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "A3 existence checking: early-exit fixpoint vs full evaluation "
+        "(80-node chain)",
+        ["witness", "work (early exit)", "work (full)"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] <= row[2]
+    # A near witness should save a lot.
+    assert rows[0][1] * 5 < rows[0][2]
+
+
+# ----------------------------------------------------------------------
+# A4 — tabling vs plain SLD
+# ----------------------------------------------------------------------
+
+
+def test_tabling_table(benchmark):
+    def build():
+        rows = []
+        for diamonds in (3, 5, 7):
+            db, _ = _diamond_chain_db(diamonds)
+            sld = TopDownEvaluator(db)
+            sld_answers = sld.query("reach(v0, Y)")
+            tabled = TabledEvaluator(db)
+            tabled_answers = tabled.query("reach(v0, Y)")
+            assert {str(a["Y"]) for a in sld_answers} == {
+                str(a["Y"]) for a in tabled_answers
+            }
+            rows.append(
+                [
+                    diamonds,
+                    tabled.counters.derived_tuples + tabled.counters.join_probes,
+                    sld.counters.intermediate_tuples,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "A4 tabled vs plain SLD top-down on diamond chains",
+        ["diamonds", "tabled work", "SLD rule expansions"],
+        rows,
+    )
+    gaps = [row[2] / max(row[1], 1) for row in rows]
+    assert gaps[-1] > gaps[0]
+
+
+# ----------------------------------------------------------------------
+# A5 — supplementary predicates
+# ----------------------------------------------------------------------
+
+
+def test_supplementary_table(benchmark):
+    """Supplementary predicates share each rule's propagated prefix
+    between the magic rules and the answer rule; combined with the
+    chain-split propagation rule this compounds."""
+    from repro.datalog.parser import parse_query as _pq
+
+    def build():
+        db = _scsg_db()
+        query = _pq("scsg(p0_0, Y)")[0]
+        rows = []
+        variants = [
+            ("classic", dict()),
+            ("classic+sup", dict(supplementary=True)),
+            ("split", dict(chain_split=True)),
+            ("split+sup", dict(chain_split=True, supplementary=True)),
+        ]
+        baseline_rows = None
+        for label, kwargs in variants:
+            answers, counters, _ = MagicSetsEvaluator(db, **kwargs).evaluate(query)
+            if baseline_rows is None:
+                baseline_rows = answers.rows()
+            assert answers.rows() == baseline_rows
+            rows.append([label, counters.total_work, counters.join_probes])
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "A5 supplementary-predicate ablation on scsg",
+        ["plan", "work", "join probes"],
+        rows,
+    )
+    works = {row[0]: row[1] for row in rows}
+    assert works["classic+sup"] < works["classic"]
+    assert works["split+sup"] < works["split"]
+    assert works["split+sup"] < works["classic"] / 10

@@ -1,0 +1,109 @@
+"""E3 — finiteness: append^bbf needs chain-split to terminate at all.
+
+Paper claim (§2.2): the compiled append chain contains ``cons^ff``
+under the bbf adornment; evaluating the chain as one unit enumerates an
+infinite relation.  Chain-split evaluation (delaying the result-list
+``cons``) completes in Θ(n) steps.  We demonstrate divergence with a
+step budget on the non-split (leftmost, no-delay) strategy and measure
+the split strategies' linear scaling.
+"""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.engine.topdown import (
+    BudgetExceeded,
+    NotFinitelyEvaluable,
+    TopDownEvaluator,
+)
+from repro.analysis.normalize import normalize
+from repro.core.buffered import BufferedChainEvaluator
+from repro.workloads import APPEND, as_list_term, random_int_list
+
+from .harness import print_table, run_once
+
+LENGTHS = [16, 32, 64, 128, 256]
+
+
+def _setup():
+    db = Database()
+    db.load_source(APPEND)
+    rect, compiled = normalize(db.program, Predicate("append", 3))
+    rect_db = Database()
+    rect_db.program = rect
+    return rect_db, compiled
+
+
+def _query(length):
+    values = random_int_list(length, seed=length)
+    return parse_query(f"append({as_list_term(values)}, [0], W)")[0]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_append_chain_split(benchmark, length):
+    rect_db, compiled = _setup()
+    query = _query(length)
+    evaluator = BufferedChainEvaluator(rect_db, compiled)
+
+    def run():
+        answers, counters = evaluator.evaluate(query)
+        assert len(answers) == 1
+        return counters
+
+    run_once(benchmark, run)
+
+
+def test_append_no_split_diverges(benchmark):
+    """Chain-following on append^bbf: the leftmost strategy selects
+    cons(X, L3, W) with X and L3 free — not finitely evaluable."""
+    rect_db, _ = _setup()
+
+    def attempt():
+        evaluator = TopDownEvaluator(
+            rect_db, selection="leftmost", max_steps=20_000
+        )
+        outcome = None
+        try:
+            evaluator.query("append([1,2,3], [4], W)")
+        except (NotFinitelyEvaluable, BudgetExceeded) as exc:
+            outcome = type(exc).__name__
+        return outcome
+
+    outcome = run_once(benchmark, attempt)
+    assert outcome in {"NotFinitelyEvaluable", "BudgetExceeded"}
+
+
+def test_append_scaling_table(benchmark):
+    def build():
+        rect_db, compiled = _setup()
+        rows = []
+        for length in LENGTHS:
+            evaluator = BufferedChainEvaluator(rect_db, compiled)
+            answers, counters = evaluator.evaluate(_query(length))
+            assert len(answers) == 1
+            rows.append(
+                [
+                    length,
+                    counters.buffered_values,
+                    counters.intermediate_tuples,
+                    counters.derived_tuples,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E3 append^bbf chain-split scaling (no-split diverges; see "
+        "test_append_no_split_diverges)",
+        ["n", "buffered", "intermediate", "derived"],
+        rows,
+    )
+    # Θ(n): buffered values equal the list length, intermediate work is
+    # linear (ratio to n stays bounded).
+    for row in rows:
+        assert row[1] == row[0]
+    first_ratio = rows[0][2] / rows[0][0]
+    last_ratio = rows[-1][2] / rows[-1][0]
+    assert last_ratio <= first_ratio * 2

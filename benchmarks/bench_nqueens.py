@@ -1,0 +1,89 @@
+"""E9 — the LogicBase validation programs (paper §5).
+
+"A preliminary version of the LogicBase system ... has been
+successfully tested on many interesting recursions, such as append,
+travel, isort, nqueens."  This bench runs the full validation set
+through the public planner and reports n-queens scaling with known
+solution counts as the oracle.
+"""
+
+import pytest
+
+from repro.core.planner import Planner, Strategy
+from repro.workloads import (
+    APPEND,
+    ISORT,
+    NQUEENS,
+    QSORT,
+    TRAVEL,
+    from_list_term,
+    load,
+)
+
+from .harness import print_table, run_once
+
+#: Known number of n-queens solutions.
+SOLUTIONS = {4: 2, 5: 10, 6: 4, 7: 40}
+
+
+@pytest.mark.parametrize("n", sorted(SOLUTIONS))
+def test_nqueens(benchmark, n):
+    planner = Planner(load(NQUEENS))
+
+    def run():
+        rows = planner.answer_rows(f"queens({n}, Qs)")
+        assert len(rows) == SOLUTIONS[n]
+        return len(rows)
+
+    run_once(benchmark, run)
+
+
+def test_nqueens_table(benchmark):
+    def build():
+        rows = []
+        for n in sorted(SOLUTIONS):
+            planner = Planner(load(NQUEENS))
+            answers = planner.answer_rows(f"queens({n}, Qs)")
+            assert len(answers) == SOLUTIONS[n]
+            rows.append([n, len(answers), SOLUTIONS[n]])
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E9 n-queens through the planner (LogicBase validation set)",
+        ["n", "solutions found", "known count"],
+        rows,
+    )
+
+
+def test_validation_suite(benchmark):
+    """All four LogicBase programs plan and answer correctly."""
+
+    def run():
+        results = {}
+        append_rows = Planner(load(APPEND)).answer_rows("append([1,2], [3], W)")
+        results["append"] = from_list_term(append_rows[0][2])
+
+        isort_rows = Planner(load(ISORT)).answer_rows("isort([5,7,1], Ys)")
+        results["isort"] = from_list_term(isort_rows[0][1])
+
+        qsort_rows = Planner(load(QSORT)).answer_rows("qsort([4,9,5], Ys)")
+        results["qsort"] = from_list_term(qsort_rows[0][1])
+
+        travel_db = load(TRAVEL)
+        for flight in [
+            ("f1", "a", 900, "b", 1000, 100),
+            ("f2", "b", 1100, "c", 1200, 150),
+        ]:
+            travel_db.add_fact("flight", flight)
+        travel_rows = Planner(travel_db, max_depth=10).answer_rows(
+            "travel(L, a, DT, c, AT, F)"
+        )
+        results["travel"] = travel_rows[0][5].value
+        return results
+
+    results = run_once(benchmark, run)
+    assert results["append"] == [1, 2, 3]
+    assert results["isort"] == [1, 5, 7]
+    assert results["qsort"] == [4, 5, 9]
+    assert results["travel"] == 250

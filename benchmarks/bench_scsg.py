@@ -1,0 +1,101 @@
+"""E1 — scsg: chain-split vs merged-chain (classic) magic sets.
+
+Paper claim (Example 1.2, §3.1): blind binding propagation on scsg
+derives a cross-product-like binary magic set (merged parents filtered
+by same_country) whose size grows with population² / countries, while
+chain-split magic follows only the parent chain, keeping a unary magic
+set linear in the number of reachable ancestors.  Chain-split should
+win by growing factors as the population grows, for every country
+count.
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.core.magic import MagicSetsEvaluator
+from repro.workloads import FamilyConfig, family_database
+
+from .harness import print_table, run_once
+
+SIZES = [8, 12, 16]
+COUNTRIES = [2, 4]
+
+
+def _database(width, countries):
+    return family_database(
+        FamilyConfig(
+            levels=5,
+            width=width,
+            countries=countries,
+            parents_per_child=2,
+            seed=7,
+        )
+    )
+
+
+def _run(db, chain_split):
+    query = parse_query("scsg(p0_0, Y)")[0]
+    evaluator = MagicSetsEvaluator(db, chain_split=chain_split)
+    answers, counters, _ = evaluator.evaluate(query)
+    sizes = evaluator.magic_set_sizes(query)
+    return {
+        "answers": len(answers),
+        "magic": sum(sizes.values()),
+        "work": counters.total_work,
+        "derived": counters.derived_tuples,
+    }
+
+
+@pytest.mark.parametrize("width", SIZES)
+@pytest.mark.parametrize("chain_split", [False, True], ids=["classic", "split"])
+def test_scsg_magic(benchmark, width, chain_split):
+    db = _database(width, countries=2)
+    run_once(benchmark, lambda: _run(db, chain_split))
+
+
+def test_scsg_table(benchmark):
+    """The E1 summary table (printed with -s)."""
+
+    def build():
+        rows = []
+        for countries in COUNTRIES:
+            for width in SIZES:
+                db = _database(width, countries)
+                classic = _run(db, chain_split=False)
+                split = _run(db, chain_split=True)
+                assert classic["answers"] == split["answers"]
+                rows.append(
+                    [
+                        width * 5,
+                        countries,
+                        classic["magic"],
+                        split["magic"],
+                        classic["work"],
+                        split["work"],
+                        classic["work"] / max(split["work"], 1),
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E1 scsg: classic vs chain-split magic sets",
+        [
+            "population",
+            "countries",
+            "magic(classic)",
+            "magic(split)",
+            "work(classic)",
+            "work(split)",
+            "speedup",
+        ],
+        rows,
+    )
+    # The paper's shape: chain-split wins everywhere, and the gap
+    # widens with the population.
+    speedups_by_countries = {}
+    for row in rows:
+        speedups_by_countries.setdefault(row[1], []).append(row[6])
+    for countries, speedups in speedups_by_countries.items():
+        assert all(s > 1.0 for s in speedups), (countries, speedups)
+        assert speedups[-1] > speedups[0], "gap should widen with population"

@@ -1,0 +1,99 @@
+"""E7 — magic sets vs counting on the 2-chain sg recursion.
+
+Paper context (§3 preliminaries): counting exploits level symmetry and
+avoids the per-level join with the magic predicate, so on acyclic data
+it does less work than magic sets; both return the same answers.  We
+sweep family depth and fan-out; the expected shape is counting <= magic
+work everywhere, with the gap growing with depth.
+"""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.engine.seminaive import SemiNaiveEvaluator
+from repro.analysis.normalize import normalize
+from repro.core.counting import CountingEvaluator
+from repro.core.magic import MagicSetsEvaluator
+from repro.workloads import SG, FamilyConfig, family_database
+
+from .harness import print_table, run_once
+
+DEPTHS = [4, 6, 8]
+FANOUTS = [1, 2]
+
+
+def _database(levels, fanout):
+    return family_database(
+        FamilyConfig(
+            levels=levels,
+            width=10,
+            countries=5,
+            parents_per_child=fanout,
+            seed=13,
+        ),
+        program=SG,
+    )
+
+
+def _run_counting(db, query):
+    rect, compiled = normalize(db.program, Predicate("sg", 2))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    return CountingEvaluator(rect_db, compiled).evaluate(query)
+
+
+@pytest.mark.parametrize("levels", DEPTHS)
+@pytest.mark.parametrize("method", ["magic", "counting"])
+def test_sg_method(benchmark, levels, method):
+    db = _database(levels, fanout=1)
+    query = parse_query("sg(p0_0, Y)")[0]
+    if method == "magic":
+        run_once(benchmark, lambda: MagicSetsEvaluator(db).evaluate(query))
+    else:
+        run_once(benchmark, lambda: _run_counting(db, query))
+
+
+def test_sg_methods_table(benchmark):
+    def build():
+        rows = []
+        for fanout in FANOUTS:
+            for levels in DEPTHS:
+                db = _database(levels, fanout)
+                query = parse_query("sg(p0_0, Y)")[0]
+                magic_answers, magic_counters, _ = MagicSetsEvaluator(db).evaluate(
+                    query
+                )
+                counting_answers, counting_counters = _run_counting(db, query)
+                assert magic_answers.rows() == counting_answers.rows()
+                full = SemiNaiveEvaluator(db).evaluate()
+                rows.append(
+                    [
+                        levels,
+                        fanout,
+                        len(magic_answers),
+                        counting_counters.total_work,
+                        magic_counters.total_work,
+                        full.counters.total_work,
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E7 sg: counting vs magic sets vs full semi-naive",
+        [
+            "depth",
+            "fanout",
+            "answers",
+            "work(counting)",
+            "work(magic)",
+            "work(semi-naive)",
+        ],
+        rows,
+    )
+    for row in rows:
+        assert row[3] <= row[4], "counting must not exceed magic work"
+        assert row[4] <= row[5], "magic must not exceed full evaluation"

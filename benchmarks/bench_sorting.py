@@ -1,0 +1,204 @@
+"""E5 + E6 — the nested-linear (isort) and nonlinear (qsort)
+functional recursions (paper §4).
+
+Both run through the planner's top-down chain-split evaluation (the
+deferred goal selection of §4).  The tables report resolution work as
+the input grows; the paper's claim is qualitative — chain-split makes
+these programs *evaluable* and practical — so the shape to reproduce is
+isort's quadratic vs qsort's n·log n-ish growth on random data, plus
+correct answers everywhere.
+"""
+
+import pytest
+
+from repro.engine.topdown import TopDownEvaluator
+from repro.core.planner import Planner
+from repro.workloads import (
+    ISORT,
+    QSORT,
+    as_list_term,
+    from_list_term,
+    load,
+    random_int_list,
+)
+
+from .harness import print_table, run_once
+
+SIZES = [8, 16, 32, 64]
+
+
+def _sort_once(program, name, values):
+    evaluator = TopDownEvaluator(load(program))
+    answers = evaluator.query(f"{name}({as_list_term(values)}, Ys)")
+    assert len(answers) == 1
+    assert from_list_term(answers[0]["Ys"]) == sorted(values)
+    return evaluator.counters
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_isort(benchmark, size):
+    values = random_int_list(size, seed=size)
+    run_once(benchmark, lambda: _sort_once(ISORT, "isort", values))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qsort(benchmark, size):
+    values = random_int_list(size, seed=size * 31)
+    run_once(benchmark, lambda: _sort_once(QSORT, "qsort", values))
+
+
+def test_sorting_table(benchmark):
+    def build():
+        rows = []
+        for size in SIZES:
+            values = random_int_list(size, seed=size)
+            isort_counters = _sort_once(ISORT, "isort", values)
+            qsort_counters = _sort_once(QSORT, "qsort", values)
+            rows.append(
+                [
+                    size,
+                    isort_counters.intermediate_tuples,
+                    qsort_counters.intermediate_tuples,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E5/E6 sorting recursions: resolution work vs input size",
+        ["n", "isort resolutions", "qsort resolutions"],
+        rows,
+    )
+    # isort is quadratic: quadrupling work when n doubles (roughly);
+    # qsort grows much more slowly on random data.
+    isort_growth = rows[-1][1] / rows[0][1]
+    qsort_growth = rows[-1][2] / rows[0][2]
+    assert isort_growth > qsort_growth
+    # Both at least linear.
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_planner_routes_sorting(benchmark):
+    """Both programs execute through the public planner API."""
+
+    def run():
+        isort_rows = Planner(load(ISORT)).answer_rows("isort([3,1,2], Ys)")
+        qsort_rows = Planner(load(QSORT)).answer_rows("qsort([3,1,2], Ys)")
+        return (
+            from_list_term(isort_rows[0][1]),
+            from_list_term(qsort_rows[0][1]),
+        )
+
+    result = run_once(benchmark, run)
+    assert result == ([1, 2, 3], [1, 2, 3])
+
+
+@pytest.mark.parametrize("size", [8, 16, 32])
+def test_nrev_nested(benchmark, size):
+    """Naive reverse through composed chain-split evaluators — the
+    classic LIPS benchmark shape (quadratic append work)."""
+    from repro.workloads import NREV
+
+    values = random_int_list(size, seed=size * 13)
+    planner = Planner(load(NREV))
+
+    def run():
+        rows = planner.answer_rows(f"nrev({as_list_term(values)}, R)")
+        assert from_list_term(rows[0][1]) == list(reversed(values))
+
+    run_once(benchmark, run)
+
+
+def test_nested_vs_topdown_table(benchmark):
+    """isort: the set-oriented nested chain-split evaluation (paper
+    §4.1) versus per-tuple top-down resolution, same answers."""
+    from repro.datalog import Predicate, parse_query
+    from repro.engine import Database
+    from repro.analysis import NormalizedProgram
+    from repro.core import NestedChainEvaluator
+
+    def build():
+        rows = []
+        for size in (8, 16, 32):
+            values = random_int_list(size, seed=size)
+            src = load(ISORT)
+            normalized = NormalizedProgram(src.program)
+            rect_db = Database()
+            rect_db.program = normalized.program
+            rect_db.relations = src.relations
+            nested = NestedChainEvaluator(rect_db, Predicate("isort", 2))
+            query = parse_query(f"isort({as_list_term(values)}, Ys)")[0]
+            answers, nested_counters = nested.evaluate(query)
+            assert [from_list_term(r[1]) for r in answers] == [sorted(values)]
+            td = TopDownEvaluator(load(ISORT))
+            td_answers = td.query(f"isort({as_list_term(values)}, Ys)")
+            assert len(td_answers) == 1
+            rows.append(
+                [
+                    size,
+                    nested_counters.total_work,
+                    td.counters.intermediate_tuples,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E5b isort: nested chain-split (set-oriented) vs top-down "
+        "(per-tuple) — same answers",
+        ["n", "nested work", "top-down resolutions"],
+        rows,
+    )
+
+
+def test_strategy_matrix_table(benchmark):
+    """All four strategies on the same functional query (isort):
+    bottom-up magic, nested chain-split, top-down — identical answers,
+    different work profiles."""
+    from repro.datalog import Predicate, parse_query
+    from repro.engine import Database
+    from repro.analysis import NormalizedProgram
+    from repro.core import MagicSetsEvaluator, NestedChainEvaluator
+
+    def build():
+        rows = []
+        for size in (8, 16):
+            values = random_int_list(size, seed=size * 3)
+            src = load(ISORT)
+            normalized = NormalizedProgram(src.program)
+            rect_db = Database()
+            rect_db.program = normalized.program
+            rect_db.relations = src.relations
+            query = parse_query(f"isort({as_list_term(values)}, Ys)")[0]
+
+            magic_answers, magic_counters, _ = MagicSetsEvaluator(
+                rect_db
+            ).evaluate(query)
+            nested = NestedChainEvaluator(rect_db, Predicate("isort", 2))
+            nested_answers, nested_counters = nested.evaluate(query)
+            td = TopDownEvaluator(rect_db)
+            td_answers = td.query(
+                f"isort({as_list_term(values)}, Ys)"
+            )
+            assert (
+                len(magic_answers) == len(nested_answers) == len(td_answers) == 1
+            )
+            assert magic_answers.rows() == nested_answers.rows()
+            rows.append(
+                [
+                    size,
+                    magic_counters.total_work,
+                    nested_counters.total_work,
+                    td.counters.intermediate_tuples,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E5c isort strategy matrix: magic (bottom-up) vs nested "
+        "chain-split vs top-down — identical answers",
+        ["n", "magic work", "nested work", "top-down resolutions"],
+        rows,
+    )

@@ -1,0 +1,179 @@
+"""E4 + E8 — travel: constraint pushing and buffered-vs-partial.
+
+E4 (§3.3): on a cyclic flight network, unconstrained chain evaluation
+diverges; pushing the monotone fare bound terminates the search and
+prunes hopeless partial routes.  Tightening the budget prunes
+monotonically more (and never changes the surviving answers' validity).
+
+E8 (§3.2 vs §3.3): for chains that fit both techniques, partial
+evaluation folds accumulators during the descent instead of buffering
+every level; we compare buffered values vs folded frames on chains of
+growing length.
+"""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.analysis.normalize import normalize
+from repro.core.buffered import BufferedChainEvaluator
+from repro.core.partial import PartialChainEvaluator, PartialEvaluationError
+from repro.workloads import TRAVEL, FlightConfig, flight_database
+
+from .harness import print_table, run_once
+
+BUDGETS = [2000, 1200, 800, 500, 300]
+
+
+def _setup(airports=10, extra=14, seed=11):
+    db = flight_database(
+        FlightConfig(airports=airports, extra_flights=extra, seed=seed)
+    )
+    rect, compiled = normalize(db.program, Predicate("travel", 6))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    return rect_db, compiled
+
+
+def _query(airports=10):
+    return parse_query(f"travel(L, city0, DT, city{airports - 1}, AT, F)")[0]
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_travel_constrained(benchmark, budget):
+    rect_db, compiled = _setup()
+    query = _query()
+    constraints = parse_query(f"F =< {budget}")
+
+    def run():
+        evaluator = PartialChainEvaluator(
+            rect_db, compiled, constraints=constraints, max_depth=60
+        )
+        return evaluator.evaluate(query)
+
+    run_once(benchmark, run)
+
+
+def test_travel_unconstrained_diverges(benchmark):
+    rect_db, compiled = _setup()
+    query = _query()
+
+    def attempt():
+        evaluator = PartialChainEvaluator(rect_db, compiled, max_depth=14)
+        try:
+            evaluator.evaluate(query)
+            return "terminated"
+        except PartialEvaluationError:
+            return "diverged"
+
+    outcome = run_once(benchmark, attempt)
+    assert outcome == "diverged"
+
+
+def test_travel_budget_table(benchmark):
+    def build():
+        rect_db, compiled = _setup()
+        query = _query()
+        rows = []
+        for budget in BUDGETS:
+            constraints = parse_query(f"F =< {budget}")
+            evaluator = PartialChainEvaluator(
+                rect_db, compiled, constraints=constraints, max_depth=60
+            )
+            answers, counters = evaluator.evaluate(query)
+            assert all(row[5].value <= budget for row in answers)
+            rows.append(
+                [
+                    budget,
+                    len(answers),
+                    counters.pruned_tuples,
+                    counters.intermediate_tuples,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E4 travel: pushed fare budget (cyclic network; unconstrained "
+        "evaluation diverges)",
+        ["budget", "routes", "pruned", "intermediate"],
+        rows,
+    )
+    # Tighter budget -> never more answers, never more explored work.
+    for previous, current in zip(rows, rows[1:]):
+        assert current[1] <= previous[1]
+        assert current[3] <= previous[3]
+
+
+@pytest.mark.parametrize("length", [3, 6, 9, 12])
+def test_buffered_vs_partial_chain_length(benchmark, length):
+    """E8 on a pure path network of the given length."""
+    db = flight_database(
+        FlightConfig(airports=length + 1, extra_flights=0, seed=5)
+    )
+    rect, compiled = normalize(db.program, Predicate("travel", 6))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    query = parse_query(f"travel(L, city0, DT, city{length}, AT, F)")[0]
+
+    def run():
+        buffered_answers, buffered_counters = BufferedChainEvaluator(
+            rect_db, compiled
+        ).evaluate(query)
+        partial_answers, partial_counters = PartialChainEvaluator(
+            rect_db, compiled, max_depth=length + 2
+        ).evaluate(query)
+        assert buffered_answers.rows() == partial_answers.rows()
+        return buffered_counters, partial_counters
+
+    run_once(benchmark, run)
+
+
+def test_buffer_vs_partial_table(benchmark):
+    def build():
+        rows = []
+        for length in (3, 6, 9, 12):
+            db = flight_database(
+                FlightConfig(airports=length + 1, extra_flights=0, seed=5)
+            )
+            rect, compiled = normalize(db.program, Predicate("travel", 6))
+            rect_db = Database()
+            rect_db.program = rect
+            rect_db.relations = db.relations
+            query = parse_query(f"travel(L, city0, DT, city{length}, AT, F)")[0]
+            _, buffered_counters = BufferedChainEvaluator(
+                rect_db, compiled
+            ).evaluate(query)
+            _, partial_counters = PartialChainEvaluator(
+                rect_db, compiled, max_depth=length + 2
+            ).evaluate(query)
+            rows.append(
+                [
+                    length,
+                    buffered_counters.buffered_values,
+                    partial_counters.buffered_values,
+                    buffered_counters.total_work,
+                    partial_counters.total_work,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "E8 buffered vs partial chain-split on path networks",
+        [
+            "chain length",
+            "buffered values (Alg 3.2)",
+            "buffered values (Alg 3.3)",
+            "work (3.2)",
+            "work (3.3)",
+        ],
+        rows,
+    )
+    # Partial evaluation buffers nothing — it folds accumulators.
+    for row in rows:
+        assert row[2] == 0
+        assert row[1] >= row[0]  # Alg 3.2 buffers at least one value per level

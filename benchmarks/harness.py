@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's comparisons as a table
+printed to stdout (run ``pytest benchmarks/ --benchmark-only -s`` to
+see them).  Timings come from pytest-benchmark; the structural
+quantities (magic-set sizes, intermediate tuples, buffered values,
+pruned tuples) come from the engine's :class:`~repro.engine.counters.Counters`,
+which are the measures the paper actually argues about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["print_table", "run_once"]
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print an aligned ASCII table (the bench 'figure')."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    print()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single warm run per round (the workloads
+    are deterministic; repeated rounds only measure noise)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=3, warmup_rounds=1)

@@ -1,0 +1,76 @@
+"""Engine tour: proofs, tabling, existence checking, CSV data, CLI.
+
+Run:  python examples/engine_tour.py
+
+A grab-bag of the library features around the core chain-split
+algorithms: derivation trees (*why* is this an answer?), tabled
+evaluation (left recursion, shared subgoals), existence checking with
+early termination (paper §5), and loading facts from CSV.
+"""
+
+import io
+
+from repro import Database, ExistenceChecker, ProofTracer, TabledEvaluator
+from repro.engine.io import load_facts_csv
+from repro.engine.topdown import BudgetExceeded, TopDownEvaluator
+
+
+ANCESTRY_RULES = """
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- anc(X, Z), parent(Z, Y).
+"""
+
+# Facts as they would live in a data file.
+PARENT_CSV = """\
+ann,carol
+carol,eve
+eve,gil
+bob,carol
+"""
+
+
+def main() -> None:
+    db = Database()
+    db.load_source(ANCESTRY_RULES)
+    loaded = load_facts_csv(db, io.StringIO(PARENT_CSV), "parent")
+    print(f"loaded {loaded} parent facts from CSV")
+
+    print("\n== left recursion: SLD loops, tabling terminates ==")
+    sld = TopDownEvaluator(db, max_steps=2_000)
+    try:
+        sld.query("anc(ann, Y)")
+        print("  plain SLD: terminated (unexpected)")
+    except BudgetExceeded:
+        print("  plain SLD: exceeded the step budget (left recursion)")
+    tabled = TabledEvaluator(db)
+    ancestors = sorted(str(a["Y"]) for a in tabled.query("anc(ann, Y)"))
+    print(f"  tabled:    anc(ann, Y) for Y in {ancestors}")
+
+    print("\n== why is gil an ancestor-of-ann answer? ==")
+    # Proof trees need a right-recursive formulation for plain SLD.
+    db_right = Database()
+    db_right.load_source(
+        """
+        anc(X, Y) :- parent(X, Y).
+        anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        """
+    )
+    load_facts_csv(db_right, io.StringIO(PARENT_CSV), "parent")
+    tracer = ProofTracer(db_right)
+    print(tracer.explain("anc(ann, gil)"))
+
+    print("\n== existence checking (paper §5) ==")
+    checker = ExistenceChecker(db_right)
+    for goal in ["anc(ann, gil)", "anc(gil, ann)"]:
+        found, counters = checker.exists_bottom_up(goal)
+        print(
+            f"  {goal}: {'yes' if found else 'no'} "
+            f"({counters.total_work} work units, early exit)"
+        )
+
+    print("\n== the same database from the command line ==")
+    print("  $ python -m repro family.pl -q 'anc(ann, Y)' --explain --proof")
+
+
+if __name__ == "__main__":
+    main()

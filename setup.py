@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e .`` work on environments without the ``wheel``
+package (offline build isolation): ``pip install -e . --no-use-pep517``
+falls back to ``setup.py develop`` through this file.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — Chain-Split Evaluation in Deductive Databases.
+
+A from-scratch reproduction of Jiawei Han's ICDE 1992 paper: a
+deductive-database engine (Datalog with function symbols), chain-form
+compilation and adornment analyses, and the three chain-split
+evaluation techniques — chain-split magic sets (Algorithm 3.1),
+buffered chain-split evaluation (Algorithm 3.2) and chain-split
+partial evaluation with constraint pushing (Algorithm 3.3).
+
+Quickstart::
+
+    from repro import Database, Planner
+
+    db = Database()
+    db.load_source('''
+        sg(X, Y) :- sibling(X, Y).
+        sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+    ''')
+    db.add_fact("parent", ("ann", "bea"))
+    ...
+    planner = Planner(db)
+    print(planner.plan("sg(ann, Y)").explain())
+    for row in planner.answer_rows("sg(ann, Y)"):
+        print(row)
+"""
+
+from .datalog import (
+    Literal,
+    Predicate,
+    Program,
+    Rule,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+)
+from .engine import (
+    BuiltinRegistry,
+    Counters,
+    Database,
+    ProofTracer,
+    Relation,
+    SemiNaiveEvaluator,
+    TabledEvaluator,
+    TopDownEvaluator,
+    default_registry,
+)
+from .analysis import (
+    CostModel,
+    NotFinitelyEvaluableError,
+    classify_recursion,
+    compile_recursion,
+    normalize,
+    rectify_program,
+    split_path,
+)
+from .core import (
+    BufferedChainEvaluator,
+    CountingEvaluator,
+    ExistenceChecker,
+    MagicSetsEvaluator,
+    PartialChainEvaluator,
+    Planner,
+    QueryPlan,
+    Strategy,
+    decide_split,
+    transitive_closure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferedChainEvaluator",
+    "BuiltinRegistry",
+    "CostModel",
+    "Counters",
+    "CountingEvaluator",
+    "Database",
+    "ExistenceChecker",
+    "Literal",
+    "MagicSetsEvaluator",
+    "NotFinitelyEvaluableError",
+    "PartialChainEvaluator",
+    "Planner",
+    "Predicate",
+    "ProofTracer",
+    "Program",
+    "QueryPlan",
+    "Relation",
+    "Rule",
+    "SemiNaiveEvaluator",
+    "TabledEvaluator",
+    "Strategy",
+    "TopDownEvaluator",
+    "classify_recursion",
+    "compile_recursion",
+    "decide_split",
+    "default_registry",
+    "normalize",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "parse_term",
+    "rectify_program",
+    "split_path",
+    "transitive_closure",
+]

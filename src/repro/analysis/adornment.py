@@ -1,0 +1,218 @@
+"""Adorned programs: binding propagation with a pluggable rule.
+
+The magic-sets transformation works on an *adorned* program: every IDB
+predicate occurrence is annotated with a ``b``/``f`` string describing
+which arguments are bound at call time, derived by sideways information
+passing (SIP) through each rule body.  Algorithm 3.1's whole point is
+that the *binding propagation rule* is a policy: classic magic sets
+always propagate a binding across a body literal, while chain-split
+magic sets refuse to propagate across weak linkages (high join
+expansion ratio) or non-evaluable functional predicates.
+
+:func:`adorn_program` therefore accepts a ``propagation_hook``; the
+default reproduces classic magic sets, and
+:class:`~repro.analysis.cost.CostModel`-backed hooks produce the
+chain-split variant (see :mod:`repro.core.magic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import is_ground, term_variables
+from ..engine.builtins import BuiltinRegistry, default_registry
+from .finiteness import adornment_of, bound_positions
+
+__all__ = [
+    "AdornedLiteral",
+    "AdornedRule",
+    "AdornedProgram",
+    "adorn_program",
+    "adornment_for_query",
+    "adorned_name",
+]
+
+#: hook(literal, bound_vars, is_idb) -> Optional[bool]; None = default.
+PropagationHook = Callable[[Literal, Set[str], bool], Optional[bool]]
+
+
+@dataclass
+class AdornedLiteral:
+    """A body literal with its call-time adornment and the decision
+    whether its output bindings were propagated sideways."""
+
+    literal: Literal
+    adornment: str
+    propagated: bool
+    is_idb: bool
+
+    def __str__(self) -> str:
+        mark = "" if self.propagated else "  [delayed]"
+        return f"{self.literal}^{self.adornment}{mark}"
+
+
+@dataclass
+class AdornedRule:
+    """One rule adorned under a specific head adornment."""
+
+    rule: Rule
+    head_adornment: str
+    body: List[AdornedLiteral]
+
+    def __str__(self) -> str:
+        body = ", ".join(str(b) for b in self.body)
+        return f"{self.rule.head}^{self.head_adornment} :- {body}."
+
+
+class AdornedProgram:
+    """All adorned rules reachable from the query adornment."""
+
+    def __init__(
+        self,
+        query_predicate: Predicate,
+        query_adornment: str,
+        rules: List[AdornedRule],
+        calls: Set[Tuple[Predicate, str]],
+    ):
+        self.query_predicate = query_predicate
+        self.query_adornment = query_adornment
+        self.rules = rules
+        self.calls = calls
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def adornment_for_query(query: Literal) -> str:
+    """Adornment induced by a query literal: ground arguments bound."""
+    return "".join("b" if is_ground(arg) else "f" for arg in query.args)
+
+
+def adorned_name(name: str, adornment: str) -> str:
+    """Name of the adorned predicate (``sg`` + ``bf`` -> ``sg__bf``)."""
+    return f"{name}__{adornment}"
+
+
+def adorn_program(
+    program: Program,
+    query_predicate: Predicate,
+    query_adornment: str,
+    registry: Optional[BuiltinRegistry] = None,
+    propagation_hook: Optional[PropagationHook] = None,
+    sip: str = "leftmost",
+) -> AdornedProgram:
+    """Adorn all rules reachable from ``query_predicate^adornment``.
+
+    SIP strategies:
+
+    * ``"leftmost"`` (default) — textual left-to-right, matching the
+      paper's worked examples (rules 1.11/1.12);
+    * ``"greedy"`` — at each step adorn the remaining literal with the
+      most bound argument positions (IDB literals last among ties), a
+      bound-is-easier heuristic that can produce tighter adornments
+      when selective literals appear late in the body.
+
+    The hook may veto propagation for any literal; builtins
+    additionally never propagate unless evaluable under the current
+    bindings (an unevaluable builtin *cannot* pass a binding on — that
+    is the finiteness-based split).
+    """
+    if sip not in {"leftmost", "greedy"}:
+        raise ValueError("sip must be 'leftmost' or 'greedy'")
+    registry = registry if registry is not None else default_registry()
+    if len(query_adornment) != query_predicate.arity or any(
+        c not in "bf" for c in query_adornment
+    ):
+        raise ValueError(
+            f"bad adornment {query_adornment!r} for {query_predicate}"
+        )
+    idb = program.idb_predicates()
+    adorned_rules: List[AdornedRule] = []
+    seen: Set[Tuple[Predicate, str]] = set()
+    worklist: List[Tuple[Predicate, str]] = [(query_predicate, query_adornment)]
+
+    while worklist:
+        predicate, adornment = worklist.pop()
+        if (predicate, adornment) in seen:
+            continue
+        seen.add((predicate, adornment))
+        for rule in program.rules_for(predicate):
+            bound: Set[str] = set()
+            for position, flag in enumerate(adornment):
+                if flag == "b":
+                    for var in term_variables(rule.head.args[position]):
+                        bound.add(var.name)
+            body: List[AdornedLiteral] = []
+            for literal in _sip_order(rule.body, bound, sip):
+                literal_adornment = adornment_of(literal, bound)
+                is_idb_literal = literal.predicate in idb
+                propagate = _decide_propagation(
+                    literal, bound, is_idb_literal, registry, propagation_hook
+                )
+                body.append(
+                    AdornedLiteral(literal, literal_adornment, propagate, is_idb_literal)
+                )
+                if is_idb_literal:
+                    # Negated IDB literals are adorned too: their
+                    # definition must be rewritten so the negation
+                    # tests the right (relevant) facts.
+                    worklist.append((literal.predicate, literal_adornment))
+                if propagate:
+                    for var in literal.variables():
+                        bound.add(var.name)
+            adorned_rules.append(AdornedRule(rule, adornment, body))
+
+    return AdornedProgram(query_predicate, query_adornment, adorned_rules, seen)
+
+
+def _sip_order(body, bound, sip: str):
+    """The order in which the SIP visits body literals."""
+    if sip == "leftmost":
+        return list(body)
+    remaining = list(body)
+    bound_names = set(bound)
+    ordered = []
+    while remaining:
+        def score(literal):
+            from .finiteness import bound_positions
+
+            positions = len(bound_positions(literal, bound_names))
+            # Prefer non-IDB on ties (cheaper to pass through first);
+            # stable on textual order otherwise.
+            return positions
+
+        best_index = max(range(len(remaining)), key=lambda i: score(remaining[i]))
+        literal = remaining.pop(best_index)
+        ordered.append(literal)
+        bound_names |= {v.name for v in literal.variables()}
+    return ordered
+
+
+def _decide_propagation(
+    literal: Literal,
+    bound: Set[str],
+    is_idb_literal: bool,
+    registry: BuiltinRegistry,
+    hook: Optional[PropagationHook],
+) -> bool:
+    if literal.negated:
+        # Negation-as-failure filters; it never binds new variables.
+        return False
+    builtin = registry.get(literal.predicate)
+    if builtin is not None and not builtin.is_finite_under(
+        bound_positions(literal, bound)
+    ):
+        # A non-evaluable functional predicate cannot pass bindings on:
+        # mandatory delay regardless of policy.
+        return False
+    if hook is not None:
+        verdict = hook(literal, bound, is_idb_literal)
+        if verdict is not None:
+            return verdict
+    return True

@@ -1,0 +1,203 @@
+"""The chain-split cost model: join expansion ratios and thresholds.
+
+§2.1 of the paper distinguishes *strong* linkages (small join expansion
+ratio — following them keeps the frontier small) from *weak* linkages
+(large ratio — following them explodes the frontier, e.g. binding a
+person's country to *everyone born in that country* in ``scsg``).
+Algorithm 3.1 modifies magic-set binding propagation with two
+thresholds:
+
+* ratio >= ``split_threshold``  → never propagate (chain-split);
+* ratio <= ``follow_threshold`` → always propagate (chain-follow);
+* in between → a quantitative comparison of the two plans' estimated
+  work (the paper defers the details to System-R-style estimation,
+  ref [13, 18]; we estimate with frontier x ratio x depth versus a
+  one-shot scan of the delayed relation).
+
+Evaluable functional predicates (builtins) expand 1:1 — a bound-mode
+``cons`` or ``sum`` produces exactly one solution — while a
+non-evaluable occurrence has an *infinite* ratio, which is how the
+efficiency-based and the finiteness-based split criteria unify: an
+infinite expansion ratio is precisely "not finitely evaluable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.terms import term_variables
+from ..engine.builtins import BuiltinRegistry, default_registry
+from ..engine.database import Database
+from ..engine.statistics import CatalogStatistics
+from .chains import ChainPath
+from .finiteness import PathSplit, bound_positions
+
+__all__ = ["LinkageDecision", "CostModel"]
+
+INFINITY = float("inf")
+
+
+@dataclass
+class LinkageDecision:
+    """Outcome of the modified binding-propagation rule for one literal."""
+
+    literal: Literal
+    ratio: float
+    propagate: bool
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "follow" if self.propagate else "split"
+        return f"{verdict} {self.literal} (ratio={self.ratio:.3g}; {self.reason})"
+
+
+class CostModel:
+    """Join-expansion-ratio based propagation decisions (Alg. 3.1)."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[BuiltinRegistry] = None,
+        split_threshold: float = 4.0,
+        follow_threshold: float = 1.5,
+        depth_estimate: int = 8,
+        frontier_estimate: int = 1,
+    ):
+        if follow_threshold > split_threshold:
+            raise ValueError("follow_threshold must not exceed split_threshold")
+        self.database = database
+        self.registry = registry if registry is not None else default_registry()
+        self.statistics = CatalogStatistics(database)
+        self.split_threshold = split_threshold
+        self.follow_threshold = follow_threshold
+        self.depth_estimate = depth_estimate
+        self.frontier_estimate = frontier_estimate
+
+    # ------------------------------------------------------------------
+    # Expansion ratios
+    # ------------------------------------------------------------------
+    def literal_expansion(self, literal: Literal, bound_vars: Set[str]) -> float:
+        """Join expansion ratio of pushing the current bindings through
+        ``literal``: expected number of result bindings per input
+        binding."""
+        bound = bound_positions(literal, bound_vars)
+        free = [i for i in range(literal.arity) if i not in bound]
+        builtin = self.registry.get(literal.predicate)
+        if builtin is not None:
+            # Functional predicates: single-valued when evaluable,
+            # infinite otherwise.
+            return 1.0 if builtin.is_finite_under(bound) else INFINITY
+        if not free:
+            # Pure filter: never expands.
+            return 1.0
+        stats = self.statistics.for_predicate(literal.predicate)
+        if stats is None:
+            # IDB literal: unknown; assume neutral expansion so the
+            # analysis neither forces nor forbids a split.
+            return 1.0
+        return stats.fanout(sorted(bound), free)
+
+    # ------------------------------------------------------------------
+    # The modified binding-propagation rule
+    # ------------------------------------------------------------------
+    def decide(self, literal: Literal, bound_vars: Set[str]) -> LinkageDecision:
+        """Apply Algorithm 3.1's three-way rule to one linkage."""
+        ratio = self.literal_expansion(literal, bound_vars)
+        if ratio == INFINITY:
+            return LinkageDecision(
+                literal, ratio, False, "not finitely evaluable under current bindings"
+            )
+        if not bound_positions(literal, bound_vars):
+            # No linkage at all: nothing to propagate *through*; the
+            # literal would be a cross product.  Never follow.
+            return LinkageDecision(
+                literal, ratio, False, "no bound argument — cross-product linkage"
+            )
+        if ratio >= self.split_threshold:
+            return LinkageDecision(
+                literal, ratio, False, f"ratio >= split threshold {self.split_threshold}"
+            )
+        if ratio <= self.follow_threshold:
+            return LinkageDecision(
+                literal, ratio, True, f"ratio <= follow threshold {self.follow_threshold}"
+            )
+        return self._quantitative(literal, ratio)
+
+    def _quantitative(self, literal: Literal, ratio: float) -> LinkageDecision:
+        """Gray-zone comparison: estimated frontier work if we follow
+        the linkage for ``depth_estimate`` iterations versus scanning
+        the delayed relation once per iteration."""
+        stats = self.statistics.for_predicate(literal.predicate)
+        cardinality = stats.cardinality if stats is not None else 1
+        follow_work = 0.0
+        frontier = float(self.frontier_estimate)
+        for _ in range(self.depth_estimate):
+            frontier *= ratio
+            follow_work += frontier
+        split_work = float(cardinality) * self.depth_estimate
+        if follow_work <= split_work:
+            return LinkageDecision(
+                literal,
+                ratio,
+                True,
+                f"quantitative: follow work {follow_work:.3g} <= "
+                f"split work {split_work:.3g}",
+            )
+        return LinkageDecision(
+            literal,
+            ratio,
+            False,
+            f"quantitative: follow work {follow_work:.3g} > "
+            f"split work {split_work:.3g}",
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-path split (efficiency-based, §2.1)
+    # ------------------------------------------------------------------
+    def efficiency_split(
+        self,
+        path: ChainPath,
+        entry_bound: Iterable[str],
+    ) -> Tuple[PathSplit, List[LinkageDecision]]:
+        """Partition a chain generating path by repeatedly applying the
+        modified propagation rule: literals the rule follows become the
+        evaluable portion, the rest the delayed portion.
+
+        Greedy like the finiteness split: at each step every remaining
+        literal that touches a bound variable is considered and the one
+        with the smallest ratio is followed if the rule says follow.
+        """
+        bound = set(entry_bound)
+        remaining = list(path.literals)
+        evaluable: List[Literal] = []
+        decisions: List[LinkageDecision] = []
+        progress = True
+        while remaining and progress:
+            progress = False
+            candidates = sorted(
+                range(len(remaining)),
+                key=lambda i: self.literal_expansion(remaining[i], bound),
+            )
+            for index in candidates:
+                literal = remaining[index]
+                decision = self.decide(literal, bound)
+                if decision.propagate:
+                    decisions.append(decision)
+                    evaluable.append(literal)
+                    bound |= {v.name for v in literal.variables()}
+                    del remaining[index]
+                    progress = True
+                    break
+                # Record the (negative) decision only once the loop
+                # settles, to avoid duplicates while bindings grow.
+            if not progress:
+                for literal in remaining:
+                    decisions.append(self.decide(literal, bound))
+        delayed = remaining
+        delayed_vars: Set[str] = set()
+        for literal in delayed:
+            delayed_vars |= {v.name for v in literal.variables()}
+        buffered = sorted(delayed_vars & bound)
+        return PathSplit(evaluable, delayed, buffered), decisions

@@ -1,0 +1,234 @@
+"""Finite evaluability analysis and finiteness-based chain-split (§2.2).
+
+A chain generating path of a *functional* recursion may contain
+functional predicates (``cons``, ``sum``) whose relations are infinite.
+Whether an occurrence is finitely evaluable depends on the binding
+state at evaluation time, which this module tracks with the paper's
+``b``/``f`` adornments:
+
+* a stored (EDB) predicate is finite under every adornment — the
+  trivial finiteness constraint;
+* a builtin is finite only under the modes its registry entry declares
+  (``cons``: inputs bound or output bound; ``sum``: any two of three);
+* an IDB predicate's finiteness is delegated to a caller-provided
+  check (the planner recursively analyses nested recursions).
+
+:func:`split_path` computes the chain-split itself: the maximal
+immediately-evaluable prefix (greedily, in any safe order) and the
+delayed-evaluation remainder, verifying the remainder becomes evaluable
+once the recursive call has returned.  When even that fails, the query
+is not finitely evaluable and :class:`NotFinitelyEvaluableError` is
+raised — the paper's safety condition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.terms import Term, Var, term_variables
+from ..engine.builtins import BuiltinRegistry, default_registry
+from ..engine.database import Database
+from .chains import ChainPath, CompiledRecursion
+
+__all__ = [
+    "NotFinitelyEvaluableError",
+    "PathSplit",
+    "split_path",
+    "is_immediately_evaluable",
+    "adornment_of",
+    "bound_positions",
+]
+
+
+class NotFinitelyEvaluableError(ValueError):
+    """No evaluation order makes the query finite (paper §2.2)."""
+
+
+def bound_positions(literal: Literal, bound_vars: Set[str]) -> FrozenSet[int]:
+    """Argument positions of ``literal`` whose variables are all bound
+    (constant arguments count as bound)."""
+    positions = set()
+    for i, arg in enumerate(literal.args):
+        arg_vars = [v.name for v in term_variables(arg)]
+        if all(name in bound_vars for name in arg_vars):
+            positions.add(i)
+    return frozenset(positions)
+
+
+def adornment_of(literal: Literal, bound_vars: Set[str]) -> str:
+    """The paper's adornment string (e.g. ``'bbf'``) of a literal under
+    a set of bound variables."""
+    bound = bound_positions(literal, bound_vars)
+    return "".join("b" if i in bound else "f" for i in range(literal.arity))
+
+
+class PathSplit:
+    """The result of splitting a chain generating path.
+
+    ``evaluable`` is the immediately evaluable portion in a safe
+    evaluation order, ``delayed`` the delayed-evaluation portion (also
+    safely ordered, for execution after the recursive call returns).
+    ``buffered_vars`` are the variables produced by the evaluable
+    portion (or bound at entry) that the delayed portion consumes —
+    exactly the values Algorithm 3.2 buffers per iteration.
+    """
+
+    def __init__(
+        self,
+        evaluable: Sequence[Literal],
+        delayed: Sequence[Literal],
+        buffered_vars: Sequence[str],
+    ):
+        self.evaluable = list(evaluable)
+        self.delayed = list(delayed)
+        self.buffered_vars = list(buffered_vars)
+
+    @property
+    def needs_split(self) -> bool:
+        return bool(self.delayed)
+
+    def __repr__(self) -> str:
+        ev = ", ".join(str(l) for l in self.evaluable)
+        dl = ", ".join(str(l) for l in self.delayed)
+        return (
+            f"PathSplit(evaluable=[{ev}], delayed=[{dl}], "
+            f"buffered={self.buffered_vars})"
+        )
+
+
+IdbFiniteCheck = Callable[[Literal, FrozenSet[int]], bool]
+
+
+def _default_idb_check(literal: Literal, bound: FrozenSet[int]) -> bool:
+    # Conservative default: an IDB call with at least one bound
+    # argument is assumed finitely evaluable; the planner substitutes a
+    # real recursive analysis.
+    return bool(bound) or literal.arity == 0
+
+
+def _is_evaluable(
+    literal: Literal,
+    bound_vars: Set[str],
+    registry: BuiltinRegistry,
+    database: Optional[Database],
+    idb_finite: IdbFiniteCheck,
+) -> bool:
+    if literal.negated:
+        return all(v.name in bound_vars for v in literal.variables())
+    builtin = registry.get(literal.predicate)
+    if builtin is not None:
+        return builtin.is_finite_under(bound_positions(literal, bound_vars))
+    if database is not None and database.get(literal.predicate) is not None:
+        return True  # finite EDB relation
+    if database is not None and database.finiteness_constraints:
+        # User-declared finiteness constraints (ref [6]) for predicates
+        # over infinite domains: evaluable when some constraint's
+        # sources are bound and its targets cover every free position.
+        declared = [
+            c
+            for c in database.finiteness_constraints
+            if c.predicate == literal.predicate
+        ]
+        if declared:
+            bound = bound_positions(literal, bound_vars)
+            free = set(range(literal.arity)) - bound
+            return any(
+                constraint.sources <= bound and free <= constraint.targets
+                for constraint in declared
+            )
+    if database is not None and literal.predicate in {
+        r.head.predicate for r in database.program
+    }:
+        return idb_finite(literal, bound_positions(literal, bound_vars))
+    # Unknown predicate: treat as a finite stored relation (it will be
+    # empty at evaluation time).
+    return True
+
+
+def _greedy_order(
+    literals: Sequence[Literal],
+    bound_vars: Set[str],
+    registry: BuiltinRegistry,
+    database: Optional[Database],
+    idb_finite: IdbFiniteCheck,
+) -> Tuple[List[Literal], List[Literal], Set[str]]:
+    """Order as many literals as possible; return (ordered, stuck,
+    final bound set)."""
+    remaining = list(literals)
+    bound = set(bound_vars)
+    ordered: List[Literal] = []
+    progress = True
+    while remaining and progress:
+        progress = False
+        for index, literal in enumerate(remaining):
+            if _is_evaluable(literal, bound, registry, database, idb_finite):
+                ordered.append(literal)
+                bound |= {v.name for v in literal.variables()}
+                del remaining[index]
+                progress = True
+                break
+    return ordered, remaining, bound
+
+
+def is_immediately_evaluable(
+    path: ChainPath,
+    entry_bound: Iterable[str],
+    registry: Optional[BuiltinRegistry] = None,
+    database: Optional[Database] = None,
+    idb_finite: IdbFiniteCheck = _default_idb_check,
+) -> bool:
+    """True when the whole path can be evaluated without a split."""
+    registry = registry if registry is not None else default_registry()
+    _, stuck, _ = _greedy_order(
+        path.literals, set(entry_bound), registry, database, idb_finite
+    )
+    return not stuck
+
+
+def split_path(
+    path: ChainPath,
+    entry_bound: Iterable[str],
+    rec_literal: Literal,
+    registry: Optional[BuiltinRegistry] = None,
+    database: Optional[Database] = None,
+    idb_finite: IdbFiniteCheck = _default_idb_check,
+) -> PathSplit:
+    """Split ``path`` into evaluable + delayed portions (paper §2.2).
+
+    ``entry_bound``: variable names bound when the iteration starts
+    (query bindings propagated to the head).  ``rec_literal``: the
+    recursive body literal; after the sub-recursion completes all its
+    variables are bound, which is what makes the delayed portion
+    evaluable.
+
+    Raises :class:`NotFinitelyEvaluableError` when the delayed portion
+    would still flounder after the recursive call returns.
+    """
+    registry = registry if registry is not None else default_registry()
+    entry = set(entry_bound)
+
+    evaluable, stuck, bound_after = _greedy_order(
+        path.literals, entry, registry, database, idb_finite
+    )
+    if not stuck:
+        return PathSplit(evaluable, [], [])
+
+    # Delayed portion: must be evaluable once the recursive call has
+    # bound all of its variables.
+    bound_with_return = bound_after | {v.name for v in rec_literal.variables()}
+    delayed_ordered, still_stuck, _ = _greedy_order(
+        stuck, bound_with_return, registry, database, idb_finite
+    )
+    if still_stuck:
+        stuck_str = ", ".join(str(l) for l in still_stuck)
+        raise NotFinitelyEvaluableError(
+            f"path portion not finitely evaluable even after the "
+            f"recursive call returns: {stuck_str}"
+        )
+
+    delayed_vars: Set[str] = set()
+    for literal in delayed_ordered:
+        delayed_vars |= {v.name for v in literal.variables()}
+    buffered = sorted(delayed_vars & bound_after)
+    return PathSplit(evaluable, delayed_ordered, buffered)

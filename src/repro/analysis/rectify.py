@@ -1,0 +1,157 @@
+"""Rule rectification: eliminate function symbols and normalize heads.
+
+The paper (following refs [12, 15, 17, 21]) analyses functional
+recursions in a function-free framework by transforming every function
+application ``V = f(X1, ..., Xk)`` into a *functional predicate* atom
+``f(X1, ..., Xk, V)``.  Rectification performs two steps:
+
+1. **Head normalization** — rewrite each rule so its head is
+   ``p(V1, ..., Vn)`` with distinct fresh variables, moving structure
+   into body equalities.
+2. **Flattening** — replace every compound term in any literal argument
+   by a fresh variable plus a functional-predicate literal producing
+   it.  The list constructor ``'.'`` maps to ``cons`` and arithmetic
+   operators to ``plus``/``minus``/``times``, matching the builtin
+   registry; other functors ``f/k`` map to ``f/(k+1)``.
+
+After rectification every literal argument is a variable or a constant,
+which is the precondition for chain compilation and adornment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.literals import Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Const, Struct, Term, Var, fresh_variable_factory
+
+__all__ = ["rectify_rule", "rectify_program", "FUNCTOR_PREDICATES", "is_rectified"]
+
+#: Functor-to-functional-predicate renamings for the builtin functors.
+FUNCTOR_PREDICATES: Dict[str, str] = {
+    ".": "cons",
+    "+": "plus",
+    "-": "minus",
+    "*": "times",
+}
+
+
+def _flatten_term(
+    term: Term,
+    out_literals: List[Literal],
+    fresh: Callable[[], Var],
+) -> Term:
+    """Replace a compound term over a *known* functor by a fresh
+    variable, emitting the functional-predicate literals that define it
+    (innermost first).
+
+    Uninterpreted functors (user constructors like ``move(From, To)``)
+    have no evaluable functional predicate in the engine, so they stay
+    inline — unification handles them directly; only their known
+    sub-terms (lists, arithmetic) are flattened.
+    """
+    if not isinstance(term, Struct):
+        return term
+    flat_args = [_flatten_term(arg, out_literals, fresh) for arg in term.args]
+    if term.functor not in FUNCTOR_PREDICATES:
+        if tuple(flat_args) == term.args:
+            return term
+        return Struct(term.functor, flat_args)
+    result_var = fresh()
+    predicate_name = FUNCTOR_PREDICATES[term.functor]
+    out_literals.append(Literal(predicate_name, (*flat_args, result_var)))
+    return result_var
+
+
+def rectify_rule(rule: Rule, fresh: Optional[Callable[[], Var]] = None) -> Rule:
+    """Rectify one rule; see the module docstring for the contract.
+
+    Idempotent: a rectified rule is returned unchanged (modulo object
+    identity) because no argument is compound and heads pass through
+    when they are already distinct variables.
+    """
+    if fresh is None:
+        fresh = fresh_variable_factory("_F")
+
+    new_body: List[Literal] = []
+
+    # Head: force distinct variables.
+    head_args: List[Term] = []
+    seen_vars: Dict[str, int] = {}
+    for arg in rule.head.args:
+        if isinstance(arg, Var) and arg.name not in seen_vars:
+            seen_vars[arg.name] = 1
+            head_args.append(arg)
+            continue
+        fresh_var = fresh()
+        head_args.append(fresh_var)
+        if isinstance(arg, Struct):
+            # Flatten the structure, then equate.
+            literals: List[Literal] = []
+            flattened = _flatten_term(arg, literals, fresh)
+            if (
+                isinstance(flattened, Var)
+                and literals
+                and literals[-1].args[-1] == flattened
+            ):
+                # The outermost constructor was a known functor: its
+                # produced variable *is* the head variable — rename it
+                # in the producing literal.
+                last = literals[-1]
+                new_args = (*last.args[:-1], fresh_var)
+                literals[-1] = last.with_args(new_args)
+                new_body.extend(literals)
+            else:
+                # Uninterpreted outermost functor: equate the head
+                # variable with the (partially flattened) structure.
+                new_body.extend(literals)
+                new_body.append(Literal("=", (fresh_var, flattened)))
+        else:
+            new_body.append(Literal("=", (fresh_var, arg)))
+
+    # Body: flatten compound arguments everywhere, including inside
+    # (in)equality literals, except the right side of `is`, which the
+    # builtin evaluates as an expression.
+    for literal in rule.body:
+        if literal.name == "is" and literal.arity == 2:
+            new_body.append(literal)
+            continue
+        produced: List[Literal] = []
+        flat_args = [_flatten_term(arg, produced, fresh) for arg in literal.args]
+        new_body.extend(produced)
+        new_body.append(literal.with_args(flat_args))
+
+    return Rule(rule.head.with_args(head_args), new_body)
+
+
+def rectify_program(program: Program) -> Program:
+    """Rectify every rule, sharing one fresh-variable counter."""
+    fresh = fresh_variable_factory("_F")
+    return Program([rectify_rule(rule, fresh) for rule in program])
+
+
+def is_rectified(rule: Rule) -> bool:
+    """True when the head is distinct variables and no literal argument
+    contains a *known* functor (lists/arithmetic) — uninterpreted
+    constructor terms are allowed inline."""
+    names = set()
+    for arg in rule.head.args:
+        if not isinstance(arg, Var) or arg.name in names:
+            return False
+        names.add(arg.name)
+    for literal in rule.body:
+        if literal.name == "is":
+            continue
+        for arg in literal.args:
+            if _contains_known_functor(arg):
+                return False
+    return True
+
+
+def _contains_known_functor(term) -> bool:
+    if not isinstance(term, Struct):
+        return False
+    if term.functor in FUNCTOR_PREDICATES:
+        return True
+    return any(_contains_known_functor(arg) for arg in term.args)

@@ -1,0 +1,216 @@
+"""Command-line interface: load a program, run queries.
+
+Usage::
+
+    python -m repro program.pl -q "sg(ann, Y)"          # batch query
+    python -m repro program.pl -q "..." --explain       # show the plan
+    python -m repro program.pl -q "..." --stats         # work counters
+    python -m repro program.pl -q "..." --proof         # derivation tree
+    python -m repro program.pl                          # REPL
+
+REPL commands::
+
+    ?- sg(ann, Y).        evaluate a query
+    :plan sg(ann, Y)      show the plan without running it
+    :proof sg(ann, Y)     print the first answer's proof tree
+    :facts                list stored relations
+    :dot                  dump the dependency graph as Graphviz DOT
+    :quit                 exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional, Sequence
+
+from .engine.database import Database
+from .engine.proofs import ProofTracer
+from .core.planner import Planner, PlanningError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chain-split deductive database engine (Han, ICDE 1992)",
+    )
+    parser.add_argument(
+        "program",
+        nargs="?",
+        help="program file (Prolog-style rules and facts); omit to start "
+        "with an empty database",
+    )
+    parser.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        default=[],
+        help="query to run (repeatable); without any -q a REPL starts",
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="print the chosen plan"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print evaluation work counters"
+    )
+    parser.add_argument(
+        "--proof",
+        action="store_true",
+        help="print a derivation tree for the first answer (top-down)",
+    )
+    parser.add_argument(
+        "--facts",
+        action="append",
+        default=[],
+        metavar="PRED=FILE.csv",
+        help="load facts for a predicate from a CSV file (repeatable)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=10_000,
+        help="chain-evaluation depth budget (default 10000)",
+    )
+    return parser
+
+
+def _load_database(path: Optional[str], out: IO[str]) -> Optional[Database]:
+    database = Database()
+    if path is not None:
+        try:
+            with open(path) as handle:
+                database.load_source(handle.read())
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=out)
+            return None
+        except ValueError as exc:
+            print(f"error: cannot parse {path}: {exc}", file=out)
+            return None
+    return database
+
+
+def _run_query(
+    database: Database,
+    source: str,
+    out: IO[str],
+    explain: bool = False,
+    stats: bool = False,
+    proof: bool = False,
+    max_depth: int = 10_000,
+) -> bool:
+    """Run one query; returns False on planner/parse errors."""
+    planner = Planner(database, max_depth=max_depth)
+    try:
+        plan = planner.plan(source)
+    except (PlanningError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return False
+    if explain:
+        print(plan.explain(), file=out)
+        print(file=out)
+    try:
+        answers, counters = planner.execute(plan)
+    except Exception as exc:  # evaluation-time errors are user-facing
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return False
+    for row in sorted(answers.rows(), key=str):
+        rendered = ", ".join(str(value) for value in row)
+        print(f"{plan.query.name}({rendered})", file=out)
+    print(f"{len(answers)} answer(s) [{plan.strategy}]", file=out)
+    if stats:
+        for key, value in counters.as_dict().items():
+            if value:
+                print(f"  {key}: {value}", file=out)
+    if proof:
+        tracer = ProofTracer(database)
+        explanation = tracer.explain(source)
+        if explanation is not None:
+            print("proof of first answer:", file=out)
+            print(explanation, file=out)
+    return True
+
+
+def _repl(database: Database, inp: IO[str], out: IO[str], max_depth: int) -> None:
+    print("repro — chain-split deductive database. :quit to exit.", file=out)
+    for line in inp:
+        line = line.strip()
+        if not line:
+            continue
+        if line in {":quit", ":q", "halt."}:
+            break
+        if line == ":facts":
+            for predicate, relation in sorted(
+                database.relations.items(), key=lambda kv: str(kv[0])
+            ):
+                print(f"  {predicate}: {len(relation)} facts", file=out)
+            continue
+        if line.startswith(":plan "):
+            try:
+                plan = Planner(database, max_depth=max_depth).plan(line[6:])
+                print(plan.explain(), file=out)
+            except (PlanningError, ValueError) as exc:
+                print(f"error: {exc}", file=out)
+            continue
+        if line.startswith(":proof "):
+            explanation = ProofTracer(database).explain(line[7:])
+            print(explanation if explanation is not None else "no proof", file=out)
+            continue
+        if line == ":dot":
+            from .analysis.graphviz import program_to_dot
+
+            print(program_to_dot(database.program), file=out)
+            continue
+        if line.startswith(":"):
+            print(f"unknown command {line.split()[0]}", file=out)
+            continue
+        if line.startswith("?-"):
+            line = line[2:].strip()
+        if line.endswith("."):
+            line = line[:-1]
+        _run_query(database, line, out, max_depth=max_depth)
+
+
+def main(
+    argv: Optional[Sequence[str]] = None,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+) -> int:
+    args = build_parser().parse_args(argv)
+    inp = stdin if stdin is not None else sys.stdin
+    out = stdout if stdout is not None else sys.stdout
+
+    database = _load_database(args.program, out)
+    if database is None:
+        return 1
+    for spec in args.facts:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            print(f"error: --facts expects PRED=FILE.csv, got {spec!r}", file=out)
+            return 1
+        try:
+            from .engine.io import load_facts_csv
+
+            count = load_facts_csv(database, path, name)
+            print(f"loaded {count} {name} facts from {path}", file=out)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {spec}: {exc}", file=out)
+            return 1
+
+    if args.query:
+        ok = True
+        for source in args.query:
+            ok = _run_query(
+                database,
+                source,
+                out,
+                explain=args.explain,
+                stats=args.stats,
+                proof=args.proof,
+                max_depth=args.max_depth,
+            ) and ok
+        return 0 if ok else 1
+
+    _repl(database, inp, out, args.max_depth)
+    return 0

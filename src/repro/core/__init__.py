@@ -1,0 +1,62 @@
+"""The paper's contribution: chain-split evaluation techniques.
+
+Magic sets (classic + chain-split, Algorithm 3.1), counting, buffered
+chain-split evaluation (Algorithm 3.2), partial chain-split evaluation
+with constraint pushing (Algorithm 3.3), transitive-closure baselines,
+the unified split decision, and the query planner tying it together.
+"""
+
+from .buffered import BufferedChainEvaluator, BufferedEvaluationError
+from .counting import CountingError, CountingEvaluator
+from .existence import ExistenceChecker
+from .magic import MagicProgram, MagicSetsEvaluator, chain_split_hook, magic_transform
+from .nested import NestedChainEvaluator, NestedEvaluationError
+from .partial import PartialChainEvaluator, PartialEvaluationError
+from .planner import Planner, PlanningError, QueryPlan, Strategy
+from .pushing import (
+    Accumulator,
+    ConstraintPushingError,
+    PushedConstraint,
+    detect_accumulators,
+    push_constraints,
+)
+from .split import ChainSplitDecision, decide_split
+from .transitive import (
+    compose_relations,
+    cross_product,
+    reachable_from,
+    smart_transitive_closure,
+    transitive_closure,
+)
+
+__all__ = [
+    "Accumulator",
+    "BufferedChainEvaluator",
+    "BufferedEvaluationError",
+    "ChainSplitDecision",
+    "ConstraintPushingError",
+    "CountingError",
+    "CountingEvaluator",
+    "ExistenceChecker",
+    "MagicProgram",
+    "MagicSetsEvaluator",
+    "NestedChainEvaluator",
+    "NestedEvaluationError",
+    "PartialChainEvaluator",
+    "PartialEvaluationError",
+    "Planner",
+    "PlanningError",
+    "PushedConstraint",
+    "QueryPlan",
+    "Strategy",
+    "chain_split_hook",
+    "compose_relations",
+    "cross_product",
+    "decide_split",
+    "detect_accumulators",
+    "magic_transform",
+    "push_constraints",
+    "reachable_from",
+    "smart_transitive_closure",
+    "transitive_closure",
+]

@@ -1,0 +1,326 @@
+"""Buffered chain-split evaluation (Algorithm 3.2).
+
+The paper's second technique evaluates a *split* single-chain recursion
+in two sweeps:
+
+* **down phase** — iterate the *immediately evaluable portion* of the
+  chain generating path from the query bindings, spawning the next
+  level's recursive call; the variables shared with the delayed portion
+  (the ``X_i`` of the paper) are **buffered** per derivation.
+* **up phase** — once an exit rule applies, replay the buffered values
+  innermost-first through the *delayed-evaluation portion*, completing
+  each suspended call until the query's own call is answered.
+
+"The algorithm is similar to counting except that the values of
+variable ``X_i``'s are buffered in the processing of the being
+evaluated portion of a chain generating path and reused in the
+processing of its buffered portion" (Remark 3.1).
+
+The implementation is set-oriented and memoizing: identical recursive
+calls are shared (one node per distinct call-argument tuple), so on
+DAG-shaped data each call is expanded once, and the up phase is a
+fixpoint over the call graph, which also terminates on cyclic call
+graphs for function-free recursions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.rules import Rule
+from ..datalog.terms import Term, Var, is_ground
+from ..datalog.unify import (
+    Substitution,
+    apply_substitution,
+    unify,
+    unify_sequences,
+)
+from ..engine.builtins import BuiltinRegistry, default_registry
+from ..engine.counters import Counters
+from ..engine.database import Database
+from ..engine.joins import evaluate_body, order_body
+from ..engine.relation import Relation
+from ..analysis.chains import ChainPath, CompiledRecursion
+from ..analysis.finiteness import PathSplit, split_path
+
+__all__ = ["BufferedChainEvaluator", "BufferedEvaluationError"]
+
+
+class BufferedEvaluationError(ValueError):
+    """The recursion/query does not fit buffered chain-split
+    evaluation (not single-chain, or the split fails)."""
+
+
+@dataclass
+class _CallNode:
+    """One (memoized) recursive call: its known argument bindings and,
+    as the up phase progresses, its complete result rows."""
+
+    key: Tuple[object, ...]
+    bindings: Dict[str, Term]  # head-variable name -> ground value
+    results: Set[Tuple[Term, ...]] = field(default_factory=set)
+    #: (parent key, buffered substitution) pairs: how this call was
+    #: reached and what the parent buffered while spawning it.
+    parents: List[Tuple[Tuple[object, ...], Substitution]] = field(
+        default_factory=list
+    )
+
+
+class BufferedChainEvaluator:
+    """Algorithm 3.2 over a compiled single-chain recursion.
+
+    Parameters mirror :class:`~repro.core.counting.CountingEvaluator`;
+    the split itself defaults to the finiteness-based
+    :func:`~repro.analysis.finiteness.split_path` but can be injected
+    (e.g. an efficiency-based split from the cost model).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        compiled: CompiledRecursion,
+        registry: Optional[BuiltinRegistry] = None,
+        split: Optional[PathSplit] = None,
+        max_depth: int = 100_000,
+        memoize: bool = True,
+        idb_solver=None,
+        idb_finite=None,
+    ):
+        self.database = database
+        self.compiled = compiled
+        self.registry = registry if registry is not None else default_registry()
+        self.max_depth = max_depth
+        # memoize=False disables call sharing (each expansion gets a
+        # private node) — the ablation showing why the memoized call
+        # graph matters on DAG data and cyclic data.
+        self.memoize = memoize
+        # Nested chain-split evaluation (paper §4.1): inner recursions
+        # occurring in the chain path are solved by this callback, and
+        # their finite evaluability is judged by `idb_finite`.
+        self.idb_solver = idb_solver
+        self.idb_finite = idb_finite
+        self._injected_split = split
+        chains = compiled.generating_chains()
+        if len(chains) != 1:
+            raise BufferedEvaluationError(
+                f"buffered evaluation requires a single-chain recursion; "
+                f"{compiled.predicate} has {len(chains)} generating chains"
+            )
+        self.chain = chains[0]
+        if not all(isinstance(a, Var) for a in compiled.head_args):
+            raise BufferedEvaluationError(
+                "buffered evaluation requires a rectified recursion"
+            )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Literal) -> Tuple[Relation, Counters]:
+        """Answers as a relation over the query arguments + counters."""
+        if query.predicate != self.compiled.predicate:
+            raise BufferedEvaluationError(
+                f"query {query} is not on {self.compiled.predicate}"
+            )
+        counters = Counters()
+        head_args = self.compiled.head_args
+        rec_args = self.compiled.rec_args
+        rec_literal = self.compiled.recursive_literal
+        lookup = self.database.get
+
+        bound_positions = [
+            i for i, arg in enumerate(query.args) if is_ground(arg)
+        ]
+        entry_bound = {head_args[p].name for p in bound_positions}
+
+        split = self._injected_split
+        if split is None:
+            if self.idb_finite is not None:
+                split = split_path(
+                    self.chain,
+                    entry_bound,
+                    rec_literal,
+                    self.registry,
+                    self.database,
+                    idb_finite=self.idb_finite,
+                )
+            else:
+                split = split_path(
+                    self.chain,
+                    entry_bound,
+                    rec_literal,
+                    self.registry,
+                    self.database,
+                )
+        evaluable_order = order_body(
+            split.evaluable, self.registry, initially_bound=entry_bound
+        )
+        delayed_bound = (
+            entry_bound
+            | {v.name for lit in split.evaluable for v in lit.variables()}
+            | {v.name for v in rec_literal.variables()}
+        )
+        delayed_order = order_body(
+            split.delayed, self.registry, initially_bound=delayed_bound
+        )
+        # Variables the delayed portion needs from the down phase.
+        buffered_names = set(split.buffered_vars)
+
+        # ---- down phase -----------------------------------------------
+        root_bindings = {
+            head_args[p].name: query.args[p] for p in bound_positions
+        }
+        root = _CallNode(self._call_key(root_bindings), root_bindings)
+        calls: Dict[Tuple[object, ...], _CallNode] = {root.key: root}
+        frontier: List[_CallNode] = [root]
+        depth = 0
+        while frontier:
+            depth += 1
+            if depth > self.max_depth:
+                raise BufferedEvaluationError(
+                    f"down phase exceeded max depth {self.max_depth}"
+                )
+            next_frontier: List[_CallNode] = []
+            for node in frontier:
+                seed: Substitution = dict(node.bindings)
+                for solution in evaluate_body(
+                    evaluable_order,
+                    lookup,
+                    self.registry,
+                    seed,
+                    counters,
+                    idb_solver=self.idb_solver,
+                ):
+                    child_bindings: Dict[str, Term] = {}
+                    for p, rec_arg in enumerate(rec_args):
+                        value = apply_substitution(rec_arg, solution)
+                        if is_ground(value):
+                            child_bindings[head_args[p].name] = value
+                    buffered = {
+                        name: apply_substitution(Var(name), solution)
+                        for name in buffered_names
+                    }
+                    counters.buffered_values += len(buffered)
+                    child_key = self._call_key(child_bindings)
+                    if not self.memoize:
+                        # Unique key per expansion: no sharing.
+                        child_key = (*child_key, ("#", len(calls)))
+                    child = calls.get(child_key)
+                    if child is None:
+                        child = _CallNode(child_key, child_bindings)
+                        calls[child_key] = child
+                        next_frontier.append(child)
+                    child.parents.append((node.key, {**solution, **buffered}))
+            frontier = next_frontier
+
+        # ---- exit phase -------------------------------------------------
+        changed: List[_CallNode] = []
+        for node in calls.values():
+            for row in self._exit_rows(node, counters):
+                if row not in node.results:
+                    node.results.add(row)
+            if node.results:
+                changed.append(node)
+
+        # ---- up phase: propagate results through the delayed portion ---
+        head_names = [a.name for a in head_args]
+        pending = list(changed)
+        processed_pairs: Set[Tuple[Tuple[object, ...], Tuple[Term, ...]]] = set()
+        while pending:
+            node = pending.pop()
+            for result_row in list(node.results):
+                marker = (node.key, result_row)
+                if marker in processed_pairs:
+                    continue
+                processed_pairs.add(marker)
+                for parent_key, parent_solution in node.parents:
+                    parent = calls[parent_key]
+                    resumed: Optional[Substitution] = dict(parent_solution)
+                    for rec_arg, value in zip(rec_args, result_row):
+                        resumed = unify(rec_arg, value, resumed)
+                        if resumed is None:
+                            break
+                    if resumed is None:
+                        continue
+                    for solution in evaluate_body(
+                        delayed_order,
+                        lookup,
+                        self.registry,
+                        resumed,
+                        counters,
+                        idb_solver=self.idb_solver,
+                    ):
+                        row = tuple(
+                            apply_substitution(Var(name), solution)
+                            for name in head_names
+                        )
+                        if not all(is_ground(v) for v in row):
+                            continue
+                        if row not in parent.results:
+                            parent.results.add(row)
+                            counters.derived_tuples += 1
+                            pending.append(parent)
+
+        # ---- answers -----------------------------------------------------
+        answers = Relation(query.name, query.arity)
+        for row in root.results:
+            if unify_sequences(query.args, row) is not None:
+                answers.add(row)
+        return answers, counters
+
+    # ------------------------------------------------------------------
+    def _exit_rows(
+        self, node: _CallNode, counters: Counters
+    ) -> List[Tuple[Term, ...]]:
+        """Complete head rows obtainable from the exit rules for a call
+        with ``node.bindings`` known."""
+        head_args = self.compiled.head_args
+        lookup = self.database.get
+        rows: List[Tuple[Term, ...]] = []
+        call_args = [
+            node.bindings.get(arg.name, Var(f"_Q{p}"))
+            for p, arg in enumerate(head_args)
+        ]
+        # Ground exit facts live in the EDB (the loader stores ground
+        # heads as facts), so match them alongside the exit rules.
+        stored = lookup(self.compiled.predicate)
+        if stored is not None:
+            from ..engine.joins import literal_solutions
+
+            fact_literal = Literal(self.compiled.predicate.name, call_args)
+            for solution in literal_solutions(fact_literal, stored, {}, counters):
+                row = tuple(
+                    apply_substitution(arg, solution) for arg in call_args
+                )
+                if all(is_ground(v) for v in row):
+                    rows.append(row)
+        for exit_rule in self.compiled.exit_rules:
+            unified = unify_sequences(exit_rule.head.args, call_args)
+            if unified is None:
+                continue
+            bound_names = {
+                name
+                for name, value in unified.items()
+                if is_ground(value)
+            }
+            exit_order = order_body(
+                exit_rule.body, self.registry, initially_bound=bound_names
+            )
+            for solution in evaluate_body(
+                exit_order,
+                lookup,
+                self.registry,
+                unified,
+                counters,
+                idb_solver=self.idb_solver,
+            ):
+                row = tuple(
+                    apply_substitution(arg, solution)
+                    for arg in exit_rule.head.args
+                )
+                if all(is_ground(v) for v in row):
+                    rows.append(row)
+        return rows
+
+    @staticmethod
+    def _call_key(bindings: Dict[str, Term]) -> Tuple[object, ...]:
+        return tuple(sorted(bindings.items(), key=lambda kv: kv[0]))

@@ -1,0 +1,258 @@
+"""The counting method (ref [1]) for compiled 2-chain recursions.
+
+Counting exploits the level symmetry of recursions like ``sg``: the
+query constant descends the first chain for *i* levels, crosses the
+exit relation, and ascends the second chain for exactly *i* levels.
+Instead of a magic set that forgets depth, counting keeps the frontier
+*per level* — which is also the scaffold Algorithm 3.2 (buffered
+chain-split evaluation) extends: there, the per-level buffer holds not
+just chain values but the split-off variables the delayed portion will
+need.
+
+This implementation works on any :class:`CompiledRecursion` with
+exactly two generating chains, one of which is fully bound by the
+query.  It assumes acyclic chain data (the paper defers cyclic data to
+cyclic-counting extensions, ref [5]); a depth guard raises otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.rules import Rule
+from ..datalog.terms import Term, Var, is_ground
+from ..datalog.unify import Substitution, apply_substitution, unify_sequences
+from ..engine.builtins import BuiltinRegistry, default_registry
+from ..engine.counters import Counters
+from ..engine.database import Database
+from ..engine.joins import evaluate_body, order_body
+from ..engine.relation import Relation
+from ..analysis.chains import ChainPath, CompiledRecursion
+
+__all__ = ["CountingEvaluator", "CountingError"]
+
+
+class CountingError(ValueError):
+    """The recursion/query does not fit the counting method."""
+
+
+class CountingEvaluator:
+    """Counting evaluation of an n-chain recursion (n >= 2) for a
+    query binding one chain's head arguments: the bound chain descends
+    with per-level frontiers, and each remaining chain ascends the same
+    number of levels from the exit tuples."""
+
+    def __init__(
+        self,
+        database: Database,
+        compiled: CompiledRecursion,
+        registry: Optional[BuiltinRegistry] = None,
+        max_depth: int = 10_000,
+    ):
+        self.database = database
+        self.compiled = compiled
+        self.registry = registry if registry is not None else default_registry()
+        self.max_depth = max_depth
+        chains = compiled.generating_chains()
+        if len(chains) < 2:
+            raise CountingError(
+                f"counting requires a multi-chain recursion; "
+                f"{compiled.predicate} has {len(chains)} generating chains"
+            )
+        self.chains = chains
+
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Literal) -> Tuple[Relation, Counters]:
+        """Answers (as a relation over the query predicate's arguments)
+        and work counters."""
+        if query.predicate != self.compiled.predicate:
+            raise CountingError(f"query {query} is not on {self.compiled.predicate}")
+        counters = Counters()
+        head_args = self.compiled.head_args
+        rec_args = self.compiled.rec_args
+        if not all(isinstance(a, Var) for a in head_args):
+            raise CountingError(
+                "counting requires a normalized (rectified) recursion "
+                "with an all-variable head"
+            )
+
+        bound_positions = {
+            i for i, arg in enumerate(query.args) if is_ground(arg)
+        }
+        down = self._chain_covering(bound_positions)
+        up_chains = [chain for chain in self.chains if chain is not down]
+
+        lookup = self.database.get
+
+        # ---- down phase: per-level frontiers of the bound chain ------
+        seed: Substitution = {}
+        for position in bound_positions:
+            head_var = head_args[position]
+            if isinstance(head_var, Var):
+                seed[head_var.name] = query.args[position]
+        down_order = order_body(
+            down.literals, self.registry, initially_bound=set(seed)
+        )
+        down_positions = [p for p in down.head_positions]
+        down_rec_positions = [p for p in down.rec_positions]
+
+        frontiers: List[Set[Tuple[Term, ...]]] = []
+        current: Set[Tuple[Term, ...]] = {
+            tuple(
+                apply_substitution(head_args[p], seed) for p in down_positions
+            )
+        }
+        seen_states: Set[frozenset] = set()
+        while current:
+            frontiers.append(current)
+            counters.buffered_values += len(current)
+            if len(frontiers) > self.max_depth:
+                raise CountingError(
+                    "down chain exceeded max depth (cyclic data?)"
+                )
+            state = frozenset(current)
+            if state in seen_states:
+                raise CountingError(
+                    "down-chain frontier repeated — cyclic chain data is "
+                    "not supported by plain counting (see ref [5])"
+                )
+            seen_states.add(state)
+            next_frontier: Set[Tuple[Term, ...]] = set()
+            for values in current:
+                level_seed = {
+                    head_args[p].name: v
+                    for p, v in zip(down_positions, values)
+                    if isinstance(head_args[p], Var)
+                }
+                for solution in evaluate_body(
+                    down_order, lookup, self.registry, level_seed, counters
+                ):
+                    next_values = tuple(
+                        apply_substitution(rec_args[p], solution)
+                        for p in down_rec_positions
+                    )
+                    if all(is_ground(v) for v in next_values):
+                        next_frontier.add(next_values)
+            current = next_frontier
+
+        # ---- exit phase: cross the exit rules at each level -----------
+        # Answers at level i map the down-chain values to full head
+        # tuples of the *innermost* call; the up phase then rewinds.
+        per_level_exit: List[List[Substitution]] = []
+        for level, frontier in enumerate(frontiers):
+            level_solutions: List[Substitution] = []
+            for values in frontier:
+                call_args: List[Term] = list(head_args)
+                call_subst = {
+                    head_args[p].name: v
+                    for p, v in zip(down_positions, values)
+                    if isinstance(head_args[p], Var)
+                }
+                for exit_rule in self.compiled.exit_rules:
+                    bound_call = [
+                        apply_substitution(a, call_subst) for a in head_args
+                    ]
+                    unified = unify_sequences(exit_rule.head.args, bound_call)
+                    if unified is None:
+                        continue
+                    exit_order = order_body(
+                        exit_rule.body,
+                        self.registry,
+                        initially_bound=set(unified),
+                    )
+                    for solution in evaluate_body(
+                        exit_order, lookup, self.registry, unified, counters
+                    ):
+                        head_values = tuple(
+                            apply_substitution(a, solution)
+                            for a in exit_rule.head.args
+                        )
+                        level_solutions.append(
+                            dict(
+                                zip(
+                                    [
+                                        a.name
+                                        for a in head_args
+                                        if isinstance(a, Var)
+                                    ],
+                                    head_values,
+                                )
+                            )
+                        )
+            per_level_exit.append(level_solutions)
+
+        # ---- up phase: ascend every remaining chain level by level ----
+        up_orders = [
+            order_body(
+                up.literals,
+                self.registry,
+                initially_bound={
+                    rec_args[p].name
+                    for p in up.rec_positions
+                    if isinstance(rec_args[p], Var)
+                },
+            )
+            for up in up_chains
+        ]
+        answers = Relation(query.name, query.arity)
+        for level in range(len(frontiers) - 1, -1, -1):
+            solutions = per_level_exit[level]
+            # climb `level` steps up; at each step every up chain
+            # advances one level (they interact only through the exit
+            # tuple, so they climb independently within one solution).
+            for step in range(level, 0, -1):
+                for up, up_order in zip(up_chains, up_orders):
+                    next_solutions: List[Substitution] = []
+                    for solution in solutions:
+                        rec_seed = {}
+                        for p in up.rec_positions:
+                            arg = rec_args[p]
+                            head_var = head_args[p]
+                            if isinstance(arg, Var) and isinstance(head_var, Var):
+                                value = solution.get(head_var.name)
+                                if value is not None:
+                                    rec_seed[arg.name] = value
+                        for up_solution in evaluate_body(
+                            up_order, lookup, self.registry, rec_seed, counters
+                        ):
+                            climbed = dict(solution)
+                            for p in up.head_positions:
+                                head_var = head_args[p]
+                                if isinstance(head_var, Var):
+                                    climbed[head_var.name] = apply_substitution(
+                                        head_var, up_solution
+                                    )
+                            next_solutions.append(climbed)
+                    solutions = next_solutions
+            # The climbed solutions carry the up-chain values at level
+            # 0; the down-chain positions are the query's own constants
+            # (the climb never touches them).
+            for solution in solutions:
+                row: List[Term] = []
+                complete = True
+                for p, head_var in enumerate(head_args):
+                    if p in down.head_positions:
+                        row.append(query.args[p])
+                    else:
+                        value = solution.get(head_var.name)
+                        if value is None or not is_ground(value):
+                            complete = False
+                            break
+                        row.append(value)
+                if not complete:
+                    continue
+                if unify_sequences(query.args, tuple(row)) is not None:
+                    if answers.add(tuple(row)):
+                        counters.derived_tuples += 1
+        return answers, counters
+
+    # ------------------------------------------------------------------
+    def _chain_covering(self, bound_positions: Set[int]) -> ChainPath:
+        for chain in self.chains:
+            if set(chain.head_positions) <= bound_positions and chain.head_positions:
+                return chain
+        raise CountingError(
+            "query constants do not fully bind either chain's head "
+            "positions — counting is inapplicable"
+        )

@@ -1,0 +1,69 @@
+"""The Datalog-with-functions language substrate.
+
+Exposes terms, literals, rules, programs, unification and the parser —
+everything the analyses and evaluators are written against.
+"""
+
+from .literals import Literal, Predicate
+from .parser import ParseError, parse_program, parse_query, parse_rule, parse_term
+from .rules import Program, Rule
+from .terms import (
+    NIL,
+    Const,
+    Struct,
+    Term,
+    Var,
+    cons,
+    is_ground,
+    is_list_term,
+    iter_list,
+    list_to_python,
+    make_list,
+    term_depth,
+    term_size,
+    term_variables,
+)
+from .unify import (
+    Substitution,
+    apply_substitution,
+    compose,
+    match,
+    rename_apart,
+    unify,
+    unify_sequences,
+    walk,
+)
+
+__all__ = [
+    "NIL",
+    "Const",
+    "Literal",
+    "ParseError",
+    "Predicate",
+    "Program",
+    "Rule",
+    "Struct",
+    "Substitution",
+    "Term",
+    "Var",
+    "apply_substitution",
+    "compose",
+    "cons",
+    "is_ground",
+    "is_list_term",
+    "iter_list",
+    "list_to_python",
+    "make_list",
+    "match",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "parse_term",
+    "rename_apart",
+    "term_depth",
+    "term_size",
+    "term_variables",
+    "unify",
+    "unify_sequences",
+    "walk",
+]

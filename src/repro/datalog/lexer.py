@@ -1,0 +1,162 @@
+"""Tokenizer for the Prolog-style rule language.
+
+Handles the subset the paper's programs need: atoms, variables,
+integers/floats, quoted strings, lists, the ``:-`` arrow, comparison
+operators, arithmetic expressions for ``is``, negation ``\\+`` and both
+comment styles (``% ...`` and ``/* ... */``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+__all__ = ["Token", "LexError", "tokenize"]
+
+
+class LexError(ValueError):
+    """Raised on malformed input, with line/column context."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class Token(NamedTuple):
+    kind: str  # ATOM VAR INT FLOAT STRING PUNCT OP END
+    value: str
+    line: int
+    column: int
+
+
+_PUNCT = {"(", ")", "[", "]", ",", "|"}
+
+#: ASCII digits only: str.isdigit() accepts Unicode digit-like
+#: characters (e.g. superscripts) that int() rejects.
+_DIGITS = set("0123456789")
+# Multi-character operators first so maximal munch works.
+_OPERATORS = [
+    ":-",
+    "\\==",
+    "\\+",
+    "=<",
+    ">=",
+    "==",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "?-",
+]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; the final token always has kind ``END``."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "%":
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch == ".":
+            # A period is end-of-clause unless it begins a float like ``.5``
+            # (we do not support leading-dot floats, so always end).
+            tokens.append(Token("PUNCT", ".", line, col))
+            advance(1)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, line, col))
+            advance(1)
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            start_line, start_col = line, col
+            advance(1)
+            chars: List[str] = []
+            while i < n and source[i] != quote:
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                    chars.append(mapping.get(escape, escape))
+                    advance(2)
+                else:
+                    chars.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string", start_line, start_col)
+            advance(1)
+            tokens.append(Token("STRING", "".join(chars), start_line, start_col))
+            continue
+        if ch in _DIGITS:
+            start = i
+            start_line, start_col = line, col
+            while i < n and source[i] in _DIGITS:
+                advance(1)
+            if (
+                i < n
+                and source[i] == "."
+                and i + 1 < n
+                and source[i + 1] in _DIGITS
+            ):
+                advance(1)
+                while i < n and source[i] in _DIGITS:
+                    advance(1)
+                tokens.append(Token("FLOAT", source[start:i], start_line, start_col))
+            else:
+                tokens.append(Token("INT", source[start:i], start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            word = source[start:i]
+            if word[0].isupper() or word[0] == "_":
+                tokens.append(Token("VAR", word, start_line, start_col))
+            else:
+                tokens.append(Token("ATOM", word, start_line, start_col))
+            continue
+        matched: Optional[str] = None
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is not None:
+            tokens.append(Token("OP", matched, line, col))
+            advance(len(matched))
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("END", "", line, col))
+    return tokens

@@ -1,0 +1,259 @@
+"""Recursive-descent parser for the rule language.
+
+Grammar (informal)::
+
+    program   ::= clause*
+    clause    ::= literal ( ':-' body )? '.'
+              |   '?-' body '.'                 % queries, via parse_query
+    body      ::= goal ( ',' goal )*
+    goal      ::= '\\+' literal | literal | comparison
+    comparison::= expr ( '<' | '>' | '=<' | '>=' | '==' | '\\==' | '=' ) expr
+              |   expr 'is' expr
+    literal   ::= atom ( '(' term ( ',' term )* ')' )?
+    term      ::= var | number | string | list | atom-or-struct | expr
+    list      ::= '[' ']' | '[' term (',' term)* ('|' term)? ']'
+
+Arithmetic expressions on the right of ``is`` and inside comparisons
+are parsed into nested ``Struct`` terms over ``+ - * /`` with standard
+precedence; the builtin evaluator interprets them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .lexer import LexError, Token, tokenize
+from .literals import COMPARISON_PREDICATES, Literal
+from .rules import Program, Rule
+from .terms import NIL, Const, Struct, Term, Var, make_list
+
+__all__ = ["ParseError", "parse_program", "parse_rule", "parse_term", "parse_query"]
+
+
+class ParseError(ValueError):
+    """Raised on grammatical errors, with token context."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"{message} (got {token.kind} {token.value!r} "
+            f"at line {token.line}, column {token.column})"
+        )
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = list(tokens)
+        self.position = 0
+        self._anonymous = 0
+
+    def _fresh_anonymous(self) -> Var:
+        """Each ``_`` is a distinct variable, as in Prolog."""
+        self._anonymous += 1
+        return Var(f"_Anon{self._anonymous}")
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "END":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = f"{kind} {value!r}" if value else kind
+            raise ParseError(f"expected {wanted}", token)
+        return self.next()
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    # -- grammar --------------------------------------------------------
+    def program(self) -> Program:
+        program = Program()
+        while not self.at("END"):
+            program.add(self.clause())
+        return program
+
+    def clause(self) -> Rule:
+        head = self.literal(allow_negation=False)
+        body: List[Literal] = []
+        if self.at("OP", ":-"):
+            self.next()
+            body = self.body()
+        self.expect("PUNCT", ".")
+        return Rule(head, body)
+
+    def body(self) -> List[Literal]:
+        goals = [self.goal()]
+        while self.at("PUNCT", ","):
+            self.next()
+            goals.append(self.goal())
+        return goals
+
+    def goal(self) -> Literal:
+        if self.at("OP", "\\+"):
+            self.next()
+            inner = self.goal()
+            if inner.negated:
+                raise ParseError("double negation is not supported", self.peek())
+            return Literal(inner.name, inner.args, negated=True)
+        return self.literal(allow_negation=False)
+
+    def literal(self, allow_negation: bool = True) -> Literal:
+        # A goal can be a comparison between arbitrary terms, e.g.
+        # ``X > Y`` or ``Z is X + 1``; detect by parsing a term and
+        # checking what follows.
+        checkpoint = self.position
+        if self.at("ATOM") and self.peek(1).kind == "PUNCT" and self.peek(1).value == "(":
+            name = self.next().value
+            self.expect("PUNCT", "(")
+            args = [self.term()]
+            while self.at("PUNCT", ","):
+                self.next()
+                args.append(self.term())
+            self.expect("PUNCT", ")")
+            # An application may still be the left side of a comparison
+            # in expressions; literals never are, so return directly.
+            return Literal(name, args)
+        # Otherwise parse an expression and look for a comparison.
+        left = self.expression()
+        token = self.peek()
+        if token.kind == "OP" and token.value in COMPARISON_PREDICATES:
+            self.next()
+            right = self.expression()
+            return Literal(token.value, (left, right))
+        if token.kind == "ATOM" and token.value == "is":
+            self.next()
+            right = self.expression()
+            return Literal("is", (left, right))
+        # Plain 0-ary atom literal.
+        if isinstance(left, Const) and isinstance(left.value, str) and not left.quoted:
+            return Literal(left.value, ())
+        self.position = checkpoint
+        raise ParseError("expected a literal", self.peek())
+
+    # -- expressions and terms -------------------------------------------
+    def expression(self) -> Term:
+        """Additive-precedence arithmetic over terms."""
+        left = self.mul_expression()
+        while self.at("OP", "+") or self.at("OP", "-"):
+            op = self.next().value
+            right = self.mul_expression()
+            left = Struct(op, (left, right))
+        return left
+
+    def mul_expression(self) -> Term:
+        left = self.primary()
+        while self.at("OP", "*") or self.at("OP", "/"):
+            op = self.next().value
+            right = self.primary()
+            left = Struct(op, (left, right))
+        return left
+
+    def primary(self) -> Term:
+        token = self.peek()
+        if token.kind == "OP" and token.value == "-":
+            self.next()
+            inner = self.primary()
+            if isinstance(inner, Const) and isinstance(inner.value, (int, float)):
+                return Const(-inner.value)
+            return Struct("-", (Const(0), inner))
+        if token.kind == "PUNCT" and token.value == "(":
+            self.next()
+            inner = self.expression()
+            self.expect("PUNCT", ")")
+            return inner
+        return self.simple_term()
+
+    def term(self) -> Term:
+        """A term in argument position; supports arithmetic for
+        convenience (``p(X + 1)`` parses as ``p('+'(X, 1))``)."""
+        return self.expression()
+
+    def simple_term(self) -> Term:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.next()
+            if token.value == "_":
+                return self._fresh_anonymous()
+            return Var(token.value)
+        if token.kind == "INT":
+            self.next()
+            return Const(int(token.value))
+        if token.kind == "FLOAT":
+            self.next()
+            return Const(float(token.value))
+        if token.kind == "STRING":
+            self.next()
+            return Const(token.value, quoted=True)
+        if token.kind == "PUNCT" and token.value == "[":
+            return self.list_term()
+        if token.kind == "ATOM":
+            name = self.next().value
+            if self.at("PUNCT", "("):
+                self.next()
+                args = [self.term()]
+                while self.at("PUNCT", ","):
+                    self.next()
+                    args.append(self.term())
+                self.expect("PUNCT", ")")
+                return Struct(name, args)
+            return Const(name)
+        raise ParseError("expected a term", token)
+
+    def list_term(self) -> Term:
+        self.expect("PUNCT", "[")
+        if self.at("PUNCT", "]"):
+            self.next()
+            return NIL
+        items = [self.term()]
+        while self.at("PUNCT", ","):
+            self.next()
+            items.append(self.term())
+        tail: Term = NIL
+        if self.at("PUNCT", "|"):
+            self.next()
+            tail = self.term()
+        self.expect("PUNCT", "]")
+        return make_list(items, tail)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program from source text."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single clause (must end with ``.``)."""
+    parser = _Parser(tokenize(source))
+    rule = parser.clause()
+    parser.expect("END")
+    return rule
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term."""
+    parser = _Parser(tokenize(source))
+    term = parser.term()
+    parser.expect("END")
+    return term
+
+
+def parse_query(source: str) -> List[Literal]:
+    """Parse a query: ``?- goal1, ..., goaln.`` (the ``?-`` and final
+    ``.`` are both optional)."""
+    parser = _Parser(tokenize(source))
+    if parser.at("OP", "?-"):
+        parser.next()
+    goals = parser.body()
+    if parser.at("PUNCT", "."):
+        parser.next()
+    parser.expect("END")
+    return goals

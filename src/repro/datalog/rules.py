@@ -1,0 +1,286 @@
+"""Rules and programs.
+
+A :class:`Rule` is a Horn clause ``head :- b1, ..., bn``; a fact is a
+rule with an empty body and a ground head.  A :class:`Program` is an
+ordered collection of rules with the derived catalog information the
+analyses need: which predicates are intensional (appear in some head)
+versus extensional, the predicate dependency graph, and recursion
+detection (strongly connected components of that graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .literals import Literal, Predicate
+from .terms import Term, Var, fresh_variable_factory, is_ground
+from .unify import Substitution, rename_apart
+
+__all__ = ["Rule", "Program"]
+
+
+class Rule:
+    """A Horn clause ``head :- body``.
+
+    Body literal order is meaningful to top-down evaluation and to the
+    sideways-information-passing analyses, so rules preserve it.
+    """
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Literal, body: Sequence[Literal] = ()):
+        if head.negated:
+            raise ValueError("rule head may not be negated")
+        self.head = head
+        self.body = tuple(body)
+
+    def is_fact(self) -> bool:
+        return not self.body and all(is_ground(a) for a in self.head.args)
+
+    def is_recursive_on(self, predicate: Predicate) -> bool:
+        """True if some positive body literal uses ``predicate``."""
+        return any(
+            lit.predicate == predicate and not lit.negated for lit in self.body
+        )
+
+    def is_linear_on(self, predicate: Predicate) -> bool:
+        """True if exactly one positive body literal uses ``predicate``."""
+        count = sum(
+            1 for lit in self.body if lit.predicate == predicate and not lit.negated
+        )
+        return count == 1
+
+    def variables(self) -> List[Var]:
+        seen: Set[str] = set()
+        ordered: List[Var] = []
+        for lit in (self.head, *self.body):
+            for var in lit.variables():
+                if var.name not in seen:
+                    seen.add(var.name)
+                    ordered.append(var)
+        return ordered
+
+    def substitute(self, subst: Substitution) -> "Rule":
+        return Rule(self.head.substitute(subst), [b.substitute(subst) for b in self.body])
+
+    def rename_apart(self, fresh=None) -> "Rule":
+        """A variant of this rule with all variables renamed fresh."""
+        all_terms: List[Term] = list(self.head.args)
+        for lit in self.body:
+            all_terms.extend(lit.args)
+        renamed, renaming = rename_apart(all_terms, fresh)
+        index = 0
+        head_args = renamed[: self.head.arity]
+        index = self.head.arity
+        body: List[Literal] = []
+        for lit in self.body:
+            body.append(lit.with_args(renamed[index : index + lit.arity]))
+            index += lit.arity
+        return Rule(self.head.with_args(head_args), body)
+
+    def __repr__(self) -> str:
+        return f"Rule({self.head!r}, {list(self.body)!r})"
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(b) for b in self.body)}."
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Rule) and self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+
+class Program:
+    """An ordered rule collection with catalog-style derived views."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self.rules: List[Rule] = list(rules)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        self.rules.extend(rules)
+
+    @classmethod
+    def parse(cls, source: str) -> "Program":
+        """Parse a program from Prolog-style source text."""
+        from .parser import parse_program
+
+        return parse_program(source)
+
+    # ------------------------------------------------------------------
+    # Catalog views
+    # ------------------------------------------------------------------
+    def head_predicates(self) -> Set[Predicate]:
+        """Predicates defined by at least one rule (the IDB)."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def body_predicates(self) -> Set[Predicate]:
+        return {
+            lit.predicate
+            for rule in self.rules
+            for lit in rule.body
+        }
+
+    def idb_predicates(self) -> Set[Predicate]:
+        """Predicates defined by a rule with a non-empty body."""
+        return {rule.head.predicate for rule in self.rules if rule.body}
+
+    def edb_predicates(self) -> Set[Predicate]:
+        """Predicates that occur only in bodies (or as facts)."""
+        idb = self.idb_predicates()
+        edb = {p for p in self.body_predicates() if p not in idb}
+        edb.update(
+            rule.head.predicate for rule in self.rules
+            if not rule.body and rule.head.predicate not in idb
+        )
+        return edb
+
+    def rules_for(self, predicate: Predicate) -> List[Rule]:
+        return [rule for rule in self.rules if rule.head.predicate == predicate]
+
+    def facts(self) -> List[Rule]:
+        return [rule for rule in self.rules if rule.is_fact()]
+
+    def proper_rules(self) -> List[Rule]:
+        return [rule for rule in self.rules if rule.body]
+
+    # ------------------------------------------------------------------
+    # Dependency analysis
+    # ------------------------------------------------------------------
+    def dependency_graph(self) -> Dict[Predicate, Set[Predicate]]:
+        """Map each head predicate to the predicates its bodies use."""
+        graph: Dict[Predicate, Set[Predicate]] = {}
+        for rule in self.rules:
+            deps = graph.setdefault(rule.head.predicate, set())
+            for lit in rule.body:
+                deps.add(lit.predicate)
+        return graph
+
+    def recursive_predicates(self) -> Set[Predicate]:
+        """Predicates involved in a dependency cycle (incl. self-loops)."""
+        graph = self.dependency_graph()
+        recursive: Set[Predicate] = set()
+        for component in self._strongly_connected_components(graph):
+            if len(component) > 1:
+                recursive.update(component)
+            else:
+                (pred,) = component
+                if pred in graph.get(pred, set()):
+                    recursive.add(pred)
+        return recursive
+
+    def is_recursive(self, predicate: Predicate) -> bool:
+        return predicate in self.recursive_predicates()
+
+    def strata(self) -> List[Set[Predicate]]:
+        """Stratify the program for negation.
+
+        Returns predicate strata bottom-up.  Raises :class:`ValueError`
+        when a predicate depends negatively on its own stratum (the
+        program is not stratifiable).
+        """
+        idb = self.head_predicates()
+        stratum: Dict[Predicate, int] = {p: 0 for p in idb}
+        changed = True
+        limit = len(idb) + 1
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > limit * limit + 1:
+                raise ValueError("program is not stratifiable")
+            for rule in self.rules:
+                head = rule.head.predicate
+                for lit in rule.body:
+                    if lit.predicate not in idb:
+                        continue
+                    needed = stratum[lit.predicate] + (1 if lit.negated else 0)
+                    if stratum[head] < needed:
+                        stratum[head] = needed
+                        changed = True
+                        if stratum[head] > limit:
+                            raise ValueError("program is not stratifiable")
+        levels: Dict[int, Set[Predicate]] = {}
+        for pred, level in stratum.items():
+            levels.setdefault(level, set()).add(pred)
+        return [levels[i] for i in sorted(levels)]
+
+    @staticmethod
+    def _strongly_connected_components(
+        graph: Dict[Predicate, Set[Predicate]]
+    ) -> List[Set[Predicate]]:
+        """Tarjan's algorithm, iterative to respect recursion limits."""
+        index_counter = [0]
+        indexes: Dict[Predicate, int] = {}
+        lowlinks: Dict[Predicate, int] = {}
+        on_stack: Set[Predicate] = set()
+        stack: List[Predicate] = []
+        components: List[Set[Predicate]] = []
+
+        nodes = set(graph)
+        for deps in graph.values():
+            nodes.update(deps)
+
+        for root in nodes:
+            if root in indexes:
+                continue
+            work: List[Tuple[Predicate, Iterable[Predicate]]] = [
+                (root, iter(sorted(graph.get(root, ()), key=str)))
+            ]
+            indexes[root] = lowlinks[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in indexes:
+                        indexes[succ] = lowlinks[succ] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(graph.get(succ, ()), key=str))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indexes[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indexes[node]:
+                    component: Set[Predicate] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"Program({self.rules!r})"

@@ -1,0 +1,195 @@
+"""Unification and substitutions.
+
+Substitutions are immutable-by-convention ``dict``s mapping variable
+*names* to terms.  Mapping by name (rather than by ``Var`` object)
+matches the identity rule for variables: two ``Var`` objects with equal
+names are the same variable.
+
+The unifier implements sound first-order unification with an optional
+occurs check.  Deductive-database evaluation over rectified programs
+never builds cyclic terms, so the check defaults to off for speed, but
+tests and the top-down evaluator can switch it on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .terms import Const, Struct, Term, Var, fresh_variable_factory
+
+__all__ = [
+    "Substitution",
+    "unify",
+    "unify_sequences",
+    "apply_substitution",
+    "compose",
+    "walk",
+    "rename_apart",
+    "match",
+]
+
+Substitution = Dict[str, Term]
+
+
+def walk(term: Term, subst: Substitution) -> Term:
+    """Follow variable bindings until a non-variable or unbound var."""
+    while isinstance(term, Var):
+        bound = subst.get(term.name)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def _occurs(name: str, term: Term, subst: Substitution) -> bool:
+    stack = [term]
+    while stack:
+        current = walk(stack.pop(), subst)
+        if isinstance(current, Var):
+            if current.name == name:
+                return True
+        elif isinstance(current, Struct):
+            stack.extend(current.args)
+    return False
+
+
+def unify(
+    left: Term,
+    right: Term,
+    subst: Optional[Substitution] = None,
+    occurs_check: bool = False,
+) -> Optional[Substitution]:
+    """Unify two terms, extending ``subst``.
+
+    Returns the extended substitution, or ``None`` when the terms do
+    not unify.  The input substitution is never mutated; a copy is made
+    lazily on the first new binding.
+    """
+    if subst is None:
+        subst = {}
+    result = subst
+    copied = False
+    stack: List[Tuple[Term, Term]] = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = walk(a, result)
+        b = walk(b, result)
+        if isinstance(a, Var):
+            if isinstance(b, Var) and a.name == b.name:
+                continue
+            if occurs_check and _occurs(a.name, b, result):
+                return None
+            if not copied:
+                result = dict(result)
+                copied = True
+            result[a.name] = b
+        elif isinstance(b, Var):
+            if occurs_check and _occurs(b.name, a, result):
+                return None
+            if not copied:
+                result = dict(result)
+                copied = True
+            result[b.name] = a
+        elif isinstance(a, Const) and isinstance(b, Const):
+            if a != b:
+                return None
+        elif isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or a.arity != b.arity:
+                return None
+            stack.extend(zip(a.args, b.args))
+        else:
+            return None
+    return result
+
+
+def unify_sequences(
+    lefts: Sequence[Term],
+    rights: Sequence[Term],
+    subst: Optional[Substitution] = None,
+    occurs_check: bool = False,
+) -> Optional[Substitution]:
+    """Unify two equal-length term sequences pairwise."""
+    if len(lefts) != len(rights):
+        return None
+    result: Optional[Substitution] = dict(subst) if subst else {}
+    for a, b in zip(lefts, rights):
+        result = unify(a, b, result, occurs_check=occurs_check)
+        if result is None:
+            return None
+    return result
+
+
+def apply_substitution(term: Term, subst: Substitution) -> Term:
+    """Apply ``subst`` to ``term``, resolving chained bindings fully."""
+    term = walk(term, subst)
+    if isinstance(term, Struct):
+        new_args = tuple(apply_substitution(arg, subst) for arg in term.args)
+        if new_args == term.args:
+            return term
+        return Struct(term.functor, new_args)
+    return term
+
+
+def compose(first: Substitution, second: Substitution) -> Substitution:
+    """Compose substitutions: applying the result equals applying
+    ``first`` then ``second``."""
+    composed: Substitution = {
+        name: apply_substitution(term, second) for name, term in first.items()
+    }
+    for name, term in second.items():
+        if name not in composed:
+            composed[name] = term
+    return composed
+
+
+def rename_apart(terms: Sequence[Term], fresh=None) -> Tuple[List[Term], Substitution]:
+    """Rename every variable in ``terms`` to a fresh one.
+
+    Returns the renamed terms and the renaming substitution used, so
+    callers can map answers back to the original variable names.
+    """
+    if fresh is None:
+        fresh = fresh_variable_factory()
+    renaming: Substitution = {}
+
+    def rec(term: Term) -> Term:
+        if isinstance(term, Var):
+            if term.name not in renaming:
+                renaming[term.name] = fresh()
+            return renaming[term.name]
+        if isinstance(term, Struct):
+            return Struct(term.functor, tuple(rec(a) for a in term.args))
+        return term
+
+    return [rec(t) for t in terms], renaming
+
+
+def match(pattern: Term, ground: Term, subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """One-way matching: bind variables of ``pattern`` only.
+
+    Used when joining rule literals against stored (ground) facts,
+    where the fact side must not be instantiated.  Returns ``None``
+    when ``ground`` contains a variable position the pattern constrains
+    with a non-variable, or on any mismatch.
+    """
+    if subst is None:
+        subst = {}
+    result = dict(subst)
+    stack: List[Tuple[Term, Term]] = [(pattern, ground)]
+    while stack:
+        pat, fact = stack.pop()
+        pat = walk(pat, result)
+        if isinstance(pat, Var):
+            result[pat.name] = fact
+        elif isinstance(pat, Const):
+            if pat != fact:
+                return None
+        elif isinstance(pat, Struct):
+            if (
+                not isinstance(fact, Struct)
+                or fact.functor != pat.functor
+                or fact.arity != pat.arity
+            ):
+                return None
+            stack.extend(zip(pat.args, fact.args))
+    return result

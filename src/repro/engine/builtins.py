@@ -1,0 +1,433 @@
+"""Evaluable (functional) predicates and their binding modes.
+
+The paper's functional recursions rely on *functional predicates*: the
+predicate form of constructors and arithmetic obtained by rectification
+(``V = f(X1..Xk)`` becomes ``f(X1..Xk, V)``).  Such predicates denote
+infinite relations — ``cons`` relates *every* head/tail to the combined
+list — so they can never be materialized as EDB relations.  Instead an
+occurrence is *evaluable* only under certain binding modes, and a chain
+generating path containing an occurrence that is not finitely evaluable
+under the query adornment is exactly what forces a finiteness-based
+chain-split (paper §2.2).
+
+Each :class:`Builtin` bundles:
+
+* ``solve(args, subst)`` — enumerate solutions as extended
+  substitutions, assuming a mode under which the call is finite;
+* ``finite_modes`` — the binding patterns (sets of bound argument
+  positions) under which the call has finitely many solutions;
+* the induced finiteness constraints, used by
+  :mod:`repro.analysis.finiteness`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.terms import NIL, Const, Struct, Term, Var, cons, is_ground
+from ..datalog.unify import Substitution, apply_substitution, unify, walk
+
+__all__ = [
+    "Builtin",
+    "BuiltinRegistry",
+    "BuiltinError",
+    "default_registry",
+    "evaluate_arithmetic",
+    "is_builtin_name",
+]
+
+
+class BuiltinError(ValueError):
+    """Raised when a builtin is called under an unsupported mode."""
+
+
+def evaluate_arithmetic(term: Term, subst: Substitution) -> Const:
+    """Evaluate an arithmetic expression term to a numeric constant.
+
+    Supports ``+ - * /`` structs over numbers; integer division that
+    divides evenly stays an int.  Raises :class:`BuiltinError` on
+    unbound variables or non-numeric leaves.
+    """
+    term = walk(term, subst)
+    if isinstance(term, Var):
+        raise BuiltinError(f"arithmetic on unbound variable {term}")
+    if isinstance(term, Const):
+        if isinstance(term.value, bool) or not isinstance(term.value, (int, float)):
+            raise BuiltinError(f"non-numeric constant in arithmetic: {term}")
+        return term
+    if isinstance(term, Struct) and term.arity == 1 and term.functor == "abs":
+        value = evaluate_arithmetic(term.args[0], subst).value
+        return Const(abs(value))
+    if (
+        isinstance(term, Struct)
+        and term.arity == 2
+        and term.functor in {"+", "-", "*", "/", "mod", "min", "max"}
+    ):
+        left = evaluate_arithmetic(term.args[0], subst).value
+        right = evaluate_arithmetic(term.args[1], subst).value
+        if term.functor == "+":
+            return Const(left + right)
+        if term.functor == "-":
+            return Const(left - right)
+        if term.functor == "*":
+            return Const(left * right)
+        if term.functor == "min":
+            return Const(min(left, right))
+        if term.functor == "max":
+            return Const(max(left, right))
+        if right == 0:
+            raise BuiltinError(
+                "division by zero" if term.functor == "/" else "mod by zero"
+            )
+        if term.functor == "mod":
+            return Const(left % right)
+        result = left / right
+        if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+            return Const(left // right)
+        return Const(result)
+    raise BuiltinError(f"cannot evaluate arithmetic term {term}")
+
+
+def _bound_positions(args: Sequence[Term], subst: Substitution) -> FrozenSet[int]:
+    bound = set()
+    for i, arg in enumerate(args):
+        if is_ground(apply_substitution(arg, subst)):
+            bound.add(i)
+    return frozenset(bound)
+
+
+class Builtin:
+    """An evaluable predicate.
+
+    ``solver(args, subst)`` yields substitutions extending ``subst``.
+    ``finite_modes`` lists minimal sets of argument positions whose
+    boundness guarantees finitely many solutions; a call is finitely
+    evaluable when its bound set is a superset of some listed mode.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        solver: Callable[[Sequence[Term], Substitution], Iterator[Substitution]],
+        finite_modes: Iterable[FrozenSet[int]],
+        description: str = "",
+    ):
+        self.predicate = Predicate(name, arity)
+        self.solver = solver
+        self.finite_modes = [frozenset(m) for m in finite_modes]
+        self.description = description
+
+    @property
+    def name(self) -> str:
+        return self.predicate.name
+
+    @property
+    def arity(self) -> int:
+        return self.predicate.arity
+
+    def is_finite_under(self, bound: Iterable[int]) -> bool:
+        """Finitely evaluable when ``bound`` positions are bound?"""
+        bound_set = frozenset(bound)
+        return any(mode <= bound_set for mode in self.finite_modes)
+
+    def solve(self, args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+        """Enumerate solutions; raises BuiltinError on unsupported modes."""
+        return self.solver(args, subst)
+
+    def __repr__(self) -> str:
+        return f"Builtin({self.predicate})"
+
+
+# ----------------------------------------------------------------------
+# Individual builtin solvers
+# ----------------------------------------------------------------------
+
+_NUMERIC_ORDER = (int, float)
+
+
+def _comparable(value: object) -> Tuple[int, object]:
+    """Total order across the constant payloads we support."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))
+
+
+def _term_key(term: Term):
+    if isinstance(term, Const):
+        return _comparable(term.value)
+    return (2, str(term))
+
+
+def _solve_comparison(op: str):
+    checks = {
+        "<": lambda a, b: a < b,
+        ">": lambda a, b: a > b,
+        "=<": lambda a, b: a <= b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "\\==": lambda a, b: a != b,
+    }
+    check = checks[op]
+
+    def solver(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+        left = apply_substitution(args[0], subst)
+        right = apply_substitution(args[1], subst)
+        if not is_ground(left) or not is_ground(right):
+            # Arithmetic comparisons evaluate their sides when they are
+            # expressions; ==/\== compare structurally.
+            raise BuiltinError(f"comparison {op} requires ground arguments")
+        if op in {"==", "\\=="}:
+            if check(left, right):
+                yield subst
+            return
+        left_val = evaluate_arithmetic(left, subst).value
+        right_val = evaluate_arithmetic(right, subst).value
+        if check(left_val, right_val):
+            yield subst
+
+    return solver
+
+
+def _solve_unify(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+    result = unify(args[0], args[1], subst)
+    if result is not None:
+        yield result
+
+
+def _solve_is(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+    value = evaluate_arithmetic(args[1], subst)
+    result = unify(args[0], value, subst)
+    if result is not None:
+        yield result
+
+
+def _solve_cons(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+    """``cons(H, T, L)``: L = [H | T].
+
+    Evaluable when (H, T) are bound (construct) or L is bound
+    (deconstruct); otherwise the relation is infinite.
+    """
+    head = apply_substitution(args[0], subst)
+    tail = apply_substitution(args[1], subst)
+    whole = apply_substitution(args[2], subst)
+    if is_ground(head) and is_ground(tail):
+        result = unify(args[2], cons(head, tail), subst)
+        if result is not None:
+            yield result
+        return
+    if isinstance(whole, Struct) and whole.functor == "." and whole.arity == 2:
+        result = unify(args[0], whole.args[0], subst)
+        if result is None:
+            return
+        result = unify(args[1], whole.args[1], result)
+        if result is not None:
+            yield result
+        return
+    if is_ground(whole):
+        # A ground non-cons third argument (e.g. []) simply fails.
+        return
+    raise BuiltinError("cons requires (H,T) bound or L bound")
+
+
+def _three_way_arith(op_name: str, forward, back_left, back_right):
+    """Build solvers for Z = X op Y evaluable given any two arguments.
+
+    ``forward(x, y) -> z``, ``back_left(z, y) -> x``,
+    ``back_right(z, x) -> y``.
+    """
+
+    def solver(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+        x = apply_substitution(args[0], subst)
+        y = apply_substitution(args[1], subst)
+        z = apply_substitution(args[2], subst)
+        x_b, y_b, z_b = is_ground(x), is_ground(y), is_ground(z)
+        if x_b and y_b:
+            value = forward(
+                evaluate_arithmetic(x, subst).value, evaluate_arithmetic(y, subst).value
+            )
+            result = unify(args[2], Const(value), subst)
+            if result is not None:
+                yield result
+            return
+        if z_b and y_b:
+            value = back_left(
+                evaluate_arithmetic(z, subst).value, evaluate_arithmetic(y, subst).value
+            )
+            result = unify(args[0], Const(value), subst)
+            if result is not None:
+                yield result
+            return
+        if z_b and x_b:
+            value = back_right(
+                evaluate_arithmetic(z, subst).value, evaluate_arithmetic(x, subst).value
+            )
+            result = unify(args[1], Const(value), subst)
+            if result is not None:
+                yield result
+            return
+        raise BuiltinError(f"{op_name}/3 requires at least two bound arguments")
+
+    return solver
+
+
+def _solve_between(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+    """``between(Low, High, X)``: enumerate (or check) integers in
+    [Low, High].  Finite only when both bounds are bound."""
+    low = evaluate_arithmetic(args[0], subst).value
+    high = evaluate_arithmetic(args[1], subst).value
+    if not isinstance(low, int) or not isinstance(high, int):
+        raise BuiltinError("between/3 requires integer bounds")
+    target = apply_substitution(args[2], subst)
+    if is_ground(target):
+        if isinstance(target, Const) and isinstance(target.value, int):
+            if low <= target.value <= high:
+                yield subst
+        return
+    for value in range(low, high + 1):
+        result = unify(args[2], Const(value), subst)
+        if result is not None:
+            yield result
+
+
+def _solve_length(args: Sequence[Term], subst: Substitution) -> Iterator[Substitution]:
+    lst = apply_substitution(args[0], subst)
+    count = 0
+    while isinstance(lst, Struct) and lst.functor == "." and lst.arity == 2:
+        count += 1
+        lst = lst.args[1]
+    if lst != NIL:
+        raise BuiltinError("length/2 requires a proper list first argument")
+    result = unify(args[1], Const(count), subst)
+    if result is not None:
+        yield result
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class BuiltinRegistry:
+    """Name/arity-indexed collection of builtins."""
+
+    def __init__(self):
+        self._builtins: Dict[Predicate, Builtin] = {}
+
+    def register(self, builtin: Builtin) -> None:
+        self._builtins[builtin.predicate] = builtin
+
+    def get(self, predicate: Predicate) -> Optional[Builtin]:
+        return self._builtins.get(predicate)
+
+    def lookup(self, name: str, arity: int) -> Optional[Builtin]:
+        return self._builtins.get(Predicate(name, arity))
+
+    def is_builtin(self, literal: Literal) -> bool:
+        return literal.predicate in self._builtins
+
+    def solve(self, literal: Literal, subst: Substitution) -> Iterator[Substitution]:
+        builtin = self._builtins.get(literal.predicate)
+        if builtin is None:
+            raise BuiltinError(f"{literal.predicate} is not a builtin")
+        return builtin.solve(literal.args, subst)
+
+    def predicates(self) -> Set[Predicate]:
+        return set(self._builtins)
+
+    def copy(self) -> "BuiltinRegistry":
+        clone = BuiltinRegistry()
+        clone._builtins = dict(self._builtins)
+        return clone
+
+
+def default_registry() -> BuiltinRegistry:
+    """The registry with all the paper's evaluable predicates."""
+    registry = BuiltinRegistry()
+    both = [frozenset({0, 1})]
+    for op in ("<", ">", "=<", ">=", "==", "\\=="):
+        registry.register(
+            Builtin(op, 2, _solve_comparison(op), both, f"comparison {op}")
+        )
+    registry.register(
+        Builtin("=", 2, _solve_unify, [frozenset({0}), frozenset({1})], "unification")
+    )
+    registry.register(
+        Builtin("is", 2, _solve_is, [frozenset({1})], "arithmetic evaluation")
+    )
+    registry.register(
+        Builtin(
+            "cons",
+            3,
+            _solve_cons,
+            [frozenset({0, 1}), frozenset({2})],
+            "list construction [H|T] = L",
+        )
+    )
+    any_two = [frozenset({0, 1}), frozenset({0, 2}), frozenset({1, 2})]
+    registry.register(
+        Builtin(
+            "sum",
+            3,
+            _three_way_arith("sum", lambda x, y: x + y, lambda z, y: z - y, lambda z, x: z - x),
+            any_two,
+            "Z = X + Y (the paper's fare-accumulation predicate)",
+        )
+    )
+    registry.register(
+        Builtin(
+            "plus",
+            3,
+            _three_way_arith("plus", lambda x, y: x + y, lambda z, y: z - y, lambda z, x: z - x),
+            any_two,
+            "Z = X + Y",
+        )
+    )
+    registry.register(
+        Builtin(
+            "minus",
+            3,
+            _three_way_arith("minus", lambda x, y: x - y, lambda z, y: z + y, lambda z, x: x - z),
+            any_two,
+            "Z = X - Y",
+        )
+    )
+    registry.register(
+        Builtin(
+            "times",
+            3,
+            _three_way_arith(
+                "times",
+                lambda x, y: x * y,
+                lambda z, y: z / y if z % y else z // y,
+                lambda z, x: z / x if z % x else z // x,
+            ),
+            [frozenset({0, 1})],
+            "Z = X * Y (forward mode only; division may not invert)",
+        )
+    )
+    registry.register(
+        Builtin("length", 2, _solve_length, [frozenset({0})], "list length")
+    )
+    registry.register(
+        Builtin(
+            "between",
+            3,
+            _solve_between,
+            [frozenset({0, 1})],
+            "integer range generator/check",
+        )
+    )
+    return registry
+
+
+_DEFAULT = default_registry()
+
+
+def is_builtin_name(name: str, arity: int) -> bool:
+    """True when ``name/arity`` is a default builtin."""
+    return _DEFAULT.lookup(name, arity) is not None

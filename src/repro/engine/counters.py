@@ -1,0 +1,63 @@
+"""Work counters shared by every evaluator.
+
+The paper's comparisons are about *work* — sizes of magic sets, numbers
+of intermediate tuples, iterations to fixpoint — not wall-clock on 1992
+hardware.  Every evaluator threads one :class:`Counters` instance
+through its joins so the benchmark harness can report the same
+quantities for each competing strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Mutable work counters for one evaluation run."""
+
+    #: Tuples newly derived (inserted) into any relation.
+    derived_tuples: int = 0
+    #: Derivations that duplicated an existing tuple.
+    duplicate_tuples: int = 0
+    #: Index probes performed during joins.
+    join_probes: int = 0
+    #: Substitutions produced while evaluating rule bodies (the size of
+    #: every intermediate result, summed) — the paper's "intermediate
+    #: relation" cost.
+    intermediate_tuples: int = 0
+    #: Fixpoint iterations executed.
+    iterations: int = 0
+    #: Tuples pruned by pushed constraints (partial evaluation).
+    pruned_tuples: int = 0
+    #: Values buffered by buffered chain-split evaluation.
+    buffered_values: int = 0
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.derived_tuples += other.derived_tuples
+        self.duplicate_tuples += other.duplicate_tuples
+        self.join_probes += other.join_probes
+        self.intermediate_tuples += other.intermediate_tuples
+        self.iterations += other.iterations
+        self.pruned_tuples += other.pruned_tuples
+        self.buffered_values += other.buffered_values
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "derived_tuples": self.derived_tuples,
+            "duplicate_tuples": self.duplicate_tuples,
+            "join_probes": self.join_probes,
+            "intermediate_tuples": self.intermediate_tuples,
+            "iterations": self.iterations,
+            "pruned_tuples": self.pruned_tuples,
+            "buffered_values": self.buffered_values,
+        }
+
+    @property
+    def total_work(self) -> int:
+        """A single scalar proxy for evaluation effort."""
+        return self.join_probes + self.intermediate_tuples + self.derived_tuples

@@ -1,0 +1,153 @@
+"""The database: an EDB catalog of relations plus an IDB program.
+
+Matches the paper's model of a deductive database as (i) an extensional
+database of data relations, (ii) an intensional database of Horn rules
+and (iii) integrity constraints — here, the finiteness constraints the
+finite-evaluability analysis consumes (:mod:`repro.analysis.finiteness`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Predicate
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Term
+from .relation import Relation, Row, wrap_term
+
+__all__ = ["Database", "FinitenessConstraint"]
+
+
+class FinitenessConstraint:
+    """A finiteness constraint ``X -> Y`` on a predicate (ref [6]).
+
+    ``sources -> targets`` asserts: for each value combination of the
+    source argument positions, only finitely many value combinations of
+    the target positions occur.  Strictly weaker than a functional
+    dependency; holds trivially on every finite (EDB) relation.
+    """
+
+    __slots__ = ("predicate", "sources", "targets")
+
+    def __init__(self, predicate: Predicate, sources: Sequence[int], targets: Sequence[int]):
+        for pos in (*sources, *targets):
+            if not 0 <= pos < predicate.arity:
+                raise ValueError(
+                    f"argument position {pos} out of range for {predicate}"
+                )
+        self.predicate = predicate
+        self.sources = frozenset(sources)
+        self.targets = frozenset(targets)
+
+    def __repr__(self) -> str:
+        src = ",".join(map(str, sorted(self.sources)))
+        tgt = ",".join(map(str, sorted(self.targets)))
+        return f"FinitenessConstraint({self.predicate}: {{{src}}} -> {{{tgt}}})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FinitenessConstraint)
+            and self.predicate == other.predicate
+            and self.sources == other.sources
+            and self.targets == other.targets
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.sources, self.targets))
+
+
+class Database:
+    """EDB relations + IDB rules + finiteness constraints."""
+
+    def __init__(self, program: Optional[Program] = None):
+        self.relations: Dict[Predicate, Relation] = {}
+        self.program: Program = Program()
+        self.finiteness_constraints: Set[FinitenessConstraint] = set()
+        if program is not None:
+            self.load_program(program)
+
+    # ------------------------------------------------------------------
+    # EDB management
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation) -> None:
+        predicate = Predicate(relation.name, relation.arity)
+        if predicate in self.relations:
+            self.relations[predicate].add_all(relation.rows())
+        else:
+            self.relations[predicate] = relation
+
+    def relation(self, name: str, arity: int) -> Relation:
+        """The relation for ``name/arity``, created empty on demand."""
+        predicate = Predicate(name, arity)
+        if predicate not in self.relations:
+            self.relations[predicate] = Relation(name, arity)
+        return self.relations[predicate]
+
+    def get(self, predicate: Predicate) -> Optional[Relation]:
+        return self.relations.get(predicate)
+
+    def add_fact(self, name: str, values: Sequence[object]) -> bool:
+        """Insert a fact given Python values or terms."""
+        row = tuple(wrap_term(v) for v in values)
+        return self.relation(name, len(row)).add(row)
+
+    def edb_predicates(self) -> Set[Predicate]:
+        return set(self.relations)
+
+    # ------------------------------------------------------------------
+    # IDB management
+    # ------------------------------------------------------------------
+    def load_program(self, program: Program) -> None:
+        """Install rules; ground facts go to the EDB instead."""
+        for rule in program:
+            if rule.is_fact():
+                self.relation(rule.head.name, rule.head.arity).add(rule.head.args)
+            else:
+                self.program.add(rule)
+
+    def load_source(self, source: str) -> None:
+        """Parse and load Prolog-style source text."""
+        self.load_program(Program.parse(source))
+
+    def add_rule(self, rule: Rule) -> None:
+        if rule.is_fact():
+            self.relation(rule.head.name, rule.head.arity).add(rule.head.args)
+        else:
+            self.program.add(rule)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def add_finiteness_constraint(self, constraint: FinitenessConstraint) -> None:
+        self.finiteness_constraints.add(constraint)
+
+    def constraints_for(self, predicate: Predicate) -> List[FinitenessConstraint]:
+        explicit = [
+            c for c in self.finiteness_constraints if c.predicate == predicate
+        ]
+        # Finiteness holds trivially on finite EDB relations: every
+        # argument set determines every other (including the empty set).
+        if predicate in self.relations:
+            all_positions = tuple(range(predicate.arity))
+            explicit.append(FinitenessConstraint(predicate, (), all_positions))
+        return explicit
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_facts(self) -> int:
+        return sum(len(rel) for rel in self.relations.values())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone.program = Program(list(self.program))
+        clone.finiteness_constraints = set(self.finiteness_constraints)
+        for predicate, relation in self.relations.items():
+            clone.relations[predicate] = relation.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({len(self.relations)} relations, "
+            f"{self.total_facts()} facts, {len(self.program)} rules)"
+        )

@@ -1,0 +1,177 @@
+"""File I/O: programs from ``.pl`` files, facts from CSV/TSV.
+
+Real deployments keep rules in source files and data in delimited
+files; these helpers bridge both into a :class:`Database`.  CSV values
+are type-inferred (int, float, else string) so ``travel`` fares load as
+numbers without a schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Iterable, List, Optional, Sequence, Union
+
+from ..datalog.terms import Const, Term
+from .database import Database
+from .relation import Relation
+
+__all__ = [
+    "load_program_file",
+    "load_facts_csv",
+    "save_facts_csv",
+    "save_database",
+    "load_database",
+    "infer_constant",
+]
+
+PathOrFile = Union[str, IO[str]]
+
+
+def infer_constant(text: str) -> Const:
+    """Parse a CSV cell: int, then float, else string."""
+    stripped = text.strip()
+    try:
+        return Const(int(stripped))
+    except ValueError:
+        pass
+    try:
+        return Const(float(stripped))
+    except ValueError:
+        pass
+    return Const(stripped)
+
+
+def load_program_file(database: Database, path: str) -> None:
+    """Load a Prolog-style source file into ``database``."""
+    with open(path) as handle:
+        database.load_source(handle.read())
+
+
+def load_facts_csv(
+    database: Database,
+    source: PathOrFile,
+    predicate: str,
+    delimiter: str = ",",
+    skip_header: bool = False,
+) -> int:
+    """Load rows of a delimited file as facts of ``predicate``.
+
+    Returns the number of new facts.  All rows must have the same
+    number of columns; a :class:`ValueError` names the offending line
+    otherwise.
+    """
+    owns_handle = isinstance(source, str)
+    handle = open(source) if owns_handle else source
+    try:
+        reader = csv.reader(handle, delimiter=delimiter)
+        added = 0
+        arity: Optional[int] = None
+        for line_number, row in enumerate(reader, start=1):
+            if skip_header and line_number == 1:
+                continue
+            if not row:
+                continue
+            if arity is None:
+                arity = len(row)
+            if len(row) != arity:
+                raise ValueError(
+                    f"line {line_number}: expected {arity} columns, "
+                    f"got {len(row)}"
+                )
+            values = tuple(infer_constant(cell) for cell in row)
+            if database.relation(predicate, arity).add(values):
+                added += 1
+        return added
+    finally:
+        if owns_handle:
+            handle.close()
+
+
+def save_facts_csv(
+    database: Database,
+    target: PathOrFile,
+    predicate: str,
+    arity: int,
+    delimiter: str = ",",
+) -> int:
+    """Write the facts of ``predicate/arity`` to a delimited file.
+
+    Rows are written in sorted order for reproducible diffs.  Compound
+    terms are serialized with the parser-compatible syntax, so a
+    round-trip through :func:`load_facts_csv` preserves constants
+    (compound terms come back as strings — CSV is for flat data).
+    """
+    from ..datalog.literals import Predicate
+
+    relation = database.get(Predicate(predicate, arity))
+    if relation is None:
+        relation = Relation(predicate, arity)
+    owns_handle = isinstance(target, str)
+    handle = open(target, "w", newline="") if owns_handle else target
+    try:
+        writer = csv.writer(handle, delimiter=delimiter)
+        count = 0
+        for row in sorted(relation.rows(), key=str):
+            writer.writerow([_cell(value) for value in row])
+            count += 1
+        return count
+    finally:
+        if owns_handle:
+            handle.close()
+
+
+def _cell(value: Term) -> str:
+    if isinstance(value, Const):
+        return str(value.value)
+    return str(value)
+
+
+def save_database(database: Database, directory: str) -> None:
+    """Persist a database to a directory: ``program.pl`` with the IDB
+    rules plus one ``<predicate>.<arity>.csv`` per stored relation.
+
+    Only flat (constant) relations round-trip exactly; relations with
+    compound terms are refused rather than silently corrupted.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "program.pl"), "w") as handle:
+        handle.write(str(database.program))
+        handle.write("\n")
+    for predicate, relation in sorted(
+        database.relations.items(), key=lambda kv: str(kv[0])
+    ):
+        for row in relation:
+            for value in row:
+                if not isinstance(value, Const):
+                    raise ValueError(
+                        f"relation {predicate} holds compound terms; "
+                        "CSV persistence covers flat relations only"
+                    )
+        path = os.path.join(
+            directory, f"{predicate.name}.{predicate.arity}.csv"
+        )
+        save_facts_csv(database, path, predicate.name, predicate.arity)
+
+
+def load_database(directory: str) -> Database:
+    """Load a database saved by :func:`save_database`."""
+    import os
+    import re
+
+    database = Database()
+    program_path = os.path.join(directory, "program.pl")
+    if os.path.exists(program_path):
+        load_program_file(database, program_path)
+    pattern = re.compile(r"^(?P<name>.+)\.(?P<arity>\d+)\.csv$")
+    for entry in sorted(os.listdir(directory)):
+        match = pattern.match(entry)
+        if match is None:
+            continue
+        name = match.group("name")
+        arity = int(match.group("arity"))
+        # Pre-create so empty files still register the relation.
+        database.relation(name, arity)
+        load_facts_csv(database, os.path.join(directory, entry), name)
+    return database

@@ -1,0 +1,217 @@
+"""Rule-body evaluation: ordered nested-index joins over relations.
+
+This module is the single join implementation every bottom-up
+evaluator uses.  A rule body is evaluated left-to-right after a safety
+reordering pass (:func:`order_body`): builtins and negated literals are
+postponed until their input variables are bound, and among stored
+literals the one with the most bound argument positions is probed first
+(a greedy bound-is-easier SIPS, the same one the adornment machinery
+assumes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.terms import Const, Struct, Term, Var, is_ground, term_variables
+from ..datalog.unify import Substitution, apply_substitution, match, unify
+from .builtins import BuiltinError, BuiltinRegistry
+from .counters import Counters
+from .relation import Relation, Row
+
+__all__ = ["UnsafeRuleError", "order_body", "literal_solutions", "evaluate_body"]
+
+RelationLookup = Callable[[Predicate], Optional[Relation]]
+
+
+class UnsafeRuleError(ValueError):
+    """A body cannot be ordered so every builtin/negation gets its
+    inputs bound — the rule is unsafe for bottom-up evaluation."""
+
+
+def _literal_bound_vars(literal: Literal, bound: Set[str]) -> Tuple[int, int]:
+    """(number of argument positions fully bound, total positions)."""
+    bound_positions = 0
+    for arg in literal.args:
+        if all(v.name in bound for v in term_variables(arg)):
+            bound_positions += 1
+    return bound_positions, literal.arity
+
+
+def order_body(
+    body: Sequence[Literal],
+    registry: BuiltinRegistry,
+    initially_bound: Iterable[str] = (),
+) -> List[Tuple[int, Literal]]:
+    """Return a safe evaluation order as (original_index, literal) pairs.
+
+    Greedy: at each step prefer a *ready* builtin (cheap filter), then a
+    ready negated literal, then the stored literal with the most bound
+    argument positions.  Raises :class:`UnsafeRuleError` when only
+    non-ready builtins/negations remain.
+    """
+    remaining: List[Tuple[int, Literal]] = list(enumerate(body))
+    bound: Set[str] = set(initially_bound)
+    ordered: List[Tuple[int, Literal]] = []
+
+    def builtin_ready(literal: Literal) -> bool:
+        builtin = registry.get(literal.predicate)
+        if builtin is None:
+            return False
+        bound_positions = frozenset(
+            i
+            for i, arg in enumerate(literal.args)
+            if all(v.name in bound for v in term_variables(arg))
+        )
+        return builtin.is_finite_under(bound_positions)
+
+    def negation_ready(literal: Literal) -> bool:
+        return all(v.name in bound for v in literal.variables())
+
+    while remaining:
+        chosen: Optional[int] = None
+        # 1. ready builtins (filters / single-valued generators)
+        for slot, (_, literal) in enumerate(remaining):
+            if not literal.negated and registry.is_builtin(literal) and builtin_ready(literal):
+                chosen = slot
+                break
+        # 2. ready negations
+        if chosen is None:
+            for slot, (_, literal) in enumerate(remaining):
+                if literal.negated and negation_ready(literal):
+                    chosen = slot
+                    break
+        # 3. stored literal with the most bound positions
+        if chosen is None:
+            best_score = -1
+            for slot, (_, literal) in enumerate(remaining):
+                if literal.negated or registry.is_builtin(literal):
+                    continue
+                score, _ = _literal_bound_vars(literal, bound)
+                if score > best_score:
+                    best_score = score
+                    chosen = slot
+        if chosen is None:
+            stuck = ", ".join(str(lit) for _, lit in remaining)
+            raise UnsafeRuleError(
+                f"cannot order body safely; stuck on: {stuck} "
+                f"(bound: {sorted(bound)})"
+            )
+        index, literal = remaining.pop(chosen)
+        ordered.append((index, literal))
+        for var in literal.variables():
+            bound.add(var.name)
+    return ordered
+
+
+def literal_solutions(
+    literal: Literal,
+    relation: Relation,
+    subst: Substitution,
+    counters: Optional[Counters] = None,
+) -> Iterator[Substitution]:
+    """Solutions of a positive stored literal against ``relation``.
+
+    Uses an index on the argument positions that are ground under
+    ``subst``; remaining positions are matched/unified per row.
+    """
+    instantiated = [apply_substitution(arg, subst) for arg in literal.args]
+    key_columns: List[int] = []
+    key_values: List[Term] = []
+    for position, arg in enumerate(instantiated):
+        if is_ground(arg):
+            key_columns.append(position)
+            key_values.append(arg)
+    if counters is not None:
+        counters.join_probes += 1
+    for row in relation.lookup(key_columns, key_values):
+        result: Optional[Substitution] = subst
+        for position, arg in enumerate(instantiated):
+            if position in key_columns:
+                # Fully ground and equal by index construction — but
+                # compound ground args still need equality (index key
+                # covers them exactly), so nothing to do.
+                continue
+            result = unify(arg, row[position], result)
+            if result is None:
+                break
+        if result is not None:
+            yield result
+
+
+#: idb_solver(literal, substitution) -> iterator of extended
+#: substitutions; used for predicates without a stored relation.
+IdbSolver = Callable[[Literal, Substitution], Iterator[Substitution]]
+
+
+def evaluate_body(
+    ordered_body: Sequence[Tuple[int, Literal]],
+    lookup: RelationLookup,
+    registry: BuiltinRegistry,
+    seed: Substitution,
+    counters: Optional[Counters] = None,
+    overrides: Optional[Dict[int, Relation]] = None,
+    idb_solver: Optional[IdbSolver] = None,
+) -> Iterator[Substitution]:
+    """Evaluate an ordered body, yielding complete solutions.
+
+    ``overrides`` maps *original* body indexes to replacement relations
+    — semi-naive evaluation substitutes the delta relation for one
+    occurrence of the recursive predicate this way.
+
+    ``idb_solver`` handles literals with no stored relation (derived
+    predicates): nested chain-split evaluation plugs the recursive
+    evaluation of inner recursions in this way (paper §4.1).
+    """
+    substitutions: List[Substitution] = [seed]
+    for original_index, literal in ordered_body:
+        if not substitutions:
+            return
+        next_substitutions: List[Substitution] = []
+        if literal.negated:
+            relation = _resolve(literal, lookup, overrides, original_index)
+            for subst in substitutions:
+                ground_args = tuple(apply_substitution(a, subst) for a in literal.args)
+                if any(not is_ground(a) for a in ground_args):
+                    raise UnsafeRuleError(
+                        f"negated literal {literal} not ground at evaluation time"
+                    )
+                if counters is not None:
+                    counters.join_probes += 1
+                if relation is None or ground_args not in relation:
+                    next_substitutions.append(subst)
+        elif registry.is_builtin(literal):
+            for subst in substitutions:
+                for solution in registry.solve(literal, subst):
+                    next_substitutions.append(solution)
+        else:
+            relation = _resolve(literal, lookup, overrides, original_index)
+            if relation is None and idb_solver is not None:
+                for subst in substitutions:
+                    for solution in idb_solver(literal, subst):
+                        next_substitutions.append(solution)
+            elif relation is None:
+                return
+            else:
+                for subst in substitutions:
+                    for solution in literal_solutions(
+                        literal, relation, subst, counters
+                    ):
+                        next_substitutions.append(solution)
+        substitutions = next_substitutions
+        if counters is not None:
+            counters.intermediate_tuples += len(substitutions)
+    for subst in substitutions:
+        yield subst
+
+
+def _resolve(
+    literal: Literal,
+    lookup: RelationLookup,
+    overrides: Optional[Dict[int, Relation]],
+    original_index: int,
+) -> Optional[Relation]:
+    if overrides is not None and original_index in overrides:
+        return overrides[original_index]
+    return lookup(literal.predicate)

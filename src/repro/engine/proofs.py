@@ -1,0 +1,201 @@
+"""Proof trees: explain *why* an answer holds.
+
+A meta-interpreter mirroring :class:`~repro.engine.topdown.TopDownEvaluator`
+(same deferred goal selection, budgets and builtins) that additionally
+records, for every solution, the derivation tree: which rule resolved
+each goal, grounded by the answer substitution.  Useful for debugging
+programs and for demonstrating chain-split evaluation order — the
+proof of an ``append^bbf`` answer shows the delayed ``cons`` applied on
+the way back up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..datalog.literals import Literal
+from ..datalog.parser import parse_query
+from ..datalog.rules import Rule
+from ..datalog.terms import Term, fresh_variable_factory, is_ground
+from ..datalog.unify import Substitution, apply_substitution, unify_sequences
+from .builtins import BuiltinError, BuiltinRegistry, default_registry
+from .database import Database
+from .joins import literal_solutions
+from .topdown import (
+    BudgetExceeded,
+    NotFinitelyEvaluable,
+    TopDownEvaluator,
+    _recursion_headroom,
+)
+
+__all__ = ["ProofNode", "ProofTracer"]
+
+
+class ProofNode:
+    """One step of a derivation.
+
+    ``kind`` is ``"fact"`` (EDB lookup), ``"builtin"`` (evaluable
+    predicate), ``"negation"`` (finitely failed subgoal) or ``"rule"``
+    (children prove the rule body).
+    """
+
+    __slots__ = ("goal", "kind", "rule", "children")
+
+    def __init__(
+        self,
+        goal: Literal,
+        kind: str,
+        rule: Optional[Rule] = None,
+        children: Sequence["ProofNode"] = (),
+    ):
+        self.goal = goal
+        self.kind = kind
+        self.rule = rule
+        self.children = list(children)
+
+    def ground(self, subst: Substitution) -> "ProofNode":
+        """The same proof with the final answer substitution applied."""
+        return ProofNode(
+            self.goal.substitute(subst),
+            self.kind,
+            self.rule,
+            [child.ground(subst) for child in self.children],
+        )
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def format(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        label = {"fact": "[fact]", "builtin": "[builtin]", "negation": "[naf]"}.get(
+            self.kind, ""
+        )
+        lines = [f"{pad}{self.goal} {label}".rstrip()]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def __repr__(self) -> str:
+        return f"ProofNode({self.goal}, {self.kind}, {len(self.children)} children)"
+
+
+class ProofTracer:
+    """Enumerate (answer substitution, proof forest) pairs."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[BuiltinRegistry] = None,
+        max_steps: int = 1_000_000,
+    ):
+        self.database = database
+        self.registry = registry if registry is not None else default_registry()
+        self.max_steps = max_steps
+        self._fresh = fresh_variable_factory("_P")
+        self._steps = 0
+        # Reuse the battle-tested goal selection of the evaluator.
+        self._selector = TopDownEvaluator(
+            database, self.registry, max_steps=max_steps
+        )
+
+    # ------------------------------------------------------------------
+    def prove(
+        self, query_source
+    ) -> Iterator[Tuple[Substitution, List[ProofNode]]]:
+        """Yield each solution with its (grounded) proof forest."""
+        if isinstance(query_source, str):
+            goals = parse_query(query_source)
+        elif isinstance(query_source, Literal):
+            goals = [query_source]
+        else:
+            goals = list(query_source)
+        self._steps = 0
+        with _recursion_headroom():
+            for subst, forest in self._solve(list(goals), {}):
+                yield subst, [node.ground(subst) for node in forest]
+
+    def explain(self, query_source) -> Optional[str]:
+        """The first answer's proof, formatted — or None."""
+        for _, forest in self.prove(query_source):
+            return "\n".join(node.format() for node in forest)
+        return None
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise BudgetExceeded(f"exceeded {self.max_steps} resolution steps")
+
+    def _solve(
+        self, goals: List[Literal], subst: Substitution
+    ) -> Iterator[Tuple[Substitution, List[ProofNode]]]:
+        if not goals:
+            yield subst, []
+            return
+        self._tick()
+        index = self._selector._select(goals, subst)
+        goal = goals[index]
+        rest = goals[:index] + goals[index + 1 :]
+
+        if goal.negated:
+            ground_args = [apply_substitution(a, subst) for a in goal.args]
+            if any(not is_ground(a) for a in ground_args):
+                raise NotFinitelyEvaluable(
+                    f"negated goal {goal} selected with unbound arguments"
+                )
+            positive = goal.positive().with_args(ground_args)
+            for _ in self._solve([positive], dict(subst)):
+                return
+            for solution, forest in self._solve(rest, subst):
+                node = ProofNode(goal, "negation")
+                yield solution, self._insert(index, node, forest, len(goals))
+            return
+
+        builtin = self.registry.get(goal.predicate)
+        if builtin is not None:
+            try:
+                solutions = list(builtin.solve(goal.args, subst))
+            except BuiltinError as exc:
+                raise NotFinitelyEvaluable(str(exc)) from exc
+            for solution in solutions:
+                for final, forest in self._solve(rest, solution):
+                    node = ProofNode(goal, "builtin")
+                    yield final, self._insert(index, node, forest, len(goals))
+            return
+
+        relation = self.database.get(goal.predicate)
+        if relation is not None:
+            for solution in literal_solutions(goal, relation, subst):
+                for final, forest in self._solve(rest, solution):
+                    node = ProofNode(goal, "fact")
+                    yield final, self._insert(index, node, forest, len(goals))
+
+        for rule in self.database.program.rules_for(goal.predicate):
+            variant = rule.rename_apart(self._fresh)
+            unified = unify_sequences(variant.head.args, goal.args, subst)
+            if unified is None:
+                continue
+            for body_solution, body_forest in self._solve(
+                list(variant.body), unified
+            ):
+                for final, rest_forest in self._solve(rest, body_solution):
+                    node = ProofNode(goal, "rule", rule, body_forest)
+                    yield final, self._insert(index, node, rest_forest, len(goals))
+
+    @staticmethod
+    def _insert(
+        index: int, node: ProofNode, rest_forest: List[ProofNode], total: int
+    ) -> List[ProofNode]:
+        """Place the selected goal's proof back at its original
+        position among its siblings."""
+        forest = list(rest_forest)
+        forest.insert(min(index, len(forest)), node)
+        return forest

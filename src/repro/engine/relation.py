@@ -1,0 +1,192 @@
+"""In-memory relations with lazily built hash indexes.
+
+A :class:`Relation` stores ground tuples of :class:`~repro.datalog.terms.Term`
+values.  Every evaluator in this library — semi-naive, magic sets,
+counting, buffered and partial chain-split evaluation — reads and
+writes relations through this class, so the cost comparisons between
+strategies are apples-to-apples.
+
+Indexes map a column subset to a hash table from key tuples to the
+matching rows.  They are built on first use and invalidated wholesale
+on mutation; fixpoint evaluators mutate in generations, so in practice
+an index is rebuilt at most once per generation.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..datalog.terms import Const, Term, is_ground
+
+__all__ = ["Relation", "Row", "wrap_term"]
+
+Row = Tuple[Term, ...]
+
+
+class Relation:
+    """A named set of equal-arity ground tuples."""
+
+    def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        self._rows: Set[Row] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Sequence[Term]) -> bool:
+        """Insert ``row``; returns True when it was new."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(
+                f"arity mismatch inserting into {self.name}/{self.arity}: {row}"
+            )
+        for value in row:
+            if not is_ground(value):
+                raise ValueError(f"non-ground value {value} inserted into {self.name}")
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for columns, index in self._indexes.items():
+            key = tuple(row[c] for c in columns)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_all(self, rows: Iterable[Sequence[Term]]) -> int:
+        """Insert many rows; returns the number actually new."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def discard(self, row: Sequence[Term]) -> bool:
+        """Remove ``row`` if present; returns True when removed."""
+        row = tuple(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        self._indexes.clear()
+        return True
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, row: Sequence[Term]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Set[Row]:
+        """The underlying row set (do not mutate)."""
+        return self._rows
+
+    def lookup(self, columns: Sequence[int], key: Sequence[Term]) -> List[Row]:
+        """Rows whose projection on ``columns`` equals ``key``.
+
+        Builds (and caches) a hash index on ``columns`` on first use.
+        ``columns`` may be empty, in which case all rows match.
+        """
+        columns = tuple(columns)
+        if not columns:
+            return list(self._rows)
+        index = self._indexes.get(columns)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index_key = tuple(row[c] for c in columns)
+                index.setdefault(index_key, []).append(row)
+            self._indexes[columns] = index
+        return index.get(tuple(key), [])
+
+    def project(self, columns: Sequence[int]) -> "Relation":
+        """A new relation holding the (deduplicated) projection."""
+        result = Relation(f"{self.name}_proj", len(columns))
+        for row in self._rows:
+            result.add(tuple(row[c] for c in columns))
+        return result
+
+    def select(self, predicate) -> "Relation":
+        """A new relation holding rows satisfying ``predicate(row)``."""
+        result = Relation(f"{self.name}_sel", self.arity)
+        for row in self._rows:
+            if predicate(row):
+                result.add(row)
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        result = Relation(name or self.name, self.arity)
+        result._rows = set(self._rows)
+        return result
+
+    def column_values(self, column: int) -> Set[Term]:
+        """Distinct values appearing in ``column``."""
+        return {row[column] for row in self._rows}
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, name: str, pairs: Iterable[Tuple[object, object]]) -> "Relation":
+        """Build a binary relation from Python value pairs.
+
+        Plain Python values are wrapped in :class:`Const`; terms pass
+        through unchanged.
+        """
+        relation = cls(name, 2)
+        for a, b in pairs:
+            relation.add((wrap_term(a), wrap_term(b)))
+        return relation
+
+    @classmethod
+    def from_tuples(cls, name: str, arity: int, tuples: Iterable[Sequence[object]]) -> "Relation":
+        """Build a relation from iterables of Python values or terms."""
+        relation = cls(name, arity)
+        for values in tuples:
+            relation.add(tuple(wrap_term(v) for v in values))
+        return relation
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}/{self.arity}, {len(self._rows)} rows)"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.arity == other.arity
+            and self._rows == other._rows
+        )
+
+    def __hash__(self):  # relations are mutable containers
+        raise TypeError("Relation is unhashable")
+
+
+def wrap_term(value: object) -> Term:
+    """Wrap a plain Python value as a ground term (terms pass through)."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, (str, int, float, bool)):
+        return Const(value)
+    raise TypeError(f"cannot wrap {value!r} as a term")

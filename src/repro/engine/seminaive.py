@@ -1,0 +1,262 @@
+"""Naive and semi-naive bottom-up fixpoint evaluation.
+
+Semi-naive evaluation (ref [1]) is the workhorse under both classic
+magic sets and the chain-split variant: after rewriting, the rewritten
+program is handed to this evaluator.  The naive evaluator re-derives
+everything each round and exists as a correctness oracle and as the
+pedagogical baseline in benchmarks.
+
+Both evaluators are stratified: negation is allowed as long as the
+program is stratifiable (checked by :meth:`Program.strata`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Literal, Predicate
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Term, is_ground
+from ..datalog.unify import Substitution, apply_substitution
+from .builtins import BuiltinRegistry, default_registry
+from .counters import Counters
+from .database import Database
+from .joins import UnsafeRuleError, evaluate_body, order_body
+from .relation import Relation
+
+__all__ = ["SemiNaiveEvaluator", "NaiveEvaluator", "EvaluationResult"]
+
+
+class EvaluationResult:
+    """Derived relations plus the work counters of the run."""
+
+    def __init__(self, relations: Dict[Predicate, Relation], counters: Counters):
+        self.relations = relations
+        self.counters = counters
+
+    def relation(self, name: str, arity: int) -> Relation:
+        predicate = Predicate(name, arity)
+        if predicate not in self.relations:
+            return Relation(name, arity)
+        return self.relations[predicate]
+
+    def __repr__(self) -> str:
+        sizes = {str(p): len(r) for p, r in self.relations.items()}
+        return f"EvaluationResult({sizes})"
+
+
+class _BottomUpEvaluator:
+    """Shared scaffolding: strata, lookups, head instantiation."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[BuiltinRegistry] = None,
+        max_iterations: int = 100_000,
+        orderer=None,
+    ):
+        self.database = database
+        self.registry = registry if registry is not None else default_registry()
+        self.max_iterations = max_iterations
+        # Optional body orderer: callable(body, initially_bound) ->
+        # [(index, literal)], e.g. analysis.joinorder.CostBasedOrderer.
+        # Defaults to the greedy bound-is-easier order.
+        self._orderer = orderer
+
+    def _order(self, body):
+        if self._orderer is not None:
+            return self._orderer.order(body)
+        return order_body(body, self.registry)
+
+    # -- helpers --------------------------------------------------------
+    def _make_lookup(self, derived: Dict[Predicate, Relation]):
+        def lookup(predicate: Predicate) -> Optional[Relation]:
+            if predicate in derived:
+                return derived[predicate]
+            return self.database.get(predicate)
+
+        return lookup
+
+    @staticmethod
+    def _head_row(rule: Rule, subst: Substitution) -> Tuple[Term, ...]:
+        row = tuple(apply_substitution(arg, subst) for arg in rule.head.args)
+        for value in row:
+            if not is_ground(value):
+                raise UnsafeRuleError(
+                    f"head of {rule} not ground after body evaluation"
+                )
+        return row
+
+    def _strata(self, program: Program) -> List[Set[Predicate]]:
+        return program.strata()
+
+
+class SemiNaiveEvaluator(_BottomUpEvaluator):
+    """Stratified semi-naive fixpoint evaluation.
+
+    Usage::
+
+        result = SemiNaiveEvaluator(db).evaluate()
+        rows = result.relation("sg", 2).rows()
+    """
+
+    def evaluate(
+        self,
+        program: Optional[Program] = None,
+        stop_condition=None,
+    ) -> EvaluationResult:
+        """Evaluate ``program`` (default: the database's IDB).
+
+        ``stop_condition(derived)`` — when provided, it is checked
+        after every fixpoint round; returning True aborts evaluation
+        early with the partially derived relations.  This implements
+        existence checking: a boolean query can stop as soon as one
+        witness appears (paper §5).
+        """
+        program = program if program is not None else self.database.program
+        counters = Counters()
+        derived: Dict[Predicate, Relation] = {}
+        for stratum in self._strata(program):
+            stopped = self._evaluate_stratum(
+                program, stratum, derived, counters, stop_condition
+            )
+            if stopped:
+                break
+        return EvaluationResult(derived, counters)
+
+    def _evaluate_stratum(
+        self,
+        program: Program,
+        stratum: Set[Predicate],
+        derived: Dict[Predicate, Relation],
+        counters: Counters,
+        stop_condition=None,
+    ) -> bool:
+        rules = [r for r in program if r.head.predicate in stratum]
+        for predicate in stratum:
+            derived.setdefault(predicate, Relation(predicate.name, predicate.arity))
+        lookup = self._make_lookup(derived)
+
+        ordered_bodies = {
+            id(rule): self._order(rule.body) for rule in rules
+        }
+        recursive_slots: Dict[int, List[int]] = {}
+        for rule in rules:
+            slots = [
+                i
+                for i, lit in enumerate(rule.body)
+                if lit.predicate in stratum and not lit.negated
+            ]
+            recursive_slots[id(rule)] = slots
+
+        # Round 0: naive pass with (empty) stratum relations — derives
+        # everything obtainable from lower strata and exit rules.
+        delta: Dict[Predicate, Relation] = {
+            p: Relation(p.name, p.arity) for p in stratum
+        }
+        # Stored EDB facts for a predicate that also has rules would be
+        # shadowed by the derived relation; seed them explicitly.
+        for predicate in stratum:
+            stored = self.database.get(predicate)
+            if stored is not None:
+                for row in stored:
+                    if derived[predicate].add(row):
+                        delta[predicate].add(row)
+        for rule in rules:
+            for subst in evaluate_body(
+                ordered_bodies[id(rule)], lookup, self.registry, {}, counters
+            ):
+                row = self._head_row(rule, subst)
+                if derived[rule.head.predicate].add(row):
+                    counters.derived_tuples += 1
+                    delta[rule.head.predicate].add(row)
+                else:
+                    counters.duplicate_tuples += 1
+        counters.iterations += 1
+        if stop_condition is not None and stop_condition(derived):
+            return True
+
+        # Semi-naive rounds.
+        while any(len(rel) for rel in delta.values()):
+            counters.iterations += 1
+            if counters.iterations > self.max_iterations:
+                raise RuntimeError(
+                    f"fixpoint did not converge within {self.max_iterations} iterations"
+                )
+            new_delta: Dict[Predicate, Relation] = {
+                p: Relation(p.name, p.arity) for p in stratum
+            }
+            for rule in rules:
+                slots = recursive_slots[id(rule)]
+                if not slots:
+                    continue
+                for slot in slots:
+                    literal = rule.body[slot]
+                    overrides = {slot: delta[literal.predicate]}
+                    for subst in evaluate_body(
+                        ordered_bodies[id(rule)],
+                        lookup,
+                        self.registry,
+                        {},
+                        counters,
+                        overrides=overrides,
+                    ):
+                        row = self._head_row(rule, subst)
+                        if derived[rule.head.predicate].add(row):
+                            counters.derived_tuples += 1
+                            new_delta[rule.head.predicate].add(row)
+                        else:
+                            counters.duplicate_tuples += 1
+            delta = new_delta
+            if stop_condition is not None and stop_condition(derived):
+                return True
+        return False
+
+
+class NaiveEvaluator(_BottomUpEvaluator):
+    """Naive (Gauss-Seidel-free) fixpoint: recompute all rules each
+    round until nothing new appears.  Exists as an oracle/baseline."""
+
+    def evaluate(self, program: Optional[Program] = None) -> EvaluationResult:
+        program = program if program is not None else self.database.program
+        counters = Counters()
+        derived: Dict[Predicate, Relation] = {}
+        for stratum in self._strata(program):
+            self._evaluate_stratum(program, stratum, derived, counters)
+        return EvaluationResult(derived, counters)
+
+    def _evaluate_stratum(
+        self,
+        program: Program,
+        stratum: Set[Predicate],
+        derived: Dict[Predicate, Relation],
+        counters: Counters,
+    ) -> None:
+        rules = [r for r in program if r.head.predicate in stratum]
+        for predicate in stratum:
+            derived.setdefault(predicate, Relation(predicate.name, predicate.arity))
+            stored = self.database.get(predicate)
+            if stored is not None:
+                derived[predicate].add_all(stored.rows())
+        lookup = self._make_lookup(derived)
+        ordered_bodies = {
+            id(rule): self._order(rule.body) for rule in rules
+        }
+        changed = True
+        while changed:
+            counters.iterations += 1
+            if counters.iterations > self.max_iterations:
+                raise RuntimeError(
+                    f"fixpoint did not converge within {self.max_iterations} iterations"
+                )
+            changed = False
+            for rule in rules:
+                for subst in evaluate_body(
+                    ordered_bodies[id(rule)], lookup, self.registry, {}, counters
+                ):
+                    row = self._head_row(rule, subst)
+                    if derived[rule.head.predicate].add(row):
+                        counters.derived_tuples += 1
+                        changed = True
+                    else:
+                        counters.duplicate_tuples += 1

@@ -1,0 +1,121 @@
+"""Database statistics feeding the chain-split cost model.
+
+Algorithm 3.1 decides whether to propagate a binding across a linkage
+by the **join expansion ratio**: how many tuples (distinct bindings)
+one binding expands into when pushed through a predicate.  These are
+exactly the quantities a relational optimizer keeps (ref [18]); we
+compute them exactly rather than by sampling since relations are in
+memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+from ..datalog.literals import Predicate
+from ..datalog.terms import Term
+from .database import Database
+from .relation import Relation
+
+__all__ = ["RelationStatistics", "CatalogStatistics"]
+
+
+class RelationStatistics:
+    """Exact statistics for one stored relation."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._distinct_cache: Dict[Tuple[int, ...], int] = {}
+        self._fanout_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.relation)
+
+    def distinct(self, columns: Sequence[int]) -> int:
+        """Number of distinct value combinations on ``columns``."""
+        key = tuple(sorted(columns))
+        if key not in self._distinct_cache:
+            values: Set[Tuple[Term, ...]] = {
+                tuple(row[c] for c in key) for row in self.relation
+            }
+            self._distinct_cache[key] = len(values)
+        return self._distinct_cache[key]
+
+    def fanout(self, from_columns: Sequence[int], to_columns: Sequence[int]) -> float:
+        """Average number of distinct ``to`` combinations per ``from``
+        combination — the join expansion ratio of this linkage.
+
+        Empty relations report a fanout of 0.0.
+        """
+        key = (tuple(sorted(from_columns)), tuple(sorted(to_columns)))
+        if key not in self._fanout_cache:
+            if not len(self.relation):
+                self._fanout_cache[key] = 0.0
+            elif not key[0]:
+                # No binding: the whole projection flows through.
+                self._fanout_cache[key] = float(self.distinct(key[1]))
+            else:
+                groups: Dict[Tuple[Term, ...], Set[Tuple[Term, ...]]] = {}
+                for row in self.relation:
+                    source = tuple(row[c] for c in key[0])
+                    target = tuple(row[c] for c in key[1])
+                    groups.setdefault(source, set()).add(target)
+                total = sum(len(targets) for targets in groups.values())
+                self._fanout_cache[key] = total / len(groups)
+        return self._fanout_cache[key]
+
+    def selectivity(self, columns: Sequence[int]) -> float:
+        """Fraction of rows matched by one key on ``columns`` (uniform
+        assumption): 1 / distinct(columns)."""
+        distinct = self.distinct(columns)
+        if distinct == 0:
+            return 0.0
+        return 1.0 / distinct
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationStatistics({self.relation.name}/{self.relation.arity}, "
+            f"card={self.cardinality})"
+        )
+
+
+class CatalogStatistics:
+    """Statistics for every stored relation of a database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._per_relation: Dict[Predicate, RelationStatistics] = {}
+
+    def for_predicate(self, predicate: Predicate) -> Optional[RelationStatistics]:
+        if predicate in self._per_relation:
+            return self._per_relation[predicate]
+        relation = self.database.get(predicate)
+        if relation is None:
+            return None
+        stats = RelationStatistics(relation)
+        self._per_relation[predicate] = stats
+        return stats
+
+    def expansion_ratio(
+        self,
+        predicate: Predicate,
+        from_columns: Sequence[int],
+        to_columns: Sequence[int],
+        default: float = float("inf"),
+    ) -> float:
+        """Join expansion ratio of a linkage through ``predicate``.
+
+        Functional predicates (no stored relation) have no statistics:
+        they expand 1:1 when evaluable, but the *relation* is infinite,
+        so the default is ``inf`` — callers handling builtins should
+        special-case them before asking.
+        """
+        stats = self.for_predicate(predicate)
+        if stats is None:
+            return default
+        return stats.fanout(from_columns, to_columns)
+
+    def cardinality(self, predicate: Predicate) -> int:
+        stats = self.for_predicate(predicate)
+        return stats.cardinality if stats is not None else 0

@@ -1,0 +1,89 @@
+"""Testing helpers for downstream users (and this repo's own suite).
+
+The library's strongest correctness property is that its independent
+strategies agree; these helpers make that assertable in one line in a
+user's own test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .datalog.literals import Literal
+from .datalog.parser import parse_query
+from .engine.database import Database
+from .engine.relation import Relation
+from .engine.seminaive import SemiNaiveEvaluator
+from .engine.topdown import TopDownEvaluator
+from .datalog.unify import apply_substitution, unify_sequences
+from .datalog.terms import Term, is_ground
+
+__all__ = [
+    "answers_via_seminaive",
+    "answers_via_topdown",
+    "assert_strategies_agree",
+]
+
+
+def answers_via_seminaive(database: Database, query_source) -> frozenset:
+    """Oracle 1: full bottom-up evaluation, filtered by the query."""
+    query = _query(query_source)
+    result = SemiNaiveEvaluator(database).evaluate()
+    relation = result.relations.get(query.predicate)
+    rows = relation.rows() if relation is not None else set()
+    stored = database.get(query.predicate)
+    if stored is not None:
+        rows = rows | stored.rows()
+    return frozenset(
+        row for row in rows if unify_sequences(query.args, row) is not None
+    )
+
+
+def answers_via_topdown(database: Database, query_source) -> frozenset:
+    """Oracle 2: SLD resolution with deferred goal selection."""
+    query = _query(query_source)
+    evaluator = TopDownEvaluator(database)
+    rows = set()
+    for solution in evaluator.solve([query]):
+        row = tuple(apply_substitution(arg, solution) for arg in query.args)
+        if all(is_ground(value) for value in row):
+            rows.add(row)
+    return frozenset(rows)
+
+
+def assert_strategies_agree(
+    database: Database,
+    query_source,
+    extra: Sequence[frozenset] = (),
+    oracle: str = "seminaive",
+) -> frozenset:
+    """Assert the planner's answer equals the chosen oracle's (and any
+    ``extra`` answer sets); returns the agreed answers."""
+    from .core.planner import Planner
+
+    query = _query(query_source)
+    planner_rows = frozenset(
+        tuple(row) for row in Planner(database).answer(query)
+    )
+    if oracle == "seminaive":
+        oracle_rows = answers_via_seminaive(database, query)
+    elif oracle == "topdown":
+        oracle_rows = answers_via_topdown(database, query)
+    else:
+        raise ValueError(f"unknown oracle {oracle!r}")
+    assert planner_rows == oracle_rows, (
+        f"planner != {oracle} oracle for {query}: "
+        f"{planner_rows ^ oracle_rows}"
+    )
+    for index, answer_set in enumerate(extra):
+        assert frozenset(answer_set) == oracle_rows, (
+            f"extra answer set #{index} disagrees for {query}"
+        )
+    return oracle_rows
+
+
+def _query(query_source) -> Literal:
+    if isinstance(query_source, Literal):
+        return query_source
+    goals = parse_query(query_source)
+    return goals[0]

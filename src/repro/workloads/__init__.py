@@ -1,0 +1,47 @@
+"""Synthetic workloads: the paper's canonical programs plus seeded
+EDB generators (families for sg/scsg, flight networks for travel,
+random lists for the sorting recursions)."""
+
+from .family import FamilyConfig, family_database, same_country_pairs
+from .graphs import FlightConfig, flight_database, layered_digraph, random_digraph
+from .lists import as_list_term, from_list_term, random_int_list, sorted_copy
+from .programs import (
+    ANCESTOR,
+    APPEND,
+    HANOI,
+    ISORT,
+    NQUEENS,
+    NREV,
+    QSORT,
+    SCSG,
+    SG,
+    TRAVEL,
+    TRAVEL_CONNECTED,
+    load,
+)
+
+__all__ = [
+    "ANCESTOR",
+    "APPEND",
+    "FamilyConfig",
+    "FlightConfig",
+    "HANOI",
+    "ISORT",
+    "NQUEENS",
+    "NREV",
+    "QSORT",
+    "SCSG",
+    "SG",
+    "TRAVEL",
+    "TRAVEL_CONNECTED",
+    "as_list_term",
+    "family_database",
+    "flight_database",
+    "from_list_term",
+    "layered_digraph",
+    "load",
+    "random_digraph",
+    "random_int_list",
+    "same_country_pairs",
+    "sorted_copy",
+]

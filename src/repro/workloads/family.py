@@ -1,0 +1,147 @@
+"""Synthetic family EDBs for the sg / scsg experiments.
+
+The scsg claim (paper Example 1.2) depends on two knobs:
+
+* the **parent fan-out** — the expansion ratio of the strong linkage
+  the chain-split follows;
+* the **country coarseness** — ``same_country`` relates everyone born
+  in the same country, so with P people and C countries its expansion
+  ratio is ≈ P/C: the weak linkage.
+
+:func:`family_database` builds a layered population: ``levels`` layers
+of ``width`` people; each person in layer *l* has ``parents_per_child``
+parents drawn from layer *l+1* (``parent(child, parent)`` — chains
+ascend the ancestry like the paper's examples).  Siblings are pairs in
+the top-ish layer sharing a parent; countries are assigned round-robin.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.database import Database
+from .programs import SCSG, SG
+
+__all__ = ["FamilyConfig", "family_database", "same_country_pairs"]
+
+
+class FamilyConfig:
+    """Parameters of the synthetic population."""
+
+    def __init__(
+        self,
+        levels: int = 5,
+        width: int = 20,
+        parents_per_child: int = 1,
+        countries: int = 4,
+        sibling_fraction: float = 0.5,
+        seed: int = 0,
+        per_level_countries: bool = False,
+        lonely_fraction: float = 0.0,
+    ):
+        if levels < 2:
+            raise ValueError("need at least two levels")
+        if width < 2:
+            raise ValueError("need at least two people per level")
+        if countries < 1:
+            raise ValueError("need at least one country")
+        self.levels = levels
+        self.width = width
+        self.parents_per_child = parents_per_child
+        self.countries = countries
+        self.sibling_fraction = sibling_fraction
+        self.seed = seed
+        # When true, countries never span generations: the
+        # same_country expansion ratio shrinks to ~2 x width /
+        # (2 x countries) per level — the strong-linkage end of the
+        # E2 ratio sweep.
+        self.per_level_countries = per_level_countries
+        # Fraction of each level given a unique country (no
+        # same-country partner at all).  Drives the same_country
+        # expansion ratio below 1: following the linkage then *prunes*
+        # the frontier, which is the regime where chain-following
+        # beats chain-split (the other side of the E2 crossover).
+        if not 0.0 <= lonely_fraction <= 1.0:
+            raise ValueError("lonely_fraction must be in [0, 1]")
+        self.lonely_fraction = lonely_fraction
+
+    @property
+    def population(self) -> int:
+        return self.levels * self.width
+
+    def person(self, level: int, index: int) -> str:
+        return f"p{level}_{index}"
+
+
+def family_database(
+    config: FamilyConfig,
+    program: str = SCSG,
+    materialize_same_country: bool = True,
+) -> Database:
+    """Build the EDB (parent, sibling, same_country) + the program.
+
+    ``same_country`` is materialized as explicit pairs (quadratic in
+    the per-country population) because that is exactly the relation
+    the weak linkage joins through; the blow-up is the point.
+    """
+    rng = random.Random(config.seed)
+    database = Database()
+    database.load_source(program)
+
+    country: Dict[str, int] = {}
+    for level in range(config.levels):
+        for index in range(config.width):
+            person = config.person(level, index)
+            # Pair-aligned assignment: sibling pairs (2k, 2k+1) share a
+            # country, so same-country same-generation relatives exist.
+            # High indexes become 'lonely' (unique country) per the
+            # configured fraction.
+            if index >= config.width * (1.0 - config.lonely_fraction):
+                country[person] = ("solo", level, index)
+                continue
+            key = (index // 2) % config.countries
+            country[person] = (level, key) if config.per_level_countries else key
+
+    # parent(child, parent): ascend one level.
+    for level in range(config.levels - 1):
+        for index in range(config.width):
+            child = config.person(level, index)
+            choices = rng.sample(
+                range(config.width),
+                min(config.parents_per_child, config.width),
+            )
+            for parent_index in choices:
+                database.add_fact(
+                    "parent", (child, config.person(level + 1, parent_index))
+                )
+
+    # Siblings in the second-from-top level: same-index pairs.
+    sibling_level = config.levels - 2
+    pair_count = int(config.width * config.sibling_fraction / 2)
+    for pair in range(pair_count):
+        left = config.person(sibling_level, 2 * pair)
+        right = config.person(sibling_level, 2 * pair + 1)
+        database.add_fact("sibling", (left, right))
+        database.add_fact("sibling", (right, left))
+
+    if materialize_same_country:
+        for a, ca in country.items():
+            for b, cb in country.items():
+                if a != b and ca == cb:
+                    database.add_fact("same_country", (a, b))
+    return database
+
+
+def same_country_pairs(config: FamilyConfig) -> int:
+    """Expected size of the materialized same_country relation."""
+    per_country: Dict[object, int] = {}
+    for level in range(config.levels):
+        for index in range(config.width):
+            if index >= config.width * (1.0 - config.lonely_fraction):
+                continue  # unique country: contributes no pairs
+            key = (index // 2) % config.countries
+            if config.per_level_countries:
+                key = (level, key)
+            per_country[key] = per_country.get(key, 0) + 1
+    return sum(n * (n - 1) for n in per_country.values())

@@ -1,0 +1,133 @@
+"""Flight networks and plain digraphs for the travel / TC experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.database import Database
+from ..engine.relation import Relation
+from .programs import TRAVEL
+
+__all__ = [
+    "FlightConfig",
+    "flight_database",
+    "random_digraph",
+    "layered_digraph",
+]
+
+
+class FlightConfig:
+    """Parameters of the synthetic flight network.
+
+    ``extra_flights`` beyond the spanning backbone introduce cycles
+    (return flights), which is what makes unconstrained evaluation
+    diverge and constraint pushing necessary for termination.
+    """
+
+    def __init__(
+        self,
+        airports: int = 12,
+        extra_flights: int = 24,
+        min_fare: int = 50,
+        max_fare: int = 400,
+        seed: int = 0,
+    ):
+        if airports < 2:
+            raise ValueError("need at least two airports")
+        if min_fare <= 0 or max_fare < min_fare:
+            raise ValueError("fares must be positive with min <= max")
+        self.airports = airports
+        self.extra_flights = extra_flights
+        self.min_fare = min_fare
+        self.max_fare = max_fare
+        self.seed = seed
+
+    def airport(self, index: int) -> str:
+        return f"city{index}"
+
+
+def flight_database(config: FlightConfig, program: str = TRAVEL) -> Database:
+    """Build flight facts + the travel program.
+
+    Flights: a backbone path ``city0 -> city1 -> ... -> cityN-1`` (so a
+    route always exists) plus ``extra_flights`` random directed edges,
+    including back-edges that create cycles.  Fares are uniform in
+    [min_fare, max_fare]; times are synthetic but consistent (arrival
+    after departure).
+    """
+    rng = random.Random(config.seed)
+    database = Database()
+    database.load_source(program)
+    flight_number = 0
+
+    def add_flight(src: int, dst: int) -> None:
+        nonlocal flight_number
+        flight_number += 1
+        departure_time = rng.randrange(600, 2000, 5)
+        duration = rng.randrange(60, 300, 5)
+        fare = rng.randint(config.min_fare, config.max_fare)
+        database.add_fact(
+            "flight",
+            (
+                f"f{flight_number}",
+                config.airport(src),
+                departure_time,
+                config.airport(dst),
+                departure_time + duration,
+                fare,
+            ),
+        )
+
+    for i in range(config.airports - 1):
+        add_flight(i, i + 1)
+    for _ in range(config.extra_flights):
+        src = rng.randrange(config.airports)
+        dst = rng.randrange(config.airports)
+        if src != dst:
+            add_flight(src, dst)
+    return database
+
+
+def random_digraph(
+    nodes: int, edges: int, seed: int = 0, name: str = "edge"
+) -> Relation:
+    """A uniform random digraph as a binary relation (no self-loops)."""
+    rng = random.Random(seed)
+    relation = Relation(name, 2)
+    attempts = 0
+    while len(relation) < edges and attempts < edges * 20:
+        attempts += 1
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a != b:
+            relation.add(
+                (_node(a), _node(b))
+            )
+    return relation
+
+
+def layered_digraph(
+    layers: int, width: int, fanout: int, seed: int = 0, name: str = "edge"
+) -> Relation:
+    """An acyclic layered digraph: each node points to ``fanout``
+    random nodes of the next layer.  Diameter = ``layers - 1``."""
+    rng = random.Random(seed)
+    relation = Relation(name, 2)
+    for layer in range(layers - 1):
+        for index in range(width):
+            targets = rng.sample(range(width), min(fanout, width))
+            for target in targets:
+                relation.add(
+                    (
+                        _node(layer * width + index),
+                        _node((layer + 1) * width + target),
+                    )
+                )
+    return relation
+
+
+def _node(index: int):
+    from ..engine.relation import wrap_term
+
+    return wrap_term(f"n{index}")

@@ -1,0 +1,50 @@
+"""List workloads for the functional-recursion experiments
+(append / isort / qsort)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..datalog.terms import Const, Term, list_to_python, make_list
+
+__all__ = [
+    "random_int_list",
+    "as_list_term",
+    "from_list_term",
+    "sorted_copy",
+]
+
+
+def random_int_list(length: int, seed: int = 0, low: int = 0, high: int = 10_000) -> List[int]:
+    """A reproducible random integer list (duplicates allowed)."""
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for _ in range(length)]
+
+
+def as_list_term(values: Sequence[object]) -> Term:
+    """Wrap Python values as a ground list term."""
+    return make_list([_const(v) for v in values])
+
+
+def from_list_term(term: Term) -> List[object]:
+    """Unwrap a ground list term back to Python values."""
+    values = []
+    for element in list_to_python(term):
+        if not isinstance(element, Const):
+            raise ValueError(f"non-constant list element {element}")
+        values.append(element.value)
+    return values
+
+
+def sorted_copy(values: Sequence[object]) -> List[object]:
+    """The oracle the sorting programs are checked against."""
+    return sorted(values)
+
+
+def _const(value: object) -> Const:
+    if isinstance(value, Const):
+        return value
+    if isinstance(value, (str, int, float, bool)):
+        return Const(value)
+    raise TypeError(f"cannot wrap {value!r}")

@@ -1,0 +1,143 @@
+"""The paper's canonical programs, in surface syntax.
+
+Every worked example of the paper is available here as parse-ready
+source text plus a loader that returns a :class:`Database` with the
+rules installed (facts are supplied by the workload generators).
+"""
+
+from __future__ import annotations
+
+from ..engine.database import Database
+
+__all__ = [
+    "HANOI",
+    "NREV",
+    "SG",
+    "SCSG",
+    "ANCESTOR",
+    "APPEND",
+    "ISORT",
+    "QSORT",
+    "TRAVEL",
+    "TRAVEL_CONNECTED",
+    "NQUEENS",
+    "load",
+]
+
+#: Same-generation (paper rules 1.1, 1.2).
+SG = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+"""
+
+#: Same-country same-generation (paper rules 1.5-1.7): the parents of
+#: each pair must be born in the same country — the weak linkage
+#: ``same_country`` is what chain-split severs.
+SCSG = """
+scsg(X, Y) :- sibling(X, Y).
+scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1), scsg(X1, Y1).
+"""
+
+#: Plain ancestor: the textbook single-chain recursion.
+ANCESTOR = """
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+"""
+
+#: List append (paper rules 1.13, 1.14; rectified to 1.15, 1.16).
+APPEND = """
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+"""
+
+#: Insertion sort (paper rules 4.1-4.5): a nested linear recursion —
+#: ``insert`` in the recursive body is itself linear-recursive.
+ISORT = """
+isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+isort([], []).
+insert(X, [], [X]).
+insert(X, [Y|Ys], [Y|Zs]) :- X > Y, insert(X, Ys, Zs).
+insert(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+"""
+
+#: Quick sort (paper rules 4.16-4.30): a nonlinear recursion.
+QSORT = """
+qsort([X|Xs], Ys) :- partition(Xs, X, Littles, Bigs), qsort(Littles, Ls),
+                     qsort(Bigs, Bs), append(Ls, [X|Bs], Ys).
+qsort([], []).
+partition([X|Xs], Y, Ls, [X|Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+partition([X|Xs], Y, [X|Ls], Bs) :- X =< Y, partition(Xs, Y, Ls, Bs).
+partition([], Y, [], []).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+"""
+
+#: Trip planning (paper §3.3): a functional single-chain recursion
+#: whose delayed portion accumulates the route list and the total fare
+#: — the monotone quantities constraint pushing exploits.
+#: flight(FlightNo, Departure, DepTime, Arrival, ArrTime, Fare).
+TRAVEL = """
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A1, AT1, F1),
+                              travel(L1, A1, DT1, A, AT, F2),
+                              sum(F1, F2, F), cons(Fno, L1, L).
+"""
+
+#: Travel with a connection-time check (``DT1 >= AT1``): the check
+#: needs the sub-trip's departure time, so the delayed portion is no
+#: longer pure accumulators — the planner falls back from partial to
+#: buffered chain-split evaluation on this variant.
+TRAVEL_CONNECTED = """
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A1, AT1, F1),
+                              travel(L1, A1, DT1, A, AT, F2), DT1 >= AT1,
+                              sum(F1, F2, F), cons(Fno, L1, L).
+"""
+
+#: Naive reverse — the classic logic-programming benchmark (LIPS).
+#: A nested linear recursion: the recursive rule calls ``append``,
+#: itself a linear functional recursion, so evaluation composes two
+#: chain-splits exactly like ``isort``/``insert`` (paper §4.1).
+NREV = """
+nrev([], []).
+nrev([X|Xs], R) :- nrev(Xs, R1), append(R1, [X], R).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+"""
+
+#: Towers of Hanoi: a nonlinear functional recursion producing the
+#: move list — evaluated top-down with deferred selection, like qsort.
+HANOI = """
+hanoi(N, Moves) :- transfer(N, left, right, middle, Moves).
+transfer(0, _, _, _, []).
+transfer(N, From, To, Via, Moves) :-
+    N > 0, N1 is N - 1,
+    transfer(N1, From, Via, To, Before),
+    transfer(N1, Via, To, From, After),
+    append(Before, [move(From, To) | After], Moves).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+"""
+
+#: N-queens (one of the LogicBase validation programs, §5).
+NQUEENS = """
+queens(N, Qs) :- rangelist(1, N, Ns), place(Ns, [], Qs).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :- selectq(Unplaced, Rest, Q), \\+ attack(Q, Safe),
+                             place(Rest, [Q|Safe], Qs).
+selectq([X|Xs], Xs, X).
+selectq([Y|Ys], [Y|Zs], X) :- selectq(Ys, Zs, X).
+attack(X, Xs) :- attack_at(X, 1, Xs).
+attack_at(X, N, [Y|_]) :- X is Y + N.
+attack_at(X, N, [Y|_]) :- X is Y - N.
+attack_at(X, N, [_|Ys]) :- N1 is N + 1, attack_at(X, N1, Ys).
+rangelist(N, N, [N]).
+rangelist(M, N, [M|Ns]) :- M < N, M1 is M + 1, rangelist(M1, N, Ns).
+"""
+
+
+def load(source: str) -> Database:
+    """A fresh database with ``source`` loaded (rules + any facts)."""
+    database = Database()
+    database.load_source(source)
+    return database

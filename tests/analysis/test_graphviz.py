@@ -1,0 +1,100 @@
+"""Unit tests for the DOT exporters."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_program
+from repro.engine.database import Database
+from repro.engine.proofs import ProofTracer
+from repro.analysis.graphviz import chain_to_dot, program_to_dot, proof_to_dot
+from repro.analysis.finiteness import split_path
+from repro.analysis.normalize import normalize
+from repro.workloads import APPEND, SCSG, SG
+
+
+class TestProgramToDot:
+    def test_basic_structure(self):
+        program = parse_program(SG)
+        dot = program_to_dot(program)
+        assert dot.startswith("digraph dependencies {")
+        assert dot.endswith("}")
+        assert '"sg/2"' in dot
+        assert '"parent/2"' in dot
+        assert '"sg/2" -> "parent/2"' in dot
+
+    def test_recursive_predicate_doubled(self):
+        dot = program_to_dot(parse_program(SG))
+        assert 'peripheries=2' in dot
+
+    def test_edb_boxes(self):
+        dot = program_to_dot(parse_program(SG))
+        # parent is EDB -> box shape.
+        assert '"parent/2" [shape=box]' in dot or 'shape=box' in dot
+
+    def test_negation_dashed(self):
+        program = parse_program(
+            """
+            ok(X) :- cand(X), \\+ bad(X).
+            bad(X) :- flaw(X).
+            """
+        )
+        dot = program_to_dot(program)
+        assert "[style=dashed]" in dot
+
+    def test_duplicate_edges_merged(self):
+        program = parse_program(
+            """
+            p(X) :- q(X), q(X).
+            """
+        )
+        dot = program_to_dot(program)
+        assert dot.count('"p/1" -> "q/1"') == 1
+
+
+class TestChainToDot:
+    def test_scsg_chain(self):
+        _, compiled = normalize(parse_program(SCSG), Predicate("scsg", 2))
+        dot = chain_to_dot(compiled)
+        assert "scsg/2 (head)" in dot
+        assert "same_country" in dot
+
+    def test_split_coloring(self):
+        _, compiled = normalize(parse_program(APPEND), Predicate("append", 3))
+        chain = compiled.generating_chains()[0]
+        bound = {compiled.head_args[0].name, compiled.head_args[1].name}
+        split = split_path(chain, bound, compiled.recursive_literal)
+        dot = chain_to_dot(compiled, split)
+        assert "palegreen" in dot  # evaluable portion
+        assert "orange" in dot  # delayed portion
+
+    def test_valid_digraph(self):
+        _, compiled = normalize(parse_program(SG), Predicate("sg", 2))
+        dot = chain_to_dot(compiled)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestProofToDot:
+    def test_proof_tree(self):
+        db = Database()
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        db.add_fact("parent", ("a", "b"))
+        db.add_fact("parent", ("b", "c"))
+        tracer = ProofTracer(db)
+        ((_, forest),) = list(tracer.prove("anc(a, c)"))
+        dot = proof_to_dot(forest[0])
+        assert "anc(a, c)" in dot
+        assert "palegreen" in dot  # fact leaves
+        assert dot.count("->") == forest[0].size() - 1
+
+    def test_escaping(self):
+        db = Database()
+        db.add_fact("said", ('he "quoted" me',))
+        tracer = ProofTracer(db)
+        proofs = list(tracer.prove('said(X)'))
+        dot = proof_to_dot(proofs[0][1][0])
+        assert '\\"quoted\\"' in dot

@@ -1,0 +1,101 @@
+"""Unit tests for the cost-based (System-R style) join orderer."""
+
+import pytest
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.terms import Var
+from repro.engine.builtins import default_registry
+from repro.engine.database import Database
+from repro.engine.joins import UnsafeRuleError, evaluate_body, order_body
+from repro.analysis.joinorder import CostBasedOrderer
+
+
+def make_db():
+    db = Database()
+    # big: 100 rows fanning out 10 per key; small: 10 rows, 1 per key.
+    for key in range(10):
+        for target in range(10):
+            db.add_fact("big", (key, f"b{key}_{target}"))
+    for key in range(10):
+        db.add_fact("small", (key, f"s{key}"))
+    return db
+
+
+class TestOrdering:
+    def test_orders_selective_first(self):
+        """With X bound, small (fanout 1) should precede big (fanout
+        10)."""
+        db = make_db()
+        rule = parse_rule("q(X, B, S) :- big(X, B), small(X, S).")
+        orderer = CostBasedOrderer(db)
+        ordered = orderer.order(rule.body, initially_bound={"X"})
+        assert [lit.name for _, lit in ordered] == ["small", "big"]
+
+    def test_avoids_cross_product(self):
+        """With nothing bound, starting from small (card 10) then big
+        through the shared key beats starting from big (card 100)."""
+        db = make_db()
+        rule = parse_rule("q(X, B, S) :- big(X, B), small(X, S).")
+        orderer = CostBasedOrderer(db)
+        ordered = orderer.order(rule.body)
+        assert ordered[0][1].name == "small"
+
+    def test_builtins_deferred(self):
+        db = make_db()
+        rule = parse_rule("q(X, S, Y) :- Y is X + 1, small(X, S).")
+        orderer = CostBasedOrderer(db)
+        ordered = orderer.order(rule.body)
+        assert [lit.name for _, lit in ordered] == ["small", "is"]
+
+    def test_negation_last(self):
+        db = make_db()
+        db.add_fact("banned", (3,))
+        rule = parse_rule("q(X, S) :- \\+ banned(X), small(X, S).")
+        ordered = CostBasedOrderer(db).order(rule.body)
+        assert [lit.name for _, lit in ordered] == ["small", "banned"]
+
+    def test_indexes_preserved(self):
+        db = make_db()
+        rule = parse_rule("q(X, B, S) :- big(X, B), small(X, S).")
+        ordered = CostBasedOrderer(db).order(rule.body, initially_bound={"X"})
+        assert sorted(index for index, _ in ordered) == [0, 1]
+
+    def test_falls_back_to_greedy_on_long_bodies(self):
+        db = make_db()
+        body = [Literal("small", (Var(f"X{i}"), Var(f"Y{i}"))) for i in range(10)]
+        orderer = CostBasedOrderer(db, max_dp_literals=4)
+        ordered = orderer.order(body)
+        assert len(ordered) == 10
+
+    def test_unsafe_body_raises_via_greedy(self):
+        db = make_db()
+        rule = parse_rule("q(X) :- X < 3.")
+        with pytest.raises(UnsafeRuleError):
+            CostBasedOrderer(db).order(rule.body)
+
+
+class TestCostOrderedEvaluation:
+    def test_same_answers_less_work(self):
+        """Evaluating with the cost-based order gives identical results
+        to the greedy order, with no more intermediate tuples."""
+        from repro.engine.counters import Counters
+
+        db = make_db()
+        registry = default_registry()
+        rule = parse_rule("q(B, S) :- big(X, B), small(X, S), X == 3.")
+        greedy = order_body(rule.body, registry)
+        smart = CostBasedOrderer(db).order(rule.body)
+
+        def run(ordered):
+            counters = Counters()
+            rows = {
+                tuple(str(s.get(v.name)) for v in rule.head.variables())
+                for s in evaluate_body(ordered, db.get, registry, {}, counters)
+            }
+            return rows, counters.intermediate_tuples
+
+        greedy_rows, greedy_work = run(greedy)
+        smart_rows, smart_work = run(smart)
+        assert greedy_rows == smart_rows
+        assert smart_work <= greedy_work

@@ -1,0 +1,146 @@
+"""Unit tests for rectification (function-symbol elimination)."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.terms import Const, Struct, Var
+from repro.analysis.rectify import (
+    is_rectified,
+    rectify_program,
+    rectify_rule,
+)
+
+
+class TestRectifyRule:
+    def test_plain_rule_unchanged_shape(self):
+        rule = parse_rule("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        rectified = rectify_rule(rule)
+        assert is_rectified(rectified)
+        assert rectified.head.name == "anc"
+        assert len(rectified.body) == 2
+
+    def test_list_head_becomes_cons(self):
+        # Paper: append([X|L1], L2, [X|L3]) :- ... becomes the
+        # rectified rule 1.16 with two cons literals.
+        rule = parse_rule("append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+        rectified = rectify_rule(rule)
+        assert is_rectified(rectified)
+        cons_literals = [l for l in rectified.body if l.name == "cons"]
+        assert len(cons_literals) == 2
+        # Head is all distinct variables.
+        assert all(isinstance(a, Var) for a in rectified.head.args)
+
+    def test_constant_head_argument(self):
+        rule = parse_rule("p(a, X) :- q(X).")
+        rectified = rectify_rule(rule)
+        assert is_rectified(rectified)
+        equalities = [l for l in rectified.body if l.name == "="]
+        assert len(equalities) == 1
+        assert equalities[0].args[1] == Const("a")
+
+    def test_repeated_head_variable(self):
+        rule = parse_rule("eq(X, X).")
+        rectified = rectify_rule(rule)
+        assert is_rectified(rectified)
+        assert rectified.head.args[0] != rectified.head.args[1]
+        assert any(l.name == "=" for l in rectified.body)
+
+    def test_nested_structures_flattened_innermost_first(self):
+        # Nested *known* functors: the inner list is produced before
+        # the outer one.
+        rule = parse_rule("p(X) :- q([[X]]).")
+        rectified = rectify_rule(rule)
+        names = [l.name for l in rectified.body]
+        assert names.count("cons") == 2
+        assert names[-1] == "q"
+        # Inner cons produces the argument of the outer cons.
+        inner, outer = [l for l in rectified.body if l.name == "cons"]
+        assert outer.args[0] == inner.args[2]
+
+    def test_uninterpreted_constructors_stay_inline(self):
+        # move/2 has no evaluable functional predicate: it must not be
+        # flattened into a phantom move/3 literal.
+        rule = parse_rule("p(From, To) :- q(move(From, To)).")
+        rectified = rectify_rule(rule)
+        assert [l.name for l in rectified.body] == ["q"]
+        assert is_rectified(rectified)
+
+    def test_known_functor_inside_constructor_flattened(self):
+        # The list inside the constructor is still flattened.
+        rule = parse_rule("p(X) :- q(wrap([X])).")
+        rectified = rectify_rule(rule)
+        names = [l.name for l in rectified.body]
+        assert "cons" in names
+        assert "wrap" not in names  # no phantom wrap/2 literal
+
+    def test_constructor_in_head(self):
+        rule = parse_rule("p(move(A, B)) :- q(A, B).")
+        rectified = rectify_rule(rule)
+        assert is_rectified(rectified)
+        equalities = [l for l in rectified.body if l.name == "="]
+        assert len(equalities) == 1
+        assert str(equalities[0].args[1]) == "move(A, B)"
+
+    def test_arithmetic_functor_mapping(self):
+        rule = parse_rule("p(X, Y) :- q(X + 1, Y).")
+        rectified = rectify_rule(rule)
+        assert any(l.name == "plus" for l in rectified.body)
+
+    def test_is_rhs_left_alone(self):
+        rule = parse_rule("p(X, Y) :- Y is X + 1.")
+        rectified = rectify_rule(rule)
+        is_literal = [l for l in rectified.body if l.name == "is"][0]
+        assert isinstance(is_literal.args[1], Struct)
+
+    def test_idempotent(self):
+        rule = parse_rule("append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+        once = rectify_rule(rule)
+        twice = rectify_rule(once)
+        assert is_rectified(twice)
+        assert len(twice.body) == len(once.body)
+
+    def test_ground_list_fact(self):
+        rule = parse_rule("start([1, 2]).")
+        rectified = rectify_rule(rule)
+        assert is_rectified(rectified)
+        cons_literals = [l for l in rectified.body if l.name == "cons"]
+        assert len(cons_literals) == 2
+
+
+class TestRectifyProgram:
+    def test_append_full(self):
+        program = parse_program(
+            """
+            append([], L, L).
+            append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+            """
+        )
+        rectified = rectify_program(program)
+        assert all(is_rectified(rule) for rule in rectified)
+        assert len(rectified) == 2
+
+    def test_fresh_variables_do_not_collide(self):
+        program = parse_program(
+            """
+            p([X|Xs]) :- q(Xs).
+            r([Y|Ys]) :- s(Ys).
+            """
+        )
+        rectified = rectify_program(program)
+        all_vars = set()
+        for rule in rectified:
+            names = {v.name for v in rule.variables() if v.name.startswith("_F")}
+            assert not (names & all_vars), "fresh variables shared across rules"
+            all_vars |= names
+
+
+class TestIsRectified:
+    def test_detects_compound_args(self):
+        assert not is_rectified(parse_rule("p([X|Xs])."))
+
+    def test_detects_duplicate_head_vars(self):
+        assert not is_rectified(parse_rule("p(X, X) :- q(X)."))
+
+    def test_accepts_rectified(self):
+        assert is_rectified(parse_rule("p(X, Y) :- cons(H, T, X), q(Y)."))

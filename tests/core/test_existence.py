@@ -1,0 +1,95 @@
+"""Unit tests for existence checking (early termination)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.core.existence import ExistenceChecker
+from repro.core.magic import MagicSetsEvaluator
+from repro.datalog.parser import parse_query
+from repro.workloads import APPEND, ISORT, SG, load
+
+
+def chain_db(n):
+    db = Database()
+    db.load_source(
+        """
+        anc(X, Y) :- parent(X, Y).
+        anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        """
+    )
+    for i in range(n):
+        db.add_fact("parent", (f"n{i}", f"n{i+1}"))
+    return db
+
+
+class TestTopDownExistence:
+    def test_positive(self):
+        checker = ExistenceChecker(chain_db(10))
+        found, _ = checker.exists_top_down("anc(n0, n7)")
+        assert found
+
+    def test_negative(self):
+        checker = ExistenceChecker(chain_db(10))
+        found, _ = checker.exists_top_down("anc(n7, n0)")
+        assert not found
+
+    def test_with_constraints(self):
+        db = Database()
+        db.load_source("val(X) :- base(X).")
+        db.add_fact("base", (5,))
+        checker = ExistenceChecker(db)
+        assert checker.exists("val(X), X > 4")
+        assert not checker.exists("val(X), X > 5")
+
+    def test_functional_program(self):
+        checker = ExistenceChecker(load(APPEND))
+        assert checker.exists("append([1], [2], [1,2])")
+        assert not checker.exists("append([1], [2], [2,1])")
+
+    def test_isort_boolean(self):
+        checker = ExistenceChecker(load(ISORT))
+        assert checker.exists("isort([3,1,2], [1,2,3])")
+        assert not checker.exists("isort([3,1,2], [3,1,2])")
+
+
+class TestBottomUpExistence:
+    def test_positive(self):
+        checker = ExistenceChecker(chain_db(10))
+        found, _ = checker.exists_bottom_up("anc(n0, n3)")
+        assert found
+
+    def test_negative(self):
+        checker = ExistenceChecker(chain_db(10))
+        found, _ = checker.exists_bottom_up("anc(n3, n0)")
+        assert not found
+
+    def test_early_exit_saves_work(self):
+        """A nearby witness stops the fixpoint before the whole chain
+        is explored."""
+        db = chain_db(60)
+        checker = ExistenceChecker(db)
+        _, early = checker.exists_bottom_up("anc(n0, n1)")
+        # Full evaluation of the same rewritten program.
+        query = parse_query("anc(n0, Y)")[0]
+        _, full, _ = MagicSetsEvaluator(db).evaluate(query)
+        assert early.total_work < full.total_work
+
+    def test_negative_costs_full_fixpoint(self):
+        db = chain_db(20)
+        checker = ExistenceChecker(db)
+        found, counters = checker.exists_bottom_up("anc(n0, nowhere)")
+        assert not found
+        assert counters.iterations > 10  # ran to the end
+
+    def test_multiple_goals_rejected(self):
+        checker = ExistenceChecker(chain_db(3))
+        with pytest.raises(ValueError):
+            checker.exists_bottom_up("anc(n0, Y), Y == n1")
+
+    def test_agrees_with_top_down(self):
+        db = chain_db(12)
+        checker = ExistenceChecker(db)
+        for goal in ["anc(n0, n12)", "anc(n5, n2)", "anc(n3, n11)"]:
+            td, _ = checker.exists_top_down(goal)
+            bu, _ = checker.exists_bottom_up(goal)
+            assert td == bu, goal

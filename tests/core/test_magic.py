@@ -1,0 +1,338 @@
+"""Unit tests for the magic-sets transformation (classic and
+chain-split, Algorithm 3.1)."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+from repro.engine.seminaive import SemiNaiveEvaluator
+from repro.core.magic import (
+    MAGIC_PREFIX,
+    MagicSetsEvaluator,
+    magic_transform,
+)
+from repro.workloads import SCSG, SG, FamilyConfig, family_database
+
+
+def sg_db():
+    db = Database()
+    db.load_source(SG)
+    for pair in [("a", "b"), ("b", "c"), ("d", "e"), ("e", "f"), ("g", "c"), ("h", "f")]:
+        db.add_fact("parent", pair)
+    db.add_fact("sibling", ("c", "f"))
+    db.add_fact("sibling", ("b", "e"))
+    return db
+
+
+class TestTransform:
+    def test_sg_rewrite_shape(self):
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        magic = magic_transform(db.program, query)
+        heads = {str(r.head.predicate) for r in magic.program}
+        assert "sg__bf/2" in heads
+        assert "magic_sg__bf/1" in heads
+        # Seed fact present.
+        seeds = [r for r in magic.program if r.is_fact()]
+        assert len(seeds) == 1
+        assert seeds[0].head.name == "magic_sg__bf"
+
+    def test_answer_rules_guarded(self):
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        magic = magic_transform(db.program, query)
+        for rule in magic.program:
+            if rule.head.name == "sg__bf" and rule.body:
+                assert rule.body[0].name.startswith(MAGIC_PREFIX)
+
+    def test_all_free_query(self):
+        db = sg_db()
+        query = parse_query("sg(X, Y)")[0]
+        magic = magic_transform(db.program, query)
+        # Nullary magic predicate seeds the computation.
+        assert magic.seed_predicate.arity == 0
+
+    def test_magic_predicates_listed(self):
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        magic = magic_transform(db.program, query)
+        names = {p.name for p in magic.magic_predicates()}
+        assert names == {"magic_sg__bf"}
+
+
+class TestEvaluation:
+    def test_sg_answers_match_seminaive(self):
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        expected = {
+            row for row in full.relation("sg", 2) if row[0].value == "a"
+        }
+        assert answers.rows() == expected
+
+    def test_magic_restricts_computation(self):
+        """The point of magic sets: facts irrelevant to the query are
+        never derived.  A large disconnected family contributes nothing
+        to sg(x0, Y), so the magic evaluation skips it while the full
+        bottom-up evaluation pays for it."""
+        db = Database()
+        db.load_source(SG)
+        for i in range(5):
+            db.add_fact("parent", (f"x{i}", f"x{i+1}"))
+        db.add_fact("sibling", ("x4", "x5"))
+        # Disconnected community: many sibling pairs and parents.
+        for i in range(60):
+            db.add_fact("parent", (f"z{i}", f"zp{i % 6}"))
+        for i in range(0, 60, 2):
+            db.add_fact("sibling", (f"z{i}", f"z{i+1}"))
+        query = parse_query("sg(x0, Y)")[0]
+        _, magic_counters, _ = MagicSetsEvaluator(db).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        assert magic_counters.derived_tuples < full.counters.derived_tuples
+
+    def test_all_free_query_equals_full_evaluation(self):
+        db = sg_db()
+        query = parse_query("sg(X, Y)")[0]
+        answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        assert answers.rows() == full.relation("sg", 2).rows()
+
+    def test_second_argument_bound(self):
+        db = sg_db()
+        query = parse_query("sg(X, d)")[0]
+        answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        expected = {row for row in full.relation("sg", 2) if row[1].value == "d"}
+        assert answers.rows() == expected
+
+    def test_magic_set_sizes_exposed(self):
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        sizes = MagicSetsEvaluator(db).magic_set_sizes(query)
+        assert sizes["magic_sg__bf/1"] == 3  # a, b, c
+
+    def test_negation_in_rewritten_program(self):
+        db = Database()
+        db.load_source(
+            """
+            ok(X) :- cand(X), \\+ bad(X).
+            bad(X) :- flaw(X).
+            """
+        )
+        db.add_fact("cand", (1,))
+        db.add_fact("cand", (2,))
+        db.add_fact("flaw", (2,))
+        query = parse_query("ok(X)")[0]
+        answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        assert {row[0].value for row in answers} == {1}
+
+
+class TestChainSplitMagic:
+    def test_scsg_rewrites_differ(self):
+        db = family_database(FamilyConfig(levels=4, width=8, countries=2, seed=0))
+        query = parse_query("scsg(p0_0, Y)")[0]
+        classic = MagicSetsEvaluator(db).rewrite(query)
+        split = MagicSetsEvaluator(db, chain_split=True).rewrite(query)
+        classic_magic = {str(p) for p in classic.magic_predicates()}
+        split_magic = {str(p) for p in split.magic_predicates()}
+        # Classic propagates into the binary bb adornment; chain-split
+        # keeps the unary bf magic set (paper §3.1).
+        assert "magic_scsg__bb/2" in classic_magic
+        assert split_magic == {"magic_scsg__bf/1"}
+
+    def test_scsg_answers_agree(self):
+        for seed in range(3):
+            db = family_database(
+                FamilyConfig(
+                    levels=4, width=8, countries=2, parents_per_child=2, seed=seed
+                )
+            )
+            query = parse_query("scsg(p0_0, Y)")[0]
+            classic_answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+            split_answers, _, _ = MagicSetsEvaluator(db, chain_split=True).evaluate(
+                query
+            )
+            assert classic_answers.rows() == split_answers.rows()
+
+    def test_scsg_split_magic_smaller(self):
+        db = family_database(
+            FamilyConfig(levels=5, width=12, countries=2, parents_per_child=2, seed=0)
+        )
+        query = parse_query("scsg(p0_0, Y)")[0]
+        classic_sizes = MagicSetsEvaluator(db).magic_set_sizes(query)
+        split_sizes = MagicSetsEvaluator(db, chain_split=True).magic_set_sizes(query)
+        assert sum(split_sizes.values()) < sum(classic_sizes.values())
+
+    def test_scsg_split_less_work(self):
+        db = family_database(
+            FamilyConfig(levels=5, width=12, countries=2, parents_per_child=2, seed=0)
+        )
+        query = parse_query("scsg(p0_0, Y)")[0]
+        _, classic_counters, _ = MagicSetsEvaluator(db).evaluate(query)
+        _, split_counters, _ = MagicSetsEvaluator(db, chain_split=True).evaluate(query)
+        assert split_counters.total_work < classic_counters.total_work
+
+    def test_sg_unaffected_by_chain_split(self):
+        """sg has no weak linkage: the chain-split rewrite degenerates
+        to the classic one and answers are identical."""
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        classic_answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        split_answers, _, _ = MagicSetsEvaluator(db, chain_split=True).evaluate(query)
+        assert classic_answers.rows() == split_answers.rows()
+
+
+class TestSupplementaryMagic:
+    """Supplementary predicates materialize each rule's propagated
+    prefix once, shared by the magic and answer rules."""
+
+    def test_sup_predicates_present(self):
+        db = sg_db()
+        query = parse_query("sg(a, Y)")[0]
+        magic = MagicSetsEvaluator(db, supplementary=True).rewrite(query)
+        heads = {r.head.name for r in magic.program}
+        assert any(name.startswith("sup_sg") for name in heads)
+
+    def test_answers_equal_plain(self):
+        db = sg_db()
+        for source in ["sg(a, Y)", "sg(X, d)", "sg(X, Y)"]:
+            query = parse_query(source)[0]
+            plain, _, _ = MagicSetsEvaluator(db).evaluate(query)
+            sup, _, _ = MagicSetsEvaluator(db, supplementary=True).evaluate(query)
+            assert plain.rows() == sup.rows(), source
+
+    def test_scsg_all_variants_agree(self):
+        for seed in range(3):
+            db = family_database(
+                FamilyConfig(
+                    levels=4, width=8, countries=2, parents_per_child=2, seed=seed
+                )
+            )
+            query = parse_query("scsg(p0_1, Y)")[0]
+            variants = [
+                MagicSetsEvaluator(db),
+                MagicSetsEvaluator(db, supplementary=True),
+                MagicSetsEvaluator(db, chain_split=True),
+                MagicSetsEvaluator(db, chain_split=True, supplementary=True),
+            ]
+            answer_sets = [v.evaluate(query)[0].rows() for v in variants]
+            assert all(a == answer_sets[0] for a in answer_sets), seed
+
+    def test_sup_split_wins_on_scsg(self):
+        db = family_database(
+            FamilyConfig(levels=5, width=12, countries=2, parents_per_child=2, seed=7)
+        )
+        query = parse_query("scsg(p0_0, Y)")[0]
+        _, plain_counters, _ = MagicSetsEvaluator(db).evaluate(query)
+        _, sup_split_counters, _ = MagicSetsEvaluator(
+            db, chain_split=True, supplementary=True
+        ).evaluate(query)
+        assert sup_split_counters.total_work * 10 < plain_counters.total_work
+
+    def test_delayed_vars_survive_sup_chain(self):
+        """Regression: delayed literals' variables must be carried
+        through the sup chain or the answer rule degenerates to a
+        cross product (soundness bug caught during development)."""
+        db = family_database(
+            FamilyConfig(levels=4, width=8, countries=2, parents_per_child=2, seed=0)
+        )
+        query = parse_query("scsg(p0_0, Y)")[0]
+        classic, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        sup_split, _, _ = MagicSetsEvaluator(
+            db, chain_split=True, supplementary=True
+        ).evaluate(query)
+        assert classic.rows() == sup_split.rows()
+
+    def test_negation_with_supplementary(self):
+        db = Database()
+        db.load_source(
+            """
+            ok(X) :- cand(X), \\+ bad(X).
+            bad(X) :- flaw(X).
+            """
+        )
+        db.add_fact("cand", (1,))
+        db.add_fact("cand", (2,))
+        db.add_fact("flaw", (2,))
+        query = parse_query("ok(X)")[0]
+        answers, _, _ = MagicSetsEvaluator(db, supplementary=True).evaluate(query)
+        assert {row[0].value for row in answers} == {1}
+
+
+class TestFunctionalMagic:
+    """Magic sets on functional recursions: the finiteness-aware
+    adornment (a non-evaluable cons never propagates) makes the
+    bottom-up rewriting evaluate append/isort/nrev — the unified
+    framework of paper §3.1 applied beyond Datalog."""
+
+    @staticmethod
+    def rectified(source):
+        from repro.analysis.normalize import NormalizedProgram
+        from repro.workloads import load
+
+        db = load(source)
+        normalized = NormalizedProgram(db.program)
+        rect_db = Database()
+        rect_db.program = normalized.program
+        rect_db.relations = db.relations
+        return rect_db
+
+    def test_append_bbf(self):
+        from repro.workloads import APPEND, from_list_term
+
+        rect_db = self.rectified(APPEND)
+        query = parse_query("append([1,2], [3], W)")[0]
+        answers, _, _ = MagicSetsEvaluator(rect_db).evaluate(query)
+        assert [from_list_term(r[2]) for r in answers] == [[1, 2, 3]]
+
+    def test_append_magic_set_linear_in_input(self):
+        from repro.workloads import APPEND
+
+        rect_db = self.rectified(APPEND)
+        query = parse_query("append([1,2,3,4,5], [6], W)")[0]
+        sizes = MagicSetsEvaluator(rect_db).magic_set_sizes(query)
+        # One magic tuple per suffix of the first list: n + 1.
+        assert sum(sizes.values()) == 6
+
+    def test_isort_nested_functional(self):
+        from repro.workloads import ISORT, from_list_term
+
+        rect_db = self.rectified(ISORT)
+        query = parse_query("isort([5,7,1], Ys)")[0]
+        answers, _, _ = MagicSetsEvaluator(rect_db).evaluate(query)
+        assert [from_list_term(r[1]) for r in answers] == [[1, 5, 7]]
+
+    def test_nrev(self):
+        from repro.workloads import NREV, from_list_term
+
+        rect_db = self.rectified(NREV)
+        query = parse_query("nrev([1,2,3], R)")[0]
+        answers, _, _ = MagicSetsEvaluator(rect_db).evaluate(query)
+        assert [from_list_term(r[1]) for r in answers] == [[3, 2, 1]]
+
+    def test_supplementary_agrees_on_functional(self):
+        from repro.workloads import ISORT
+
+        rect_db = self.rectified(ISORT)
+        query = parse_query("isort([4,2,9,2], Ys)")[0]
+        plain, _, _ = MagicSetsEvaluator(rect_db).evaluate(query)
+        sup, _, _ = MagicSetsEvaluator(rect_db, supplementary=True).evaluate(query)
+        assert plain.rows() == sup.rows()
+
+    def test_agrees_with_buffered(self):
+        from repro.datalog.literals import Predicate
+        from repro.analysis.normalize import normalize
+        from repro.core.buffered import BufferedChainEvaluator
+        from repro.workloads import APPEND, load
+
+        db = load(APPEND)
+        rect, compiled = normalize(db.program, Predicate("append", 3))
+        rect_db = Database()
+        rect_db.program = rect
+        rect_db.relations = db.relations
+        query = parse_query("append([7,8], [9], W)")[0]
+        magic_answers, _, _ = MagicSetsEvaluator(rect_db).evaluate(query)
+        buffered_answers, _ = BufferedChainEvaluator(rect_db, compiled).evaluate(query)
+        assert magic_answers.rows() == buffered_answers.rows()

@@ -1,0 +1,154 @@
+"""Unit tests for chain-split partial evaluation with constraint
+pushing (Algorithm 3.3)."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.analysis.normalize import normalize
+from repro.core.buffered import BufferedChainEvaluator
+from repro.core.partial import PartialChainEvaluator, PartialEvaluationError
+from repro.workloads import APPEND, TRAVEL, TRAVEL_CONNECTED, from_list_term
+
+
+def travel_setup(flights, program=TRAVEL):
+    db = Database()
+    db.load_source(program)
+    for flight in flights:
+        db.add_fact("flight", flight)
+    rect, compiled = normalize(db.program, Predicate("travel", 6))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    return rect_db, compiled
+
+
+ACYCLIC_FLIGHTS = [
+    ("f1", "van", 900, "cal", 1100, 200),
+    ("f2", "cal", 1200, "tor", 1500, 250),
+    ("f3", "tor", 1600, "ott", 1700, 100),
+    ("f4", "van", 800, "tor", 1400, 450),
+    ("f6", "van", 1000, "ott", 1600, 650),
+]
+
+CYCLIC_FLIGHTS = ACYCLIC_FLIGHTS + [("f5", "tor", 1800, "van", 2200, 400)]
+
+
+class TestTravelPaperExample:
+    def test_routes_and_fares(self):
+        """§3.3: query vancouver -> ottawa with fare budget 600."""
+        rect_db, compiled = travel_setup(ACYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        constraints = parse_query("F =< 600")
+        evaluator = PartialChainEvaluator(rect_db, compiled, constraints=constraints)
+        answers, counters = evaluator.evaluate(query)
+        results = {
+            (tuple(from_list_term(row[0])), row[5].value) for row in answers
+        }
+        assert results == {
+            (("f1", "f2", "f3"), 550),
+            (("f4", "f3"), 550),
+        }
+        # The 650-fare direct flight was filtered.
+        assert counters.pruned_tuples >= 1
+
+    def test_route_metadata_correct(self):
+        rect_db, compiled = travel_setup(ACYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        evaluator = PartialChainEvaluator(rect_db, compiled, max_depth=10)
+        answers, _ = evaluator.evaluate(query)
+        by_route = {
+            tuple(from_list_term(row[0])): row for row in answers
+        }
+        multi = by_route[("f1", "f2", "f3")]
+        assert multi[2].value == 900  # departure time of the first leg
+        assert multi[4].value == 1700  # arrival time of the last leg
+
+    def test_cyclic_without_constraint_diverges(self):
+        rect_db, compiled = travel_setup(CYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        evaluator = PartialChainEvaluator(rect_db, compiled, max_depth=15)
+        with pytest.raises(PartialEvaluationError):
+            evaluator.evaluate(query)
+
+    def test_cyclic_with_constraint_terminates(self):
+        """The paper's headline: the pushed monotone constraint makes
+        evaluation on cyclic data terminate."""
+        rect_db, compiled = travel_setup(CYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        constraints = parse_query("F =< 600")
+        evaluator = PartialChainEvaluator(
+            rect_db, compiled, constraints=constraints, max_depth=50
+        )
+        answers, counters = evaluator.evaluate(query)
+        assert {tuple(from_list_term(r[0])) for r in answers} == {
+            ("f1", "f2", "f3"),
+            ("f4", "f3"),
+        }
+        assert counters.pruned_tuples > 0
+
+    def test_tighter_budget_prunes_more_answers(self):
+        rect_db, compiled = travel_setup(CYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        sizes = []
+        for budget in (700, 550, 500):
+            constraints = parse_query(f"F =< {budget}")
+            evaluator = PartialChainEvaluator(
+                rect_db, compiled, constraints=constraints, max_depth=50
+            )
+            answers, _ = evaluator.evaluate(query)
+            sizes.append(len(answers))
+        assert sizes[0] >= sizes[1] >= sizes[2]
+        assert sizes[2] == 0
+
+    def test_flipped_constraint_syntax(self):
+        """``600 >= F`` is normalized to the same pushed bound."""
+        rect_db, compiled = travel_setup(CYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        constraints = parse_query("600 >= F")
+        evaluator = PartialChainEvaluator(
+            rect_db, compiled, constraints=constraints, max_depth=50
+        )
+        answers, _ = evaluator.evaluate(query)
+        assert len(answers) == 2
+
+    def test_agrees_with_buffered_on_acyclic(self):
+        rect_db, compiled = travel_setup(ACYCLIC_FLIGHTS)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        partial_answers, _ = PartialChainEvaluator(
+            rect_db, compiled, max_depth=10
+        ).evaluate(query)
+        buffered_answers, _ = BufferedChainEvaluator(rect_db, compiled).evaluate(query)
+        assert partial_answers.rows() == buffered_answers.rows()
+
+
+class TestApplicability:
+    def test_append_is_partial_evaluable(self):
+        """append's delayed cons is a pure list accumulator."""
+        db = Database()
+        db.load_source(APPEND)
+        rect, compiled = normalize(db.program, Predicate("append", 3))
+        rect_db = Database()
+        rect_db.program = rect
+        evaluator = PartialChainEvaluator(rect_db, compiled)
+        query = parse_query("append([1,2], [3], W)")[0]
+        answers, _ = evaluator.evaluate(query)
+        assert [from_list_term(r[2]) for r in answers] == [[1, 2, 3]]
+
+    def test_connected_travel_rejected(self):
+        """The connection-time comparison is not an accumulator, so
+        partial evaluation refuses (buffered takes over)."""
+        rect_db, compiled = travel_setup(
+            [("f1", "a", 900, "b", 1000, 100)], program=TRAVEL_CONNECTED
+        )
+        query = parse_query("travel(L, a, DT, b, AT, F)")[0]
+        evaluator = PartialChainEvaluator(rect_db, compiled)
+        with pytest.raises(PartialEvaluationError):
+            evaluator.evaluate(query)
+
+    def test_wrong_predicate_rejected(self):
+        rect_db, compiled = travel_setup(ACYCLIC_FLIGHTS)
+        evaluator = PartialChainEvaluator(rect_db, compiled)
+        with pytest.raises(PartialEvaluationError):
+            evaluator.evaluate(parse_query("nope(X)")[0])

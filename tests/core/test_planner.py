@@ -1,0 +1,266 @@
+"""Unit tests for the query planner (strategy selection + execution)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.core.planner import Planner, PlanningError, Strategy
+from repro.workloads import (
+    ANCESTOR,
+    APPEND,
+    ISORT,
+    NQUEENS,
+    QSORT,
+    SCSG,
+    SG,
+    TRAVEL,
+    TRAVEL_CONNECTED,
+    FamilyConfig,
+    family_database,
+    from_list_term,
+    load,
+)
+
+
+def db_with(source, facts=()):
+    db = Database()
+    db.load_source(source)
+    for name, row in facts:
+        db.add_fact(name, row)
+    return db
+
+
+class TestStrategySelection:
+    def test_sg_counting(self):
+        db = db_with(SG, [("parent", ("a", "b")), ("sibling", ("b", "c"))])
+        assert Planner(db).plan("sg(a, Y)").strategy == Strategy.COUNTING
+
+    def test_sg_unbound_magic(self):
+        db = db_with(SG, [("parent", ("a", "b")), ("sibling", ("b", "c"))])
+        assert Planner(db).plan("sg(X, Y)").strategy == Strategy.MAGIC
+
+    def test_scsg_chain_split_magic(self):
+        db = family_database(FamilyConfig(levels=4, width=10, countries=2, seed=0))
+        plan = Planner(db).plan("scsg(p0_0, Y)")
+        assert plan.strategy == Strategy.MAGIC_SPLIT
+        assert plan.split_decision is not None
+        assert plan.split_decision.criterion == "efficiency"
+
+    def test_append_partial(self):
+        plan = Planner(load(APPEND)).plan("append([1], [2], W)")
+        assert plan.strategy == Strategy.PARTIAL
+        assert plan.split_decision.criterion == "finiteness"
+
+    def test_travel_partial_with_constraint_note(self):
+        db = db_with(TRAVEL, [("flight", ("f1", "a", 1, "b", 2, 10))])
+        plan = Planner(db).plan("travel(L, a, DT, b, AT, F), F =< 600")
+        assert plan.strategy == Strategy.PARTIAL
+        assert any("pushed" in note for note in plan.notes)
+
+    def test_travel_connected_buffered(self):
+        db = db_with(TRAVEL_CONNECTED, [("flight", ("f1", "a", 1, "b", 2, 10))])
+        plan = Planner(db).plan("travel(L, a, DT, b, AT, F)")
+        assert plan.strategy == Strategy.BUFFERED
+
+    def test_isort_nested_chain_split(self):
+        plan = Planner(load(ISORT)).plan("isort([2,1], Ys)")
+        assert plan.strategy == Strategy.NESTED
+        assert plan.recursion_class == "nested_linear"
+
+    def test_qsort_top_down(self):
+        plan = Planner(load(QSORT)).plan("qsort([2,1], Ys)")
+        assert plan.strategy == Strategy.TOP_DOWN
+        assert plan.recursion_class == "nonlinear"
+
+    def test_queens_top_down_via_functional_closure(self):
+        plan = Planner(load(NQUEENS)).plan("queens(4, Qs)")
+        assert plan.strategy == Strategy.TOP_DOWN
+
+    def test_ancestor_follows_chain(self):
+        db = db_with(ANCESTOR, [("parent", ("a", "b"))])
+        plan = Planner(db).plan("ancestor(a, Y)")
+        assert plan.strategy == Strategy.CHAIN_FOLLOW
+
+    def test_edb_query(self):
+        db = db_with("", [("parent", ("a", "b"))])
+        plan = Planner(db).plan("parent(X, Y)")
+        assert plan.strategy == Strategy.SEMI_NAIVE
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(PlanningError):
+            Planner(Database()).plan("mystery(X)")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(PlanningError):
+            Planner(Database()).plan([])
+
+    def test_pure_comparison_query_rejected(self):
+        with pytest.raises(PlanningError):
+            Planner(Database()).plan("1 < 2")
+
+    def test_mutual_recursion_magic(self):
+        db = db_with(
+            """
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(Y).
+            """,
+            [("zero", (0,)), ("succ", (0, 1)), ("succ", (1, 2))],
+        )
+        plan = Planner(db).plan("even(2)")
+        assert plan.strategy == Strategy.MAGIC
+
+    def test_explain_readable(self):
+        plan = Planner(load(APPEND)).plan("append([1], [2], W)")
+        text = plan.explain()
+        assert "strategy" in text
+        assert Strategy.PARTIAL in text
+
+
+class TestExecution:
+    def test_sg_answers(self):
+        db = db_with(
+            SG,
+            [
+                ("parent", ("a", "b")),
+                ("parent", ("d", "e")),
+                ("sibling", ("b", "e")),
+            ],
+        )
+        rows = Planner(db).answer_rows("sg(a, Y)")
+        assert [r[1].value for r in rows] == ["d"]
+
+    def test_append_roundtrip(self):
+        rows = Planner(load(APPEND)).answer_rows("append([1,2], [3], W)")
+        assert from_list_term(rows[0][2]) == [1, 2, 3]
+
+    def test_isort_execution(self):
+        rows = Planner(load(ISORT)).answer_rows("isort([9,4,6,1], Ys)")
+        assert from_list_term(rows[0][1]) == [1, 4, 6, 9]
+
+    def test_travel_with_constraint(self):
+        db = db_with(
+            TRAVEL,
+            [
+                ("flight", ("f1", "a", 900, "b", 1000, 300)),
+                ("flight", ("f2", "b", 1100, "c", 1200, 200)),
+                ("flight", ("f3", "a", 905, "c", 1210, 900)),
+            ],
+        )
+        planner = Planner(db, max_depth=20)
+        rows = planner.answer_rows("travel(L, a, DT, c, AT, F), F =< 600")
+        assert len(rows) == 1
+        assert rows[0][5].value == 500
+
+    def test_constraint_filter_applies_to_all_strategies(self):
+        db = db_with(
+            SG,
+            [
+                ("parent", ("a", "b")),
+                ("parent", (1, 2)),
+            ],
+        )
+        # Non-recursive EDB query with a residual comparison.
+        planner = Planner(db)
+        rows = planner.answer_rows("parent(X, Y), Y == 2")
+        assert len(rows) == 1
+
+    def test_counting_falls_back_on_cyclic_data(self):
+        db = db_with(
+            SG,
+            [
+                ("parent", ("a", "b")),
+                ("parent", ("b", "a")),
+                ("sibling", ("a", "b")),
+            ],
+        )
+        planner = Planner(db)
+        plan = planner.plan("sg(a, Y)")
+        assert plan.strategy == Strategy.COUNTING
+        answers, _ = planner.execute(plan)  # magic fallback inside
+        assert {row[1].value for row in answers} == {"b"}
+
+    def test_queens_execution(self):
+        rows = Planner(load(NQUEENS)).answer_rows("queens(4, Qs)")
+        assert len(rows) == 2
+
+    def test_answer_rows_sorted_stable(self):
+        db = db_with("", [("parent", ("b", "x")), ("parent", ("a", "x"))])
+        rows = Planner(db).answer_rows("parent(X, Y)")
+        assert rows == sorted(rows, key=str)
+
+
+class TestMorePrograms:
+    def test_hanoi(self):
+        from repro.datalog.terms import iter_list
+        from repro.workloads import HANOI
+
+        planner = Planner(load(HANOI))
+        plan = planner.plan("hanoi(4, Moves)")
+        assert plan.strategy == Strategy.TOP_DOWN
+        rows = planner.answer_rows("hanoi(4, Moves)")
+        assert len(rows) == 1
+        moves = list(iter_list(rows[0][1]))
+        assert len(moves) == 2 ** 4 - 1
+
+    def test_hanoi_first_move(self):
+        from repro.datalog.parser import parse_term
+        from repro.datalog.terms import iter_list
+        from repro.workloads import HANOI
+
+        planner = Planner(load(HANOI))
+        rows = planner.answer_rows("hanoi(2, Moves)")
+        moves = list(iter_list(rows[0][1]))
+        assert str(moves[0]) == "move(left, middle)"
+        assert str(moves[-1]) == "move(middle, right)"
+
+    def test_query_dict_api(self):
+        db = db_with("", [("parent", ("a", "b"))])
+        bindings = Planner(db).query("parent(X, Y)")
+        assert bindings == [{"X": bindings[0]["X"], "Y": bindings[0]["Y"]}]
+        assert bindings[0]["X"].value == "a"
+
+    def test_query_dict_api_ignores_ground_positions(self):
+        db = db_with("", [("parent", ("a", "b"))])
+        bindings = Planner(db).query("parent(a, Y)")
+        assert list(bindings[0]) == ["Y"]
+
+
+class TestTestingHelpers:
+    def test_assert_strategies_agree(self):
+        from repro.testing import assert_strategies_agree
+
+        db = db_with(
+            SG,
+            [
+                ("parent", ("a", "b")),
+                ("parent", ("c", "d")),
+                ("sibling", ("b", "d")),
+            ],
+        )
+        rows = assert_strategies_agree(db, "sg(a, Y)")
+        assert len(rows) == 1
+
+    def test_topdown_oracle(self):
+        from repro.testing import answers_via_topdown, answers_via_seminaive
+
+        db = db_with(
+            SG,
+            [("parent", ("a", "b")), ("parent", ("c", "d")), ("sibling", ("b", "d"))],
+        )
+        assert answers_via_topdown(db, "sg(a, Y)") == answers_via_seminaive(
+            db, "sg(a, Y)"
+        )
+
+    def test_disagreement_detected(self):
+        from repro.testing import assert_strategies_agree
+
+        db = db_with(SG, [("parent", ("a", "b")), ("sibling", ("b", "b"))])
+        with pytest.raises(AssertionError):
+            assert_strategies_agree(db, "sg(a, Y)", extra=[frozenset()])
+
+    def test_unknown_oracle_rejected(self):
+        from repro.testing import assert_strategies_agree
+
+        db = db_with(SG, [("parent", ("a", "b"))])
+        with pytest.raises(ValueError):
+            assert_strategies_agree(db, "sg(a, Y)", oracle="coin_flip")

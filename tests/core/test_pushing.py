@@ -1,0 +1,143 @@
+"""Unit tests for accumulator detection and constraint pushing."""
+
+import pytest
+
+from repro.datalog.literals import Literal, Predicate
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.terms import NIL, Const, Var, make_list
+from repro.analysis.finiteness import split_path
+from repro.analysis.normalize import normalize
+from repro.core.pushing import (
+    Accumulator,
+    ConstraintPushingError,
+    PushedConstraint,
+    detect_accumulators,
+    push_constraints,
+)
+from repro.workloads import TRAVEL
+
+
+def travel_split():
+    program = parse_program(TRAVEL)
+    rect, compiled = normalize(program, Predicate("travel", 6))
+    chain = compiled.generating_chains()[0]
+    entry = {compiled.head_args[1].name, compiled.head_args[3].name}  # D, A
+    split = split_path(chain, entry, compiled.recursive_literal)
+    return compiled, split
+
+
+class TestDetectAccumulators:
+    def test_travel_has_sum_and_cons(self):
+        compiled, split = travel_split()
+        accumulators = detect_accumulators(compiled, split)
+        kinds = {a.kind for a in accumulators}
+        assert kinds == {"sum", "cons"}
+
+    def test_positions_map_to_head(self):
+        compiled, split = travel_split()
+        accumulators = detect_accumulators(compiled, split)
+        positions = {a.kind: a.head_position for a in accumulators}
+        assert positions["cons"] == 0  # route list L
+        assert positions["sum"] == 5  # total fare F
+
+    def test_no_accumulators_in_function_free_split(self):
+        program = parse_program(
+            """
+            scsg(X, Y) :- sibling(X, Y).
+            scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1), scsg(X1, Y1).
+            """
+        )
+        rect, compiled = normalize(program, Predicate("scsg", 2))
+        chain = compiled.generating_chains()[0]
+        split = split_path(chain, {compiled.head_args[0].name}, compiled.recursive_literal)
+        assert detect_accumulators(compiled, split) == []
+
+
+class TestAccumulatorSemantics:
+    def make_sum(self):
+        compiled, split = travel_split()
+        return [a for a in detect_accumulators(compiled, split) if a.kind == "sum"][0]
+
+    def make_cons(self):
+        compiled, split = travel_split()
+        return [a for a in detect_accumulators(compiled, split) if a.kind == "cons"][0]
+
+    def test_sum_fold(self):
+        acc = self.make_sum()
+        total = acc.identity()
+        for fare in (200, 250):
+            total = acc.step(total, Const(fare))
+        assert total == 450
+        assert acc.finalize(total, Const(100)) == Const(550)
+
+    def test_sum_measure(self):
+        acc = self.make_sum()
+        assert acc.measure(450) == 450.0
+
+    def test_sum_rejects_non_numeric(self):
+        acc = self.make_sum()
+        with pytest.raises(ConstraintPushingError):
+            acc.step(0, Const("x"))
+        with pytest.raises(ConstraintPushingError):
+            acc.finalize(0, Const("x"))
+
+    def test_cons_fold_preserves_order(self):
+        acc = self.make_cons()
+        collected = acc.identity()
+        for name in ("f1", "f2"):
+            collected = acc.step(collected, Const(name))
+        final = acc.finalize(collected, make_list([Const("f3")]))
+        assert final == make_list([Const("f1"), Const("f2"), Const("f3")])
+
+    def test_cons_measure_is_length(self):
+        acc = self.make_cons()
+        assert acc.measure([Const("a"), Const("b")]) == 2.0
+
+
+class TestPushConstraints:
+    def test_upper_bound_on_sum_pushed(self):
+        compiled, split = travel_split()
+        accumulators = detect_accumulators(compiled, split)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        constraints = parse_query("F =< 600")
+        pushed, residual = push_constraints(constraints, query, accumulators)
+        assert len(pushed) == 1
+        assert pushed[0].op == "=<"
+        assert pushed[0].bound == 600.0
+        # The constraint is also kept as a residual final filter.
+        assert constraints[0] in residual
+
+    def test_strict_bound(self):
+        compiled, split = travel_split()
+        accumulators = detect_accumulators(compiled, split)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        pushed, _ = push_constraints(parse_query("F < 600"), query, accumulators)
+        assert pushed[0].admits(599.0)
+        assert not pushed[0].admits(600.0)
+
+    def test_unrelated_constraint_residual_only(self):
+        compiled, split = travel_split()
+        accumulators = detect_accumulators(compiled, split)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        constraints = parse_query("AT =< 1700")  # AT is not an accumulator
+        pushed, residual = push_constraints(constraints, query, accumulators)
+        assert pushed == []
+        assert residual == constraints
+
+    def test_lower_bound_not_pushed(self):
+        """A lower bound on a growing sum cannot prune partial sums."""
+        compiled, split = travel_split()
+        accumulators = detect_accumulators(compiled, split)
+        query = parse_query("travel(L, van, DT, ott, AT, F)")[0]
+        pushed, residual = push_constraints(
+            parse_query("F >= 100"), query, accumulators
+        )
+        assert pushed == []
+        assert len(residual) == 1
+
+    def test_admits_boundary(self):
+        compiled, split = travel_split()
+        acc = [a for a in detect_accumulators(compiled, split) if a.kind == "sum"][0]
+        constraint = PushedConstraint(acc, "=<", 600.0)
+        assert constraint.admits(600.0)
+        assert not constraint.admits(600.5)

@@ -1,0 +1,86 @@
+"""Unit tests for the unified split decision."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+from repro.analysis.cost import CostModel
+from repro.analysis.normalize import normalize
+from repro.core.split import ChainSplitDecision, decide_split, entry_bound_names
+from repro.workloads import (
+    ANCESTOR,
+    APPEND,
+    SG,
+    FamilyConfig,
+    family_database,
+)
+
+
+def setup(source_or_db, name, arity):
+    if isinstance(source_or_db, str):
+        db = Database()
+        db.load_source(source_or_db)
+    else:
+        db = source_or_db
+    rect, compiled = normalize(db.program, Predicate(name, arity))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    return rect_db, compiled
+
+
+class TestDecideSplit:
+    def test_append_bbf_finiteness(self):
+        rect_db, compiled = setup(APPEND, "append", 3)
+        query = parse_query("append([1], [2], W)")[0]
+        decision = decide_split(rect_db, compiled, query)
+        assert decision.is_split
+        assert decision.criterion == "finiteness"
+
+    def test_append_bbb_no_split(self):
+        rect_db, compiled = setup(APPEND, "append", 3)
+        query = parse_query("append([1], [2], [1,2])")[0]
+        decision = decide_split(rect_db, compiled, query)
+        assert not decision.is_split
+        assert decision.criterion == "none"
+
+    def test_scsg_efficiency(self):
+        db = family_database(FamilyConfig(levels=4, width=12, countries=2, seed=0))
+        rect_db, compiled = setup(db, "scsg", 2)
+        query = parse_query("scsg(p0_0, Y)")[0]
+        decision = decide_split(rect_db, compiled, query)
+        assert decision.is_split
+        assert decision.criterion == "efficiency"
+        assert decision.linkage_decisions  # cost evidence recorded
+
+    def test_ancestor_follows(self):
+        rect_db, compiled = setup(ANCESTOR, "ancestor", 2)
+        rect_db.add_fact("parent", ("a", "b"))
+        query = parse_query("ancestor(a, Y)")[0]
+        decision = decide_split(rect_db, compiled, query)
+        assert not decision.is_split
+
+    def test_multi_chain_requires_explicit_chain(self):
+        rect_db, compiled = setup(SG, "sg", 2)
+        query = parse_query("sg(a, Y)")[0]
+        with pytest.raises(ValueError):
+            decide_split(rect_db, compiled, query)
+        chain = compiled.generating_chains()[0]
+        decision = decide_split(rect_db, compiled, query, chain=chain)
+        assert isinstance(decision, ChainSplitDecision)
+
+    def test_explain_mentions_portions(self):
+        rect_db, compiled = setup(APPEND, "append", 3)
+        query = parse_query("append([1], [2], W)")[0]
+        decision = decide_split(rect_db, compiled, query)
+        text = decision.explain()
+        assert "evaluable portion" in text
+        assert "delayed portion" in text
+        assert "finiteness" in text
+
+    def test_entry_bound_names(self):
+        rect_db, compiled = setup(APPEND, "append", 3)
+        query = parse_query("append([1], [2], W)")[0]
+        names = entry_bound_names(compiled, query)
+        assert len(names) == 2

@@ -1,0 +1,106 @@
+"""Unit tests for the transitive-closure baselines."""
+
+import pytest
+
+from repro.datalog.terms import Const
+from repro.engine.counters import Counters
+from repro.engine.relation import Relation
+from repro.core.transitive import (
+    compose_relations,
+    cross_product,
+    reachable_from,
+    smart_transitive_closure,
+    transitive_closure,
+)
+from repro.workloads import layered_digraph, random_digraph
+
+
+def chain(n):
+    return Relation.from_pairs("edge", [(f"n{i}", f"n{i+1}") for i in range(n)])
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        closure = transitive_closure(chain(4))
+        assert len(closure) == 4 + 3 + 2 + 1
+
+    def test_cycle(self):
+        relation = Relation.from_pairs("edge", [("a", "b"), ("b", "a")])
+        closure = transitive_closure(relation)
+        assert len(closure) == 4  # complete on {a, b}
+
+    def test_empty(self):
+        assert len(transitive_closure(Relation("edge", 2))) == 0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            transitive_closure(Relation("r", 3))
+
+    def test_smart_equals_seminaive(self):
+        for seed in range(3):
+            relation = random_digraph(12, 25, seed=seed)
+            assert smart_transitive_closure(relation) == transitive_closure(relation)
+
+    def test_smart_fewer_iterations_on_long_chain(self):
+        relation = chain(64)
+        semi_counters = Counters()
+        smart_counters = Counters()
+        transitive_closure(relation, semi_counters)
+        smart_transitive_closure(relation, smart_counters)
+        assert smart_counters.iterations < semi_counters.iterations
+
+
+class TestReachableFrom:
+    def test_single_source(self):
+        relation = chain(5)
+        result = reachable_from(relation, [Const("n0")])
+        assert len(result) == 5
+        assert all(row[0] == Const("n0") for row in result)
+
+    def test_multiple_sources(self):
+        relation = chain(3)
+        result = reachable_from(relation, [Const("n0"), Const("n2")])
+        sources = {row[0].value for row in result}
+        assert sources == {"n0", "n2"}
+
+    def test_cheaper_than_full_closure(self):
+        relation = layered_digraph(6, 10, 2, seed=1)
+        single = Counters()
+        full = Counters()
+        reachable_from(relation, [Const("n0")], single)
+        transitive_closure(relation, full)
+        assert single.total_work < full.total_work
+
+    def test_max_depth_limits(self):
+        relation = chain(10)
+        result = reachable_from(relation, [Const("n0")], max_depth=3)
+        assert len(result) == 3
+
+    def test_cycle_terminates(self):
+        relation = Relation.from_pairs("edge", [("a", "b"), ("b", "a")])
+        result = reachable_from(relation, [Const("a")])
+        assert {row[1].value for row in result} == {"a", "b"}
+
+
+class TestComposeAndCrossProduct:
+    def test_compose(self):
+        left = Relation.from_pairs("l", [("a", "b")])
+        right = Relation.from_pairs("r", [("b", "c"), ("b", "d")])
+        composed = compose_relations(left, right)
+        assert {(r[0].value, r[1].value) for r in composed} == {("a", "c"), ("a", "d")}
+
+    def test_cross_product_size(self):
+        """§1.1: merging unconnected chains multiplies cardinalities —
+        the reason merged-chain TC evaluation is hopeless."""
+        left = Relation.from_pairs("l", [(i, i + 1) for i in range(7)])
+        right = Relation.from_pairs("r", [(i, i + 2) for i in range(5)])
+        merged = cross_product(left, right)
+        assert len(merged) == 35
+        assert merged.arity == 4
+
+    def test_cross_product_counter(self):
+        counters = Counters()
+        left = Relation.from_pairs("l", [(1, 2)])
+        right = Relation.from_pairs("r", [(3, 4)])
+        cross_product(left, right, counters)
+        assert counters.derived_tuples == 1

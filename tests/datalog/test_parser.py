@@ -1,0 +1,205 @@
+"""Unit tests for the lexer and parser."""
+
+import pytest
+
+from repro.datalog.lexer import LexError, tokenize
+from repro.datalog.literals import Literal
+from repro.datalog.parser import (
+    ParseError,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+)
+from repro.datalog.terms import NIL, Const, Struct, Var, make_list
+
+
+class TestLexer:
+    def test_kinds(self):
+        tokens = tokenize("p(X, 1, 2.5, \"s\").")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "ATOM", "PUNCT", "VAR", "PUNCT", "INT", "PUNCT",
+            "FLOAT", "PUNCT", "STRING", "PUNCT", "PUNCT", "END",
+        ]
+
+    def test_line_comment(self):
+        tokens = tokenize("p. % comment\nq.")
+        atoms = [t.value for t in tokens if t.kind == "ATOM"]
+        assert atoms == ["p", "q"]
+
+    def test_block_comment(self):
+        tokens = tokenize("p. /* multi\nline */ q.")
+        atoms = [t.value for t in tokens if t.kind == "ATOM"]
+        assert atoms == ["p", "q"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('p("abc).')
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("X =< Y, Z \\== W")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["=<", "\\=="]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'p("a\nb").')
+        strings = [t.value for t in tokens if t.kind == "STRING"]
+        assert strings == ["a\nb"]
+
+    def test_positions(self):
+        tokens = tokenize("p.\nq.")
+        q = [t for t in tokens if t.value == "q"][0]
+        assert q.line == 2
+        assert q.column == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("p :- q @ r.")
+
+
+class TestParseTerm:
+    def test_atom(self):
+        assert parse_term("tom") == Const("tom")
+
+    def test_variable(self):
+        assert parse_term("Xs") == Var("Xs")
+
+    def test_numbers(self):
+        assert parse_term("42") == Const(42)
+        assert parse_term("3.25") == Const(3.25)
+        assert parse_term("-7") == Const(-7)
+
+    def test_struct(self):
+        assert parse_term("f(a, X)") == Struct("f", [Const("a"), Var("X")])
+
+    def test_nested_struct(self):
+        assert parse_term("f(g(1))") == Struct("f", [Struct("g", [Const(1)])])
+
+    def test_list(self):
+        assert parse_term("[1, 2]") == make_list([Const(1), Const(2)])
+
+    def test_empty_list(self):
+        assert parse_term("[]") == NIL
+
+    def test_cons_pattern(self):
+        term = parse_term("[X | Xs]")
+        assert term == Struct(".", [Var("X"), Var("Xs")])
+
+    def test_multi_head_cons(self):
+        term = parse_term("[X, Y | Zs]")
+        assert term == Struct(".", [Var("X"), Struct(".", [Var("Y"), Var("Zs")])])
+
+    def test_arithmetic_precedence(self):
+        term = parse_term("1 + 2 * 3")
+        assert term == Struct("+", [Const(1), Struct("*", [Const(2), Const(3)])])
+
+    def test_parenthesized(self):
+        term = parse_term("(1 + 2) * 3")
+        assert term == Struct("*", [Struct("+", [Const(1), Const(2)]), Const(3)])
+
+
+class TestParseRule:
+    def test_fact(self):
+        rule = parse_rule("parent(tom, bob).")
+        assert rule.is_fact()
+        assert rule.head.name == "parent"
+
+    def test_rule_with_body(self):
+        rule = parse_rule("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        assert [lit.name for lit in rule.body] == ["parent", "anc"]
+
+    def test_comparison_goal(self):
+        rule = parse_rule("big(X) :- size(X, S), S > 10.")
+        assert rule.body[1].name == ">"
+        assert rule.body[1].args == (Var("S"), Const(10))
+
+    def test_is_goal(self):
+        rule = parse_rule("next(X, Y) :- Y is X + 1.")
+        assert rule.body[0].name == "is"
+        assert rule.body[0].args[1] == Struct("+", [Var("X"), Const(1)])
+
+    def test_negation(self):
+        rule = parse_rule("safe(X) :- piece(X), \\+ attacked(X).")
+        assert rule.body[1].negated
+        assert rule.body[1].name == "attacked"
+
+    def test_negated_head_rejected(self):
+        with pytest.raises((ParseError, ValueError)):
+            parse_rule("\\+ p(X) :- q(X).")
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X)")
+
+    def test_anonymous_variables_distinct(self):
+        rule = parse_rule("first(X, [X|_]) :- q(_).")
+        anon = [
+            v.name
+            for v in rule.variables()
+            if v.name.startswith("_Anon")
+        ]
+        assert len(set(anon)) == 2
+
+    def test_list_head(self):
+        rule = parse_rule("isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).")
+        assert rule.head.args[0] == Struct(".", [Var("X"), Var("Xs")])
+
+
+class TestParseProgram:
+    def test_multiple_clauses(self):
+        program = parse_program(
+            """
+            parent(a, b).
+            parent(b, c).
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        assert len(program) == 4
+        assert len(program.facts()) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_roundtrip_through_str(self):
+        source = "anc(X, Y) :- parent(X, Z), anc(Z, Y)."
+        rule = parse_rule(source)
+        assert parse_rule(str(rule)) == rule
+
+
+class TestParseQuery:
+    def test_plain(self):
+        goals = parse_query("sg(a, Y)")
+        assert goals == [Literal("sg", (Const("a"), Var("Y")))]
+
+    def test_with_prefix_and_period(self):
+        goals = parse_query("?- sg(a, Y).")
+        assert len(goals) == 1
+
+    def test_conjunctive(self):
+        goals = parse_query("travel(L, v, DT, o, AT, F), F =< 600")
+        assert len(goals) == 2
+        assert goals[1].name == "=<"
+
+    def test_garbage_rejected(self):
+        with pytest.raises((ParseError, LexError)):
+            parse_query("sg(a, Y) extra")
+
+
+class TestArithmeticRoundTrip:
+    def test_infix_struct_prints_parseable(self):
+        rule = parse_rule("p(X, Y) :- q(X), Y is X * 3 + 1.")
+        assert parse_rule(str(rule)) == rule
+
+    def test_nested_arithmetic_roundtrip(self):
+        term = parse_term("(1 + 2) * (3 - X)")
+        assert parse_term(str(term)) == term
+
+    def test_arith_in_argument_position(self):
+        rule = parse_rule("p(X + 1) :- q(X).")
+        assert parse_rule(str(rule)) == rule

@@ -1,0 +1,149 @@
+"""Unit tests for the term representation."""
+
+import pytest
+
+from repro.datalog.terms import (
+    NIL,
+    Const,
+    Struct,
+    Var,
+    cons,
+    is_ground,
+    is_list_term,
+    iter_list,
+    list_to_python,
+    make_list,
+    term_depth,
+    term_size,
+    term_variables,
+    fresh_variable_factory,
+)
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_hashable(self):
+        assert len({Var("X"), Var("X"), Var("Y")}) == 2
+
+    def test_str(self):
+        assert str(Var("Xs")) == "Xs"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_not_equal_to_const(self):
+        assert Var("X") != Const("X")
+
+
+class TestConst:
+    def test_equality(self):
+        assert Const(1) == Const(1)
+        assert Const("a") == Const("a")
+        assert Const(1) != Const(2)
+
+    def test_type_distinction(self):
+        # int 1 and float 1.0 are different constants.
+        assert Const(1) != Const(1.0)
+
+    def test_bool_and_int_distinct(self):
+        assert Const(True) != Const(1)
+
+    def test_quoted_string_str(self):
+        assert str(Const("hi", quoted=True)) == '"hi"'
+
+    def test_atom_str(self):
+        assert str(Const("tom")) == "tom"
+
+    def test_hash_consistency(self):
+        assert hash(Const(5)) == hash(Const(5))
+
+
+class TestStruct:
+    def test_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", [])
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Struct("f", [1])
+
+    def test_equality(self):
+        assert Struct("f", [Var("X")]) == Struct("f", [Var("X")])
+        assert Struct("f", [Var("X")]) != Struct("g", [Var("X")])
+
+    def test_arity(self):
+        assert Struct("f", [Const(1), Const(2)]).arity == 2
+
+    def test_str_plain(self):
+        assert str(Struct("point", [Const(1), Const(2)])) == "point(1, 2)"
+
+    def test_nested_str(self):
+        inner = Struct("g", [Var("X")])
+        assert str(Struct("f", [inner])) == "f(g(X))"
+
+
+class TestLists:
+    def test_nil_is_list(self):
+        assert is_list_term(NIL)
+
+    def test_make_and_unmake(self):
+        items = [Const(1), Const(2), Const(3)]
+        term = make_list(items)
+        assert is_list_term(term)
+        assert list_to_python(term) == items
+
+    def test_empty_list(self):
+        assert make_list([]) == NIL
+        assert list_to_python(NIL) == []
+
+    def test_partial_list_not_proper(self):
+        term = make_list([Const(1)], tail=Var("T"))
+        assert not is_list_term(term)
+
+    def test_iter_list_raises_on_open_tail(self):
+        term = make_list([Const(1)], tail=Var("T"))
+        with pytest.raises(ValueError):
+            list(iter_list(term))
+
+    def test_cons_structure(self):
+        cell = cons(Const(1), NIL)
+        assert cell.functor == "."
+        assert cell.args == (Const(1), NIL)
+
+    def test_list_str(self):
+        assert str(make_list([Const(1), Const(2)])) == "[1, 2]"
+
+    def test_open_list_str(self):
+        assert str(make_list([Const(1)], tail=Var("T"))) == "[1 | T]"
+
+
+class TestTermIntrospection:
+    def test_variables_in_order(self):
+        term = Struct("f", [Var("B"), Struct("g", [Var("A"), Var("B")])])
+        assert [v.name for v in term_variables(term)] == ["B", "A"]
+
+    def test_ground(self):
+        assert is_ground(make_list([Const(1)]))
+        assert not is_ground(make_list([Var("X")]))
+
+    def test_term_size(self):
+        assert term_size(Const(1)) == 1
+        assert term_size(Struct("f", [Const(1), Const(2)])) == 3
+
+    def test_term_depth(self):
+        assert term_depth(Const(1)) == 1
+        assert term_depth(Struct("f", [Struct("g", [Const(1)])])) == 3
+
+    def test_fresh_factory_unique(self):
+        fresh = fresh_variable_factory()
+        names = {fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_factories_independent(self):
+        a = fresh_variable_factory("_A")
+        b = fresh_variable_factory("_B")
+        assert a().name != b().name

@@ -1,0 +1,163 @@
+"""Unit tests for unification and substitutions."""
+
+import pytest
+
+from repro.datalog.terms import NIL, Const, Struct, Var, cons, make_list
+from repro.datalog.unify import (
+    apply_substitution,
+    compose,
+    match,
+    rename_apart,
+    unify,
+    unify_sequences,
+    walk,
+)
+
+
+class TestUnify:
+    def test_var_with_const(self):
+        subst = unify(Var("X"), Const(1))
+        assert subst == {"X": Const(1)}
+
+    def test_const_with_var(self):
+        subst = unify(Const(1), Var("X"))
+        assert subst == {"X": Const(1)}
+
+    def test_const_mismatch(self):
+        assert unify(Const(1), Const(2)) is None
+
+    def test_same_var(self):
+        assert unify(Var("X"), Var("X")) == {}
+
+    def test_var_aliasing(self):
+        subst = unify(Var("X"), Var("Y"))
+        assert walk(Var("X"), subst) == walk(Var("Y"), subst)
+
+    def test_struct_decomposition(self):
+        left = Struct("f", [Var("X"), Const(2)])
+        right = Struct("f", [Const(1), Var("Y")])
+        subst = unify(left, right)
+        assert subst["X"] == Const(1)
+        assert subst["Y"] == Const(2)
+
+    def test_functor_mismatch(self):
+        assert unify(Struct("f", [Var("X")]), Struct("g", [Var("X")])) is None
+
+    def test_arity_mismatch(self):
+        assert (
+            unify(Struct("f", [Var("X")]), Struct("f", [Var("X"), Var("Y")])) is None
+        )
+
+    def test_input_substitution_not_mutated(self):
+        base = {"A": Const(1)}
+        result = unify(Var("X"), Const(2), base)
+        assert base == {"A": Const(1)}
+        assert result["X"] == Const(2)
+
+    def test_respects_existing_bindings(self):
+        base = {"X": Const(1)}
+        assert unify(Var("X"), Const(2), base) is None
+        assert unify(Var("X"), Const(1), base) == base
+
+    def test_occurs_check(self):
+        cyclic = Struct("f", [Var("X")])
+        assert unify(Var("X"), cyclic, occurs_check=True) is None
+        # Without the check the (unsound) binding is produced.
+        assert unify(Var("X"), cyclic) is not None
+
+    def test_occurs_check_indirect(self):
+        subst = unify(Var("X"), Var("Y"))
+        cyclic = Struct("f", [Var("X")])
+        assert unify(Var("Y"), cyclic, subst, occurs_check=True) is None
+
+    def test_lists(self):
+        pattern = cons(Var("H"), Var("T"))
+        ground = make_list([Const(1), Const(2)])
+        subst = unify(pattern, ground)
+        assert subst["H"] == Const(1)
+        assert apply_substitution(Var("T"), subst) == make_list([Const(2)])
+
+    def test_unify_is_mgu_not_instance(self):
+        # X = Y must not bind either to a constant.
+        subst = unify(Var("X"), Var("Y"))
+        term = apply_substitution(Var("X"), subst)
+        assert isinstance(term, Var)
+
+
+class TestUnifySequences:
+    def test_pairwise(self):
+        subst = unify_sequences([Var("X"), Const(2)], [Const(1), Const(2)])
+        assert subst == {"X": Const(1)}
+
+    def test_length_mismatch(self):
+        assert unify_sequences([Var("X")], [Const(1), Const(2)]) is None
+
+    def test_shared_variable_consistency(self):
+        assert unify_sequences([Var("X"), Var("X")], [Const(1), Const(2)]) is None
+        assert unify_sequences([Var("X"), Var("X")], [Const(1), Const(1)]) is not None
+
+    def test_empty(self):
+        assert unify_sequences([], []) == {}
+
+
+class TestApplyAndCompose:
+    def test_apply_nested(self):
+        subst = {"X": Const(1), "T": make_list([Var("X")])}
+        term = apply_substitution(Struct("f", [Var("T")]), subst)
+        assert term == Struct("f", [make_list([Const(1)])])
+
+    def test_apply_chain(self):
+        subst = {"X": Var("Y"), "Y": Const(3)}
+        assert apply_substitution(Var("X"), subst) == Const(3)
+
+    def test_apply_identity_shares_structure(self):
+        term = Struct("f", [Const(1)])
+        assert apply_substitution(term, {}) is term
+
+    def test_compose_order(self):
+        first = {"X": Var("Y")}
+        second = {"Y": Const(1)}
+        composed = compose(first, second)
+        assert apply_substitution(Var("X"), composed) == Const(1)
+
+    def test_compose_is_equivalent_to_sequential_application(self):
+        first = {"X": Struct("f", [Var("Y")])}
+        second = {"Y": Const(2), "Z": Const(3)}
+        composed = compose(first, second)
+        for name in ("X", "Y", "Z"):
+            sequential = apply_substitution(
+                apply_substitution(Var(name), first), second
+            )
+            assert apply_substitution(Var(name), composed) == sequential
+
+
+class TestRenameApart:
+    def test_fresh_names(self):
+        terms = [Struct("f", [Var("X"), Var("Y")]), Var("X")]
+        renamed, renaming = rename_apart(terms)
+        assert renaming["X"] != Var("X")
+        # Shared variables stay shared.
+        assert renamed[0].args[0] == renamed[1]
+
+    def test_ground_unchanged(self):
+        renamed, _ = rename_apart([Const(1)])
+        assert renamed == [Const(1)]
+
+
+class TestMatch:
+    def test_one_way(self):
+        subst = match(Var("X"), Const(1))
+        assert subst == {"X": Const(1)}
+
+    def test_pattern_constant_must_equal(self):
+        assert match(Const(1), Const(2)) is None
+        assert match(Const(1), Const(1)) == {}
+
+    def test_struct_match(self):
+        pattern = cons(Var("H"), Var("T"))
+        fact = make_list([Const(1), Const(2)])
+        subst = match(pattern, fact)
+        assert subst["H"] == Const(1)
+
+    def test_struct_shape_mismatch(self):
+        assert match(cons(Var("H"), Var("T")), Const(1)) is None

@@ -1,0 +1,252 @@
+"""Unit tests for the evaluable (functional) predicates."""
+
+import pytest
+
+from repro.datalog.literals import Literal
+from repro.datalog.terms import NIL, Const, Struct, Var, cons, make_list
+from repro.engine.builtins import (
+    BuiltinError,
+    default_registry,
+    evaluate_arithmetic,
+    is_builtin_name,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def solve(registry, name, args, subst=None):
+    return list(registry.solve(Literal(name, args), dict(subst or {})))
+
+
+class TestArithmeticEvaluation:
+    def test_constant(self):
+        assert evaluate_arithmetic(Const(5), {}) == Const(5)
+
+    def test_expression(self):
+        term = Struct("+", [Const(1), Struct("*", [Const(2), Const(3)])])
+        assert evaluate_arithmetic(term, {}) == Const(7)
+
+    def test_via_substitution(self):
+        term = Struct("-", [Var("X"), Const(1)])
+        assert evaluate_arithmetic(term, {"X": Const(5)}) == Const(4)
+
+    def test_unbound_raises(self):
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(Var("X"), {})
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(Const("a"), {})
+
+    def test_division(self):
+        assert evaluate_arithmetic(Struct("/", [Const(6), Const(3)]), {}) == Const(2)
+        assert evaluate_arithmetic(Struct("/", [Const(7), Const(2)]), {}) == Const(3.5)
+
+    def test_division_by_zero(self):
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(Struct("/", [Const(1), Const(0)]), {})
+
+
+class TestComparisons:
+    def test_less_than(self, registry):
+        assert solve(registry, "<", (Const(1), Const(2)))
+        assert not solve(registry, "<", (Const(2), Const(1)))
+
+    def test_arithmetic_sides(self, registry):
+        left = Struct("+", [Const(1), Const(1)])
+        assert solve(registry, ">=", (left, Const(2)))
+
+    def test_unbound_comparison_raises(self, registry):
+        with pytest.raises(BuiltinError):
+            solve(registry, "<", (Var("X"), Const(1)))
+
+    def test_structural_equality(self, registry):
+        lst = make_list([Const(1)])
+        assert solve(registry, "==", (lst, make_list([Const(1)])))
+        assert solve(registry, "\\==", (lst, NIL))
+
+    def test_unification_builtin(self, registry):
+        results = solve(registry, "=", (Var("X"), Const(3)))
+        assert results[0]["X"] == Const(3)
+
+    def test_unification_failure(self, registry):
+        assert not solve(registry, "=", (Const(1), Const(2)))
+
+
+class TestIs:
+    def test_binds_left(self, registry):
+        results = solve(registry, "is", (Var("X"), Struct("+", [Const(1), Const(2)])))
+        assert results[0]["X"] == Const(3)
+
+    def test_checks_when_bound(self, registry):
+        assert solve(registry, "is", (Const(3), Struct("+", [Const(1), Const(2)])))
+        assert not solve(registry, "is", (Const(4), Struct("+", [Const(1), Const(2)])))
+
+    def test_unbound_rhs_raises(self, registry):
+        with pytest.raises(BuiltinError):
+            solve(registry, "is", (Var("X"), Var("Y")))
+
+
+class TestCons:
+    def test_construct(self, registry):
+        results = solve(registry, "cons", (Const(1), NIL, Var("L")))
+        assert results[0]["L"] == make_list([Const(1)])
+
+    def test_deconstruct(self, registry):
+        lst = make_list([Const(1), Const(2)])
+        results = solve(registry, "cons", (Var("H"), Var("T"), lst))
+        assert results[0]["H"] == Const(1)
+
+    def test_deconstruct_nil_fails(self, registry):
+        assert solve(registry, "cons", (Var("H"), Var("T"), NIL)) == []
+
+    def test_all_free_raises(self, registry):
+        with pytest.raises(BuiltinError):
+            solve(registry, "cons", (Var("H"), Var("T"), Var("L")))
+
+    def test_check_mode(self, registry):
+        lst = make_list([Const(1), Const(2)])
+        assert solve(registry, "cons", (Const(1), make_list([Const(2)]), lst))
+        assert not solve(registry, "cons", (Const(9), make_list([Const(2)]), lst))
+
+    def test_finite_modes(self, registry):
+        cons_builtin = registry.lookup("cons", 3)
+        assert cons_builtin.is_finite_under({0, 1})
+        assert cons_builtin.is_finite_under({2})
+        assert cons_builtin.is_finite_under({0, 1, 2})
+        assert not cons_builtin.is_finite_under({0})
+        assert not cons_builtin.is_finite_under(set())
+
+
+class TestSum:
+    def test_forward(self, registry):
+        results = solve(registry, "sum", (Const(2), Const(3), Var("Z")))
+        assert results[0]["Z"] == Const(5)
+
+    def test_backward_left(self, registry):
+        results = solve(registry, "sum", (Var("X"), Const(3), Const(5)))
+        assert results[0]["X"] == Const(2)
+
+    def test_backward_right(self, registry):
+        results = solve(registry, "sum", (Const(2), Var("Y"), Const(5)))
+        assert results[0]["Y"] == Const(3)
+
+    def test_check(self, registry):
+        assert solve(registry, "sum", (Const(2), Const(3), Const(5)))
+        assert not solve(registry, "sum", (Const(2), Const(3), Const(6)))
+
+    def test_one_bound_raises(self, registry):
+        with pytest.raises(BuiltinError):
+            solve(registry, "sum", (Const(1), Var("Y"), Var("Z")))
+
+    def test_any_two_modes(self, registry):
+        builtin = registry.lookup("sum", 3)
+        assert builtin.is_finite_under({0, 1})
+        assert builtin.is_finite_under({0, 2})
+        assert builtin.is_finite_under({1, 2})
+        assert not builtin.is_finite_under({0})
+
+
+class TestMinusAndLength:
+    def test_minus_forward(self, registry):
+        assert solve(registry, "minus", (Const(5), Const(2), Var("Z")))[0]["Z"] == Const(3)
+
+    def test_minus_backward(self, registry):
+        assert solve(registry, "minus", (Var("X"), Const(2), Const(3)))[0]["X"] == Const(5)
+
+    def test_length(self, registry):
+        lst = make_list([Const(7), Const(8)])
+        assert solve(registry, "length", (lst, Var("N")))[0]["N"] == Const(2)
+
+    def test_length_check(self, registry):
+        lst = make_list([Const(7)])
+        assert solve(registry, "length", (lst, Const(1)))
+        assert not solve(registry, "length", (lst, Const(2)))
+
+    def test_length_open_list_raises(self, registry):
+        open_list = cons(Const(1), Var("T"))
+        with pytest.raises(BuiltinError):
+            solve(registry, "length", (open_list, Var("N")))
+
+
+class TestRegistry:
+    def test_is_builtin_name(self):
+        assert is_builtin_name("cons", 3)
+        assert is_builtin_name("<", 2)
+        assert not is_builtin_name("parent", 2)
+        assert not is_builtin_name("cons", 2)
+
+    def test_copy_independent(self, registry):
+        clone = registry.copy()
+        assert clone.lookup("cons", 3) is registry.lookup("cons", 3)
+
+    def test_solve_unknown_raises(self, registry):
+        with pytest.raises(BuiltinError):
+            list(registry.solve(Literal("nope", (Var("X"),)), {}))
+
+
+class TestExtendedArithmetic:
+    def test_mod(self, registry):
+        from repro.datalog.terms import Struct
+
+        assert evaluate_arithmetic(Struct("mod", [Const(7), Const(3)]), {}) == Const(1)
+
+    def test_mod_by_zero(self, registry):
+        from repro.datalog.terms import Struct
+
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(Struct("mod", [Const(7), Const(0)]), {})
+
+    def test_abs(self, registry):
+        from repro.datalog.terms import Struct
+
+        assert evaluate_arithmetic(Struct("abs", [Const(-4)]), {}) == Const(4)
+
+    def test_min_max(self, registry):
+        from repro.datalog.terms import Struct
+
+        assert evaluate_arithmetic(Struct("min", [Const(2), Const(5)]), {}) == Const(2)
+        assert evaluate_arithmetic(Struct("max", [Const(2), Const(5)]), {}) == Const(5)
+
+    def test_via_is_goal(self, registry):
+        from repro.datalog.parser import parse_term
+
+        results = solve(registry, "is", (Var("X"), parse_term("mod(10, 4)")))
+        assert results[0]["X"] == Const(2)
+
+
+class TestBetween:
+    def test_enumerates(self, registry):
+        results = solve(registry, "between", (Const(1), Const(4), Var("X")))
+        assert [r["X"].value for r in results] == [1, 2, 3, 4]
+
+    def test_check_mode(self, registry):
+        assert solve(registry, "between", (Const(1), Const(4), Const(3)))
+        assert not solve(registry, "between", (Const(1), Const(4), Const(9)))
+
+    def test_empty_range(self, registry):
+        assert solve(registry, "between", (Const(5), Const(1), Var("X"))) == []
+
+    def test_unbound_bounds_raise(self, registry):
+        with pytest.raises(BuiltinError):
+            solve(registry, "between", (Var("L"), Const(4), Var("X")))
+
+    def test_finite_modes(self, registry):
+        builtin = registry.lookup("between", 3)
+        assert builtin.is_finite_under({0, 1})
+        assert not builtin.is_finite_under({0, 2})
+
+    def test_in_program(self, registry):
+        from repro.engine.database import Database
+        from repro.engine.topdown import TopDownEvaluator
+
+        db = Database()
+        db.load_source("square(X, Y) :- between(1, 5, X), Y is X * X.")
+        td = TopDownEvaluator(db)
+        answers = td.query("square(X, Y)")
+        assert {(a["X"].value, a["Y"].value) for a in answers} == {
+            (i, i * i) for i in range(1, 6)
+        }

@@ -1,0 +1,43 @@
+"""Unit tests for the shared work counters."""
+
+from repro.engine.counters import Counters
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        counters = Counters()
+        assert counters.total_work == 0
+        assert all(value == 0 for value in counters.as_dict().values())
+
+    def test_merge_accumulates(self):
+        a = Counters(derived_tuples=3, join_probes=10)
+        b = Counters(derived_tuples=2, pruned_tuples=7)
+        a.merge(b)
+        assert a.derived_tuples == 5
+        assert a.join_probes == 10
+        assert a.pruned_tuples == 7
+
+    def test_total_work_formula(self):
+        counters = Counters(
+            derived_tuples=1, join_probes=2, intermediate_tuples=4
+        )
+        assert counters.total_work == 7
+
+    def test_as_dict_keys_stable(self):
+        keys = set(Counters().as_dict())
+        assert keys == {
+            "derived_tuples",
+            "duplicate_tuples",
+            "join_probes",
+            "intermediate_tuples",
+            "iterations",
+            "pruned_tuples",
+            "buffered_values",
+        }
+
+    def test_merge_is_not_symmetric_side_effect(self):
+        a = Counters(iterations=1)
+        b = Counters(iterations=2)
+        a.merge(b)
+        assert a.iterations == 3
+        assert b.iterations == 2

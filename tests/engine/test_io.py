@@ -1,0 +1,182 @@
+"""Unit tests for program/CSV I/O."""
+
+import io
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.terms import Const
+from repro.engine.database import Database
+from repro.engine.io import (
+    infer_constant,
+    load_facts_csv,
+    load_program_file,
+    save_facts_csv,
+)
+
+
+class TestInferConstant:
+    def test_int(self):
+        assert infer_constant("42") == Const(42)
+        assert infer_constant(" -7 ") == Const(-7)
+
+    def test_float(self):
+        assert infer_constant("2.5") == Const(2.5)
+
+    def test_string(self):
+        assert infer_constant("vancouver") == Const("vancouver")
+
+    def test_numeric_looking_string(self):
+        assert infer_constant("1e3") == Const(1000.0)
+
+
+class TestLoadFactsCsv:
+    def test_basic(self):
+        db = Database()
+        data = io.StringIO("f1,vancouver,800,calgary,1000,180\n"
+                           "f2,calgary,1100,toronto,1430,260\n")
+        added = load_facts_csv(db, data, "flight")
+        assert added == 2
+        relation = db.relation("flight", 6)
+        assert len(relation) == 2
+        row = sorted(relation.rows(), key=str)[0]
+        assert row[2] == Const(800)  # typed as int
+
+    def test_header_skipped(self):
+        db = Database()
+        data = io.StringIO("src,dst\na,b\n")
+        added = load_facts_csv(db, data, "edge", skip_header=True)
+        assert added == 1
+
+    def test_duplicates_not_double_counted(self):
+        db = Database()
+        data = io.StringIO("a,b\na,b\n")
+        assert load_facts_csv(db, data, "edge") == 1
+
+    def test_ragged_rows_rejected(self):
+        db = Database()
+        data = io.StringIO("a,b\nc\n")
+        with pytest.raises(ValueError):
+            load_facts_csv(db, data, "edge")
+
+    def test_tsv(self):
+        db = Database()
+        data = io.StringIO("a\tb\n")
+        load_facts_csv(db, data, "edge", delimiter="\t")
+        assert len(db.relation("edge", 2)) == 1
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("a,b\nb,c\n")
+        db = Database()
+        assert load_facts_csv(db, str(path), "edge") == 2
+
+    def test_loaded_facts_queryable(self):
+        db = Database()
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        load_facts_csv(db, io.StringIO("a,b\nb,c\n"), "parent")
+        from repro.core.planner import Planner
+
+        rows = Planner(db).answer_rows("anc(a, Y)")
+        assert {r[1].value for r in rows} == {"b", "c"}
+
+
+class TestSaveFactsCsv:
+    def test_roundtrip(self, tmp_path):
+        db = Database()
+        db.add_fact("edge", ("a", 1))
+        db.add_fact("edge", ("b", 2))
+        path = tmp_path / "out.csv"
+        written = save_facts_csv(db, str(path), "edge", 2)
+        assert written == 2
+        db2 = Database()
+        load_facts_csv(db2, str(path), "edge")
+        assert db2.relation("edge", 2) == db.relation("edge", 2)
+
+    def test_missing_relation_writes_empty(self, tmp_path):
+        db = Database()
+        path = tmp_path / "empty.csv"
+        assert save_facts_csv(db, str(path), "nothing", 3) == 0
+        assert path.read_text() == ""
+
+    def test_sorted_output(self):
+        db = Database()
+        db.add_fact("edge", ("z", 1))
+        db.add_fact("edge", ("a", 2))
+        target = io.StringIO()
+        save_facts_csv(db, target, "edge", 2)
+        lines = target.getvalue().strip().splitlines()
+        assert lines == sorted(lines)
+
+
+class TestLoadProgramFile:
+    def test_load(self, tmp_path):
+        path = tmp_path / "prog.pl"
+        path.write_text("p(X) :- q(X).\nq(1).\n")
+        db = Database()
+        load_program_file(db, str(path))
+        assert len(db.program) == 1
+        assert len(db.relation("q", 1)) == 1
+
+
+class TestDatabasePersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.engine.io import load_database, save_database
+
+        db = Database()
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        db.add_fact("parent", ("a", "b"))
+        db.add_fact("parent", ("b", "c"))
+        db.add_fact("score", (1, 2.5, "note"))
+        target = tmp_path / "saved"
+        save_database(db, str(target))
+        loaded = load_database(str(target))
+        assert len(loaded.program) == len(db.program)
+        assert loaded.relation("parent", 2) == db.relation("parent", 2)
+        assert loaded.relation("score", 3) == db.relation("score", 3)
+
+    def test_loaded_database_queryable(self, tmp_path):
+        from repro.core.planner import Planner
+        from repro.engine.io import load_database, save_database
+
+        db = Database()
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        db.add_fact("parent", ("a", "b"))
+        db.add_fact("parent", ("b", "c"))
+        save_database(db, str(tmp_path / "d"))
+        loaded = load_database(str(tmp_path / "d"))
+        rows = Planner(loaded).answer_rows("anc(a, Y)")
+        assert {r[1].value for r in rows} == {"b", "c"}
+
+    def test_compound_terms_refused(self, tmp_path):
+        from repro.datalog.parser import parse_term
+        from repro.engine.io import save_database
+
+        db = Database()
+        db.add_fact("holds", (parse_term("[1,2]"),))
+        with pytest.raises(ValueError):
+            save_database(db, str(tmp_path / "bad"))
+
+    def test_empty_directory_loads_empty(self, tmp_path):
+        from repro.engine.io import load_database
+
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        loaded = load_database(str(empty))
+        assert loaded.total_facts() == 0
+        assert len(loaded.program) == 0

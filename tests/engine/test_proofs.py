@@ -1,0 +1,141 @@
+"""Unit tests for proof trees."""
+
+import pytest
+
+from repro.datalog.terms import Const
+from repro.engine.database import Database
+from repro.engine.proofs import ProofNode, ProofTracer
+from repro.engine.topdown import TopDownEvaluator
+from repro.workloads import APPEND, ISORT, from_list_term, load
+
+
+def chain_db(n):
+    db = Database()
+    db.load_source(
+        """
+        anc(X, Y) :- parent(X, Y).
+        anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        """
+    )
+    for i in range(n):
+        db.add_fact("parent", (f"n{i}", f"n{i+1}"))
+    return db
+
+
+class TestProofStructure:
+    def test_fact_proof(self):
+        tracer = ProofTracer(chain_db(3))
+        proofs = list(tracer.prove("parent(n0, n1)"))
+        assert len(proofs) == 1
+        _, forest = proofs[0]
+        assert len(forest) == 1
+        assert forest[0].kind == "fact"
+        assert forest[0].children == []
+
+    def test_recursive_proof_depth_matches_path_length(self):
+        tracer = ProofTracer(chain_db(5))
+        proofs = list(tracer.prove("anc(n0, n4)"))
+        assert len(proofs) == 1
+        _, forest = proofs[0]
+        # anc(n0,n4) -> parent + anc(n1,n4) -> ... : 4 rule layers,
+        # each with a fact child; depth = 5 (4 rules + final fact).
+        assert forest[0].depth() == 5
+
+    def test_proofs_are_grounded(self):
+        tracer = ProofTracer(chain_db(4))
+        for _, forest in tracer.prove("anc(n0, Y)"):
+            for node in forest:
+                stack = [node]
+                while stack:
+                    current = stack.pop()
+                    for arg in current.goal.args:
+                        assert not str(arg).startswith("_P"), current.goal
+                    stack.extend(current.children)
+
+    def test_one_proof_per_derivation(self):
+        # Two distinct derivations of the same answer -> two proofs.
+        db = Database()
+        db.load_source(
+            """
+            p(X) :- a(X).
+            p(X) :- b(X).
+            """
+        )
+        db.add_fact("a", (1,))
+        db.add_fact("b", (1,))
+        tracer = ProofTracer(db)
+        proofs = list(tracer.prove("p(1)"))
+        assert len(proofs) == 2
+        kinds = {forest[0].rule.body[0].name for _, forest in proofs}
+        assert kinds == {"a", "b"}
+
+    def test_negation_node(self):
+        db = Database()
+        db.load_source("ok(X) :- cand(X), \\+ bad(X).")
+        db.add_fact("cand", (1,))
+        tracer = ProofTracer(db)
+        ((_, forest),) = list(tracer.prove("ok(1)"))
+        node = forest[0]
+        assert node.kind == "rule"
+        child_kinds = [child.kind for child in node.children]
+        assert "negation" in child_kinds
+
+    def test_builtin_node(self):
+        db = Database()
+        db.load_source("big(X) :- num(X), X > 10.")
+        db.add_fact("num", (50,))
+        tracer = ProofTracer(db)
+        ((_, forest),) = list(tracer.prove("big(50)"))
+        child_kinds = [child.kind for child in forest[0].children]
+        assert child_kinds == ["fact", "builtin"]
+
+    def test_answers_match_plain_evaluator(self):
+        db = chain_db(6)
+        tracer = ProofTracer(db)
+        proof_answers = set()
+        for subst, _ in tracer.prove("anc(n0, Y)"):
+            from repro.datalog.terms import Var
+            from repro.datalog.unify import apply_substitution
+
+            proof_answers.add(apply_substitution(Var("Y"), subst))
+        plain = TopDownEvaluator(db)
+        plain_answers = {a["Y"] for a in plain.query("anc(n0, Y)")}
+        assert proof_answers == plain_answers
+
+    def test_functional_proof_shows_delayed_cons(self):
+        """The proof of an append^bbf answer on the rectified program
+        contains both cons steps — the delayed one resolved after the
+        recursive subproof."""
+        from repro.analysis import normalize
+        from repro.datalog import Predicate, parse_program
+
+        rect, _ = normalize(parse_program(APPEND), Predicate("append", 3))
+        db = Database()
+        db.program = rect
+        tracer = ProofTracer(db)
+        proofs = list(tracer.prove("append([1], [2], W)"))
+        assert proofs
+        _, forest = proofs[0]
+        text = forest[0].format()
+        assert text.count("cons") >= 2
+
+    def test_explain_formatting(self):
+        tracer = ProofTracer(chain_db(3))
+        text = tracer.explain("anc(n0, n2)")
+        assert text is not None
+        assert "anc(n0, n2)" in text
+        assert "[fact]" in text
+
+    def test_explain_none_for_unprovable(self):
+        tracer = ProofTracer(chain_db(3))
+        assert tracer.explain("anc(n2, n0)") is None
+
+    def test_size_and_depth(self):
+        from repro.datalog.literals import Literal
+
+        leaf = ProofNode(Literal("p", ()), "fact")
+        parent = ProofNode(Literal("q", ()), "rule", children=[leaf, leaf])
+        assert leaf.size() == 1
+        assert leaf.depth() == 1
+        assert parent.size() == 3
+        assert parent.depth() == 2

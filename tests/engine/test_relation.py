@@ -1,0 +1,153 @@
+"""Unit tests for relations and the database catalog."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.terms import Const, Var, make_list
+from repro.engine.database import Database, FinitenessConstraint
+from repro.engine.relation import Relation, wrap_term
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        rel = Relation("r", 2)
+        assert rel.add((Const(1), Const(2)))
+        assert (Const(1), Const(2)) in rel
+        assert len(rel) == 1
+
+    def test_duplicate_insert(self):
+        rel = Relation("r", 1)
+        assert rel.add((Const(1),))
+        assert not rel.add((Const(1),))
+        assert len(rel) == 1
+
+    def test_arity_mismatch(self):
+        rel = Relation("r", 2)
+        with pytest.raises(ValueError):
+            rel.add((Const(1),))
+
+    def test_non_ground_rejected(self):
+        rel = Relation("r", 1)
+        with pytest.raises(ValueError):
+            rel.add((Var("X"),))
+
+    def test_compound_terms_allowed(self):
+        rel = Relation("r", 1)
+        rel.add((make_list([Const(1), Const(2)]),))
+        assert len(rel) == 1
+
+    def test_lookup_by_index(self):
+        rel = Relation.from_pairs("r", [(1, 2), (1, 3), (2, 4)])
+        rows = rel.lookup((0,), (Const(1),))
+        assert len(rows) == 2
+        assert all(row[0] == Const(1) for row in rows)
+
+    def test_lookup_missing_key(self):
+        rel = Relation.from_pairs("r", [(1, 2)])
+        assert rel.lookup((0,), (Const(9),)) == []
+
+    def test_lookup_empty_columns_returns_all(self):
+        rel = Relation.from_pairs("r", [(1, 2), (2, 3)])
+        assert len(rel.lookup((), ())) == 2
+
+    def test_index_updated_on_insert(self):
+        rel = Relation.from_pairs("r", [(1, 2)])
+        rel.lookup((0,), (Const(1),))  # build index
+        rel.add((Const(1), Const(9)))
+        assert len(rel.lookup((0,), (Const(1),))) == 2
+
+    def test_discard_invalidates_index(self):
+        rel = Relation.from_pairs("r", [(1, 2), (1, 3)])
+        rel.lookup((0,), (Const(1),))
+        assert rel.discard((Const(1), Const(2)))
+        assert len(rel.lookup((0,), (Const(1),))) == 1
+        assert not rel.discard((Const(1), Const(2)))
+
+    def test_project(self):
+        rel = Relation.from_pairs("r", [(1, 2), (1, 3)])
+        proj = rel.project((0,))
+        assert len(proj) == 1
+
+    def test_select(self):
+        rel = Relation.from_pairs("r", [(1, 2), (3, 4)])
+        selected = rel.select(lambda row: row[0] == Const(1))
+        assert len(selected) == 1
+
+    def test_copy_independent(self):
+        rel = Relation.from_pairs("r", [(1, 2)])
+        clone = rel.copy()
+        clone.add((Const(5), Const(6)))
+        assert len(rel) == 1
+        assert len(clone) == 2
+
+    def test_equality(self):
+        a = Relation.from_pairs("a", [(1, 2)])
+        b = Relation.from_pairs("b", [(1, 2)])
+        assert a == b  # names do not matter, contents do
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation("r", 1))
+
+    def test_column_values(self):
+        rel = Relation.from_pairs("r", [(1, 2), (1, 3)])
+        assert rel.column_values(0) == {Const(1)}
+
+    def test_wrap_term(self):
+        assert wrap_term(1) == Const(1)
+        assert wrap_term("a") == Const("a")
+        assert wrap_term(Const(2)) == Const(2)
+        with pytest.raises(TypeError):
+            wrap_term(object())
+
+    def test_from_tuples(self):
+        rel = Relation.from_tuples("r", 3, [(1, "a", 2.5)])
+        assert len(rel) == 1
+
+
+class TestDatabase:
+    def test_load_source_splits_facts_and_rules(self):
+        db = Database()
+        db.load_source(
+            """
+            parent(a, b).
+            anc(X, Y) :- parent(X, Y).
+            """
+        )
+        assert db.get(Predicate("parent", 2)) is not None
+        assert len(db.program) == 1
+
+    def test_add_fact(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        assert db.total_facts() == 1
+
+    def test_relation_created_on_demand(self):
+        db = Database()
+        rel = db.relation("r", 2)
+        assert rel.arity == 2
+        assert db.get(Predicate("r", 2)) is rel
+
+    def test_copy_is_deep_for_relations(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        clone = db.copy()
+        clone.add_fact("edge", (3, 4))
+        assert db.total_facts() == 1
+        assert clone.total_facts() == 2
+
+    def test_finiteness_constraints_trivial_for_edb(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        constraints = db.constraints_for(Predicate("edge", 2))
+        assert any(c.sources == frozenset() for c in constraints)
+
+    def test_finiteness_constraint_validation(self):
+        with pytest.raises(ValueError):
+            FinitenessConstraint(Predicate("p", 2), (0,), (5,))
+
+    def test_constraint_equality(self):
+        a = FinitenessConstraint(Predicate("p", 2), (0,), (1,))
+        b = FinitenessConstraint(Predicate("p", 2), (0,), (1,))
+        assert a == b
+        assert len({a, b}) == 1

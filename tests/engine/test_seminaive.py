@@ -1,0 +1,207 @@
+"""Unit tests for bottom-up evaluation (naive + semi-naive) and joins."""
+
+import pytest
+
+from repro.datalog.literals import Literal, Predicate
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Const, Var
+from repro.engine.builtins import default_registry
+from repro.engine.counters import Counters
+from repro.engine.database import Database
+from repro.engine.joins import UnsafeRuleError, order_body
+from repro.engine.relation import Relation
+from repro.engine.seminaive import NaiveEvaluator, SemiNaiveEvaluator
+
+
+def make_db(source, facts=()):
+    db = Database()
+    db.load_source(source)
+    for name, row in facts:
+        db.add_fact(name, row)
+    return db
+
+
+ANCESTOR = """
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+"""
+
+CHAIN = [("parent", ("a", "b")), ("parent", ("b", "c")), ("parent", ("c", "d"))]
+
+
+class TestOrderBody:
+    def test_builtin_deferred_until_bound(self):
+        registry = default_registry()
+        rule = parse_program("p(X, Y) :- Y is X + 1, q(X).").rules[0]
+        ordered = order_body(rule.body, registry)
+        assert [lit.name for _, lit in ordered] == ["q", "is"]
+
+    def test_negation_deferred(self):
+        registry = default_registry()
+        rule = parse_program("p(X) :- \\+ bad(X), q(X).").rules[0]
+        ordered = order_body(rule.body, registry)
+        assert [lit.name for _, lit in ordered] == ["q", "bad"]
+
+    def test_unsafe_rule_raises(self):
+        registry = default_registry()
+        rule = parse_program("p(X) :- X < 3.").rules[0]
+        with pytest.raises(UnsafeRuleError):
+            order_body(rule.body, registry)
+
+    def test_original_indexes_preserved(self):
+        registry = default_registry()
+        rule = parse_program("p(X) :- X > 1, q(X), r(X).").rules[0]
+        ordered = order_body(rule.body, registry)
+        indexes = {idx for idx, _ in ordered}
+        assert indexes == {0, 1, 2}
+
+
+class TestSemiNaive:
+    def test_transitive_closure(self):
+        db = make_db(ANCESTOR, CHAIN)
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert len(result.relation("anc", 2)) == 6
+
+    def test_agrees_with_naive(self):
+        db = make_db(ANCESTOR, CHAIN)
+        semi = SemiNaiveEvaluator(db).evaluate()
+        naive = NaiveEvaluator(db).evaluate()
+        assert semi.relation("anc", 2) == naive.relation("anc", 2)
+
+    def test_seminaive_fewer_duplicates_than_naive(self):
+        facts = [("parent", (f"n{i}", f"n{i+1}")) for i in range(12)]
+        db = make_db(ANCESTOR, facts)
+        semi = SemiNaiveEvaluator(db).evaluate()
+        naive = NaiveEvaluator(db).evaluate()
+        assert semi.counters.duplicate_tuples < naive.counters.duplicate_tuples
+
+    def test_cyclic_data_terminates(self):
+        db = make_db(ANCESTOR, CHAIN + [("parent", ("d", "a"))])
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert len(result.relation("anc", 2)) == 16  # complete digraph on 4
+
+    def test_builtin_in_body(self):
+        db = make_db(
+            """
+            bump(X, Y) :- base(X), Y is X + 1.
+            """,
+            [("base", (1,)), ("base", (5,))],
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        rows = {tuple(v.value for v in row) for row in result.relation("bump", 2)}
+        assert rows == {(1, 2), (5, 6)}
+
+    def test_comparison_filter(self):
+        db = make_db(
+            "big(X) :- num(X), X > 10.",
+            [("num", (5,)), ("num", (15,)), ("num", (25,))],
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert len(result.relation("big", 1)) == 2
+
+    def test_stratified_negation(self):
+        db = make_db(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            isolated(X) :- node(X), \\+ reach(X).
+            """,
+            [
+                ("start", ("a",)),
+                ("edge", ("a", "b")),
+                ("node", ("a",)),
+                ("node", ("b",)),
+                ("node", ("c",)),
+            ],
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        isolated = {row[0].value for row in result.relation("isolated", 1)}
+        assert isolated == {"c"}
+
+    def test_mutual_recursion(self):
+        db = make_db(
+            """
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(Y).
+            """,
+            [("zero", (0,))] + [("succ", (i, i + 1)) for i in range(6)],
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        evens = {row[0].value for row in result.relation("even", 1)}
+        odds = {row[0].value for row in result.relation("odd", 1)}
+        assert evens == {0, 2, 4, 6}
+        assert odds == {1, 3, 5}
+
+    def test_constant_in_rule_head(self):
+        db = make_db("flag(on) :- trigger(X).", [("trigger", (1,))])
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert len(result.relation("flag", 1)) == 1
+
+    def test_empty_program(self):
+        db = Database()
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert result.relations == {}
+
+    def test_counters_populated(self):
+        db = make_db(ANCESTOR, CHAIN)
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert result.counters.derived_tuples == 6
+        assert result.counters.iterations >= 2
+        assert result.counters.join_probes > 0
+
+    def test_nonlinear_rule(self):
+        # Same-generation via double recursion (nonlinear) still works
+        # bottom-up.
+        db = make_db(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- path(X, Z), path(Z, Y).
+            """,
+            [("edge", ("a", "b")), ("edge", ("b", "c"))],
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert len(result.relation("path", 2)) == 3
+
+    def test_max_iterations_guard(self):
+        db = make_db(
+            "count(Y) :- count(X), Y is X + 1.\ncount(0).",
+        )
+        with pytest.raises(RuntimeError):
+            SemiNaiveEvaluator(db, max_iterations=50).evaluate()
+
+    def test_relation_helper_returns_empty_for_unknown(self):
+        db = make_db(ANCESTOR, CHAIN)
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert len(result.relation("nothing", 3)) == 0
+
+
+class TestCostBasedOrdering:
+    def test_seminaive_with_cost_orderer(self):
+        """The evaluator accepts a pluggable body orderer and still
+        returns the same answers."""
+        from repro.analysis.joinorder import CostBasedOrderer
+
+        db = make_db(ANCESTOR, CHAIN)
+        default_result = SemiNaiveEvaluator(db).evaluate()
+        smart = SemiNaiveEvaluator(db, orderer=CostBasedOrderer(db))
+        smart_result = smart.evaluate()
+        assert default_result.relation("anc", 2) == smart_result.relation("anc", 2)
+
+    def test_cost_orderer_can_reduce_work(self):
+        from repro.analysis.joinorder import CostBasedOrderer
+
+        db = Database()
+        db.load_source("pair(S, B) :- small(K, S), big(K, B), sel(K).")
+        for key in range(20):
+            for t in range(20):
+                db.add_fact("big", (key, f"b{key}_{t}"))
+            db.add_fact("small", (key, f"s{key}"))
+        db.add_fact("sel", (3,))
+        default_result = SemiNaiveEvaluator(db).evaluate()
+        smart_result = SemiNaiveEvaluator(db, orderer=CostBasedOrderer(db)).evaluate()
+        assert default_result.relation("pair", 2) == smart_result.relation("pair", 2)
+        assert (
+            smart_result.counters.intermediate_tuples
+            <= default_result.counters.intermediate_tuples
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for catalog statistics (the cost-model inputs)."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.statistics import CatalogStatistics, RelationStatistics
+
+
+@pytest.fixture
+def fanout_relation():
+    # 1 -> {10, 11, 12}; 2 -> {20}; distinct targets: 4.
+    return Relation.from_pairs(
+        "r", [(1, 10), (1, 11), (1, 12), (2, 20)]
+    )
+
+
+class TestRelationStatistics:
+    def test_cardinality(self, fanout_relation):
+        assert RelationStatistics(fanout_relation).cardinality == 4
+
+    def test_distinct(self, fanout_relation):
+        stats = RelationStatistics(fanout_relation)
+        assert stats.distinct((0,)) == 2
+        assert stats.distinct((1,)) == 4
+        assert stats.distinct((0, 1)) == 4
+
+    def test_fanout_forward(self, fanout_relation):
+        stats = RelationStatistics(fanout_relation)
+        # avg targets per source: (3 + 1) / 2 = 2
+        assert stats.fanout((0,), (1,)) == pytest.approx(2.0)
+
+    def test_fanout_backward(self, fanout_relation):
+        stats = RelationStatistics(fanout_relation)
+        # every target has exactly one source
+        assert stats.fanout((1,), (0,)) == pytest.approx(1.0)
+
+    def test_fanout_unbound(self, fanout_relation):
+        stats = RelationStatistics(fanout_relation)
+        # no binding: whole projection flows through
+        assert stats.fanout((), (1,)) == pytest.approx(4.0)
+
+    def test_fanout_empty_relation(self):
+        stats = RelationStatistics(Relation("empty", 2))
+        assert stats.fanout((0,), (1,)) == 0.0
+
+    def test_selectivity(self, fanout_relation):
+        stats = RelationStatistics(fanout_relation)
+        assert stats.selectivity((0,)) == pytest.approx(0.5)
+
+    def test_selectivity_empty(self):
+        stats = RelationStatistics(Relation("empty", 2))
+        assert stats.selectivity((0,)) == 0.0
+
+    def test_caching_consistency(self, fanout_relation):
+        stats = RelationStatistics(fanout_relation)
+        first = stats.fanout((0,), (1,))
+        second = stats.fanout((0,), (1,))
+        assert first == second
+
+
+class TestCatalogStatistics:
+    def test_for_predicate(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        catalog = CatalogStatistics(db)
+        assert catalog.for_predicate(Predicate("edge", 2)).cardinality == 1
+        assert catalog.for_predicate(Predicate("missing", 2)) is None
+
+    def test_expansion_ratio_default_for_unknown(self):
+        db = Database()
+        catalog = CatalogStatistics(db)
+        assert catalog.expansion_ratio(Predicate("f", 3), (0,), (1,)) == float("inf")
+        assert catalog.expansion_ratio(Predicate("f", 3), (0,), (1,), default=1.0) == 1.0
+
+    def test_cardinality(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        db.add_fact("edge", (2, 3))
+        catalog = CatalogStatistics(db)
+        assert catalog.cardinality(Predicate("edge", 2)) == 2
+        assert catalog.cardinality(Predicate("gone", 1)) == 0
+
+    def test_same_country_ratio_scales_with_coarseness(self):
+        """The scsg weak-linkage signal: fewer countries -> higher
+        expansion ratio of same_country."""
+        from repro.workloads import FamilyConfig, family_database
+
+        ratios = []
+        for countries in (2, 4):
+            db = family_database(
+                FamilyConfig(levels=3, width=8, countries=countries, seed=0)
+            )
+            catalog = CatalogStatistics(db)
+            ratios.append(
+                catalog.expansion_ratio(Predicate("same_country", 2), (0,), (1,))
+            )
+        assert ratios[0] > ratios[1] > 1.0

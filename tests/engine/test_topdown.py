@@ -1,0 +1,172 @@
+"""Unit tests for top-down (SLD) evaluation and goal selection."""
+
+import pytest
+
+from repro.datalog.terms import Const
+from repro.engine.database import Database
+from repro.engine.topdown import (
+    BudgetExceeded,
+    NotFinitelyEvaluable,
+    TopDownEvaluator,
+)
+from repro.workloads import APPEND, ISORT, NQUEENS, QSORT, from_list_term, load
+
+
+def make_db(source, facts=()):
+    db = Database()
+    db.load_source(source)
+    for name, row in facts:
+        db.add_fact(name, row)
+    return db
+
+
+class TestBasicResolution:
+    def test_edb_fact_lookup(self):
+        db = make_db("", [("parent", ("a", "b"))])
+        td = TopDownEvaluator(db)
+        assert td.ask("parent(a, b)")
+        assert not td.ask("parent(b, a)")
+
+    def test_rule_application(self):
+        db = make_db(
+            "grand(X, Z) :- parent(X, Y), parent(Y, Z).",
+            [("parent", ("a", "b")), ("parent", ("b", "c"))],
+        )
+        td = TopDownEvaluator(db)
+        answers = td.query("grand(a, Z)")
+        assert answers == [{"Z": Const("c")}]
+
+    def test_recursion(self):
+        db = make_db(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """,
+            [("parent", ("a", "b")), ("parent", ("b", "c"))],
+        )
+        td = TopDownEvaluator(db)
+        answers = {a["Y"].value for a in td.query("anc(a, Y)")}
+        assert answers == {"b", "c"}
+
+    def test_deduplicated_answers(self):
+        db = make_db(
+            """
+            p(X) :- q(X).
+            p(X) :- r(X).
+            """,
+            [("q", (1,)), ("r", (1,))],
+        )
+        td = TopDownEvaluator(db)
+        assert len(td.query("p(X)")) == 1
+
+    def test_negation_as_failure(self):
+        db = make_db(
+            "good(X) :- item(X), \\+ bad(X).",
+            [("item", (1,)), ("item", (2,)), ("bad", (2,))],
+        )
+        td = TopDownEvaluator(db)
+        assert {a["X"].value for a in td.query("good(X)")} == {1}
+
+    def test_negation_unbound_flounders(self):
+        db = make_db("p(X) :- \\+ q(X).", [("q", (1,))])
+        td = TopDownEvaluator(db, selection="leftmost")
+        with pytest.raises(NotFinitelyEvaluable):
+            td.query("p(X)")
+
+    def test_budget_exceeded_on_left_recursion(self):
+        db = make_db(
+            """
+            loop(X) :- loop(X).
+            loop(a).
+            """
+        )
+        td = TopDownEvaluator(db, max_steps=1000)
+        with pytest.raises(BudgetExceeded):
+            td.query("loop(b)")
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(ValueError):
+            TopDownEvaluator(Database(), selection="magic")
+
+
+class TestDeferredSelection:
+    """The chain-split behaviour: non-evaluable functional goals are
+    delayed until their arguments become bound."""
+
+    def test_append_forward(self):
+        td = TopDownEvaluator(load(APPEND))
+        answers = td.query("append([1,2], [3], W)")
+        assert from_list_term(answers[0]["W"]) == [1, 2, 3]
+
+    def test_append_inverse_enumerates_splits(self):
+        td = TopDownEvaluator(load(APPEND))
+        answers = td.query("append(U, V, [1,2,3])")
+        assert len(answers) == 4
+
+    def test_append_leftmost_also_works_forward(self):
+        # Forward mode binds left-to-right anyway.
+        td = TopDownEvaluator(load(APPEND), selection="leftmost")
+        answers = td.query("append([1], [2], W)")
+        assert from_list_term(answers[0]["W"]) == [1, 2]
+
+    def test_isort_paper_example(self):
+        # Paper §4.1: ?- isort([5,7,1], Ys) -> Ys = [1,5,7].
+        td = TopDownEvaluator(load(ISORT))
+        answers = td.query("isort([5,7,1], Ys)")
+        assert [from_list_term(a["Ys"]) for a in answers] == [[1, 5, 7]]
+
+    def test_qsort_paper_example(self):
+        # Paper §4.2: ?- qsort([4,9,5], Ys) -> Ys = [4,5,9].
+        td = TopDownEvaluator(load(QSORT))
+        answers = td.query("qsort([4,9,5], Ys)")
+        assert [from_list_term(a["Ys"]) for a in answers] == [[4, 5, 9]]
+
+    def test_isort_duplicates(self):
+        td = TopDownEvaluator(load(ISORT))
+        answers = td.query("isort([3,1,3,2], Ys)")
+        assert from_list_term(answers[0]["Ys"]) == [1, 2, 3, 3]
+
+    def test_qsort_empty(self):
+        td = TopDownEvaluator(load(QSORT))
+        answers = td.query("qsort([], Ys)")
+        assert [from_list_term(a["Ys"]) for a in answers] == [[]]
+
+    def test_nqueens_counts(self):
+        td = TopDownEvaluator(load(NQUEENS))
+        for n, expected in [(4, 2), (5, 10), (6, 4)]:
+            solutions = td.query(f"queens({n}, Qs)")
+            assert len(solutions) == expected, f"n={n}"
+
+    def test_nqueens_solutions_valid(self):
+        td = TopDownEvaluator(load(NQUEENS))
+        for answer in td.query("queens(5, Qs)"):
+            qs = from_list_term(answer["Qs"])
+            assert sorted(qs) == [1, 2, 3, 4, 5]
+            assert all(
+                abs(qs[i] - qs[j]) != abs(i - j)
+                for i in range(5)
+                for j in range(i + 1, 5)
+            )
+
+    def test_floundering_detected(self):
+        # cons can never be evaluated: all arguments stay free.
+        db = make_db("weird(L) :- cons(X, Y, L).")
+        td = TopDownEvaluator(db)
+        with pytest.raises(NotFinitelyEvaluable):
+            td.query("weird(L)")
+
+
+class TestQueryInterface:
+    def test_ask(self):
+        td = TopDownEvaluator(load(APPEND))
+        assert td.ask("append([1], [2], [1,2])")
+        assert not td.ask("append([1], [2], [2,1])")
+
+    def test_query_returns_only_query_variables(self):
+        db = make_db(
+            "p(X) :- q(X, Y).",
+            [("q", (1, 2))],
+        )
+        td = TopDownEvaluator(db)
+        answers = td.query("p(X)")
+        assert list(answers[0]) == ["X"]

@@ -1,0 +1,130 @@
+"""Integration tests: several recursions sharing one database, the
+end-to-end flows a real user runs (CSV in, plan, execute, prove,
+persist, reload), and the planner handling heterogeneous queries
+against the same database instance."""
+
+import io
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.io import load_database, load_facts_csv, save_database
+from repro.engine.proofs import ProofTracer
+from repro.core.existence import ExistenceChecker
+from repro.core.planner import Planner, Strategy
+from repro.testing import assert_strategies_agree
+from repro.workloads import from_list_term
+
+#: One database hosting three different recursion classes at once.
+MIXED = """
+% function-free single chain
+reachable(X, Y) :- road(X, Y).
+reachable(X, Y) :- road(X, Z), reachable(Z, Y).
+
+% function-free 2-chain
+twin_town(X, Y) :- paired(X, Y).
+twin_town(X, Y) :- road(X, X1), twin_town(X1, Y1), road(Y, Y1).
+
+% functional single chain with accumulators
+route(L, X, Y, D) :- road_km(X, Y, D0), cons(X, [], L), sum(D0, 0, D).
+route(L, X, Y, D) :- road_km(X, Z, D1), route(L1, Z, Y, D2),
+                     sum(D1, D2, D), cons(X, L1, L).
+"""
+
+ROADS_CSV = """\
+athens,berlin
+berlin,cairo
+cairo,delhi
+athens,delhi
+"""
+
+ROAD_KM_CSV = """\
+athens,berlin,1800
+berlin,cairo,2900
+cairo,delhi,4400
+athens,delhi,5100
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_source(MIXED)
+    load_facts_csv(database, io.StringIO(ROADS_CSV), "road")
+    load_facts_csv(database, io.StringIO(ROAD_KM_CSV), "road_km")
+    database.add_fact("paired", ("cairo", "delhi"))
+    return database
+
+
+class TestHeterogeneousQueries:
+    def test_each_recursion_gets_its_own_strategy(self, db):
+        planner = Planner(db)
+        assert (
+            planner.plan("reachable(athens, Y)").strategy
+            == Strategy.CHAIN_FOLLOW
+        )
+        assert planner.plan("twin_town(berlin, Y)").strategy == Strategy.COUNTING
+        assert (
+            planner.plan("route(L, athens, delhi, D), D =< 6000").strategy
+            == Strategy.PARTIAL
+        )
+
+    def test_reachability_answers(self, db):
+        planner = Planner(db)
+        rows = planner.answer_rows("reachable(athens, Y)")
+        assert {r[1].value for r in rows} == {"berlin", "cairo", "delhi"}
+
+    def test_twin_town_answers(self, db):
+        planner = Planner(db)
+        rows = planner.answer_rows("twin_town(berlin, Y)")
+        # berlin>cairo ~ athens>delhi and berlin>cairo ~ cairo>delhi.
+        assert {r[1].value for r in rows} == {"athens", "cairo"}
+
+    def test_route_with_budget(self, db):
+        planner = Planner(db, max_depth=20)
+        rows = planner.answer_rows("route(L, athens, delhi, D), D =< 6000")
+        options = {
+            (tuple(from_list_term(r[0])), r[3].value) for r in rows
+        }
+        assert options == {(("athens",), 5100)}
+        rows = planner.answer_rows("route(L, athens, delhi, D), D =< 10000")
+        assert len(rows) == 2
+
+    def test_strategies_agree_per_query(self, db):
+        for query in ["reachable(athens, Y)", "twin_town(berlin, Y)"]:
+            assert_strategies_agree(db, query)
+
+    def test_existence_checks(self, db):
+        checker = ExistenceChecker(db)
+        assert checker.exists("reachable(athens, delhi)")
+        assert not checker.exists("reachable(delhi, athens)")
+
+    def test_proof_spans_csv_facts(self, db):
+        tracer = ProofTracer(db)
+        explanation = tracer.explain("reachable(athens, cairo)")
+        assert explanation is not None
+        assert "road(athens, berlin) [fact]" in explanation
+
+
+class TestPersistenceRoundtrip:
+    def test_save_load_query(self, db, tmp_path):
+        # route uses lists internally but only flat EDB relations are
+        # stored — persistence round-trips the whole database.
+        save_database(db, str(tmp_path / "geo"))
+        reloaded = load_database(str(tmp_path / "geo"))
+        planner = Planner(reloaded, max_depth=20)
+        rows = planner.answer_rows("twin_town(berlin, Y)")
+        assert {r[1].value for r in rows} == {"athens", "cairo"}
+        rows = planner.answer_rows("route(L, athens, delhi, D), D =< 6000")
+        assert len(rows) == 1
+
+    def test_reloaded_plans_match(self, db, tmp_path):
+        save_database(db, str(tmp_path / "geo2"))
+        reloaded = load_database(str(tmp_path / "geo2"))
+        for query in [
+            "reachable(athens, Y)",
+            "twin_town(berlin, Y)",
+        ]:
+            original = Planner(db).plan(query).strategy
+            after = Planner(reloaded).plan(query).strategy
+            assert original == after, query

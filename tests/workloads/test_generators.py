@@ -1,0 +1,150 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.engine.seminaive import SemiNaiveEvaluator
+from repro.workloads import (
+    FamilyConfig,
+    FlightConfig,
+    as_list_term,
+    family_database,
+    flight_database,
+    from_list_term,
+    layered_digraph,
+    random_digraph,
+    random_int_list,
+    same_country_pairs,
+    sorted_copy,
+)
+
+
+class TestFamilyGenerator:
+    def test_deterministic_per_seed(self):
+        a = family_database(FamilyConfig(levels=3, width=6, seed=5))
+        b = family_database(FamilyConfig(levels=3, width=6, seed=5))
+        assert a.relation("parent", 2) == b.relation("parent", 2)
+        assert a.relation("same_country", 2) == b.relation("same_country", 2)
+
+    def test_seeds_differ(self):
+        a = family_database(FamilyConfig(levels=3, width=6, seed=1))
+        b = family_database(FamilyConfig(levels=3, width=6, seed=2))
+        assert a.relation("parent", 2) != b.relation("parent", 2)
+
+    def test_parent_count(self):
+        config = FamilyConfig(levels=4, width=6, parents_per_child=2, seed=0)
+        db = family_database(config)
+        # (levels - 1) * width children, each with 2 distinct parents.
+        assert len(db.relation("parent", 2)) == 3 * 6 * 2
+
+    def test_same_country_size_matches_prediction(self):
+        config = FamilyConfig(levels=3, width=8, countries=2, seed=0)
+        db = family_database(config)
+        assert len(db.relation("same_country", 2)) == same_country_pairs(config)
+
+    def test_same_country_symmetric(self):
+        db = family_database(FamilyConfig(levels=3, width=6, countries=2, seed=0))
+        relation = db.relation("same_country", 2)
+        for a, b in relation:
+            assert (b, a) in relation
+
+    def test_siblings_share_country(self):
+        db = family_database(FamilyConfig(levels=4, width=8, countries=2, seed=0))
+        same_country = db.relation("same_country", 2)
+        for a, b in db.relation("sibling", 2):
+            assert (a, b) in same_country
+
+    def test_lonely_fraction_shrinks_same_country(self):
+        base = FamilyConfig(levels=3, width=8, countries=2, seed=0)
+        lonely = FamilyConfig(
+            levels=3, width=8, countries=2, seed=0, lonely_fraction=0.5
+        )
+        assert same_country_pairs(lonely) < same_country_pairs(base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FamilyConfig(levels=1)
+        with pytest.raises(ValueError):
+            FamilyConfig(width=1)
+        with pytest.raises(ValueError):
+            FamilyConfig(countries=0)
+        with pytest.raises(ValueError):
+            FamilyConfig(lonely_fraction=1.5)
+
+    def test_program_loaded_and_evaluable(self):
+        db = family_database(
+            FamilyConfig(levels=3, width=6, countries=2, parents_per_child=2, seed=3)
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert Predicate("scsg", 2) in result.relations
+
+
+class TestFlightGenerator:
+    def test_backbone_guarantees_route(self):
+        db = flight_database(FlightConfig(airports=5, extra_flights=0, seed=0))
+        flights = db.relation("flight", 6)
+        sources = {row[1].value for row in flights}
+        assert sources == {f"city{i}" for i in range(4)}
+
+    def test_flight_count(self):
+        config = FlightConfig(airports=6, extra_flights=10, seed=1)
+        db = flight_database(config)
+        # backbone (5) + up to 10 extras (self-loops skipped).
+        count = len(db.relation("flight", 6))
+        assert 5 <= count <= 15
+
+    def test_fares_in_range(self):
+        config = FlightConfig(airports=5, extra_flights=10, min_fare=100, max_fare=200, seed=2)
+        db = flight_database(config)
+        for row in db.relation("flight", 6):
+            assert 100 <= row[5].value <= 200
+
+    def test_arrival_after_departure(self):
+        db = flight_database(FlightConfig(airports=5, extra_flights=10, seed=3))
+        for row in db.relation("flight", 6):
+            assert row[4].value > row[2].value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightConfig(airports=1)
+        with pytest.raises(ValueError):
+            FlightConfig(min_fare=0)
+        with pytest.raises(ValueError):
+            FlightConfig(min_fare=100, max_fare=50)
+
+
+class TestGraphGenerators:
+    def test_random_digraph_size_and_no_self_loops(self):
+        relation = random_digraph(10, 20, seed=4)
+        assert len(relation) == 20
+        for a, b in relation:
+            assert a != b
+
+    def test_layered_digraph_acyclic_by_construction(self):
+        relation = layered_digraph(4, 5, 2, seed=0)
+        # Edges only go from layer i to layer i+1: node index grows.
+        for a, b in relation:
+            assert int(str(a.value)[1:]) < int(str(b.value)[1:])
+
+    def test_layered_fanout(self):
+        relation = layered_digraph(3, 4, 2, seed=1)
+        assert len(relation) == 2 * 4 * 2  # (layers-1) * width * fanout
+
+
+class TestListHelpers:
+    def test_random_list_deterministic(self):
+        assert random_int_list(5, seed=9) == random_int_list(5, seed=9)
+
+    def test_roundtrip(self):
+        values = [3, 1, 2]
+        assert from_list_term(as_list_term(values)) == values
+
+    def test_sorted_copy_does_not_mutate(self):
+        values = [3, 1, 2]
+        result = sorted_copy(values)
+        assert result == [1, 2, 3]
+        assert values == [3, 1, 2]
+
+    def test_as_list_term_rejects_objects(self):
+        with pytest.raises(TypeError):
+            as_list_term([object()])
