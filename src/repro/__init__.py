@@ -66,6 +66,14 @@ from .core import (
     decide_split,
     transitive_closure,
 )
+from .core.planner import adornment_key, plan_cache_key
+from .service import (
+    QueryResult,
+    QueryServer,
+    QuerySession,
+    ServiceMetrics,
+    serve,
+)
 
 __version__ = "1.0.0"
 
@@ -86,12 +94,17 @@ __all__ = [
     "ProofTracer",
     "Program",
     "QueryPlan",
+    "QueryResult",
+    "QueryServer",
+    "QuerySession",
     "Relation",
     "Rule",
     "SemiNaiveEvaluator",
+    "ServiceMetrics",
     "TabledEvaluator",
     "Strategy",
     "TopDownEvaluator",
+    "adornment_key",
     "classify_recursion",
     "compile_recursion",
     "decide_split",
@@ -101,7 +114,9 @@ __all__ = [
     "parse_query",
     "parse_rule",
     "parse_term",
+    "plan_cache_key",
     "rectify_program",
+    "serve",
     "split_path",
     "transitive_closure",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: load a program, run queries.
+"""Command-line interface: load a program, run queries, serve.
 
 Usage::
 
@@ -7,6 +7,11 @@ Usage::
     python -m repro program.pl -q "..." --stats         # work counters
     python -m repro program.pl -q "..." --proof         # derivation tree
     python -m repro program.pl                          # REPL
+    python -m repro program.pl --serve --port 8473      # TCP query server
+
+Every mode runs through one :class:`~repro.service.QuerySession`, so
+repeated queries (REPL lines, stacked ``-q`` flags, server requests)
+hit the plan and result caches instead of re-planning from scratch.
 
 REPL commands::
 
@@ -14,6 +19,7 @@ REPL commands::
     :plan sg(ann, Y)      show the plan without running it
     :proof sg(ann, Y)     print the first answer's proof tree
     :facts                list stored relations
+    :stats                print the session's service metrics
     :dot                  dump the dependency graph as Graphviz DOT
     :quit                 exit
 """
@@ -21,12 +27,14 @@ REPL commands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import IO, List, Optional, Sequence
 
 from .engine.database import Database
 from .engine.proofs import ProofTracer
-from .core.planner import Planner, PlanningError
+from .core.planner import PlanningError
+from .service import QueryServer, QuerySession
 
 __all__ = ["main", "build_parser"]
 
@@ -73,6 +81,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=10_000,
         help="chain-evaluation depth budget (default 10000)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve queries over TCP (QUERY/PLAN/FACT/STATS line protocol) "
+        "instead of running a REPL",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --serve (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8473,
+        help="port for --serve (default 8473; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock budget for --serve (default: none)",
+    )
     return parser
 
 
@@ -92,39 +124,49 @@ def _load_database(path: Optional[str], out: IO[str]) -> Optional[Database]:
 
 
 def _run_query(
-    database: Database,
+    session: QuerySession,
     source: str,
     out: IO[str],
     explain: bool = False,
     stats: bool = False,
     proof: bool = False,
-    max_depth: int = 10_000,
 ) -> bool:
-    """Run one query; returns False on planner/parse errors."""
-    planner = Planner(database, max_depth=max_depth)
+    """Run one query through the shared session; False on errors."""
+    if explain:
+        try:
+            plan, cached = session.plan(source)
+        except (PlanningError, ValueError) as exc:
+            print(f"error: {exc}", file=out)
+            return False
+        print(plan.explain(), file=out)
+        if cached:
+            print("(plan cache hit)", file=out)
+        print(file=out)
     try:
-        plan = planner.plan(source)
+        result = session.execute(source)
     except (PlanningError, ValueError) as exc:
         print(f"error: {exc}", file=out)
         return False
-    if explain:
-        print(plan.explain(), file=out)
-        print(file=out)
-    try:
-        answers, counters = planner.execute(plan)
     except Exception as exc:  # evaluation-time errors are user-facing
         print(f"error: {type(exc).__name__}: {exc}", file=out)
         return False
-    for row in sorted(answers.rows(), key=str):
+    for row in result.rows:
         rendered = ", ".join(str(value) for value in row)
-        print(f"{plan.query.name}({rendered})", file=out)
-    print(f"{len(answers)} answer(s) [{plan.strategy}]", file=out)
+        print(f"{result.plan.query.name}({rendered})", file=out)
+    cache_note = " (cached)" if result.result_cached else ""
+    print(
+        f"{len(result.rows)} answer(s) [{result.strategy}]{cache_note}", file=out
+    )
     if stats:
-        for key, value in counters.as_dict().items():
-            if value:
-                print(f"  {key}: {value}", file=out)
+        counters = result.counters
+        if counters is not None:
+            for key, value in counters.as_dict().items():
+                if value:
+                    print(f"  {key}: {value}", file=out)
+        else:
+            print("  (result cache hit: no evaluation work)", file=out)
     if proof:
-        tracer = ProofTracer(database)
+        tracer = ProofTracer(session.database)
         explanation = tracer.explain(source)
         if explanation is not None:
             print("proof of first answer:", file=out)
@@ -132,7 +174,8 @@ def _run_query(
     return True
 
 
-def _repl(database: Database, inp: IO[str], out: IO[str], max_depth: int) -> None:
+def _repl(session: QuerySession, inp: IO[str], out: IO[str]) -> None:
+    database = session.database
     print("repro — chain-split deductive database. :quit to exit.", file=out)
     for line in inp:
         line = line.strip()
@@ -146,10 +189,15 @@ def _repl(database: Database, inp: IO[str], out: IO[str], max_depth: int) -> Non
             ):
                 print(f"  {predicate}: {len(relation)} facts", file=out)
             continue
+        if line == ":stats":
+            print(json.dumps(session.stats(), indent=2, sort_keys=True), file=out)
+            continue
         if line.startswith(":plan "):
             try:
-                plan = Planner(database, max_depth=max_depth).plan(line[6:])
+                plan, cached = session.plan(line[6:])
                 print(plan.explain(), file=out)
+                if cached:
+                    print("(plan cache hit)", file=out)
             except (PlanningError, ValueError) as exc:
                 print(f"error: {exc}", file=out)
             continue
@@ -169,7 +217,7 @@ def _repl(database: Database, inp: IO[str], out: IO[str], max_depth: int) -> Non
             line = line[2:].strip()
         if line.endswith("."):
             line = line[:-1]
-        _run_query(database, line, out, max_depth=max_depth)
+        _run_query(session, line, out)
 
 
 def main(
@@ -198,19 +246,45 @@ def main(
             print(f"error: cannot load {spec}: {exc}", file=out)
             return 1
 
+    session = QuerySession(database, max_depth=args.max_depth)
+
+    if args.serve:
+        server = QueryServer(
+            session,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+        )
+        host, port = server.address
+        print(
+            f"repro serving on {host}:{port} "
+            "(verbs: QUERY, PLAN, FACT, STATS; one JSON reply per line)",
+            file=out,
+        )
+        # Scripts discover the bound port (--port 0) from this line, so
+        # it must not sit in a block-buffered pipe.
+        if hasattr(out, "flush"):
+            out.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+        return 0
+
     if args.query:
         ok = True
         for source in args.query:
             ok = _run_query(
-                database,
+                session,
                 source,
                 out,
                 explain=args.explain,
                 stats=args.stats,
                 proof=args.proof,
-                max_depth=args.max_depth,
             ) and ok
         return 0 if ok else 1
 
-    _repl(database, inp, out, args.max_depth)
+    _repl(session, inp, out)
     return 0

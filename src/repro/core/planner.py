@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..datalog.literals import COMPARISON_PREDICATES, Literal, Predicate
 from ..datalog.parser import parse_query
 from ..datalog.rules import Program
-from ..datalog.terms import Term, Var, is_ground
+from ..datalog.terms import Struct, Term, Var, is_ground
 from ..datalog.unify import Substitution, apply_substitution, unify_sequences
 from ..engine.builtins import BuiltinRegistry, default_registry
 from ..engine.counters import Counters
@@ -60,11 +60,63 @@ from .partial import PartialChainEvaluator, PartialEvaluationError
 from .pushing import detect_accumulators, push_constraints
 from .split import ChainSplitDecision, decide_split
 
-__all__ = ["Planner", "QueryPlan", "PlanningError", "Strategy"]
+__all__ = [
+    "Planner",
+    "QueryPlan",
+    "PlanningError",
+    "Strategy",
+    "adornment_key",
+    "plan_cache_key",
+]
 
 
 class PlanningError(ValueError):
     """The planner cannot produce a plan for the query."""
+
+
+def adornment_key(query: Literal) -> str:
+    """The query's bound/free adornment: ``b`` per ground argument,
+    ``f`` otherwise — e.g. ``sg(ann, Y)`` adorns to ``"bf"``.
+
+    Strategy selection depends on *which* arguments are bound, not on
+    the bound values, so this string (not the constants) keys plan
+    reuse across queries.
+    """
+    return "".join("b" if is_ground(arg) else "f" for arg in query.args)
+
+
+def _term_shape(term: Term, var_ids: Dict[str, int]):
+    """A hashable skeleton of ``term`` with variables canonicalized by
+    first occurrence and ground subterms collapsed to a single mark."""
+    if isinstance(term, Var):
+        if term.name not in var_ids:
+            var_ids[term.name] = len(var_ids)
+        return ("v", var_ids[term.name])
+    if is_ground(term):
+        return ("g",)
+    assert isinstance(term, Struct)
+    return ("s", term.functor, tuple(_term_shape(a, var_ids) for a in term.args))
+
+
+def plan_cache_key(
+    query: Literal, constraints: Sequence[Literal] = ()
+) -> Tuple[Predicate, Tuple[object, ...], Tuple[object, ...]]:
+    """A hashable key under which a :class:`QueryPlan` may be reused.
+
+    Two queries share a key when they have the same predicate, the
+    same bound/free argument shape (constants masked, variables
+    canonicalized by first occurrence across query and constraints)
+    and the same constraint shape.  Every strategy returns the same
+    answer set, so reusing a plan across different bound *values* is
+    always sound; only the cost-model tie-breaks could differ.
+    """
+    var_ids: Dict[str, int] = {}
+    args_shape = tuple(_term_shape(arg, var_ids) for arg in query.args)
+    constraint_shape = tuple(
+        (c.name, c.negated, tuple(_term_shape(a, var_ids) for a in c.args))
+        for c in constraints
+    )
+    return (query.predicate, args_shape, constraint_shape)
 
 
 class Strategy:
@@ -92,6 +144,24 @@ class QueryPlan:
     compiled: Optional[CompiledRecursion] = None
     split_decision: Optional[ChainSplitDecision] = None
     notes: List[str] = field(default_factory=list)
+
+    def rebind(self, query: Literal, constraints: List[Literal]) -> "QueryPlan":
+        """This plan re-instantiated for a same-shaped query.
+
+        The strategy choice, compiled chain form and split decision
+        depend only on the plan-cache key (predicate, adornment,
+        constraint shape), so a cached plan serves any query sharing
+        the key once the literal and constraints are swapped in.
+        """
+        return QueryPlan(
+            query,
+            constraints,
+            self.strategy,
+            self.recursion_class,
+            self.compiled,
+            self.split_decision,
+            list(self.notes),
+        )
 
     def explain(self) -> str:
         lines = [
@@ -129,11 +199,28 @@ class Planner:
         )
         self.max_depth = max_depth
         self._normalized = NormalizedProgram(database.program, self.registry)
+        self._analysis_idb_version = database.idb_version
         # The rectified database shares EDB relations with the original.
         self._rect_db = Database()
         self._rect_db.program = self._normalized.program
         self._rect_db.relations = database.relations
         self._rect_db.finiteness_constraints = database.finiteness_constraints
+
+    def refresh(self) -> bool:
+        """Re-normalize if rules were added since the last analysis.
+
+        The rectification/classification snapshot is expensive, so it
+        is only rebuilt when the database's IDB version moved; EDB
+        (fact) changes need no refresh because the rectified database
+        shares the live relation catalog.  Returns True when a rebuild
+        happened.
+        """
+        if self._analysis_idb_version == self.database.idb_version:
+            return False
+        self._normalized = NormalizedProgram(self.database.program, self.registry)
+        self._rect_db.program = self._normalized.program
+        self._analysis_idb_version = self.database.idb_version
+        return True
 
     # ------------------------------------------------------------------
     # Public API
@@ -144,6 +231,7 @@ class Planner:
         The first non-comparison goal is the query literal; remaining
         comparison goals become constraints (candidates for pushing).
         """
+        self.refresh()
         query, constraints = self._parse(query_source)
         predicate = query.predicate
         if predicate not in self._rect_db.program.head_predicates():
@@ -203,6 +291,7 @@ class Planner:
 
     def execute(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
         """Run a plan; answers as a relation over the query arguments."""
+        self.refresh()
         dispatch = {
             Strategy.SEMI_NAIVE: self._run_semi_naive,
             Strategy.MAGIC: self._run_magic,

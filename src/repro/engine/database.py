@@ -57,14 +57,34 @@ class FinitenessConstraint:
 
 
 class Database:
-    """EDB relations + IDB rules + finiteness constraints."""
+    """EDB relations + IDB rules + finiteness constraints.
+
+    Every mutation through the public API bumps one of two version
+    counters: :attr:`edb_version` for fact changes and
+    :attr:`idb_version` for rule changes.  Long-lived consumers (the
+    :class:`~repro.core.planner.Planner`'s normalized-program snapshot,
+    the service layer's plan and result caches) compare versions to
+    decide what to invalidate — answers depend on both, planning only
+    on the IDB.  Mutating a :class:`Relation` obtained from
+    :meth:`relation`/:meth:`get` directly bypasses the counters; go
+    through :meth:`add_fact` when cache coherence matters.
+    """
 
     def __init__(self, program: Optional[Program] = None):
         self.relations: Dict[Predicate, Relation] = {}
         self.program: Program = Program()
         self.finiteness_constraints: Set[FinitenessConstraint] = set()
+        #: Bumped on every EDB (fact) mutation.
+        self.edb_version: int = 0
+        #: Bumped on every IDB (rule) mutation.
+        self.idb_version: int = 0
         if program is not None:
             self.load_program(program)
+
+    @property
+    def version(self) -> Tuple[int, int]:
+        """The combined ``(edb_version, idb_version)`` stamp."""
+        return (self.edb_version, self.idb_version)
 
     # ------------------------------------------------------------------
     # EDB management
@@ -75,6 +95,7 @@ class Database:
             self.relations[predicate].add_all(relation.rows())
         else:
             self.relations[predicate] = relation
+        self.edb_version += 1
 
     def relation(self, name: str, arity: int) -> Relation:
         """The relation for ``name/arity``, created empty on demand."""
@@ -89,7 +110,10 @@ class Database:
     def add_fact(self, name: str, values: Sequence[object]) -> bool:
         """Insert a fact given Python values or terms."""
         row = tuple(wrap_term(v) for v in values)
-        return self.relation(name, len(row)).add(row)
+        added = self.relation(name, len(row)).add(row)
+        if added:
+            self.edb_version += 1
+        return added
 
     def edb_predicates(self) -> Set[Predicate]:
         return set(self.relations)
@@ -100,10 +124,7 @@ class Database:
     def load_program(self, program: Program) -> None:
         """Install rules; ground facts go to the EDB instead."""
         for rule in program:
-            if rule.is_fact():
-                self.relation(rule.head.name, rule.head.arity).add(rule.head.args)
-            else:
-                self.program.add(rule)
+            self.add_rule(rule)
 
     def load_source(self, source: str) -> None:
         """Parse and load Prolog-style source text."""
@@ -111,9 +132,11 @@ class Database:
 
     def add_rule(self, rule: Rule) -> None:
         if rule.is_fact():
-            self.relation(rule.head.name, rule.head.arity).add(rule.head.args)
+            if self.relation(rule.head.name, rule.head.arity).add(rule.head.args):
+                self.edb_version += 1
         else:
             self.program.add(rule)
+            self.idb_version += 1
 
     # ------------------------------------------------------------------
     # Constraints

@@ -1,0 +1,23 @@
+"""repro.service — the concurrent query-serving layer.
+
+Turns the one-shot library into a compile-once/serve-many system:
+:class:`QuerySession` owns a shared
+:class:`~repro.core.planner.Planner` plus plan and result caches with
+version-counter invalidation; :class:`QueryServer` exposes a session
+over a threaded TCP line protocol (``QUERY``/``PLAN``/``FACT``/
+``STATS``); :class:`ServiceMetrics` aggregates per-query latency,
+cache hit rates and strategy usage.  See ``docs/service.md``.
+"""
+
+from .metrics import LatencyStats, ServiceMetrics
+from .session import QueryResult, QuerySession
+from .server import QueryServer, serve
+
+__all__ = [
+    "LatencyStats",
+    "QueryResult",
+    "QueryServer",
+    "QuerySession",
+    "ServiceMetrics",
+    "serve",
+]

@@ -1,0 +1,177 @@
+"""Per-query metrics for the serving layer.
+
+The engine's :class:`~repro.engine.counters.Counters` measure *work*
+inside one evaluation; a long-lived service additionally needs
+*service-level* observability — request latency, cache effectiveness,
+which strategies actually serve the traffic — aggregated across every
+query a :class:`~repro.service.session.QuerySession` answers.
+:class:`ServiceMetrics` collects both: it merges the per-run engine
+counters and keeps its own latency/hit-rate aggregates, all behind one
+lock so concurrent sessions and server threads can share an instance.
+
+``snapshot()`` returns a plain JSON-serializable dict; the server's
+``STATS`` verb is exactly that snapshot in a reply envelope.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..engine.counters import Counters
+
+__all__ = ["LatencyStats", "ServiceMetrics"]
+
+
+class LatencyStats:
+    """Streaming min/mean/max over a series of durations (seconds)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_ms": self.total * 1e3,
+            "mean_ms": mean * 1e3,
+            "min_ms": (self.min or 0.0) * 1e3,
+            "max_ms": (self.max or 0.0) * 1e3,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe aggregates over every query a session served."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        #: Result-cache flushes (any EDB/IDB mutation observed).
+        self.result_invalidations = 0
+        #: Plan-cache flushes (IDB mutation observed).
+        self.plan_invalidations = 0
+        #: Queries served per strategy name.
+        self.strategy_histogram: Dict[str, int] = {}
+        self.latency = LatencyStats()
+        #: Latency of result-cache hits vs queries that evaluated.
+        self.cached_latency = LatencyStats()
+        self.evaluated_latency = LatencyStats()
+        #: Engine work counters summed over all evaluated queries.
+        self.engine_counters = Counters()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_query(
+        self,
+        strategy: str,
+        seconds: float,
+        plan_cached: bool,
+        result_cached: bool,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        """Account one successfully answered query."""
+        with self._lock:
+            self.queries += 1
+            self.strategy_histogram[strategy] = (
+                self.strategy_histogram.get(strategy, 0) + 1
+            )
+            self.latency.record(seconds)
+            if result_cached:
+                self.result_cache_hits += 1
+                self.cached_latency.record(seconds)
+            else:
+                self.result_cache_misses += 1
+                self.evaluated_latency.record(seconds)
+                if plan_cached:
+                    self.plan_cache_hits += 1
+                else:
+                    self.plan_cache_misses += 1
+                if counters is not None:
+                    self.engine_counters.merge(counters)
+
+    def record_plan(self, cached: bool) -> None:
+        """Account a plan-only request (``PLAN`` verb, ``:plan``)."""
+        with self._lock:
+            if cached:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+            self.errors += 1
+
+    def record_invalidation(self, plans: bool) -> None:
+        with self._lock:
+            self.result_invalidations += 1
+            if plans:
+                self.plan_invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of every aggregate."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "plan_cache": {
+                    "hits": self.plan_cache_hits,
+                    "misses": self.plan_cache_misses,
+                    "invalidations": self.plan_invalidations,
+                },
+                "result_cache": {
+                    "hits": self.result_cache_hits,
+                    "misses": self.result_cache_misses,
+                    "invalidations": self.result_invalidations,
+                },
+                "strategies": dict(self.strategy_histogram),
+                "latency": self.latency.as_dict(),
+                "cached_latency": self.cached_latency.as_dict(),
+                "evaluated_latency": self.evaluated_latency.as_dict(),
+                "engine": self.engine_counters.as_dict(),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.queries = self.errors = self.timeouts = 0
+            self.plan_cache_hits = self.plan_cache_misses = 0
+            self.result_cache_hits = self.result_cache_misses = 0
+            self.result_invalidations = self.plan_invalidations = 0
+            self.strategy_histogram = {}
+            self.latency = LatencyStats()
+            self.cached_latency = LatencyStats()
+            self.evaluated_latency = LatencyStats()
+            self.engine_counters = Counters()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics({self.queries} queries, "
+            f"{self.result_cache_hits} result hits, "
+            f"{self.plan_cache_hits} plan hits)"
+        )

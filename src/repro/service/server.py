@@ -1,0 +1,270 @@
+"""A threaded TCP line-protocol server over a shared QuerySession.
+
+Protocol: one request per line, one JSON reply envelope per line.
+
+========  ==========================  =======================================
+verb      argument                    reply payload
+========  ==========================  =======================================
+QUERY     a query, e.g. ``sg(ann,Y)``  ``answers`` (rows of rendered terms),
+                                      ``count``, ``strategy``, cache flags
+PLAN      a query                     ``plan`` (the explain text),
+                                      ``strategy``, ``cached``
+FACT      a clause, e.g.              ``added`` plus the new version stamp;
+          ``parent(ann, bea).``       rules are accepted too and bump the
+                                      IDB version instead
+STATS     —                           the ``ServiceMetrics`` snapshot plus
+                                      cache/database state
+========  ==========================  =======================================
+
+Every reply is ``{"ok": true, "verb": ..., ...}`` or
+``{"ok": false, "verb": ..., "error": {"type": ..., "message": ...}}`` —
+parse errors, planning errors, evaluation errors and timeouts all come
+back as structured envelopes; the connection (and the server) survives.
+
+``QUERY`` requests run under a wall-clock ``timeout`` and a chain-depth
+budget (``max_depth``).  The timeout is enforced by running evaluation
+on a worker pool and abandoning the wait: the reply is a ``Timeout``
+envelope, while the abandoned evaluation runs to completion in the
+background (it still holds the session lock, so a pathological query
+delays — but never corrupts — later ones; pick ``max_depth`` to bound
+that).  Clients keep the connection open for any number of requests.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, Optional, Tuple
+
+from ..datalog.parser import parse_rule
+from ..engine.database import Database
+from .session import QuerySession
+
+__all__ = ["QueryServer", "serve"]
+
+#: Refuse absurd request lines instead of buffering them.
+MAX_LINE_BYTES = 64 * 1024
+
+
+def _error_envelope(verb: str, exc_type: str, message: str) -> Dict[str, object]:
+    return {
+        "ok": False,
+        "verb": verb,
+        "error": {"type": exc_type, "message": message},
+    }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write JSON reply lines."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:
+        while True:
+            try:
+                raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                return
+            if not raw:
+                return
+            if len(raw) > MAX_LINE_BYTES:
+                # readline() returned a *partial* line; drain the rest
+                # so the tail is not parsed as a second request (one
+                # request line must yield exactly one reply line).
+                while not raw.endswith(b"\n"):
+                    raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+                    if not raw:
+                        break
+                reply = _error_envelope(
+                    "?", "ProtocolError", f"request line over {MAX_LINE_BYTES} bytes"
+                )
+            else:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                reply = self.server.query_server.handle_line(line)
+            try:
+                self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    query_server: "QueryServer"
+
+
+class QueryServer:
+    """Serve a :class:`QuerySession` over TCP.
+
+    ``timeout`` is the per-request wall-clock budget in seconds (None
+    disables it); ``max_depth`` the per-request chain-depth budget
+    (None defers to the session's own).
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: Optional[float] = None,
+        max_depth: Optional[int] = None,
+        workers: int = 8,
+    ):
+        self.session = session
+        self.timeout = timeout
+        self.max_depth = max_depth
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.query_server = self
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def for_database(cls, database: Database, **kwargs) -> "QueryServer":
+        return cls(QuerySession(database), **kwargs)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._tcp.server_address[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        self._tcp.serve_forever()
+
+    def start(self) -> "QueryServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._pool.shutdown(wait=False)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> Dict[str, object]:
+        """Dispatch one request line to its verb handler."""
+        verb, _, argument = line.partition(" ")
+        verb = verb.upper()
+        argument = argument.strip()
+        handler = {
+            "QUERY": self._do_query,
+            "PLAN": self._do_plan,
+            "FACT": self._do_fact,
+            "STATS": self._do_stats,
+        }.get(verb)
+        if handler is None:
+            return _error_envelope(
+                verb, "ProtocolError", f"unknown verb {verb!r}; "
+                "expected QUERY, PLAN, FACT or STATS"
+            )
+        try:
+            return handler(argument)
+        except FutureTimeoutError:
+            self.session.metrics.record_timeout()
+            return _error_envelope(
+                verb, "Timeout", f"request exceeded {self.timeout}s budget"
+            )
+        except Exception as exc:  # envelope instead of a dead connection
+            self.session.metrics.record_error()
+            return _error_envelope(verb, type(exc).__name__, str(exc))
+
+    def _strip(self, argument: str) -> str:
+        if argument.startswith("?-"):
+            argument = argument[2:].strip()
+        if argument.endswith("."):
+            argument = argument[:-1]
+        return argument
+
+    def _do_query(self, argument: str) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope("QUERY", "ProtocolError", "QUERY needs a query")
+        source = self._strip(argument)
+        future = self._pool.submit(
+            self.session.execute, source, self.max_depth
+        )
+        result = future.result(timeout=self.timeout)
+        return {
+            "ok": True,
+            "verb": "QUERY",
+            "query": source,
+            "strategy": result.strategy,
+            "answers": [[str(value) for value in row] for row in result.rows],
+            "count": len(result.rows),
+            "plan_cached": result.plan_cached,
+            "result_cached": result.result_cached,
+            "elapsed_ms": result.elapsed * 1e3,
+        }
+
+    def _do_plan(self, argument: str) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope("PLAN", "ProtocolError", "PLAN needs a query")
+        plan, cached = self.session.plan(self._strip(argument))
+        return {
+            "ok": True,
+            "verb": "PLAN",
+            "strategy": plan.strategy,
+            "recursion_class": plan.recursion_class,
+            "plan": plan.explain(),
+            "cached": cached,
+        }
+
+    def _do_fact(self, argument: str) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope("FACT", "ProtocolError", "FACT needs a clause")
+        clause = argument if argument.endswith(".") else argument + "."
+        rule = parse_rule(clause)
+        database = self.session.database
+        before = database.version
+        self.session.add_rule(rule)  # serializes with in-flight queries
+        return {
+            "ok": True,
+            "verb": "FACT",
+            "clause": str(rule),
+            "kind": "fact" if rule.is_fact() else "rule",
+            "added": database.version != before,
+            "edb_version": database.edb_version,
+            "idb_version": database.idb_version,
+        }
+
+    def _do_stats(self, argument: str) -> Dict[str, object]:
+        return {"ok": True, "verb": "STATS", "stats": self.session.stats()}
+
+
+def serve(
+    database: Database,
+    host: str = "127.0.0.1",
+    port: int = 8473,
+    timeout: Optional[float] = None,
+    max_depth: Optional[int] = None,
+) -> QueryServer:
+    """Convenience: session + server, already listening (foreground
+    serving is the caller's ``serve_forever()`` call)."""
+    return QueryServer(
+        QuerySession(database), host=host, port=port,
+        timeout=timeout, max_depth=max_depth,
+    )

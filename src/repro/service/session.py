@@ -1,0 +1,274 @@
+"""A long-lived query session: one Planner, two caches.
+
+The one-shot library pays full planning cost per query — every
+:class:`~repro.core.planner.Planner` construction re-rectifies and
+re-classifies the whole rule base.  A :class:`QuerySession` amortizes
+that across a query stream the way a serving system must:
+
+* **plan cache** — executed plans are memoized under
+  :func:`~repro.core.planner.plan_cache_key` (predicate, bound/free
+  adornment, constraint shape), so ``sg(ann, Y)`` and ``sg(bob, Y)``
+  share one compiled plan; a hit skips parsing-to-strategy planning
+  entirely and only swaps the concrete literal in.
+* **result cache** — a bounded LRU from the exact query text shape
+  (constants included) to the answer rows, so a repeated query skips
+  evaluation too.
+
+Invalidation follows the database's split version counter
+(:attr:`~repro.engine.database.Database.version`): any mutation flushes
+the result cache; only IDB (rule) mutations flush the plan cache and
+re-normalize the shared planner.  Both checks happen lazily at the next
+request, so mutating through :meth:`add_fact`/:meth:`load_source` or
+directly on the :class:`~repro.engine.database.Database` is equally
+safe.
+
+A session is thread-safe: one re-entrant lock serializes planning and
+evaluation (the evaluators share mutable relation state), while cache
+hits return under the same lock in microseconds.  Many server threads
+therefore share a single session, which is exactly how
+:class:`~repro.service.server.QueryServer` uses it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.cost import CostModel
+from ..core.planner import Planner, QueryPlan, plan_cache_key
+from ..datalog.literals import Literal
+from ..datalog.rules import Rule
+from ..datalog.terms import Term, Var
+from ..engine.builtins import BuiltinRegistry
+from ..engine.counters import Counters
+from ..engine.database import Database
+from .metrics import ServiceMetrics
+
+__all__ = ["QueryResult", "QuerySession"]
+
+
+@dataclass
+class QueryResult:
+    """One answered query: rows plus how the answer was produced."""
+
+    plan: QueryPlan
+    rows: List[Tuple[Term, ...]]
+    elapsed: float
+    plan_cached: bool
+    result_cached: bool
+    counters: Optional[Counters] = None
+
+    @property
+    def strategy(self) -> str:
+        return self.plan.strategy
+
+    def bindings(self) -> List[Dict[str, Term]]:
+        """Rows as variable-binding dicts, like ``Planner.query``."""
+        out: List[Dict[str, Term]] = []
+        for row in self.rows:
+            binding: Dict[str, Term] = {}
+            for arg, value in zip(self.plan.query.args, row):
+                if isinstance(arg, Var):
+                    binding[arg.name] = value
+            out.append(binding)
+        return out
+
+
+class QuerySession:
+    """Serve many queries against one database, caching plans/results."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[BuiltinRegistry] = None,
+        cost_model: Optional[CostModel] = None,
+        max_depth: int = 10_000,
+        result_cache_size: int = 256,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.database = database
+        self.planner = Planner(
+            database, registry=registry, cost_model=cost_model, max_depth=max_depth
+        )
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.result_cache_size = result_cache_size
+        self._lock = threading.RLock()
+        self._plan_cache: Dict[object, QueryPlan] = {}
+        # LRU: key -> (plan, rows); dict preserves insertion order and
+        # move-to-end is pop+reinsert.
+        self._result_cache: Dict[object, Tuple[QueryPlan, List[Tuple[Term, ...]]]] = {}
+        # Source text parses identically forever, so this memo needs no
+        # version invalidation — just a size cap against unbounded text.
+        self._parse_cache: Dict[str, Tuple[Literal, List[Literal]]] = {}
+        self._seen_version = database.version
+
+    # ------------------------------------------------------------------
+    # Cache coherence
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Flush caches that the database's version counters outdated.
+
+        Must be called with the lock held.  Any mutation invalidates
+        cached *answers*; only rule changes invalidate cached *plans*
+        (and the planner's normalized-program snapshot, via
+        ``Planner.refresh``).
+        """
+        version = self.database.version
+        if version == self._seen_version:
+            return
+        idb_changed = version[1] != self._seen_version[1]
+        self._result_cache.clear()
+        if idb_changed:
+            self._plan_cache.clear()
+            self.planner.refresh()
+        self._seen_version = version
+        self.metrics.record_invalidation(plans=idb_changed)
+
+    def cache_sizes(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "plan_cache": len(self._plan_cache),
+                "result_cache": len(self._result_cache),
+            }
+
+    def clear_caches(self) -> None:
+        with self._lock:
+            self._plan_cache.clear()
+            self._result_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _parse(self, query_source) -> Tuple[Literal, List[Literal]]:
+        if not isinstance(query_source, str):
+            return self.planner._parse(query_source)
+        hit = self._parse_cache.get(query_source)
+        if hit is None:
+            hit = self.planner._parse(query_source)
+            if len(self._parse_cache) >= 4096:
+                self._parse_cache.clear()
+            self._parse_cache[query_source] = hit
+        return hit
+
+    def plan(self, query_source) -> Tuple[QueryPlan, bool]:
+        """The plan for a query and whether it came from the cache."""
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            plan, cached = self._plan_locked(query, constraints)
+            self.metrics.record_plan(cached)
+            return plan, cached
+
+    def _plan_locked(
+        self, query: Literal, constraints: List[Literal]
+    ) -> Tuple[QueryPlan, bool]:
+        key = plan_cache_key(query, constraints)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached.rebind(query, constraints), True
+        plan = self.planner.plan([query, *constraints])
+        self._plan_cache[key] = plan
+        return plan, False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query_source, max_depth: Optional[int] = None) -> QueryResult:
+        """Answer a query, going through both caches.
+
+        ``max_depth`` temporarily overrides the session's chain-depth
+        budget for this one request (the server's per-request budget).
+        """
+        start = time.perf_counter()
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            result_key = (str(query), tuple(str(c) for c in constraints))
+            hit = self._result_cache.get(result_key)
+            if hit is not None:
+                # LRU touch: reinsert at the most-recent end.
+                del self._result_cache[result_key]
+                self._result_cache[result_key] = hit
+                plan, rows = hit
+                elapsed = time.perf_counter() - start
+                self.metrics.record_query(
+                    plan.strategy, elapsed, plan_cached=True, result_cached=True
+                )
+                return QueryResult(plan, list(rows), elapsed, True, True)
+
+            plan, plan_cached = self._plan_locked(query, constraints)
+            saved_depth = self.planner.max_depth
+            if max_depth is not None:
+                self.planner.max_depth = max_depth
+            try:
+                answers, counters = self.planner.execute(plan)
+            finally:
+                self.planner.max_depth = saved_depth
+            rows = sorted(answers.rows(), key=str)
+            self._result_cache[result_key] = (plan, rows)
+            while len(self._result_cache) > self.result_cache_size:
+                oldest = next(iter(self._result_cache))
+                del self._result_cache[oldest]
+            elapsed = time.perf_counter() - start
+            self.metrics.record_query(
+                plan.strategy,
+                elapsed,
+                plan_cached=plan_cached,
+                result_cached=False,
+                counters=counters,
+            )
+            return QueryResult(plan, list(rows), elapsed, plan_cached, False, counters)
+
+    def answer_rows(self, query_source) -> List[Tuple[Term, ...]]:
+        """Sorted answer rows (drop-in for ``Planner.answer_rows``)."""
+        return self.execute(query_source).rows
+
+    def query(self, query_source) -> List[Dict[str, Term]]:
+        """Answers as variable bindings (drop-in for ``Planner.query``)."""
+        return self.execute(query_source).bindings()
+
+    # ------------------------------------------------------------------
+    # Mutation passthroughs
+    # ------------------------------------------------------------------
+    # Mutating through the session serializes with in-flight
+    # evaluation (the evaluators iterate the shared relations, so a
+    # concurrent insert would blow up mid-join).  Mutating the
+    # Database directly is still *coherent* — the version counters
+    # invalidate at the next request — but not safe while another
+    # thread is evaluating.
+    def add_fact(self, name: str, values: Sequence[object]) -> bool:
+        with self._lock:
+            return self.database.add_fact(name, values)
+
+    def add_rule(self, rule: Rule) -> None:
+        with self._lock:
+            self.database.add_rule(rule)
+
+    def load_source(self, source: str) -> None:
+        with self._lock:
+            self.database.load_source(source)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Metrics snapshot plus cache/database state."""
+        snap = self.metrics.snapshot()
+        snap["caches"] = self.cache_sizes()
+        snap["database"] = {
+            "edb_version": self.database.edb_version,
+            "idb_version": self.database.idb_version,
+            "relations": len(self.database.relations),
+            "facts": self.database.total_facts(),
+            "rules": len(self.database.program),
+        }
+        return snap
+
+    def __repr__(self) -> str:
+        sizes = self.cache_sizes()
+        return (
+            f"QuerySession({self.database!r}, "
+            f"{sizes['plan_cache']} plans, {sizes['result_cache']} results)"
+        )

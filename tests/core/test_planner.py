@@ -264,3 +264,47 @@ class TestTestingHelpers:
         db = db_with(SG, [("parent", ("a", "b"))])
         with pytest.raises(ValueError):
             assert_strategies_agree(db, "sg(a, Y)", oracle="coin_flip")
+
+
+class TestPlannerStaleness:
+    """Regression: the planner snapshots the normalized program at
+    construction; rules added afterwards must not be silently ignored."""
+
+    def test_rule_added_after_construction_is_seen(self):
+        db = db_with("", [("parent", ("a", "b")), ("parent", ("b", "c"))])
+        planner = Planner(db)
+        with pytest.raises(PlanningError):
+            planner.plan("anc(a, Y)")
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            """
+        )
+        plan = planner.plan("anc(a, Y)")
+        answers, _ = planner.execute(plan)
+        assert sorted(answers.rows(), key=str) == Planner(db).answer_rows(
+            "anc(a, Y)"
+        )
+
+    def test_redefinition_changes_answers(self):
+        db = db_with(SG, [("parent", ("a", "b")), ("sibling", ("b", "c"))])
+        planner = Planner(db)
+        assert planner.answer_rows("sg(a, Y)") == []
+        db.load_source("sg(X, Y) :- parent(X, Y).")
+        rows = planner.answer_rows("sg(a, Y)")
+        assert rows == Planner(db).answer_rows("sg(a, Y)")
+        assert len(rows) == 1
+
+    def test_refresh_is_lazy(self):
+        db = db_with(SG, [("parent", ("a", "b")), ("sibling", ("b", "c"))])
+        planner = Planner(db)
+        snapshot = planner._normalized
+        planner.plan("sg(a, Y)")
+        assert planner._normalized is snapshot  # no IDB change: no rebuild
+        db.add_fact("parent", ("c", "d"))
+        planner.plan("sg(a, Y)")
+        assert planner._normalized is snapshot  # EDB change: still no rebuild
+        db.load_source("other(X) :- parent(X, Y).")
+        planner.plan("sg(a, Y)")
+        assert planner._normalized is not snapshot

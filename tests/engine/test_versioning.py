@@ -1,0 +1,60 @@
+"""Unit tests for the database's mutation-version counters."""
+
+from repro.datalog.parser import parse_rule
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+
+
+class TestEdbVersion:
+    def test_add_fact_bumps(self):
+        db = Database()
+        before = db.edb_version
+        db.add_fact("parent", ("ann", "bea"))
+        assert db.edb_version == before + 1
+        assert db.idb_version == 0
+
+    def test_duplicate_fact_does_not_bump(self):
+        db = Database()
+        db.add_fact("parent", ("ann", "bea"))
+        before = db.edb_version
+        db.add_fact("parent", ("ann", "bea"))
+        assert db.edb_version == before
+
+    def test_add_relation_bumps(self):
+        db = Database()
+        before = db.edb_version
+        db.add_relation(Relation("edge", 2))
+        assert db.edb_version == before + 1
+
+    def test_fact_rule_goes_to_edb(self):
+        db = Database()
+        db.add_rule(parse_rule("parent(ann, bea)."))
+        assert db.edb_version == 1
+        assert db.idb_version == 0
+
+
+class TestIdbVersion:
+    def test_add_rule_bumps(self):
+        db = Database()
+        before = db.idb_version
+        db.add_rule(parse_rule("anc(X, Y) :- parent(X, Y)."))
+        assert db.idb_version == before + 1
+        assert db.edb_version == 0
+
+    def test_load_source_bumps_both(self):
+        db = Database()
+        db.load_source(
+            """
+            anc(X, Y) :- parent(X, Y).
+            parent(ann, bea).
+            """
+        )
+        assert db.idb_version == 1
+        assert db.edb_version == 1
+
+    def test_version_property(self):
+        db = Database()
+        assert db.version == (0, 0)
+        db.add_fact("p", ("a",))
+        db.add_rule(parse_rule("q(X) :- p(X)."))
+        assert db.version == (1, 1)

@@ -1,0 +1,84 @@
+"""ServiceMetrics: aggregation, snapshots, thread safety."""
+
+import threading
+
+from repro.engine.counters import Counters
+from repro.service import LatencyStats, ServiceMetrics
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats().as_dict()
+        assert stats["count"] == 0
+        assert stats["mean_ms"] == 0.0
+
+    def test_aggregates(self):
+        stats = LatencyStats()
+        for seconds in (0.010, 0.020, 0.030):
+            stats.record(seconds)
+        d = stats.as_dict()
+        assert d["count"] == 3
+        assert abs(d["mean_ms"] - 20.0) < 1e-9
+        assert abs(d["min_ms"] - 10.0) < 1e-9
+        assert abs(d["max_ms"] - 30.0) < 1e-9
+
+
+class TestServiceMetrics:
+    def test_record_query_paths(self):
+        metrics = ServiceMetrics()
+        counters = Counters(derived_tuples=5)
+        metrics.record_query("magic_sets", 0.01, False, False, counters)
+        metrics.record_query("magic_sets", 0.001, True, False, counters)
+        metrics.record_query("magic_sets", 0.0001, True, True)
+        snap = metrics.snapshot()
+        assert snap["queries"] == 3
+        assert snap["plan_cache"] == {"hits": 1, "misses": 1, "invalidations": 0}
+        assert snap["result_cache"]["hits"] == 1
+        assert snap["result_cache"]["misses"] == 2
+        assert snap["strategies"] == {"magic_sets": 3}
+        assert snap["engine"]["derived_tuples"] == 10
+        assert snap["cached_latency"]["count"] == 1
+        assert snap["evaluated_latency"]["count"] == 2
+
+    def test_errors_and_timeouts(self):
+        metrics = ServiceMetrics()
+        metrics.record_error()
+        metrics.record_timeout()
+        snap = metrics.snapshot()
+        assert snap["errors"] == 2
+        assert snap["timeouts"] == 1
+
+    def test_snapshot_is_json_safe_copy(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.record_query("counting", 0.01, False, False, Counters())
+        snap = metrics.snapshot()
+        json.dumps(snap)  # must be serializable as-is
+        snap["strategies"]["counting"] = 999
+        assert metrics.snapshot()["strategies"]["counting"] == 1
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.record_query("counting", 0.01, False, False, Counters())
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap["queries"] == 0
+        assert snap["strategies"] == {}
+
+    def test_concurrent_recording(self):
+        metrics = ServiceMetrics()
+
+        def worker():
+            for _ in range(500):
+                metrics.record_query("counting", 0.001, True, False, Counters())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = metrics.snapshot()
+        assert snap["queries"] == 4000
+        assert snap["plan_cache"]["hits"] == 4000
+        assert snap["latency"]["count"] == 4000

@@ -1,0 +1,184 @@
+"""QueryServer: line protocol, envelopes, timeout/depth budgets."""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.engine.database import Database
+from repro.service import QueryServer, QuerySession
+from repro.workloads import FamilyConfig, family_database, SG
+
+SOURCE = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+parent(ann, carol). parent(bob, dan). sibling(carol, dan).
+"""
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    db.load_source(SOURCE)
+    with QueryServer(QuerySession(db), port=0) as srv:
+        yield srv
+
+
+class Client:
+    def __init__(self, server):
+        self.sock = socket.create_connection(server.address, timeout=10)
+        self.file = self.sock.makefile("rw", encoding="utf-8")
+
+    def request(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+        return json.loads(self.file.readline())
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+@pytest.fixture
+def client(server):
+    c = Client(server)
+    yield c
+    c.close()
+
+
+class TestProtocol:
+    def test_query(self, client):
+        reply = client.request("QUERY sg(ann, Y)")
+        assert reply["ok"] and reply["verb"] == "QUERY"
+        assert reply["answers"] == [["ann", "bob"]]
+        assert reply["count"] == 1
+        assert reply["strategy"]
+        assert not reply["result_cached"]
+
+    def test_repeat_query_is_cached(self, client):
+        client.request("QUERY sg(ann, Y)")
+        reply = client.request("QUERY sg(ann, Y)")
+        assert reply["result_cached"] and reply["plan_cached"]
+
+    def test_query_accepts_prolog_dressing(self, client):
+        reply = client.request("QUERY ?- sg(ann, Y).")
+        assert reply["ok"] and reply["count"] == 1
+
+    def test_plan(self, client):
+        reply = client.request("PLAN sg(ann, Y)")
+        assert reply["ok"] and reply["verb"] == "PLAN"
+        assert "strategy:" in reply["plan"]
+        assert reply["recursion_class"] == "linear"
+
+    def test_fact_then_query(self, client):
+        before = client.request("QUERY sg(ann, Y)")
+        # eve becomes another parent of dan, so sg(ann, eve) now holds.
+        reply = client.request("FACT parent(eve, dan).")
+        assert reply["ok"] and reply["kind"] == "fact" and reply["added"]
+        after = client.request("QUERY sg(ann, Y)")
+        assert not after["result_cached"]
+        assert after["count"] == before["count"] + 1
+        assert ["ann", "eve"] in after["answers"]
+
+    def test_rule_through_fact_verb(self, client):
+        reply = client.request("FACT sg(X, Y) :- parent(X, Y).")
+        assert reply["ok"] and reply["kind"] == "rule"
+        assert reply["idb_version"] > 0
+        after = client.request("QUERY sg(ann, Y)")
+        assert ["ann", "carol"] in after["answers"]
+
+    def test_stats(self, client):
+        client.request("QUERY sg(ann, Y)")
+        reply = client.request("STATS")
+        assert reply["ok"] and reply["verb"] == "STATS"
+        stats = reply["stats"]
+        assert stats["queries"] >= 1
+        assert "plan_cache" in stats and "latency" in stats
+        assert stats["database"]["rules"] == 2
+
+    def test_multiple_requests_per_connection(self, client):
+        for _ in range(5):
+            assert client.request("QUERY sg(ann, Y)")["ok"]
+
+
+class TestErrorEnvelopes:
+    def test_unknown_verb(self, client):
+        reply = client.request("EXPLODE now")
+        assert not reply["ok"]
+        assert reply["error"]["type"] == "ProtocolError"
+
+    def test_parse_error(self, client):
+        reply = client.request("QUERY sg(ann,")
+        assert not reply["ok"]
+        assert "message" in reply["error"]
+
+    def test_unknown_predicate(self, client):
+        reply = client.request("QUERY nosuch(X)")
+        assert not reply["ok"]
+        assert reply["error"]["type"] == "PlanningError"
+
+    def test_missing_argument(self, client):
+        assert not client.request("QUERY")["ok"]
+        assert not client.request("PLAN")["ok"]
+        assert not client.request("FACT")["ok"]
+
+    def test_oversized_line_single_envelope(self, client):
+        # One request line must yield exactly one reply, even when the
+        # line exceeds the 64 KiB cap and readline() returns it in
+        # chunks — the tail must not be parsed as a second request.
+        reply = client.request("QUERY " + "x" * 70_000)
+        assert not reply["ok"]
+        assert reply["error"]["type"] == "ProtocolError"
+        assert "65536" in reply["error"]["message"]
+        follow_up = client.request("QUERY sg(ann, Y)")
+        assert follow_up["ok"] and follow_up["count"] == 1
+
+    def test_connection_survives_errors(self, client):
+        client.request("QUERY sg(ann,")
+        assert client.request("QUERY sg(ann, Y)")["ok"]
+
+    def test_errors_counted(self, server, client):
+        client.request("QUERY nosuch(X)")
+        assert server.session.metrics.errors == 1
+
+
+class TestBudgets:
+    def test_depth_budget_returns_envelope(self):
+        db = family_database(
+            FamilyConfig(levels=6, width=8, countries=2, seed=1), program=SG
+        )
+        with QueryServer(QuerySession(db), port=0, max_depth=1) as srv:
+            client = Client(srv)
+            try:
+                reply = client.request("QUERY sg(p0_0, Y)")
+                # Depth 1 cannot cover a 6-level family: either an error
+                # envelope or a strategy that ignores the budget — but
+                # never a dead connection.
+                assert reply["verb"] == "QUERY"
+                assert client.request("STATS")["ok"]
+            finally:
+                client.close()
+
+    def test_timeout_returns_envelope(self):
+        # Deterministic: a session whose evaluation outlasts any budget
+        # by construction (real workloads race the clock and flake).
+        class SlowSession(QuerySession):
+            def execute(self, query_source, max_depth=None):
+                time.sleep(0.25)
+                return super().execute(query_source, max_depth)
+
+        db = Database()
+        db.load_source(SOURCE)
+        with QueryServer(SlowSession(db), port=0, timeout=0.05) as srv:
+            client = Client(srv)
+            try:
+                reply = client.request("QUERY sg(ann, Y)")
+                assert not reply["ok"]
+                assert reply["error"]["type"] == "Timeout"
+                assert srv.session.metrics.timeouts == 1
+                # The next request still gets served (it may wait for
+                # the abandoned evaluation to release the lock).
+                assert client.request("STATS")["ok"]
+            finally:
+                client.close()

@@ -1,0 +1,246 @@
+"""QuerySession: plan/result caching, invalidation, correctness.
+
+The load-bearing property is the acceptance criterion: whatever the
+cache state, a session's answers must equal those of a cold, cache-free
+:class:`~repro.core.planner.Planner` built fresh on the current
+database — across mutations and across the sg / scsg / travel
+workloads.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.planner import Planner
+from repro.engine.database import Database
+from repro.service import QuerySession
+from repro.workloads import (
+    SCSG,
+    SG,
+    TRAVEL,
+    FamilyConfig,
+    FlightConfig,
+    family_database,
+    flight_database,
+)
+
+
+def sg_db():
+    return family_database(
+        FamilyConfig(levels=4, width=6, countries=2, seed=7), program=SG
+    )
+
+
+def scsg_db():
+    return family_database(
+        FamilyConfig(levels=4, width=6, countries=2, seed=7), program=SCSG
+    )
+
+
+def travel_db():
+    # No extra flights: the backbone path keeps the network acyclic, so
+    # the list-building travel recursion terminates.
+    return flight_database(
+        FlightConfig(airports=5, extra_flights=0, seed=3), program=TRAVEL
+    )
+
+
+def cold_rows(database, query):
+    """The ground truth: a fresh planner with no caches at all."""
+    return Planner(database).answer_rows(query)
+
+
+class TestPlanCache:
+    def test_warm_repeat_skips_planning(self):
+        session = QuerySession(sg_db())
+        query = "sg(p0_0, Y)"
+        session.execute(query)
+        assert session.metrics.plan_cache_misses == 1
+
+        calls = []
+        original = session.planner.plan
+        session.planner.plan = lambda src: calls.append(src) or original(src)
+        result = session.execute(query)
+        assert result.result_cached
+        assert calls == []  # planner never invoked on the warm path
+        assert session.metrics.result_cache_hits == 1
+
+    def test_same_shape_shares_plan(self):
+        session = QuerySession(sg_db())
+        session.execute("sg(p0_0, Y)")
+        result = session.execute("sg(p0_1, Y)")
+        assert result.plan_cached and not result.result_cached
+        assert session.metrics.plan_cache_hits == 1
+        assert session.cache_sizes()["plan_cache"] == 1
+
+    def test_different_adornment_different_plan(self):
+        session = QuerySession(sg_db())
+        bound = session.execute("sg(p0_0, Y)")
+        free = session.execute("sg(X, Y)")
+        assert not free.plan_cached
+        assert session.cache_sizes()["plan_cache"] == 2
+        assert bound.strategy != free.strategy
+
+    def test_renamed_variables_share_plan(self):
+        session = QuerySession(sg_db())
+        session.execute("sg(p0_0, Y)")
+        result = session.execute("sg(p0_0, Z)")
+        assert result.plan_cached
+        # ... but the result cache keys on the literal text.
+        assert not result.result_cached
+
+    def test_rebound_plan_answers_rebound_query(self):
+        db = sg_db()
+        session = QuerySession(db)
+        session.execute("sg(p0_0, Y)")
+        rows = session.answer_rows("sg(p0_1, Y)")
+        assert rows == cold_rows(db, "sg(p0_1, Y)")
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        session = QuerySession(sg_db(), result_cache_size=2)
+        session.execute("sg(p0_0, Y)")
+        session.execute("sg(p0_1, Y)")
+        session.execute("sg(p0_2, Y)")
+        assert session.cache_sizes()["result_cache"] == 2
+        # p0_0 was least recently used and should have been evicted.
+        result = session.execute("sg(p0_0, Y)")
+        assert not result.result_cached
+
+    def test_lru_touch_on_hit(self):
+        session = QuerySession(sg_db(), result_cache_size=2)
+        session.execute("sg(p0_0, Y)")
+        session.execute("sg(p0_1, Y)")
+        session.execute("sg(p0_0, Y)")  # touch: p0_1 is now the LRU entry
+        session.execute("sg(p0_2, Y)")
+        assert session.execute("sg(p0_0, Y)").result_cached
+        assert not session.execute("sg(p0_1, Y)").result_cached
+
+    def test_hit_returns_copy(self):
+        session = QuerySession(sg_db())
+        first = session.execute("sg(p0_0, Y)")
+        first.rows.append(("tampered",))
+        second = session.execute("sg(p0_0, Y)")
+        assert ("tampered",) not in second.rows
+
+
+class TestInvalidation:
+    def test_add_fact_flushes_results_keeps_plans(self):
+        session = QuerySession(sg_db())
+        session.execute("sg(p0_0, Y)")
+        session.add_fact("parent", ("p0_0", "p1_5"))
+        result = session.execute("sg(p0_0, Y)")
+        assert not result.result_cached
+        assert result.plan_cached  # EDB change must not drop plans
+        assert session.metrics.result_invalidations == 1
+        assert session.metrics.plan_invalidations == 0
+
+    def test_add_rule_flushes_both(self):
+        db = sg_db()
+        session = QuerySession(db)
+        session.execute("sg(p0_0, Y)")
+        session.load_source("sg(X, Y) :- parent(X, Y).")
+        result = session.execute("sg(p0_0, Y)")
+        assert not result.result_cached and not result.plan_cached
+        assert session.metrics.plan_invalidations == 1
+        assert result.rows == cold_rows(db, "sg(p0_0, Y)")
+
+
+WORKLOADS = {
+    "sg": (sg_db, "sg(p0_0, Y)", ("parent", ("p0_0", "p1_4"))),
+    "scsg": (scsg_db, "scsg(p0_0, Y)", ("same_country", ("p1_0", "p1_4"))),
+    "travel": (
+        travel_db,
+        "travel(L, city0, DT, city4, AT, F)",
+        # A forward edge: changes the answers without creating a cycle.
+        ("flight", ("f99", "city0", 700, "city2", 800, 10)),
+    ),
+}
+
+
+class TestCacheCorrectness:
+    """Warm answers after mutations == cold cache-free planner."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_fact_mutation_matches_cold_planner(self, name):
+        build, query, (pred, row) = WORKLOADS[name]
+        db = build()
+        session = QuerySession(db)
+        assert session.answer_rows(query) == cold_rows(db, query)
+        session.answer_rows(query)  # warm the result cache
+        session.add_fact(pred, row)
+        assert session.answer_rows(query) == cold_rows(db, query)
+
+    @pytest.mark.parametrize("name", ["sg", "scsg"])
+    def test_rule_mutation_matches_cold_planner(self, name):
+        build, query, _ = WORKLOADS[name]
+        db = build()
+        session = QuerySession(db)
+        before = session.answer_rows(query)
+        head = query.split("(")[0]
+        session.load_source(f"{head}(X, Y) :- parent(X, Y).")
+        after = session.answer_rows(query)
+        assert after == cold_rows(db, query)
+        assert after != before  # the new rule really changed the answers
+
+
+class TestConcurrency:
+    def test_parallel_queries_match_cold_planner(self):
+        db = sg_db()
+        session = QuerySession(db)
+        queries = [f"sg(p0_{i}, Y)" for i in range(4)]
+        expected = {q: cold_rows(db, q) for q in queries}
+        failures = []
+
+        def worker(query):
+            for _ in range(10):
+                rows = session.answer_rows(query)
+                if rows != expected[query]:
+                    failures.append((query, rows))
+
+        threads = [
+            threading.Thread(target=worker, args=(q,)) for q in queries * 2
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        snap = session.metrics.snapshot()
+        assert snap["queries"] == 80
+        assert snap["result_cache"]["hits"] >= 70
+
+    def test_concurrent_mutation_never_serves_stale(self):
+        db = sg_db()
+        session = QuerySession(db)
+        query = "sg(p0_0, Y)"
+        stop = threading.Event()
+        errors = []
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                session.add_fact("parent", (f"extra_{i}", "p1_0"))
+                i += 1
+
+        def ask():
+            try:
+                for _ in range(30):
+                    rows = session.answer_rows(query)
+                    assert isinstance(rows, list)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        mutator = threading.Thread(target=mutate)
+        askers = [threading.Thread(target=ask) for _ in range(3)]
+        mutator.start()
+        for t in askers:
+            t.start()
+        for t in askers:
+            t.join()
+        stop.set()
+        mutator.join()
+        assert errors == []
+        # Quiesced: the session must now agree with a cold planner.
+        assert session.answer_rows(query) == cold_rows(db, query)
