@@ -26,7 +26,7 @@ graphs for function-free recursions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..datalog.literals import Literal, Predicate
 from ..datalog.rules import Rule
@@ -270,12 +270,11 @@ class BufferedChainEvaluator:
     # ------------------------------------------------------------------
     def _exit_rows(
         self, node: _CallNode, counters: Counters
-    ) -> List[Tuple[Term, ...]]:
+    ) -> Iterator[Tuple[Term, ...]]:
         """Complete head rows obtainable from the exit rules for a call
-        with ``node.bindings`` known."""
+        with ``node.bindings`` known, streamed as they are derived."""
         head_args = self.compiled.head_args
         lookup = self.database.get
-        rows: List[Tuple[Term, ...]] = []
         call_args = [
             node.bindings.get(arg.name, Var(f"_Q{p}"))
             for p, arg in enumerate(head_args)
@@ -292,7 +291,7 @@ class BufferedChainEvaluator:
                     apply_substitution(arg, solution) for arg in call_args
                 )
                 if all(is_ground(v) for v in row):
-                    rows.append(row)
+                    yield row
         for exit_rule in self.compiled.exit_rules:
             unified = unify_sequences(exit_rule.head.args, call_args)
             if unified is None:
@@ -318,8 +317,7 @@ class BufferedChainEvaluator:
                     for arg in exit_rule.head.args
                 )
                 if all(is_ground(v) for v in row):
-                    rows.append(row)
-        return rows
+                    yield row
 
     @staticmethod
     def _call_key(bindings: Dict[str, Term]) -> Tuple[object, ...]:

@@ -17,7 +17,7 @@ cyclic-counting extensions, ref [5]); a depth guard raises otherwise.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..datalog.literals import Literal, Predicate
 from ..datalog.rules import Rule
@@ -197,34 +197,19 @@ class CountingEvaluator:
         ]
         answers = Relation(query.name, query.arity)
         for level in range(len(frontiers) - 1, -1, -1):
-            solutions = per_level_exit[level]
             # climb `level` steps up; at each step every up chain
             # advances one level (they interact only through the exit
             # tuple, so they climb independently within one solution).
+            # The steps are chained as generators: one exit solution
+            # flows through the whole climb before the next is touched,
+            # so no per-step solution list is ever materialized.
+            solutions: Iterable[Substitution] = per_level_exit[level]
             for step in range(level, 0, -1):
                 for up, up_order in zip(up_chains, up_orders):
-                    next_solutions: List[Substitution] = []
-                    for solution in solutions:
-                        rec_seed = {}
-                        for p in up.rec_positions:
-                            arg = rec_args[p]
-                            head_var = head_args[p]
-                            if isinstance(arg, Var) and isinstance(head_var, Var):
-                                value = solution.get(head_var.name)
-                                if value is not None:
-                                    rec_seed[arg.name] = value
-                        for up_solution in evaluate_body(
-                            up_order, lookup, self.registry, rec_seed, counters
-                        ):
-                            climbed = dict(solution)
-                            for p in up.head_positions:
-                                head_var = head_args[p]
-                                if isinstance(head_var, Var):
-                                    climbed[head_var.name] = apply_substitution(
-                                        head_var, up_solution
-                                    )
-                            next_solutions.append(climbed)
-                    solutions = next_solutions
+                    solutions = self._climb_one_level(
+                        solutions, up, up_order, head_args, rec_args,
+                        lookup, counters,
+                    )
             # The climbed solutions carry the up-chain values at level
             # 0; the down-chain positions are the query's own constants
             # (the climb never touches them).
@@ -248,6 +233,38 @@ class CountingEvaluator:
         return answers, counters
 
     # ------------------------------------------------------------------
+    def _climb_one_level(
+        self,
+        solutions: Iterable[Substitution],
+        up: ChainPath,
+        up_order,
+        head_args: Sequence[Term],
+        rec_args: Sequence[Term],
+        lookup,
+        counters: Counters,
+    ) -> Iterator[Substitution]:
+        """One ascent step of one up chain, as a streaming stage."""
+        for solution in solutions:
+            rec_seed: Substitution = {}
+            for p in up.rec_positions:
+                arg = rec_args[p]
+                head_var = head_args[p]
+                if isinstance(arg, Var) and isinstance(head_var, Var):
+                    value = solution.get(head_var.name)
+                    if value is not None:
+                        rec_seed[arg.name] = value
+            for up_solution in evaluate_body(
+                up_order, lookup, self.registry, rec_seed, counters
+            ):
+                climbed = dict(solution)
+                for p in up.head_positions:
+                    head_var = head_args[p]
+                    if isinstance(head_var, Var):
+                        climbed[head_var.name] = apply_substitution(
+                            head_var, up_solution
+                        )
+                yield climbed
+
     def _chain_covering(self, bound_positions: Set[int]) -> ChainPath:
         for chain in self.chains:
             if set(chain.head_positions) <= bound_positions and chain.head_positions:

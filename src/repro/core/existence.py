@@ -26,8 +26,6 @@ from ..datalog.unify import unify_sequences
 from ..engine.builtins import BuiltinRegistry, default_registry
 from ..engine.counters import Counters
 from ..engine.database import Database
-from ..engine.relation import Relation
-from ..engine.seminaive import SemiNaiveEvaluator
 from ..engine.topdown import TopDownEvaluator
 from .magic import MagicSetsEvaluator
 
@@ -59,7 +57,12 @@ class ExistenceChecker:
         return False, evaluator.counters
 
     def exists_bottom_up(self, query_source) -> Tuple[bool, Counters]:
-        """Magic-sets + semi-naive with an early-exit stop condition."""
+        """Magic-sets + semi-naive with an early-exit stop condition.
+
+        The stop condition is checked after *each* newly derived answer
+        tuple (not once per fixpoint round), so the abort happens
+        mid-join as soon as the witness lands.
+        """
         goals = self._goals(query_source)
         query = goals[0]
         if len(goals) > 1:
@@ -67,34 +70,17 @@ class ExistenceChecker:
                 "bottom-up existence checking takes a single goal; "
                 "fold constraints into the program or use exists_top_down"
             )
+
+        def witnessed(answers) -> bool:
+            return any(
+                unify_sequences(query.args, row) is not None for row in answers
+            )
+
         magic_evaluator = MagicSetsEvaluator(self.database, self.registry)
-        magic = magic_evaluator.rewrite(query)
-
-        scratch = Database()
-        scratch.program = magic.program
-        scratch.relations = dict(self.database.relations)
-
-        answer_predicate = magic.answer_predicate
-
-        def witnessed(derived) -> bool:
-            relation = derived.get(answer_predicate)
-            if relation is None:
-                return False
-            for row in relation:
-                if unify_sequences(query.args, row) is not None:
-                    return True
-            return False
-
-        result = SemiNaiveEvaluator(scratch, self.registry).evaluate(
-            magic.program, stop_condition=witnessed
+        answers, counters, _ = magic_evaluator.evaluate(
+            query, stop_condition=witnessed
         )
-        relation = result.relations.get(
-            answer_predicate, Relation(answer_predicate.name, answer_predicate.arity)
-        )
-        found = any(
-            unify_sequences(query.args, row) is not None for row in relation
-        )
-        return found, result.counters
+        return len(answers) > 0, counters
 
     def exists(self, query_source) -> bool:
         """Convenience: top-down first (handles functional programs and

@@ -21,7 +21,7 @@ Example 1.2 / §3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..datalog.literals import Literal, Predicate
 from ..datalog.rules import Program, Rule
@@ -335,17 +335,43 @@ class MagicSetsEvaluator:
             supplementary=self.supplementary,
         )
 
-    def evaluate(self, query: Literal) -> Tuple[Relation, Counters, MagicProgram]:
-        """Answers to ``query`` (as a relation over its arguments),
-        the work counters, and the rewritten program for inspection."""
-        magic = self.rewrite(query)
+    def _scratch(self, magic: MagicProgram) -> Database:
+        """A throwaway database running the rewritten program over the
+        original EDB relations (shared read-only; the magic seed is a
+        fact rule inside the rewritten program)."""
         scratch = Database()
         scratch.program = magic.program
-        # Share the EDB relations read-only; the magic seed is a fact
-        # rule inside the rewritten program.
         scratch.relations = dict(self.database.relations)
+        return scratch
 
-        result = SemiNaiveEvaluator(scratch, self.registry).evaluate(magic.program)
+    def evaluate(
+        self,
+        query: Literal,
+        stop_condition: Optional[Callable[[Relation], bool]] = None,
+    ) -> Tuple[Relation, Counters, MagicProgram]:
+        """Answers to ``query`` (as a relation over its arguments),
+        the work counters, and the rewritten program for inspection.
+
+        ``stop_condition``, when given, is called with the answer
+        relation derived so far after each new answer tuple; returning
+        True aborts the semi-naive fixpoint mid-round (existence
+        checking, §5).  The answers accumulated up to the abort are
+        still returned.
+        """
+        magic = self.rewrite(query)
+        scratch = self._scratch(magic)
+
+        seminaive_stop = None
+        if stop_condition is not None:
+            answer_predicate = magic.answer_predicate
+
+            def seminaive_stop(derived) -> bool:
+                relation = derived.get(answer_predicate)
+                return relation is not None and stop_condition(relation)
+
+        result = SemiNaiveEvaluator(scratch, self.registry).evaluate(
+            magic.program, stop_condition=seminaive_stop
+        )
         answers_full = result.relation(
             magic.answer_predicate.name, magic.answer_predicate.arity
         )
@@ -359,9 +385,7 @@ class MagicSetsEvaluator:
         """Sizes of every derived magic predicate — the paper's measure
         of binding-propagation cost."""
         magic = self.rewrite(query)
-        scratch = Database()
-        scratch.program = magic.program
-        scratch.relations = dict(self.database.relations)
+        scratch = self._scratch(magic)
         result = SemiNaiveEvaluator(scratch, self.registry).evaluate(magic.program)
         sizes: Dict[str, int] = {}
         for predicate, relation in result.relations.items():

@@ -289,9 +289,8 @@ class PartialChainEvaluator:
             frame.call.get(arg.name, Var(f"_Q{p}"))
             for p, arg in enumerate(head_args)
         ]
-        root_locals = dict(frame.root_locals)
-        exit_sources = []
-        # Ground exit facts stored in the EDB participate as exit rows.
+        # Ground exit facts stored in the EDB participate as exit rows;
+        # each is emitted as soon as it matches (no staging list).
         stored = lookup(self.compiled.predicate)
         if stored is not None:
             from ..engine.joins import literal_solutions
@@ -301,20 +300,19 @@ class PartialChainEvaluator:
                 fact_row = [
                     apply_substitution(arg, solution) for arg in call_args
                 ]
-                if all(is_ground(v) for v in fact_row):
-                    exit_sources.append(fact_row)
-        for exit_row in exit_sources:
-            self._emit_exit_row(
-                frame,
-                query,
-                kinds,
-                accumulators,
-                acc_by_position,
-                residual_constraints,
-                answers,
-                counters,
-                exit_row,
-            )
+                if not all(is_ground(v) for v in fact_row):
+                    continue
+                self._emit_exit_row(
+                    frame,
+                    query,
+                    kinds,
+                    accumulators,
+                    acc_by_position,
+                    residual_constraints,
+                    answers,
+                    counters,
+                    fact_row,
+                )
         for exit_rule in self.compiled.exit_rules:
             unified = unify_sequences(exit_rule.head.args, call_args)
             if unified is None:

@@ -25,16 +25,24 @@ class Counters:
     duplicate_tuples: int = 0
     #: Index probes performed during joins.
     join_probes: int = 0
-    #: Substitutions produced while evaluating rule bodies (the size of
-    #: every intermediate result, summed) — the paper's "intermediate
-    #: relation" cost.
+    #: Substitutions produced while evaluating rule bodies (one count
+    #: per substitution flowing out of each join stage) — the paper's
+    #: "intermediate relation" cost.
     intermediate_tuples: int = 0
+    #: Builtin literal evaluations (one per ``registry.solve`` call).
+    builtin_evals: int = 0
     #: Fixpoint iterations executed.
     iterations: int = 0
     #: Tuples pruned by pushed constraints (partial evaluation).
     pruned_tuples: int = 0
     #: Values buffered by buffered chain-split evaluation.
     buffered_values: int = 0
+    #: Largest number of substitutions held live at once during any
+    #: single rule-body evaluation.  A materializing join reports the
+    #: longest intermediate list; the streaming pipeline reports its
+    #: depth (bounded by the body length).  Merged with ``max``, not a
+    #: sum — it is a high-water mark, not a total.
+    peak_intermediate: int = 0
 
     def merge(self, other: "Counters") -> None:
         """Accumulate ``other`` into this instance."""
@@ -42,9 +50,11 @@ class Counters:
         self.duplicate_tuples += other.duplicate_tuples
         self.join_probes += other.join_probes
         self.intermediate_tuples += other.intermediate_tuples
+        self.builtin_evals += other.builtin_evals
         self.iterations += other.iterations
         self.pruned_tuples += other.pruned_tuples
         self.buffered_values += other.buffered_values
+        self.peak_intermediate = max(self.peak_intermediate, other.peak_intermediate)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -52,12 +62,19 @@ class Counters:
             "duplicate_tuples": self.duplicate_tuples,
             "join_probes": self.join_probes,
             "intermediate_tuples": self.intermediate_tuples,
+            "builtin_evals": self.builtin_evals,
             "iterations": self.iterations,
             "pruned_tuples": self.pruned_tuples,
             "buffered_values": self.buffered_values,
+            "peak_intermediate": self.peak_intermediate,
         }
 
     @property
     def total_work(self) -> int:
         """A single scalar proxy for evaluation effort."""
-        return self.join_probes + self.intermediate_tuples + self.derived_tuples
+        return (
+            self.join_probes
+            + self.intermediate_tuples
+            + self.derived_tuples
+            + self.builtin_evals
+        )

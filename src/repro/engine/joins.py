@@ -1,4 +1,4 @@
-"""Rule-body evaluation: ordered nested-index joins over relations.
+"""Rule-body evaluation: a streaming nested-index join pipeline.
 
 This module is the single join implementation every bottom-up
 evaluator uses.  A rule body is evaluated left-to-right after a safety
@@ -7,22 +7,49 @@ postponed until their input variables are bound, and among stored
 literals the one with the most bound argument positions is probed first
 (a greedy bound-is-easier SIPS, the same one the adornment machinery
 assumes).
+
+:func:`evaluate_body` is a *true generator pipeline*: solutions flow
+literal-to-literal through a backtracking stack of per-stage iterators,
+so at any moment at most one substitution per body literal is live —
+never a materialized intermediate list.  The paper's blowup argument
+(weak linkage producing huge intermediate relations, §1) therefore
+cannot reappear as peak evaluator memory: the high-water mark is the
+body length, which :attr:`Counters.peak_intermediate` records.
+Laziness also means a consumer that stops consuming (existence checks,
+``stop_condition`` aborts) short-circuits the join mid-flight instead
+of paying for the full cross product first.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..datalog.literals import Literal, Predicate
 from ..datalog.terms import Const, Struct, Term, Var, is_ground, term_variables
 from ..datalog.unify import Substitution, apply_substitution, match, unify
 from .builtins import BuiltinError, BuiltinRegistry
 from .counters import Counters
-from .relation import Relation, Row
+from .relation import Relation, RelationWindow, Row
 
 __all__ = ["UnsafeRuleError", "order_body", "literal_solutions", "evaluate_body"]
 
-RelationLookup = Callable[[Predicate], Optional[Relation]]
+#: Anything probe-able like a relation: a stored :class:`Relation` or a
+#: generation :class:`RelationWindow` over one (semi-naive's pre-round,
+#: delta and frozen-full versions).
+RelationLike = Union[Relation, RelationWindow]
+
+RelationLookup = Callable[[Predicate], Optional[RelationLike]]
 
 
 class UnsafeRuleError(ValueError):
@@ -107,7 +134,7 @@ def order_body(
 
 def literal_solutions(
     literal: Literal,
-    relation: Relation,
+    relation: RelationLike,
     subst: Substitution,
     counters: Optional[Counters] = None,
 ) -> Iterator[Substitution]:
@@ -144,6 +171,8 @@ def literal_solutions(
 #: substitutions; used for predicates without a stored relation.
 IdbSolver = Callable[[Literal, Substitution], Iterator[Substitution]]
 
+_EXHAUSTED = object()
+
 
 def evaluate_body(
     ordered_body: Sequence[Tuple[int, Literal]],
@@ -151,67 +180,131 @@ def evaluate_body(
     registry: BuiltinRegistry,
     seed: Substitution,
     counters: Optional[Counters] = None,
-    overrides: Optional[Dict[int, Relation]] = None,
+    overrides: Optional[Dict[int, RelationLike]] = None,
     idb_solver: Optional[IdbSolver] = None,
 ) -> Iterator[Substitution]:
-    """Evaluate an ordered body, yielding complete solutions.
+    """Evaluate an ordered body, lazily yielding complete solutions.
+
+    Solutions stream through the literals one at a time: stage *i*
+    holds a single current substitution and an iterator of its
+    extensions, so peak live substitutions equal the body length
+    (recorded in :attr:`Counters.peak_intermediate`) instead of the
+    size of the largest intermediate relation.  Consumers may abandon
+    the iterator at any point — nothing beyond the solutions actually
+    pulled is computed.
 
     ``overrides`` maps *original* body indexes to replacement relations
-    — semi-naive evaluation substitutes the delta relation for one
-    occurrence of the recursive predicate this way.
+    (or :class:`~repro.engine.relation.RelationWindow` views) — the
+    semi-naive evaluator substitutes its delta/pre-round/frozen
+    generation windows for the recursive occurrences this way.
 
     ``idb_solver`` handles literals with no stored relation (derived
     predicates): nested chain-split evaluation plugs the recursive
     evaluation of inner recursions in this way (paper §4.1).
     """
-    substitutions: List[Substitution] = [seed]
+
+    depth = len(ordered_body)
+    if depth == 0:
+        yield seed
+        return
+
+    # Pre-resolve each stage once per body evaluation: the relation a
+    # literal probes (override window or lookup result) is fixed for
+    # the whole evaluation, so none of that dispatch runs per tuple.
+    _NEGATED, _BUILTIN, _STORED, _IDB = 0, 1, 2, 3
+    stages: List[Tuple[int, Literal, object]] = []
     for original_index, literal in ordered_body:
-        if not substitutions:
-            return
-        next_substitutions: List[Substitution] = []
         if literal.negated:
-            relation = _resolve(literal, lookup, overrides, original_index)
-            for subst in substitutions:
-                ground_args = tuple(apply_substitution(a, subst) for a in literal.args)
-                if any(not is_ground(a) for a in ground_args):
-                    raise UnsafeRuleError(
-                        f"negated literal {literal} not ground at evaluation time"
-                    )
-                if counters is not None:
-                    counters.join_probes += 1
-                if relation is None or ground_args not in relation:
-                    next_substitutions.append(subst)
+            kind = _NEGATED
+            payload = _resolve(literal, lookup, overrides, original_index)
         elif registry.is_builtin(literal):
-            for subst in substitutions:
-                for solution in registry.solve(literal, subst):
-                    next_substitutions.append(solution)
+            kind = _BUILTIN
+            payload = None
         else:
-            relation = _resolve(literal, lookup, overrides, original_index)
-            if relation is None and idb_solver is not None:
-                for subst in substitutions:
-                    for solution in idb_solver(literal, subst):
-                        next_substitutions.append(solution)
-            elif relation is None:
+            payload = _resolve(literal, lookup, overrides, original_index)
+            kind = _IDB if payload is None else _STORED
+        stages.append((kind, literal, payload))
+
+    def stage_solutions(stage: int, subst: Substitution) -> Iterator[Substitution]:
+        kind, literal, relation = stages[stage]
+        if kind == _STORED:
+            # Inlined literal_solutions: index probe on the positions
+            # ground under ``subst``, then unification of the rest —
+            # without a second generator layer per substitution.
+            instantiated = [
+                apply_substitution(arg, subst) for arg in literal.args
+            ]
+            key_columns: List[int] = []
+            key_values: List[Term] = []
+            free_positions: List[int] = []
+            for position, arg in enumerate(instantiated):
+                if is_ground(arg):
+                    key_columns.append(position)
+                    key_values.append(arg)
+                else:
+                    free_positions.append(position)
+            if counters is not None:
+                counters.join_probes += 1
+            for row in relation.lookup(key_columns, key_values):
+                result: Optional[Substitution] = subst
+                for position in free_positions:
+                    result = unify(instantiated[position], row[position], result)
+                    if result is None:
+                        break
+                if result is not None:
+                    if counters is not None:
+                        counters.intermediate_tuples += 1
+                    yield result
+        elif kind == _BUILTIN:
+            if counters is not None:
+                counters.builtin_evals += 1
+            for solution in registry.solve(literal, subst):
+                if counters is not None:
+                    counters.intermediate_tuples += 1
+                yield solution
+        elif kind == _NEGATED:
+            ground_args = tuple(apply_substitution(a, subst) for a in literal.args)
+            if any(not is_ground(a) for a in ground_args):
+                raise UnsafeRuleError(
+                    f"negated literal {literal} not ground at evaluation time"
+                )
+            if counters is not None:
+                counters.join_probes += 1
+            if relation is None or ground_args not in relation:
+                if counters is not None:
+                    counters.intermediate_tuples += 1
+                yield subst
+        else:  # _IDB: no stored relation — delegate or fail the stage
+            if idb_solver is None:
                 return
-            else:
-                for subst in substitutions:
-                    for solution in literal_solutions(
-                        literal, relation, subst, counters
-                    ):
-                        next_substitutions.append(solution)
-        substitutions = next_substitutions
-        if counters is not None:
-            counters.intermediate_tuples += len(substitutions)
-    for subst in substitutions:
-        yield subst
+            for solution in idb_solver(literal, subst):
+                if counters is not None:
+                    counters.intermediate_tuples += 1
+                yield solution
+    # Backtracking stack of per-stage iterators; stack[i] enumerates the
+    # extensions of the stage-(i-1) substitution through literal i.
+    stack: List[Iterator[Substitution]] = [stage_solutions(0, seed)]
+    if counters is not None and counters.peak_intermediate < 1:
+        counters.peak_intermediate = 1
+    while stack:
+        solution = next(stack[-1], _EXHAUSTED)
+        if solution is _EXHAUSTED:
+            stack.pop()
+            continue
+        if len(stack) == depth:
+            yield solution
+        else:
+            stack.append(stage_solutions(len(stack), solution))
+            if counters is not None and len(stack) > counters.peak_intermediate:
+                counters.peak_intermediate = len(stack)
 
 
 def _resolve(
     literal: Literal,
     lookup: RelationLookup,
-    overrides: Optional[Dict[int, Relation]],
+    overrides: Optional[Dict[int, RelationLike]],
     original_index: int,
-) -> Optional[Relation]:
+) -> Optional[RelationLike]:
     if overrides is not None and original_index in overrides:
         return overrides[original_index]
     return lookup(literal.predicate)

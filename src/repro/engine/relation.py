@@ -1,4 +1,4 @@
-"""In-memory relations with lazily built hash indexes.
+"""In-memory relations with incrementally maintained hash indexes.
 
 A :class:`Relation` stores ground tuples of :class:`~repro.datalog.terms.Term`
 values.  Every evaluator in this library — semi-naive, magic sets,
@@ -6,17 +6,29 @@ counting, buffered and partial chain-split evaluation — reads and
 writes relations through this class, so the cost comparisons between
 strategies are apples-to-apples.
 
+Rows are kept in an append-only insertion log alongside a membership
+dict, which gives every relation a *generation* structure for free:
+:meth:`mark` captures the current log position, and :meth:`window`
+returns a read-only view of the rows inserted inside a log interval.
+Semi-naive evaluation uses those windows as its pre-round, delta and
+frozen-full relation versions — no per-round copies, and the base
+relation's indexes serve every window.
+
 Indexes map a column subset to a hash table from key tuples to the
-matching rows.  They are built on first use and invalidated wholesale
-on mutation; fixpoint evaluators mutate in generations, so in practice
-an index is rebuilt at most once per generation.
+(ascending) log positions of matching rows.  They are built on first
+use and maintained incrementally ever after: an insert appends its
+position to the affected buckets, and a :meth:`discard` removes the
+row's position from the affected buckets only — no wholesale
+invalidation, so long-lived relations (a serving session's EDB) keep
+their indexes across mutations.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import (
+    AbstractSet,
     Dict,
-    FrozenSet,
     Iterable,
     Iterator,
     List,
@@ -28,7 +40,7 @@ from typing import (
 
 from ..datalog.terms import Const, Term, is_ground
 
-__all__ = ["Relation", "Row", "wrap_term"]
+__all__ = ["Relation", "RelationWindow", "Row", "wrap_term"]
 
 Row = Tuple[Term, ...]
 
@@ -41,8 +53,12 @@ class Relation:
             raise ValueError("arity must be non-negative")
         self.name = name
         self.arity = arity
-        self._rows: Set[Row] = set()
-        self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        #: row -> position in the insertion log.
+        self._rows: Dict[Row, int] = {}
+        #: insertion log; ``None`` marks a discarded row (tombstone).
+        self._order: List[Optional[Row]] = []
+        #: columns -> key -> ascending log positions of matching rows.
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Term, ...], List[int]]] = {}
         for row in rows:
             self.add(row)
 
@@ -61,10 +77,12 @@ class Relation:
                 raise ValueError(f"non-ground value {value} inserted into {self.name}")
         if row in self._rows:
             return False
-        self._rows.add(row)
+        position = len(self._order)
+        self._rows[row] = position
+        self._order.append(row)
         for columns, index in self._indexes.items():
             key = tuple(row[c] for c in columns)
-            index.setdefault(key, []).append(row)
+            index.setdefault(key, []).append(position)
         return True
 
     def add_all(self, rows: Iterable[Sequence[Term]]) -> int:
@@ -76,16 +94,31 @@ class Relation:
         return added
 
     def discard(self, row: Sequence[Term]) -> bool:
-        """Remove ``row`` if present; returns True when removed."""
+        """Remove ``row`` if present; returns True when removed.
+
+        Surgical: the row's position is removed from the affected
+        bucket of each live index; the indexes themselves survive.
+        """
         row = tuple(row)
-        if row not in self._rows:
+        position = self._rows.pop(row, None)
+        if position is None:
             return False
-        self._rows.discard(row)
-        self._indexes.clear()
+        self._order[position] = None
+        for columns, index in self._indexes.items():
+            key = tuple(row[c] for c in columns)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            slot = bisect_left(bucket, position)
+            if slot < len(bucket) and bucket[slot] == position:
+                del bucket[slot]
+            if not bucket:
+                del index[key]
         return True
 
     def clear(self) -> None:
         self._rows.clear()
+        self._order.clear()
         self._indexes.clear()
 
     # ------------------------------------------------------------------
@@ -100,27 +133,58 @@ class Relation:
     def __len__(self) -> int:
         return len(self._rows)
 
-    def rows(self) -> Set[Row]:
+    def rows(self) -> AbstractSet[Row]:
         """The underlying row set (do not mutate)."""
-        return self._rows
+        return self._rows.keys()
 
-    def lookup(self, columns: Sequence[int], key: Sequence[Term]) -> List[Row]:
-        """Rows whose projection on ``columns`` equals ``key``.
+    def mark(self) -> int:
+        """The current insertion-log position (a generation stamp for
+        :meth:`window`)."""
+        return len(self._order)
+
+    def window(self, lo: int = 0, hi: Optional[int] = None) -> "RelationWindow":
+        """A read-only view of the rows inserted at log positions
+        ``[lo, hi)`` (``hi=None`` — the current end)."""
+        return RelationWindow(self, lo, self.mark() if hi is None else hi)
+
+    def lookup(
+        self,
+        columns: Sequence[int],
+        key: Sequence[Term],
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> List[Row]:
+        """Rows whose projection on ``columns`` equals ``key``, restricted
+        to insertion-log positions ``[lo, hi)``.
 
         Builds (and caches) a hash index on ``columns`` on first use.
-        ``columns`` may be empty, in which case all rows match.
+        ``columns`` may be empty, in which case all rows in the window
+        match.
         """
         columns = tuple(columns)
         if not columns:
-            return list(self._rows)
+            if lo == 0 and hi is None:
+                return list(self._rows)
+            end = len(self._order) if hi is None else hi
+            return [row for row in self._order[lo:end] if row is not None]
         index = self._indexes.get(columns)
         if index is None:
             index = {}
-            for row in self._rows:
+            for position, row in enumerate(self._order):
+                if row is None:
+                    continue
                 index_key = tuple(row[c] for c in columns)
-                index.setdefault(index_key, []).append(row)
+                index.setdefault(index_key, []).append(position)
             self._indexes[columns] = index
-        return index.get(tuple(key), [])
+        bucket = index.get(tuple(key))
+        if not bucket:
+            return []
+        order = self._order
+        if lo == 0 and hi is None:
+            return [order[p] for p in bucket]
+        start = bisect_left(bucket, lo)
+        end = bisect_left(bucket, len(order) if hi is None else hi)
+        return [order[p] for p in bucket[start:end]]
 
     def project(self, columns: Sequence[int]) -> "Relation":
         """A new relation holding the (deduplicated) projection."""
@@ -139,7 +203,8 @@ class Relation:
 
     def copy(self, name: Optional[str] = None) -> "Relation":
         result = Relation(name or self.name, self.arity)
-        result._rows = set(self._rows)
+        result._order = [row for row in self._order if row is not None]
+        result._rows = {row: i for i, row in enumerate(result._order)}
         return result
 
     def column_values(self, column: int) -> Set[Term]:
@@ -176,11 +241,61 @@ class Relation:
         return (
             isinstance(other, Relation)
             and self.arity == other.arity
-            and self._rows == other._rows
+            and self._rows.keys() == other._rows.keys()
         )
 
     def __hash__(self):  # relations are mutable containers
         raise TypeError("Relation is unhashable")
+
+
+class RelationWindow:
+    """A read-only view of one insertion-log interval of a
+    :class:`Relation`.
+
+    Exposes the subset of the relation API the join machinery consumes
+    (:meth:`lookup`, membership, iteration, ``len``) and shares the
+    base relation's indexes — probing a window bisects the base
+    buckets instead of building per-window structures.  Semi-naive
+    evaluation hands these views to :func:`~repro.engine.joins.evaluate_body`
+    as its pre-round, delta and frozen-full relation versions; rows
+    appended to the base after the window was taken stay invisible.
+    """
+
+    __slots__ = ("base", "lo", "hi")
+
+    def __init__(self, base: Relation, lo: int, hi: int):
+        self.base = base
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}[{self.lo}:{self.hi}]"
+
+    @property
+    def arity(self) -> int:
+        return self.base.arity
+
+    def lookup(self, columns: Sequence[int], key: Sequence[Term]) -> List[Row]:
+        return self.base.lookup(columns, key, self.lo, self.hi)
+
+    def rows(self) -> Set[Row]:
+        return set(self)
+
+    def __contains__(self, row: Sequence[Term]) -> bool:
+        position = self.base._rows.get(tuple(row))
+        return position is not None and self.lo <= position < self.hi
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.base._order[self.lo : self.hi]:
+            if row is not None:
+                yield row
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        return f"RelationWindow({self.name!r}/{self.arity}, {len(self)} rows)"
 
 
 def wrap_term(value: object) -> Term:

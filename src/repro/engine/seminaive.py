@@ -6,6 +6,24 @@ program is handed to this evaluator.  The naive evaluator re-derives
 everything each round and exists as a correctness oracle and as the
 pedagogical baseline in benchmarks.
 
+The semi-naive loop follows the full delta discipline for rules with
+*multiple* recursive body occurrences (nonlinear recursion).  For a
+rule with recursive slots :math:`i_1 < i_2 < \\dots < i_k`, round *n*
+evaluates one variant per slot :math:`i_j` where
+
+* slot :math:`i_j` reads the **delta** :math:`\\Delta P^{(n-1)}`,
+* slots before :math:`i_j` read the **pre-round** relation
+  :math:`P^{(n-2)}`,
+* slots after :math:`i_j` read the **frozen full** relation
+  :math:`P^{(n-1)}`,
+
+so a combination of same-round tuples is derived exactly once instead
+of once per slot.  All three versions are zero-copy generation windows
+(:meth:`~repro.engine.relation.Relation.window`) over the single
+append-only derived relation, whose indexes persist and grow
+incrementally across rounds — no per-round delta relations and no
+index rebuilds.
+
 Both evaluators are stratified: negation is allowed as long as the
 program is stratifiable (checked by :meth:`Program.strata`).
 """
@@ -35,14 +53,41 @@ class EvaluationResult:
         self.counters = counters
 
     def relation(self, name: str, arity: int) -> Relation:
+        """The derived relation for ``name/arity``.
+
+        Unknown predicates get an empty relation that is *registered*
+        in :attr:`relations`, so repeated calls return the same object
+        and caller mutations are never silently lost.
+        """
         predicate = Predicate(name, arity)
-        if predicate not in self.relations:
-            return Relation(name, arity)
-        return self.relations[predicate]
+        relation = self.relations.get(predicate)
+        if relation is None:
+            relation = Relation(name, arity)
+            self.relations[predicate] = relation
+        return relation
 
     def __repr__(self) -> str:
         sizes = {str(p): len(r) for p, r in self.relations.items()}
         return f"EvaluationResult({sizes})"
+
+
+def _delta_first_order(
+    rule: Rule, slot: int, registry: BuiltinRegistry
+) -> List[Tuple[int, Literal]]:
+    """A safe body order for the semi-naive variant whose delta sits at
+    body position ``slot``: the delta literal leads (the delta window
+    is the smallest relation in the join), and the remaining literals
+    are greedily reordered with the delta's variables already bound."""
+    delta_literal = rule.body[slot]
+    rest = [(i, lit) for i, lit in enumerate(rule.body) if i != slot]
+    ordered_rest = order_body(
+        [lit for _, lit in rest],
+        registry,
+        initially_bound={v.name for v in delta_literal.variables()},
+    )
+    return [(slot, delta_literal)] + [
+        (rest[position][0], literal) for position, literal in ordered_rest
+    ]
 
 
 class _BottomUpEvaluator:
@@ -108,10 +153,12 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         """Evaluate ``program`` (default: the database's IDB).
 
         ``stop_condition(derived)`` — when provided, it is checked
-        after every fixpoint round; returning True aborts evaluation
-        early with the partially derived relations.  This implements
-        existence checking: a boolean query can stop as soon as one
-        witness appears (paper §5).
+        after every newly derived tuple; returning True aborts
+        evaluation early with the partially derived relations.  This
+        implements existence checking: a boolean query stops as soon as
+        one witness appears (paper §5), and because the join pipeline
+        is streaming, the abort takes effect mid-join — the rest of the
+        cross product is never enumerated.
         """
         program = program if program is not None else self.database.program
         counters = Counters()
@@ -140,6 +187,8 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         ordered_bodies = {
             id(rule): self._order(rule.body) for rule in rules
         }
+        # Recursive slots: positive body occurrences of same-stratum
+        # predicates, by original body position (ascending).
         recursive_slots: Dict[int, List[int]] = {}
         for rule in rules:
             slots = [
@@ -148,68 +197,112 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
                 if lit.predicate in stratum and not lit.negated
             ]
             recursive_slots[id(rule)] = slots
+        # Per-variant body orders, computed once per stratum and reused
+        # every round: the delta occurrence is probed *first* (it is
+        # the smallest relation), and the rest of the body is reordered
+        # around the variables it binds.  A pluggable orderer keeps its
+        # own order for every variant.
+        variant_orders: Dict[Tuple[int, int], List[Tuple[int, Literal]]] = {}
+        for rule in rules:
+            for slot in recursive_slots[id(rule)]:
+                if self._orderer is not None:
+                    variant_orders[(id(rule), slot)] = ordered_bodies[id(rule)]
+                else:
+                    variant_orders[(id(rule), slot)] = _delta_first_order(
+                        rule, slot, self.registry
+                    )
 
-        # Round 0: naive pass with (empty) stratum relations — derives
-        # everything obtainable from lower strata and exit rules.
-        delta: Dict[Predicate, Relation] = {
-            p: Relation(p.name, p.arity) for p in stratum
-        }
         # Stored EDB facts for a predicate that also has rules would be
-        # shadowed by the derived relation; seed them explicitly.
+        # shadowed by the derived relation; seed them explicitly.  They
+        # form the initial delta.
         for predicate in stratum:
             stored = self.database.get(predicate)
             if stored is not None:
                 for row in stored:
-                    if derived[predicate].add(row):
-                        delta[predicate].add(row)
-        for rule in rules:
-            for subst in evaluate_body(
-                ordered_bodies[id(rule)], lookup, self.registry, {}, counters
-            ):
-                row = self._head_row(rule, subst)
-                if derived[rule.head.predicate].add(row):
-                    counters.derived_tuples += 1
-                    delta[rule.head.predicate].add(row)
-                else:
-                    counters.duplicate_tuples += 1
-        counters.iterations += 1
-        if stop_condition is not None and stop_condition(derived):
-            return True
+                    derived[predicate].add(row)
 
-        # Semi-naive rounds.
-        while any(len(rel) for rel in delta.values()):
+        # Generation watermarks into each derived relation's insertion
+        # log: the previous round's new tuples live at [delta_lo, delta_hi),
+        # the pre-round relation is [0, delta_lo), the frozen full
+        # relation is [0, delta_hi).  Round 0 treats the EDB seed as the
+        # incoming delta (pre-round empty).
+        delta_lo: Dict[Predicate, int] = {p: 0 for p in stratum}
+        delta_hi: Dict[Predicate, int] = {p: derived[p].mark() for p in stratum}
+
+        first_round = True
+        while True:
             counters.iterations += 1
             if counters.iterations > self.max_iterations:
                 raise RuntimeError(
                     f"fixpoint did not converge within {self.max_iterations} iterations"
                 )
-            new_delta: Dict[Predicate, Relation] = {
-                p: Relation(p.name, p.arity) for p in stratum
-            }
             for rule in rules:
                 slots = recursive_slots[id(rule)]
                 if not slots:
-                    continue
-                for slot in slots:
-                    literal = rule.body[slot]
-                    overrides = {slot: delta[literal.predicate]}
-                    for subst in evaluate_body(
-                        ordered_bodies[id(rule)],
-                        lookup,
-                        self.registry,
-                        {},
-                        counters,
-                        overrides=overrides,
+                    # Exit rule: no same-stratum body occurrence — its
+                    # support cannot grow inside this stratum, so one
+                    # pass (round 0) saturates it.
+                    if not first_round:
+                        continue
+                    if self._apply_rule(
+                        rule, ordered_bodies[id(rule)], lookup, None,
+                        derived, counters, stop_condition,
                     ):
-                        row = self._head_row(rule, subst)
-                        if derived[rule.head.predicate].add(row):
-                            counters.derived_tuples += 1
-                            new_delta[rule.head.predicate].add(row)
-                        else:
-                            counters.duplicate_tuples += 1
-            delta = new_delta
-            if stop_condition is not None and stop_condition(derived):
-                return True
+                        return True
+                    continue
+                for j, slot in enumerate(slots):
+                    slot_predicate = rule.body[slot].predicate
+                    if delta_lo[slot_predicate] == delta_hi[slot_predicate]:
+                        continue  # empty delta: this variant derives nothing
+                    overrides = {
+                        slot: derived[slot_predicate].window(
+                            delta_lo[slot_predicate], delta_hi[slot_predicate]
+                        )
+                    }
+                    for earlier in slots[:j]:
+                        p = rule.body[earlier].predicate
+                        overrides[earlier] = derived[p].window(0, delta_lo[p])
+                    for later in slots[j + 1 :]:
+                        p = rule.body[later].predicate
+                        overrides[later] = derived[p].window(0, delta_hi[p])
+                    if self._apply_rule(
+                        rule, variant_orders[(id(rule), slot)], lookup,
+                        overrides, derived, counters, stop_condition,
+                    ):
+                        return True
+            first_round = False
+            progressed = False
+            for predicate in stratum:
+                mark = derived[predicate].mark()
+                if mark > delta_hi[predicate]:
+                    progressed = True
+                delta_lo[predicate] = delta_hi[predicate]
+                delta_hi[predicate] = mark
+            if not progressed:
+                return False
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        ordered_body,
+        lookup,
+        overrides,
+        derived: Dict[Predicate, Relation],
+        counters: Counters,
+        stop_condition,
+    ) -> bool:
+        """Run one rule variant, appending new heads; True = stop."""
+        target = derived[rule.head.predicate]
+        for subst in evaluate_body(
+            ordered_body, lookup, self.registry, {}, counters, overrides=overrides
+        ):
+            row = self._head_row(rule, subst)
+            if target.add(row):
+                counters.derived_tuples += 1
+                if stop_condition is not None and stop_condition(derived):
+                    return True
+            else:
+                counters.duplicate_tuples += 1
         return False
 
 

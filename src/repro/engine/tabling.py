@@ -258,6 +258,7 @@ class TabledEvaluator:
 
         builtin = self.registry.get(goal.predicate)
         if builtin is not None:
+            self.counters.builtin_evals += 1
             try:
                 for solution in builtin.solve(goal.args, subst):
                     yield from self._solve_body(rest, solution)

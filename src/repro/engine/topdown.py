@@ -202,6 +202,7 @@ class TopDownEvaluator:
 
         builtin = self.registry.get(goal.predicate)
         if builtin is not None:
+            self.counters.builtin_evals += 1
             try:
                 solutions = list(builtin.solve(goal.args, subst))
             except BuiltinError as exc:

@@ -30,9 +30,11 @@ class TestCounters:
             "duplicate_tuples",
             "join_probes",
             "intermediate_tuples",
+            "builtin_evals",
             "iterations",
             "pruned_tuples",
             "buffered_values",
+            "peak_intermediate",
         }
 
     def test_merge_is_not_symmetric_side_effect(self):
@@ -41,3 +43,15 @@ class TestCounters:
         a.merge(b)
         assert a.iterations == 3
         assert b.iterations == 2
+
+    def test_builtin_evals_in_total_work(self):
+        counters = Counters(derived_tuples=1, builtin_evals=5)
+        assert counters.total_work == 6
+
+    def test_peak_intermediate_merges_as_max(self):
+        a = Counters(peak_intermediate=3)
+        b = Counters(peak_intermediate=7)
+        a.merge(b)
+        assert a.peak_intermediate == 7
+        a.merge(Counters(peak_intermediate=2))
+        assert a.peak_intermediate == 7

@@ -63,6 +63,29 @@ class TestRelation:
         assert len(rel.lookup((0,), (Const(1),))) == 1
         assert not rel.discard((Const(1), Const(2)))
 
+    def test_discard_is_surgical_indexes_survive(self):
+        """A discard edits the affected index buckets in place instead
+        of throwing every index away."""
+        rel = Relation.from_pairs("r", [(1, 2), (1, 3), (2, 3)])
+        rel.lookup((0,), (Const(1),))
+        rel.lookup((1,), (Const(3),))
+        indexes_before = {columns: id(index) for columns, index in rel._indexes.items()}
+        rel.discard((Const(1), Const(3)))
+        # Same index objects, still correct.
+        assert {c: id(i) for c, i in rel._indexes.items()} == indexes_before
+        assert rel.lookup((0,), (Const(1),)) == [(Const(1), Const(2))]
+        assert rel.lookup((1,), (Const(3),)) == [(Const(2), Const(3))]
+        # Inserts after a discard keep maintaining the same indexes.
+        rel.add((Const(1), Const(9)))
+        assert len(rel.lookup((0,), (Const(1),))) == 2
+
+    def test_discard_row_absent_from_iteration_and_windows(self):
+        rel = Relation.from_pairs("r", [(1, 2), (3, 4)])
+        rel.discard((Const(1), Const(2)))
+        assert list(rel) == [(Const(3), Const(4))]
+        assert list(rel.window()) == [(Const(3), Const(4))]
+        assert len(rel.lookup((), ())) == 1
+
     def test_project(self):
         rel = Relation.from_pairs("r", [(1, 2), (1, 3)])
         proj = rel.project((0,))
@@ -103,6 +126,60 @@ class TestRelation:
     def test_from_tuples(self):
         rel = Relation.from_tuples("r", 3, [(1, "a", 2.5)])
         assert len(rel) == 1
+
+
+class TestRelationWindows:
+    """Generation windows: the zero-copy pre-round/delta/full views the
+    semi-naive loop joins against."""
+
+    def test_mark_and_window_partition_the_log(self):
+        rel = Relation("r", 1)
+        rel.add((Const(1),))
+        mark = rel.mark()
+        rel.add((Const(2),))
+        rel.add((Const(3),))
+        old = rel.window(0, mark)
+        delta = rel.window(mark)
+        assert list(old) == [(Const(1),)]
+        assert sorted(v.value for (v,) in delta) == [2, 3]
+        assert len(old) == 1 and len(delta) == 2
+
+    def test_window_is_a_frozen_view(self):
+        rel = Relation("r", 1)
+        rel.add((Const(1),))
+        window = rel.window()
+        rel.add((Const(2),))
+        # Rows appended after the window was taken stay invisible.
+        assert (Const(2),) not in window
+        assert len(window) == 1
+        assert window.lookup((), ()) == [(Const(1),)]
+
+    def test_window_lookup_shares_base_index(self):
+        rel = Relation.from_pairs("r", [(1, 2), (1, 3)])
+        mark = rel.mark()
+        rel.add((Const(1), Const(4)))
+        assert len(rel.lookup((0,), (Const(1),))) == 3
+        window = rel.window(0, mark)
+        rows = window.lookup((0,), (Const(1),))
+        assert sorted(row[1].value for row in rows) == [2, 3]
+        # One shared index on the base serves both.
+        assert list(rel._indexes) == [(0,)]
+
+    def test_window_contains_respects_interval(self):
+        rel = Relation("r", 1)
+        rel.add((Const(1),))
+        mark = rel.mark()
+        rel.add((Const(2),))
+        delta = rel.window(mark)
+        assert (Const(2),) in delta
+        assert (Const(1),) not in delta
+        assert (Const(9),) not in delta
+
+    def test_window_name_and_arity(self):
+        rel = Relation("r", 2)
+        window = rel.window()
+        assert window.arity == 2
+        assert "r" in window.name
 
 
 class TestDatabase:

@@ -175,6 +175,145 @@ class TestSemiNaive:
         result = SemiNaiveEvaluator(db).evaluate()
         assert len(result.relation("nothing", 3)) == 0
 
+    def test_relation_helper_caches_unknown_predicates(self):
+        """relation() registers the empty relation it hands out, so
+        repeated calls return the same object and caller mutations are
+        not silently lost (regression: it used to return a fresh
+        detached Relation every call)."""
+        db = make_db(ANCESTOR, CHAIN)
+        result = SemiNaiveEvaluator(db).evaluate()
+        first = result.relation("nothing", 3)
+        assert result.relation("nothing", 3) is first
+        first.add((Const(1), Const(2), Const(3)))
+        assert len(result.relation("nothing", 3)) == 1
+        assert Predicate("nothing", 3) in result.relations
+
+
+class TestDeltaDiscipline:
+    """Nonlinear recursion must not re-derive the same-round tuple
+    combinations once per recursive slot."""
+
+    NONLINEAR = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), path(Z, Y).
+    """
+
+    def chain_db(self, n):
+        return make_db(
+            self.NONLINEAR, [("edge", (f"v{i}", f"v{i+1}")) for i in range(n)]
+        )
+
+    def test_nonlinear_duplicates_drop(self):
+        """Regression for the per-slot re-derivation bug: on an 8-edge
+        chain the old discipline (delta at one slot, the live full
+        relation at the other) produced 113 duplicate derivations; the
+        pre-round/delta/frozen-full window discipline must stay
+        strictly below that, and below naive."""
+        db = self.chain_db(8)
+        semi = SemiNaiveEvaluator(db).evaluate()
+        naive = NaiveEvaluator(db).evaluate()
+        assert semi.relation("path", 2) == naive.relation("path", 2)
+        assert len(semi.relation("path", 2)) == 36
+        assert semi.counters.derived_tuples == 36
+        assert semi.counters.duplicate_tuples < 113
+        assert semi.counters.duplicate_tuples < naive.counters.duplicate_tuples
+
+    def test_nonlinear_mutual_recursion_agrees_with_naive(self):
+        db = make_db(
+            """
+            a(X, Y) :- e1(X, Y).
+            a(X, Y) :- a(X, Z), b(Z, Y).
+            b(X, Y) :- e2(X, Y).
+            b(X, Y) :- b(X, Z), a(Z, Y).
+            """,
+            [("e1", ("u", "v")), ("e2", ("v", "w")), ("e1", ("w", "x"))],
+        )
+        semi = SemiNaiveEvaluator(db).evaluate()
+        naive = NaiveEvaluator(db).evaluate()
+        assert semi.relation("a", 2) == naive.relation("a", 2)
+        assert semi.relation("b", 2) == naive.relation("b", 2)
+
+    def test_triple_recursive_slots(self):
+        db = make_db(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z1), t(Z1, Z2), t(Z2, Y).
+            """,
+            [("e", (f"v{i}", f"v{i+1}")) for i in range(6)],
+        )
+        semi = SemiNaiveEvaluator(db).evaluate()
+        naive = NaiveEvaluator(db).evaluate()
+        assert semi.relation("t", 2) == naive.relation("t", 2)
+
+
+class TestStreamingPipeline:
+    """evaluate_body is a lazy generator chain: peak live substitutions
+    equal the body length, and abandoning the iterator abandons the
+    join."""
+
+    def test_peak_intermediate_is_body_length(self):
+        from repro.engine.joins import evaluate_body
+
+        registry = default_registry()
+        db = Database()
+        for i in range(20):
+            for j in range(20):
+                db.add_fact("r", (i, j))
+                db.add_fact("s", (i, j))
+        rule = parse_program("p(X, W) :- r(X, Y), s(Z, W).").rules[0]
+        ordered = order_body(rule.body, registry)
+        counters = Counters()
+        for _ in evaluate_body(ordered, db.get, registry, {}, counters):
+            pass
+        # The cross product has 400 * 400 solutions but never more than
+        # one live substitution per literal.
+        assert counters.peak_intermediate == 2
+
+    def test_consumer_can_abandon_the_join(self):
+        from repro.engine.joins import evaluate_body
+
+        registry = default_registry()
+        db = Database()
+        for i in range(100):
+            db.add_fact("r", (i,))
+            db.add_fact("s", (i,))
+        rule = parse_program("p(X, Y) :- r(X), s(Y).").rules[0]
+        ordered = order_body(rule.body, registry)
+        counters = Counters()
+        stream = evaluate_body(ordered, db.get, registry, {}, counters)
+        next(stream)
+        stream.close()
+        # Only the prefix needed for the first solution was computed,
+        # not the 10_000-row cross product.
+        assert counters.intermediate_tuples <= 3
+
+    def test_stop_condition_aborts_mid_join(self):
+        db = make_db(
+            "pair(X, Y) :- left(X), right(Y).",
+            [("left", (i,)) for i in range(50)]
+            + [("right", (i,)) for i in range(50)],
+        )
+        result = SemiNaiveEvaluator(db).evaluate(
+            stop_condition=lambda derived: any(
+                len(rel) for rel in derived.values()
+            )
+        )
+        # Stopped after the first derived tuple — the remaining 2499
+        # combinations were never enumerated.
+        assert len(result.relation("pair", 2)) == 1
+        assert result.counters.derived_tuples == 1
+        assert result.counters.intermediate_tuples < 10
+
+    def test_builtin_evals_counted(self):
+        db = make_db(
+            "bump(X, Y) :- base(X), Y is X + 1.",
+            [("base", (i,)) for i in range(5)],
+        )
+        result = SemiNaiveEvaluator(db).evaluate()
+        assert result.counters.builtin_evals == 5
+        assert result.counters.builtin_evals <= result.counters.total_work
+        assert result.counters.as_dict()["builtin_evals"] == 5
+
 
 class TestCostBasedOrdering:
     def test_seminaive_with_cost_orderer(self):

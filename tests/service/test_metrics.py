@@ -40,6 +40,30 @@ class TestServiceMetrics:
         assert snap["cached_latency"]["count"] == 1
         assert snap["evaluated_latency"]["count"] == 2
 
+    def test_builtin_evals_flow_through_snapshot(self):
+        """The builtin branch of the join pipeline counts its work, and
+        the service aggregates expose it (regression: builtin_evals was
+        never incremented anywhere)."""
+        metrics = ServiceMetrics()
+        metrics.record_query(
+            "magic_sets", 0.01, False, False, Counters(builtin_evals=4)
+        )
+        metrics.record_query(
+            "magic_sets", 0.01, True, False, Counters(builtin_evals=3)
+        )
+        snap = metrics.snapshot()
+        assert snap["engine"]["builtin_evals"] == 7
+
+    def test_peak_intermediate_aggregates_as_high_water_mark(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(
+            "counting", 0.01, False, False, Counters(peak_intermediate=5)
+        )
+        metrics.record_query(
+            "counting", 0.01, False, False, Counters(peak_intermediate=2)
+        )
+        assert metrics.snapshot()["engine"]["peak_intermediate"] == 5
+
     def test_errors_and_timeouts(self):
         metrics = ServiceMetrics()
         metrics.record_error()
