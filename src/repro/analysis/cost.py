@@ -47,6 +47,11 @@ class LinkageDecision:
     ratio: float
     propagate: bool
     reason: str
+    #: Argument positions bound when the decision was taken — the
+    #: adornment the predicted ratio refers to.  Observed ratios are
+    #: only comparable to :attr:`ratio` under this same adornment
+    #: (``observe.report`` keys its comparison on it).
+    bound_positions: Tuple[int, ...] = ()
 
     def __str__(self) -> str:
         verdict = "follow" if self.propagate else "split"
@@ -99,33 +104,75 @@ class CostModel:
             return 1.0
         return stats.fanout(sorted(bound), free)
 
+    def positional_expansion(
+        self, predicate: Predicate, bound: Iterable[int]
+    ) -> Optional[float]:
+        """Predicted expansion ratio for probing ``predicate`` with the
+        given argument *positions* bound — the positional twin of
+        :meth:`literal_expansion`, keyed the same way observed traces
+        are aggregated.  ``None`` when no statistics exist (derived
+        predicates, magic/supplementary relations): the model has no
+        prediction there at all, which is different from predicting 1.
+        """
+        bound_set = frozenset(bound)
+        free = [i for i in range(predicate.arity) if i not in bound_set]
+        builtin = self.registry.get(predicate)
+        if builtin is not None:
+            return 1.0 if builtin.is_finite_under(bound_set) else INFINITY
+        if not free:
+            return 1.0
+        stats = self.statistics.for_predicate(predicate)
+        if stats is None:
+            return None
+        return stats.fanout(sorted(bound_set), free)
+
+    def ratio_verdict(self, ratio: Optional[float]) -> Optional[str]:
+        """Classify an expansion ratio against the two thresholds:
+        ``"split"`` / ``"follow"`` / ``"gray"`` (``None`` passes
+        through).  Applied to observed ratios this is the lens the
+        EXPLAIN report uses to second-guess the planner."""
+        if ratio is None:
+            return None
+        if ratio >= self.split_threshold:
+            return "split"
+        if ratio <= self.follow_threshold:
+            return "follow"
+        return "gray"
+
     # ------------------------------------------------------------------
     # The modified binding-propagation rule
     # ------------------------------------------------------------------
     def decide(self, literal: Literal, bound_vars: Set[str]) -> LinkageDecision:
         """Apply Algorithm 3.1's three-way rule to one linkage."""
         ratio = self.literal_expansion(literal, bound_vars)
+        adornment = tuple(sorted(bound_positions(literal, bound_vars)))
         if ratio == INFINITY:
             return LinkageDecision(
-                literal, ratio, False, "not finitely evaluable under current bindings"
+                literal, ratio, False,
+                "not finitely evaluable under current bindings", adornment,
             )
-        if not bound_positions(literal, bound_vars):
+        if not adornment:
             # No linkage at all: nothing to propagate *through*; the
             # literal would be a cross product.  Never follow.
             return LinkageDecision(
-                literal, ratio, False, "no bound argument — cross-product linkage"
+                literal, ratio, False,
+                "no bound argument — cross-product linkage", adornment,
             )
         if ratio >= self.split_threshold:
             return LinkageDecision(
-                literal, ratio, False, f"ratio >= split threshold {self.split_threshold}"
+                literal, ratio, False,
+                f"ratio >= split threshold {self.split_threshold}", adornment,
             )
         if ratio <= self.follow_threshold:
             return LinkageDecision(
-                literal, ratio, True, f"ratio <= follow threshold {self.follow_threshold}"
+                literal, ratio, True,
+                f"ratio <= follow threshold {self.follow_threshold}", adornment,
             )
-        return self._quantitative(literal, ratio)
+        return self._quantitative(literal, ratio, adornment)
 
-    def _quantitative(self, literal: Literal, ratio: float) -> LinkageDecision:
+    def _quantitative(
+        self, literal: Literal, ratio: float, adornment: Tuple[int, ...] = ()
+    ) -> LinkageDecision:
         """Gray-zone comparison: estimated frontier work if we follow
         the linkage for ``depth_estimate`` iterations versus scanning
         the delayed relation once per iteration."""
@@ -144,6 +191,7 @@ class CostModel:
                 True,
                 f"quantitative: follow work {follow_work:.3g} <= "
                 f"split work {split_work:.3g}",
+                adornment,
             )
         return LinkageDecision(
             literal,
@@ -151,6 +199,7 @@ class CostModel:
             False,
             f"quantitative: follow work {follow_work:.3g} > "
             f"split work {split_work:.3g}",
+            adornment,
         )
 
     # ------------------------------------------------------------------

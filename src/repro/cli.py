@@ -6,6 +6,8 @@ Usage::
     python -m repro program.pl -q "..." --explain       # show the plan
     python -m repro program.pl -q "..." --stats         # work counters
     python -m repro program.pl -q "..." --proof         # derivation tree
+    python -m repro program.pl -q "..." --trace         # EXPLAIN report
+    python -m repro program.pl -q "..." --metrics       # Prometheus text
     python -m repro program.pl                          # REPL
     python -m repro program.pl --serve --port 8473      # TCP query server
 
@@ -18,8 +20,10 @@ REPL commands::
     ?- sg(ann, Y).        evaluate a query
     :plan sg(ann, Y)      show the plan without running it
     :proof sg(ann, Y)     print the first answer's proof tree
+    :trace sg(ann, Y)     evaluate with tracing; print the EXPLAIN report
     :facts                list stored relations
     :stats                print the session's service metrics
+    :metrics              print the metrics in Prometheus text format
     :dot                  dump the dependency graph as Graphviz DOT
     :quit                 exit
 """
@@ -67,6 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--proof",
         action="store_true",
         help="print a derivation tree for the first answer (top-down)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="evaluate with tracing on and print the EXPLAIN report "
+        "(per-round delta sizes, observed-vs-predicted expansion ratios, "
+        "split check)",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="with --trace: also dump the last trace report as JSON "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="after the queries, print the session metrics in Prometheus "
+        "text exposition format",
     )
     parser.add_argument(
         "--facts",
@@ -123,6 +146,24 @@ def _load_database(path: Optional[str], out: IO[str]) -> Optional[Database]:
     return database
 
 
+def _run_trace(session: QuerySession, source: str, out: IO[str]) -> bool:
+    """Run one query with tracing on; print answers + EXPLAIN report."""
+    from .observe import render_report
+
+    try:
+        report = session.explain(source)
+    except (PlanningError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return False
+    except Exception as exc:  # evaluation-time errors are user-facing
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return False
+    for row in report["rows"]:
+        print(f"  {row}", file=out)
+    print(render_report(report), file=out)
+    return True
+
+
 def _run_query(
     session: QuerySession,
     source: str,
@@ -130,8 +171,11 @@ def _run_query(
     explain: bool = False,
     stats: bool = False,
     proof: bool = False,
+    trace: bool = False,
 ) -> bool:
     """Run one query through the shared session; False on errors."""
+    if trace:
+        return _run_trace(session, source, out)
     if explain:
         try:
             plan, cached = session.plan(source)
@@ -191,6 +235,15 @@ def _repl(session: QuerySession, inp: IO[str], out: IO[str]) -> None:
             continue
         if line == ":stats":
             print(json.dumps(session.stats(), indent=2, sort_keys=True), file=out)
+            continue
+        if line == ":metrics":
+            print(session.metrics_text(), file=out)
+            continue
+        if line.startswith(":trace "):
+            query = line[7:].strip()
+            if query.endswith("."):
+                query = query[:-1]
+            _run_trace(session, query, out)
             continue
         if line.startswith(":plan "):
             try:
@@ -258,7 +311,8 @@ def main(
         host, port = server.address
         print(
             f"repro serving on {host}:{port} "
-            "(verbs: QUERY, PLAN, FACT, STATS; one JSON reply per line)",
+            "(verbs: QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, METRICS; "
+            "one JSON reply per line)",
             file=out,
         )
         # Scripts discover the bound port (--port 0) from this line, so
@@ -283,7 +337,26 @@ def main(
                 explain=args.explain,
                 stats=args.stats,
                 proof=args.proof,
+                trace=args.trace,
             ) and ok
+        if args.trace_json:
+            report = session.last_trace
+            if report is None:
+                print("error: --trace-json needs --trace", file=out)
+                ok = False
+            elif args.trace_json == "-":
+                print(json.dumps(report, indent=2, sort_keys=True), file=out)
+            else:
+                try:
+                    with open(args.trace_json, "w") as handle:
+                        json.dump(report, handle, indent=2, sort_keys=True)
+                except OSError as exc:
+                    print(
+                        f"error: cannot write {args.trace_json}: {exc}", file=out
+                    )
+                    ok = False
+        if args.metrics:
+            print(session.metrics_text(), file=out)
         return 0 if ok else 1
 
     _repl(session, inp, out)

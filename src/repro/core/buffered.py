@@ -87,6 +87,7 @@ class BufferedChainEvaluator:
         memoize: bool = True,
         idb_solver=None,
         idb_finite=None,
+        tracer=None,
     ):
         self.database = database
         self.compiled = compiled
@@ -101,6 +102,9 @@ class BufferedChainEvaluator:
         # their finite evaluability is judged by `idb_finite`.
         self.idb_solver = idb_solver
         self.idb_finite = idb_finite
+        # Optional observe.Tracer: one chain_down event per down-phase
+        # level, one chain_up event for the whole up phase.
+        self.tracer = tracer
         self._injected_split = split
         chains = compiled.generating_chains()
         if len(chains) != 1:
@@ -172,6 +176,7 @@ class BufferedChainEvaluator:
         root = _CallNode(self._call_key(root_bindings), root_bindings)
         calls: Dict[Tuple[object, ...], _CallNode] = {root.key: root}
         frontier: List[_CallNode] = [root]
+        tracer = self.tracer
         depth = 0
         while frontier:
             depth += 1
@@ -180,6 +185,11 @@ class BufferedChainEvaluator:
                     f"down phase exceeded max depth {self.max_depth}"
                 )
             next_frontier: List[_CallNode] = []
+            # One aggregated stage-count vector per level: the frontier
+            # nodes all evaluate the same ordered body.
+            level_counts = (
+                [0] * len(evaluable_order) if tracer is not None else None
+            )
             for node in frontier:
                 seed: Substitution = dict(node.bindings)
                 for solution in evaluate_body(
@@ -189,6 +199,7 @@ class BufferedChainEvaluator:
                     seed,
                     counters,
                     idb_solver=self.idb_solver,
+                    stage_counts=level_counts,
                 ):
                     child_bindings: Dict[str, Term] = {}
                     for p, rec_arg in enumerate(rec_args):
@@ -210,6 +221,16 @@ class BufferedChainEvaluator:
                         calls[child_key] = child
                         next_frontier.append(child)
                     child.parents.append((node.key, {**solution, **buffered}))
+            if tracer is not None:
+                tracer.body_evaluated(
+                    "chain_down",
+                    evaluable_order,
+                    level_counts,
+                    seeds=len(frontier),
+                    initially_bound=sorted(entry_bound),
+                    depth=depth,
+                    spawned=len(next_frontier),
+                )
             frontier = next_frontier
 
         # ---- exit phase -------------------------------------------------
@@ -220,11 +241,18 @@ class BufferedChainEvaluator:
                     node.results.add(row)
             if node.results:
                 changed.append(node)
+        if tracer is not None:
+            tracer.phase(
+                "chain_exit", calls=len(calls), with_exit_rows=len(changed)
+            )
 
         # ---- up phase: propagate results through the delayed portion ---
         head_names = [a.name for a in head_args]
         pending = list(changed)
         processed_pairs: Set[Tuple[Tuple[object, ...], Tuple[Term, ...]]] = set()
+        up_counts = [0] * len(delayed_order) if tracer is not None else None
+        resumed_calls = 0
+        up_derived_before = counters.derived_tuples
         while pending:
             node = pending.pop()
             for result_row in list(node.results):
@@ -241,6 +269,7 @@ class BufferedChainEvaluator:
                             break
                     if resumed is None:
                         continue
+                    resumed_calls += 1
                     for solution in evaluate_body(
                         delayed_order,
                         lookup,
@@ -248,6 +277,7 @@ class BufferedChainEvaluator:
                         resumed,
                         counters,
                         idb_solver=self.idb_solver,
+                        stage_counts=up_counts,
                     ):
                         row = tuple(
                             apply_substitution(Var(name), solution)
@@ -259,6 +289,15 @@ class BufferedChainEvaluator:
                             parent.results.add(row)
                             counters.derived_tuples += 1
                             pending.append(parent)
+        if tracer is not None and delayed_order:
+            tracer.body_evaluated(
+                "chain_up",
+                delayed_order,
+                up_counts,
+                seeds=resumed_calls,
+                initially_bound=sorted(delayed_bound),
+                derived=counters.derived_tuples - up_derived_before,
+            )
 
         # ---- answers -----------------------------------------------------
         answers = Relation(query.name, query.arity)

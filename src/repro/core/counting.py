@@ -49,11 +49,13 @@ class CountingEvaluator:
         compiled: CompiledRecursion,
         registry: Optional[BuiltinRegistry] = None,
         max_depth: int = 10_000,
+        tracer=None,
     ):
         self.database = database
         self.compiled = compiled
         self.registry = registry if registry is not None else default_registry()
         self.max_depth = max_depth
+        self.tracer = tracer
         chains = compiled.generating_chains()
         if len(chains) < 2:
             raise CountingError(
@@ -97,6 +99,12 @@ class CountingEvaluator:
         down_positions = [p for p in down.head_positions]
         down_rec_positions = [p for p in down.rec_positions]
 
+        tracer = self.tracer
+        down_bound = {
+            head_args[p].name
+            for p in down_positions
+            if isinstance(head_args[p], Var)
+        }
         frontiers: List[Set[Tuple[Term, ...]]] = []
         current: Set[Tuple[Term, ...]] = {
             tuple(
@@ -118,6 +126,9 @@ class CountingEvaluator:
                     "not supported by plain counting (see ref [5])"
                 )
             seen_states.add(state)
+            level_counts = (
+                [0] * len(down_order) if tracer is not None else None
+            )
             next_frontier: Set[Tuple[Term, ...]] = set()
             for values in current:
                 level_seed = {
@@ -126,7 +137,8 @@ class CountingEvaluator:
                     if isinstance(head_args[p], Var)
                 }
                 for solution in evaluate_body(
-                    down_order, lookup, self.registry, level_seed, counters
+                    down_order, lookup, self.registry, level_seed, counters,
+                    stage_counts=level_counts,
                 ):
                     next_values = tuple(
                         apply_substitution(rec_args[p], solution)
@@ -134,6 +146,16 @@ class CountingEvaluator:
                     )
                     if all(is_ground(v) for v in next_values):
                         next_frontier.add(next_values)
+            if tracer is not None:
+                tracer.body_evaluated(
+                    "count_down",
+                    down_order,
+                    level_counts,
+                    seeds=len(current),
+                    initially_bound=sorted(down_bound),
+                    depth=len(frontiers) - 1,
+                    spawned=len(next_frontier),
+                )
             current = next_frontier
 
         # ---- exit phase: cross the exit rules at each level -----------
@@ -181,6 +203,12 @@ class CountingEvaluator:
                             )
                         )
             per_level_exit.append(level_solutions)
+        if tracer is not None:
+            tracer.phase(
+                "count_exit",
+                levels=len(frontiers),
+                exit_solutions=sum(len(s) for s in per_level_exit),
+            )
 
         # ---- up phase: ascend every remaining chain level by level ----
         up_orders = [
@@ -195,6 +223,11 @@ class CountingEvaluator:
             )
             for up in up_chains
         ]
+        up_counts = [
+            [0] * len(up_order) if tracer is not None else None
+            for up_order in up_orders
+        ]
+        up_seeds = [[0] for _ in up_chains]
         answers = Relation(query.name, query.arity)
         for level in range(len(frontiers) - 1, -1, -1):
             # climb `level` steps up; at each step every up chain
@@ -205,10 +238,14 @@ class CountingEvaluator:
             # so no per-step solution list is ever materialized.
             solutions: Iterable[Substitution] = per_level_exit[level]
             for step in range(level, 0, -1):
-                for up, up_order in zip(up_chains, up_orders):
+                for chain_no, (up, up_order) in enumerate(
+                    zip(up_chains, up_orders)
+                ):
                     solutions = self._climb_one_level(
                         solutions, up, up_order, head_args, rec_args,
                         lookup, counters,
+                        stage_counts=up_counts[chain_no],
+                        seed_counter=up_seeds[chain_no],
                     )
             # The climbed solutions carry the up-chain values at level
             # 0; the down-chain positions are the query's own constants
@@ -230,6 +267,22 @@ class CountingEvaluator:
                 if unify_sequences(query.args, tuple(row)) is not None:
                     if answers.add(tuple(row)):
                         counters.derived_tuples += 1
+        if tracer is not None:
+            for up, up_order, chain_counts, seed_counter in zip(
+                up_chains, up_orders, up_counts, up_seeds
+            ):
+                tracer.body_evaluated(
+                    "count_up",
+                    up_order,
+                    chain_counts,
+                    seeds=seed_counter[0],
+                    initially_bound=sorted(
+                        rec_args[p].name
+                        for p in up.rec_positions
+                        if isinstance(rec_args[p], Var)
+                    ),
+                    derived=len(answers),
+                )
         return answers, counters
 
     # ------------------------------------------------------------------
@@ -242,9 +295,13 @@ class CountingEvaluator:
         rec_args: Sequence[Term],
         lookup,
         counters: Counters,
+        stage_counts: Optional[List[int]] = None,
+        seed_counter: Optional[List[int]] = None,
     ) -> Iterator[Substitution]:
         """One ascent step of one up chain, as a streaming stage."""
         for solution in solutions:
+            if seed_counter is not None:
+                seed_counter[0] += 1
             rec_seed: Substitution = {}
             for p in up.rec_positions:
                 arg = rec_args[p]
@@ -254,7 +311,8 @@ class CountingEvaluator:
                     if value is not None:
                         rec_seed[arg.name] = value
             for up_solution in evaluate_body(
-                up_order, lookup, self.registry, rec_seed, counters
+                up_order, lookup, self.registry, rec_seed, counters,
+                stage_counts=stage_counts,
             ):
                 climbed = dict(solution)
                 for p in up.head_positions:

@@ -312,6 +312,7 @@ class MagicSetsEvaluator:
         cost_model: Optional[CostModel] = None,
         chain_split: bool = False,
         supplementary: bool = False,
+        tracer=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
@@ -320,6 +321,9 @@ class MagicSetsEvaluator:
         self.cost_model = cost_model
         self.chain_split = chain_split
         self.supplementary = supplementary
+        # Optional observe.Tracer, handed down to the semi-naive run
+        # over the rewritten program.
+        self.tracer = tracer
 
     def rewrite(self, query: Literal) -> MagicProgram:
         hook = (
@@ -360,6 +364,16 @@ class MagicSetsEvaluator:
         """
         magic = self.rewrite(query)
         scratch = self._scratch(magic)
+        if self.tracer is not None:
+            self.tracer.phase(
+                "magic_rewrite",
+                query=str(query),
+                chain_split=self.chain_split,
+                supplementary=self.supplementary,
+                rules=len(magic.program),
+                seed=str(magic.seed_predicate),
+                answer=str(magic.answer_predicate),
+            )
 
         seminaive_stop = None
         if stop_condition is not None:
@@ -369,9 +383,9 @@ class MagicSetsEvaluator:
                 relation = derived.get(answer_predicate)
                 return relation is not None and stop_condition(relation)
 
-        result = SemiNaiveEvaluator(scratch, self.registry).evaluate(
-            magic.program, stop_condition=seminaive_stop
-        )
+        result = SemiNaiveEvaluator(
+            scratch, self.registry, tracer=self.tracer
+        ).evaluate(magic.program, stop_condition=seminaive_stop)
         answers_full = result.relation(
             magic.answer_predicate.name, magic.answer_predicate.arity
         )

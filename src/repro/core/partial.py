@@ -90,12 +90,15 @@ class PartialChainEvaluator:
         constraints: Sequence[Literal] = (),
         split: Optional[PathSplit] = None,
         max_depth: int = 10_000,
+        tracer=None,
     ):
         self.database = database
         self.compiled = compiled
         self.registry = registry if registry is not None else default_registry()
         self.constraints = list(constraints)
         self.max_depth = max_depth
+        # Optional observe.Tracer: one descent event per frontier level.
+        self.tracer = tracer
         self._injected_split = split
         chains = compiled.generating_chains()
         if len(chains) != 1:
@@ -167,6 +170,7 @@ class PartialChainEvaluator:
         answers = Relation(query.name, query.arity)
         frontier: List[_Frame] = [start]
         seen: Set[Tuple[object, ...]] = {start.key()}
+        tracer = self.tracer
         depth = 0
         while frontier:
             if depth > self.max_depth:
@@ -176,6 +180,10 @@ class PartialChainEvaluator:
                     "step 4)"
                 )
             depth += 1
+            level_counts = (
+                [0] * len(evaluable_order) if tracer is not None else None
+            )
+            pruned_before = counters.pruned_tuples
             next_frontier: List[_Frame] = []
             for frame in frontier:
                 self._try_exit(
@@ -190,7 +198,8 @@ class PartialChainEvaluator:
                 )
                 seed: Substitution = dict(frame.call)
                 for solution in evaluate_body(
-                    evaluable_order, lookup, self.registry, seed, counters
+                    evaluable_order, lookup, self.registry, seed, counters,
+                    stage_counts=level_counts,
                 ):
                     new_acc: List[object] = []
                     admissible = True
@@ -245,6 +254,17 @@ class PartialChainEvaluator:
                     if child_key not in seen:
                         seen.add(child_key)
                         next_frontier.append(child)
+            if tracer is not None:
+                tracer.body_evaluated(
+                    "descent",
+                    evaluable_order,
+                    level_counts,
+                    seeds=len(frontier),
+                    initially_bound=sorted(entry_bound),
+                    depth=depth,
+                    spawned=len(next_frontier),
+                    pruned=counters.pruned_tuples - pruned_before,
+                )
             frontier = next_frontier
         return answers, counters
 

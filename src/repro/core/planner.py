@@ -198,6 +198,10 @@ class Planner:
             else CostModel(database, self.registry)
         )
         self.max_depth = max_depth
+        # Optional observe.Tracer; when set, planning emits strategy/
+        # split-decision events and every executor hands the tracer to
+        # its evaluator.  None keeps the fast path everywhere.
+        self.tracer = None
         self._normalized = NormalizedProgram(database.program, self.registry)
         self._analysis_idb_version = database.idb_version
         # The rectified database shares EDB relations with the original.
@@ -231,6 +235,14 @@ class Planner:
         The first non-comparison goal is the query literal; remaining
         comparison goals become constraints (candidates for pushing).
         """
+        plan = self._plan_inner(query_source)
+        if self.tracer is not None:
+            self.tracer.strategy_chosen(
+                str(plan.query), plan.strategy, plan.recursion_class, plan.notes
+            )
+        return plan
+
+    def _plan_inner(self, query_source) -> QueryPlan:
         self.refresh()
         query, constraints = self._parse(query_source)
         predicate = query.predicate
@@ -426,7 +438,8 @@ class Planner:
 
         if len(chains) == 1:
             decision = decide_split(
-                self._rect_db, compiled, query, chains[0], self.cost_model, self.registry
+                self._rect_db, compiled, query, chains[0], self.cost_model,
+                self.registry, tracer=self.tracer,
             )
             if not decision.is_split:
                 return QueryPlan(
@@ -497,11 +510,15 @@ class Planner:
     # Executors
     # ------------------------------------------------------------------
     def _run_semi_naive(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
-        result = SemiNaiveEvaluator(self.database, self.registry).evaluate()
+        result = SemiNaiveEvaluator(
+            self.database, self.registry, tracer=self.tracer
+        ).evaluate()
         return self._filter(plan.query, result.relations), result.counters
 
     def _run_magic(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
-        evaluator = MagicSetsEvaluator(self.database, self.registry)
+        evaluator = MagicSetsEvaluator(
+            self.database, self.registry, tracer=self.tracer
+        )
         answers, counters, _ = evaluator.evaluate(plan.query)
         return answers, counters
 
@@ -516,6 +533,7 @@ class Planner:
             cost_model=self.cost_model,
             chain_split=True,
             supplementary=True,
+            tracer=self.tracer,
         )
         answers, counters, _ = evaluator.evaluate(plan.query)
         return answers, counters
@@ -523,7 +541,11 @@ class Planner:
     def _run_counting(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
         try:
             evaluator = CountingEvaluator(
-                self._rect_db, plan.compiled, self.registry, max_depth=self.max_depth
+                self._rect_db,
+                plan.compiled,
+                self.registry,
+                max_depth=self.max_depth,
+                tracer=self.tracer,
             )
             return evaluator.evaluate(plan.query)
         except CountingError:
@@ -537,6 +559,7 @@ class Planner:
             self.registry,
             split=plan.split_decision.split if plan.split_decision else None,
             max_depth=self.max_depth,
+            tracer=self.tracer,
         )
         return evaluator.evaluate(plan.query)
 
@@ -549,6 +572,7 @@ class Planner:
                 constraints=plan.constraints,
                 split=plan.split_decision.split if plan.split_decision else None,
                 max_depth=self.max_depth,
+                tracer=self.tracer,
             )
             return evaluator.evaluate(plan.query)
         except PartialEvaluationError:

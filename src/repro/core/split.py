@@ -91,9 +91,13 @@ def decide_split(
     chain: Optional[ChainPath] = None,
     cost_model: Optional[CostModel] = None,
     registry: Optional[BuiltinRegistry] = None,
+    tracer=None,
 ) -> ChainSplitDecision:
     """Decide whether (and how) to split one chain of ``compiled`` for
-    ``query``; defaults to the recursion's single generating chain."""
+    ``query``; defaults to the recursion's single generating chain.
+
+    ``tracer`` (an :class:`~repro.observe.tracer.Tracer`) receives the
+    decision as a ``split_decision`` event."""
     registry = registry if registry is not None else default_registry()
     if chain is None:
         chains = compiled.generating_chains()
@@ -110,13 +114,17 @@ def decide_split(
         split = split_path(
             chain, entry, compiled.recursive_literal, registry, database
         )
-        return ChainSplitDecision(chain, split, "finiteness")
+        decision = ChainSplitDecision(chain, split, "finiteness")
+        if tracer is not None:
+            tracer.split_decision(decision)
+        return decision
 
     # 2. Efficiency criterion — cost-based (Algorithm 3.1).
     if cost_model is None:
         cost_model = CostModel(database, registry)
     split, decisions = cost_model.efficiency_split(chain, entry)
-    if split.needs_split:
-        return ChainSplitDecision(chain, split, "efficiency", decisions)
-
-    return ChainSplitDecision(chain, split, "none", decisions)
+    criterion = "efficiency" if split.needs_split else "none"
+    decision = ChainSplitDecision(chain, split, criterion, decisions)
+    if tracer is not None:
+        tracer.split_decision(decision)
+    return decision

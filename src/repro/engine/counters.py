@@ -9,10 +9,24 @@ quantities for each competing strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
 
 __all__ = ["Counters"]
+
+#: Counters that are high-water marks: merged with ``max``, not summed.
+_MAX_FIELDS = frozenset({"peak_intermediate"})
+
+# Field-name cache, filled lazily on first merge/as_dict (the dataclass
+# is not fully constructed at module top level).
+_FIELD_NAMES: Tuple[str, ...] = ()
+
+
+def _field_names() -> Tuple[str, ...]:
+    global _FIELD_NAMES
+    if not _FIELD_NAMES:
+        _FIELD_NAMES = tuple(f.name for f in fields(Counters))
+    return _FIELD_NAMES
 
 
 @dataclass
@@ -44,30 +58,21 @@ class Counters:
     #: sum — it is a high-water mark, not a total.
     peak_intermediate: int = 0
 
+    # merge/as_dict are derived from the dataclass fields so a newly
+    # added counter can never silently fall out of either.
     def merge(self, other: "Counters") -> None:
-        """Accumulate ``other`` into this instance."""
-        self.derived_tuples += other.derived_tuples
-        self.duplicate_tuples += other.duplicate_tuples
-        self.join_probes += other.join_probes
-        self.intermediate_tuples += other.intermediate_tuples
-        self.builtin_evals += other.builtin_evals
-        self.iterations += other.iterations
-        self.pruned_tuples += other.pruned_tuples
-        self.buffered_values += other.buffered_values
-        self.peak_intermediate = max(self.peak_intermediate, other.peak_intermediate)
+        """Accumulate ``other`` into this instance (high-water-mark
+        counters merge with ``max``)."""
+        for name in _field_names():
+            if name in _MAX_FIELDS:
+                setattr(
+                    self, name, max(getattr(self, name), getattr(other, name))
+                )
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "derived_tuples": self.derived_tuples,
-            "duplicate_tuples": self.duplicate_tuples,
-            "join_probes": self.join_probes,
-            "intermediate_tuples": self.intermediate_tuples,
-            "builtin_evals": self.builtin_evals,
-            "iterations": self.iterations,
-            "pruned_tuples": self.pruned_tuples,
-            "buffered_values": self.buffered_values,
-            "peak_intermediate": self.peak_intermediate,
-        }
+        return {name: getattr(self, name) for name in _field_names()}
 
     @property
     def total_work(self) -> int:

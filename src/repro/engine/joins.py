@@ -182,6 +182,7 @@ def evaluate_body(
     counters: Optional[Counters] = None,
     overrides: Optional[Dict[int, RelationLike]] = None,
     idb_solver: Optional[IdbSolver] = None,
+    stage_counts: Optional[List[int]] = None,
 ) -> Iterator[Substitution]:
     """Evaluate an ordered body, lazily yielding complete solutions.
 
@@ -201,6 +202,12 @@ def evaluate_body(
     ``idb_solver`` handles literals with no stored relation (derived
     predicates): nested chain-split evaluation plugs the recursive
     evaluation of inner recursions in this way (paper §4.1).
+
+    ``stage_counts`` — when the tracer is on, a list of at least
+    ``len(ordered_body)`` ints; slot *k* is incremented once per
+    substitution stage *k* yields.  Since stage *k*'s input stream is
+    exactly stage *k-1*'s output stream (the seed for *k = 0*), these
+    counts alone determine every stage's observed expansion ratio.
     """
 
     depth = len(ordered_body)
@@ -291,6 +298,10 @@ def evaluate_body(
         if solution is _EXHAUSTED:
             stack.pop()
             continue
+        if stage_counts is not None:
+            # Every solution popped off stack[-1] is one output of
+            # stage len(stack)-1 — a single branch covers all stages.
+            stage_counts[len(stack) - 1] += 1
         if len(stack) == depth:
             yield solution
         else:

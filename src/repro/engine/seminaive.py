@@ -99,6 +99,7 @@ class _BottomUpEvaluator:
         registry: Optional[BuiltinRegistry] = None,
         max_iterations: int = 100_000,
         orderer=None,
+        tracer=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
@@ -107,6 +108,10 @@ class _BottomUpEvaluator:
         # [(index, literal)], e.g. analysis.joinorder.CostBasedOrderer.
         # Defaults to the greedy bound-is-easier order.
         self._orderer = orderer
+        # Optional observe.Tracer.  None (the default) is the fast
+        # path: the evaluation loop only ever pays `is not None`
+        # branches for it.
+        self.tracer = tracer
 
     def _order(self, body):
         if self._orderer is not None:
@@ -229,12 +234,19 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         delta_lo: Dict[Predicate, int] = {p: 0 for p in stratum}
         delta_hi: Dict[Predicate, int] = {p: derived[p].mark() for p in stratum}
 
+        tracer = self.tracer
         first_round = True
+        round_no = 0
         while True:
             counters.iterations += 1
             if counters.iterations > self.max_iterations:
                 raise RuntimeError(
                     f"fixpoint did not converge within {self.max_iterations} iterations"
+                )
+            round_no += 1
+            if tracer is not None:
+                tracer.round_start(
+                    round_no, sorted(str(p) for p in stratum)
                 )
             for rule in rules:
                 slots = recursive_slots[id(rule)]
@@ -268,16 +280,22 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
                     if self._apply_rule(
                         rule, variant_orders[(id(rule), slot)], lookup,
                         overrides, derived, counters, stop_condition,
+                        slot=slot,
                     ):
                         return True
             first_round = False
             progressed = False
+            delta_sizes: Dict[str, int] = {} if tracer is not None else None
             for predicate in stratum:
                 mark = derived[predicate].mark()
                 if mark > delta_hi[predicate]:
                     progressed = True
+                if tracer is not None:
+                    delta_sizes[str(predicate)] = mark - delta_hi[predicate]
                 delta_lo[predicate] = delta_hi[predicate]
                 delta_hi[predicate] = mark
+            if tracer is not None:
+                tracer.round_end(round_no, delta_sizes)
             if not progressed:
                 return False
 
@@ -290,20 +308,43 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         derived: Dict[Predicate, Relation],
         counters: Counters,
         stop_condition,
+        slot: Optional[int] = None,
     ) -> bool:
         """Run one rule variant, appending new heads; True = stop."""
         target = derived[rule.head.predicate]
+        tracer = self.tracer
+        if tracer is not None:
+            # Per-tuple work stays branch-free with the tracer on: the
+            # derived/duplicate deltas come from counter snapshots.
+            stage_counts = [0] * len(ordered_body)
+            before_derived = counters.derived_tuples
+            before_duplicate = counters.duplicate_tuples
+        else:
+            stage_counts = None
+        stopped = False
         for subst in evaluate_body(
-            ordered_body, lookup, self.registry, {}, counters, overrides=overrides
+            ordered_body, lookup, self.registry, {}, counters,
+            overrides=overrides, stage_counts=stage_counts,
         ):
             row = self._head_row(rule, subst)
             if target.add(row):
                 counters.derived_tuples += 1
                 if stop_condition is not None and stop_condition(derived):
-                    return True
+                    stopped = True
+                    break
             else:
                 counters.duplicate_tuples += 1
-        return False
+        if tracer is not None:
+            tracer.body_evaluated(
+                "rule",
+                ordered_body,
+                stage_counts,
+                rule=rule,
+                slot=slot,
+                derived=counters.derived_tuples - before_derived,
+                duplicates=counters.duplicate_tuples - before_duplicate,
+            )
+        return stopped
 
 
 class NaiveEvaluator(_BottomUpEvaluator):

@@ -1,0 +1,31 @@
+"""repro.observe — evaluation tracing and metrics exposition.
+
+Three pieces:
+
+* :mod:`~repro.observe.tracer` — the pluggable :class:`Tracer`
+  protocol the evaluators call into (no-op base, near-zero overhead
+  when disabled) and :class:`EngineTracer`, a bounded ring buffer of
+  structured events;
+* :mod:`~repro.observe.report` — :func:`build_report` turns a trace
+  into the EXPLAIN report (per-round delta sizes, observed-vs-predicted
+  expansion ratios, split-decision check) and :func:`render_report`
+  prints it;
+* :mod:`~repro.observe.prom` — :func:`prometheus_text` renders a
+  metrics snapshot in Prometheus text exposition format.
+
+See ``docs/observability.md`` for the event vocabulary and formats.
+"""
+
+from .prom import prometheus_text
+from .report import build_report, render_report
+from .tracer import EngineTracer, TraceEvent, Tracer, stage_profile
+
+__all__ = [
+    "Tracer",
+    "EngineTracer",
+    "TraceEvent",
+    "stage_profile",
+    "build_report",
+    "render_report",
+    "prometheus_text",
+]

@@ -1,0 +1,169 @@
+"""Render a metrics snapshot in Prometheus text exposition format.
+
+:func:`prometheus_text` turns the dict produced by
+:meth:`~repro.service.session.QuerySession.stats` (i.e. a
+:meth:`~repro.service.metrics.ServiceMetrics.snapshot` plus cache and
+database gauges) into the text format (version 0.0.4) that Prometheus
+and every compatible scraper understand: ``# HELP``/``# TYPE`` headers,
+cumulative ``_bucket{le=...}`` series with a ``+Inf`` bucket and
+``_sum``/``_count``, and ``quantile``-labelled gauges for the
+interpolated p50/p95/p99.
+
+No Prometheus client library is involved — the format is line-oriented
+and this module emits it directly, so the service keeps its
+zero-dependency footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["prometheus_text"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "+Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Writer:
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self.lines: List[str] = []
+
+    def header(self, name: str, help_text: str, kind: str) -> str:
+        full = f"{self.namespace}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {kind}")
+        return full
+
+    def sample(
+        self, full_name: str, value, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
+            )
+            self.lines.append(f"{full_name}{{{rendered}}} {_fmt(value)}")
+        else:
+            self.lines.append(f"{full_name} {_fmt(value)}")
+
+    def counter(
+        self, name: str, help_text: str, value, labels=None
+    ) -> None:
+        full = self.header(name, help_text, "counter")
+        self.sample(full, value, labels)
+
+    def gauge(self, name: str, help_text: str, value, labels=None) -> None:
+        full = self.header(name, help_text, "gauge")
+        self.sample(full, value, labels)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _histogram(
+    writer: _Writer, name: str, help_text: str, hist: Dict[str, object]
+) -> None:
+    """One histogram (cumulative le-buckets + _sum/_count) followed by
+    quantile gauges under ``<name>_quantile``."""
+    full = writer.header(name, help_text, "histogram")
+    for bucket in hist["buckets"]:
+        writer.sample(
+            f"{full}_bucket", bucket["count"], {"le": _fmt(bucket["le"])}
+        )
+    writer.sample(f"{full}_sum", float(hist["sum_ms"]) / 1e3)
+    writer.sample(f"{full}_count", hist["count"])
+    quantile_full = writer.header(
+        f"{name.rsplit('_seconds', 1)[0]}_quantile_seconds",
+        f"{help_text} (interpolated quantiles)",
+        "gauge",
+    )
+    for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+        writer.sample(
+            quantile_full, float(hist[key]) / 1e3, {"quantile": q}
+        )
+
+
+def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
+    """The metrics snapshot as a Prometheus text-format page."""
+    w = _Writer(namespace)
+    w.counter("queries_total", "Queries answered.", stats.get("queries", 0))
+    w.counter("errors_total", "Requests that raised an error.", stats.get("errors", 0))
+    w.counter(
+        "timeouts_total", "Requests aborted by the timeout.", stats.get("timeouts", 0)
+    )
+
+    full = w.header(
+        "cache_events_total", "Cache hits/misses/invalidations by cache.", "counter"
+    )
+    for cache in ("plan_cache", "result_cache"):
+        entry = stats.get(cache) or {}
+        short = cache.rsplit("_", 1)[0]
+        for event in ("hits", "misses", "invalidations"):
+            w.sample(
+                full, entry.get(event, 0), {"cache": short, "event": event}
+            )
+
+    strategies = stats.get("strategies") or {}
+    if strategies:
+        full = w.header(
+            "queries_by_strategy_total", "Queries answered per strategy.", "counter"
+        )
+        for strategy, count in sorted(strategies.items()):
+            w.sample(full, count, {"strategy": strategy})
+
+    hist = stats.get("latency_histogram")
+    if hist:
+        _histogram(
+            w, "query_latency_seconds", "Latency of every answered query.", hist
+        )
+    hist = stats.get("evaluated_latency_histogram")
+    if hist:
+        _histogram(
+            w,
+            "evaluated_query_latency_seconds",
+            "Latency of queries that missed the result cache and evaluated.",
+            hist,
+        )
+
+    engine = stats.get("engine") or {}
+    if engine:
+        full = w.header(
+            "engine_work_total",
+            "Engine work counters summed over evaluated queries.",
+            "counter",
+        )
+        for counter, value in sorted(engine.items()):
+            w.sample(full, value, {"counter": counter})
+
+    caches = stats.get("caches") or {}
+    if caches:
+        full = w.header("cache_entries", "Live entries per cache.", "gauge")
+        for cache, size in sorted(caches.items()):
+            w.sample(full, size, {"cache": cache.rsplit("_", 1)[0]})
+
+    database = stats.get("database") or {}
+    if database:
+        w.gauge("database_facts", "Stored EDB facts.", database.get("facts", 0))
+        w.gauge("database_rules", "IDB rules.", database.get("rules", 0))
+        w.gauge(
+            "database_relations",
+            "Stored relations.",
+            database.get("relations", 0),
+        )
+        full = w.header(
+            "database_version", "EDB/IDB mutation version counters.", "counter"
+        )
+        w.sample(full, database.get("edb_version", 0), {"kind": "edb"})
+        w.sample(full, database.get("idb_version", 0), {"kind": "idb"})
+    return w.text()

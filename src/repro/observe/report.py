@@ -1,0 +1,282 @@
+"""Turn a trace into the EXPLAIN report: rounds + expansion ratios.
+
+The report is the user-facing product of tracing (the ``EXPLAIN``
+verb, ``:trace`` REPL command and ``--trace`` CLI flag all render it):
+
+* **rounds** — per fixpoint round, the per-predicate delta sizes;
+* **expansion** — for every (predicate, bound-positions) adornment the
+  evaluation actually probed, the aggregate observed expansion ratio
+  (substitutions out / substitutions in) next to the cost model's
+  predicted ratio for the same adornment;
+* **split_check** — the planner's per-linkage follow/split decisions
+  (Algorithm 3.1) re-examined against observed reality, with a
+  ``disagree`` flag when the run contradicts the decision.
+
+A decision and an observation are only compared under the *same*
+adornment: a split linkage is typically probed later with more
+arguments bound (the delayed literal runs as a filter once the
+recursion returns), and comparing that filter ratio against the
+predicted down-phase expansion would flag every correct split as a
+misprediction.  A split decision therefore only disagrees when the
+linkage *was* probed under the decision's own adornment and turned out
+cheap (ratio at or below the follow threshold); a follow decision
+disagrees when its observed ratio reaches the split threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..datalog.literals import Predicate
+from .tracer import EngineTracer, _finite
+
+__all__ = ["build_report", "render_report"]
+
+#: Event kinds that carry per-stage substitution counts.
+_STAGE_KINDS = (
+    "rule",
+    "chain_down",
+    "chain_up",
+    "count_down",
+    "count_up",
+    "descent",
+)
+
+
+def _parse_predicate(text: str) -> Optional[Predicate]:
+    name, _, arity = text.rpartition("/")
+    if not name or not arity.isdigit():
+        return None
+    return Predicate(name, int(arity))
+
+
+def _aggregate_stages(
+    events,
+) -> Dict[Tuple[str, Tuple[int, ...]], Dict[str, object]]:
+    """Sum stage in/out counts over all events, keyed by
+    (predicate, bound argument positions)."""
+    agg: Dict[Tuple[str, Tuple[int, ...]], Dict[str, object]] = {}
+    for event in events:
+        if event.kind not in _STAGE_KINDS:
+            continue
+        incoming = int(event.data.get("seeds", 1))
+        for stage in event.data["stages"]:
+            out = int(stage["out"])
+            if not stage["negated"]:
+                key = (stage["predicate"], tuple(stage["bound"]))
+                entry = agg.get(key)
+                if entry is None:
+                    entry = {
+                        "literal": stage["literal"],
+                        "in": 0,
+                        "out": 0,
+                        "events": 0,
+                    }
+                    agg[key] = entry
+                entry["in"] += incoming
+                entry["out"] += out
+                entry["events"] += 1
+            incoming = out
+    return agg
+
+
+def _observed_ratio(entry: Dict[str, object]) -> Optional[float]:
+    if not entry["in"]:
+        return None
+    return entry["out"] / entry["in"]
+
+
+def build_report(
+    tracer: EngineTracer,
+    plan=None,
+    cost_model=None,
+    counters=None,
+) -> Dict[str, object]:
+    """Assemble the JSON-serializable EXPLAIN report from a trace.
+
+    ``plan`` (a :class:`~repro.core.planner.QueryPlan`) supplies the
+    strategy and the chain-split decision to check; ``cost_model``
+    supplies predicted expansion ratios for observed adornments that no
+    recorded decision covers.
+    """
+    events = tracer.events()
+
+    rounds = [
+        {"round": e.data["round"], "delta": e.data["delta"]}
+        for e in events
+        if e.kind == "round_end"
+    ]
+
+    agg = _aggregate_stages(events)
+    expansion: List[Dict[str, object]] = []
+    for (predicate_text, bound), entry in sorted(agg.items()):
+        observed = _observed_ratio(entry)
+        predicted: Optional[float] = None
+        predicate = _parse_predicate(predicate_text)
+        if cost_model is not None and predicate is not None:
+            raw = cost_model.positional_expansion(predicate, bound)
+            predicted = _finite(raw) if raw is not None else None
+        row: Dict[str, object] = {
+            "predicate": predicate_text,
+            "literal": entry["literal"],
+            "bound": list(bound),
+            "predicted": predicted,
+            "observed_in": entry["in"],
+            "observed_out": entry["out"],
+            "observed": observed,
+            "events": entry["events"],
+        }
+        if cost_model is not None:
+            row["predicted_verdict"] = cost_model.ratio_verdict(predicted)
+            row["observed_verdict"] = cost_model.ratio_verdict(observed)
+            row["mispredicted"] = (
+                row["predicted_verdict"] is not None
+                and row["observed_verdict"] is not None
+                and row["predicted_verdict"] != row["observed_verdict"]
+                and "gray" not in (row["predicted_verdict"], row["observed_verdict"])
+            )
+        expansion.append(row)
+
+    report: Dict[str, object] = {
+        "rounds": rounds,
+        "expansion": expansion,
+        "split_check": _split_check(plan, agg, cost_model),
+        "events": tracer.to_json(),
+    }
+    if plan is not None:
+        report["strategy"] = plan.strategy
+        report["recursion_class"] = plan.recursion_class
+        report["plan"] = plan.explain()
+    if counters is not None:
+        report["counters"] = counters.as_dict()
+    return report
+
+
+def _split_check(plan, agg, cost_model) -> Dict[str, object]:
+    """Re-examine the plan's per-linkage decisions against the trace."""
+    check: Dict[str, object] = {
+        "criterion": None,
+        "decisions": [],
+        "disagreement": False,
+    }
+    decision = getattr(plan, "split_decision", None) if plan is not None else None
+    if decision is None:
+        return check
+    check["criterion"] = decision.criterion
+    for linkage in decision.linkage_decisions:
+        key = (
+            f"{linkage.literal.name}/{linkage.literal.arity}",
+            tuple(linkage.bound_positions),
+        )
+        entry = agg.get(key)
+        observed = _observed_ratio(entry) if entry is not None else None
+        planner = "follow" if linkage.propagate else "split"
+        row: Dict[str, object] = {
+            "literal": str(linkage.literal),
+            "predicate": key[0],
+            "bound": list(key[1]),
+            "planner": planner,
+            "predicted": _finite(linkage.ratio),
+            "reason": linkage.reason,
+            "observed": observed,
+            "observed_verdict": None,
+            "disagree": False,
+            "note": "",
+        }
+        if observed is None:
+            row["note"] = (
+                "not probed under the decision adornment"
+                + ("" if linkage.propagate else " (linkage delayed)")
+            )
+        elif cost_model is not None:
+            verdict = cost_model.ratio_verdict(observed)
+            row["observed_verdict"] = verdict
+            if planner == "follow" and verdict == "split":
+                row["disagree"] = True
+                row["note"] = (
+                    "planner followed this linkage but the observed "
+                    "expansion ratio reaches the split threshold"
+                )
+            elif planner == "split" and verdict == "follow":
+                row["disagree"] = True
+                row["note"] = (
+                    "planner split this linkage but the observed "
+                    "expansion ratio is at or below the follow threshold"
+                )
+        if row["disagree"]:
+            check["disagreement"] = True
+        check["decisions"].append(row)
+    return check
+
+
+def _num(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3g}"
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """The report as the text table the CLI and REPL print."""
+    lines: List[str] = []
+    if "query" in report:
+        lines.append(f"query:     {report['query']}")
+    if "strategy" in report:
+        lines.append(
+            f"strategy:  {report['strategy']} ({report.get('recursion_class')})"
+        )
+    if "answers" in report:
+        lines.append(
+            f"answers:   {report['answers']}"
+            + (
+                f"   elapsed: {report['elapsed_ms']:.2f}ms"
+                if "elapsed_ms" in report
+                else ""
+            )
+        )
+    rounds = report.get("rounds") or []
+    if rounds:
+        lines.append("rounds:")
+        for entry in rounds:
+            delta = ", ".join(
+                f"{p} +{n}" for p, n in sorted(entry["delta"].items())
+            )
+            lines.append(f"  round {entry['round']}: {delta or '(no new tuples)'}")
+    expansion = report.get("expansion") or []
+    if expansion:
+        lines.append("expansion ratios (observed vs predicted):")
+        header = (
+            f"  {'literal':<34} {'bound':<8} {'predicted':>9} "
+            f"{'observed':>9} {'in':>8} {'out':>8}  flag"
+        )
+        lines.append(header)
+        for row in expansion:
+            flag = "MISPREDICTED" if row.get("mispredicted") else ""
+            bound = ",".join(str(b) for b in row["bound"]) or "-"
+            lines.append(
+                f"  {row['literal']:<34} {bound:<8} {_num(row['predicted']):>9} "
+                f"{_num(row['observed']):>9} {row['observed_in']:>8} "
+                f"{row['observed_out']:>8}  {flag}"
+            )
+    check = report.get("split_check") or {}
+    if check.get("decisions"):
+        lines.append(f"split check (criterion: {check['criterion']}):")
+        for row in check["decisions"]:
+            verdict = "DISAGREE" if row["disagree"] else "agree"
+            observed = (
+                f"observed {_num(row['observed'])}"
+                if row["observed"] is not None
+                else row["note"]
+            )
+            lines.append(
+                f"  {row['planner']:<7} {row['literal']:<34} "
+                f"predicted {_num(row['predicted']):>7}  {observed}  -> {verdict}"
+            )
+        lines.append(
+            "split/follow disagreement observed"
+            if check.get("disagreement")
+            else "no split/follow disagreement observed"
+        )
+    dropped = (report.get("events") or {}).get("dropped", 0)
+    if dropped:
+        lines.append(f"(ring buffer dropped {dropped} oldest events)")
+    return "\n".join(lines)

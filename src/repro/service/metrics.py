@@ -16,11 +16,12 @@ lock so concurrent sessions and server threads can share an instance.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
 
 from ..engine.counters import Counters
 
-__all__ = ["LatencyStats", "ServiceMetrics"]
+__all__ = ["LatencyStats", "LatencyHistogram", "ServiceMetrics"]
 
 
 class LatencyStats:
@@ -51,6 +52,82 @@ class LatencyStats:
         }
 
 
+#: Log-spaced latency bucket upper bounds (seconds): 100µs … ~56s in
+#: quarter-decade steps.  Fixed at construction, so memory is bounded
+#: regardless of traffic — the Prometheus histogram contract.
+DEFAULT_LATENCY_BOUNDS: Sequence[float] = tuple(
+    1e-4 * (10 ** (i / 4)) for i in range(24)
+)
+
+
+class LatencyHistogram:
+    """Bounded-bucket latency histogram with interpolated quantiles.
+
+    :class:`LatencyStats` keeps min/mean/max, which hides tail
+    behaviour entirely; this keeps a fixed set of log-spaced buckets
+    (plus one overflow bucket) and estimates p50/p95/p99 by linear
+    interpolation inside the bucket containing the target rank —
+    exactly the estimate a Prometheus ``histogram_quantile`` over the
+    exported buckets would compute.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted non-empty sequence")
+        self.bounds = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index >= len(self.bounds):
+                    # Overflow bucket has no upper bound: clamp to the
+                    # largest finite bound.
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                into = (target - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, into))
+        return self.bounds[-1]
+
+    def as_dict(self) -> Dict[str, object]:
+        cumulative = 0
+        buckets = []
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets.append({"le": bound, "count": cumulative})
+        # +Inf bucket: ``le`` is None because strict JSON has no
+        # Infinity literal.
+        buckets.append({"le": None, "count": self.count})
+        return {
+            "count": self.count,
+            "sum_ms": self.total * 1e3,
+            "p50_ms": self.quantile(0.50) * 1e3,
+            "p95_ms": self.quantile(0.95) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "buckets": buckets,
+        }
+
+
 class ServiceMetrics:
     """Thread-safe aggregates over every query a session served."""
 
@@ -73,6 +150,10 @@ class ServiceMetrics:
         #: Latency of result-cache hits vs queries that evaluated.
         self.cached_latency = LatencyStats()
         self.evaluated_latency = LatencyStats()
+        #: Bucketed latency distributions (p50/p95/p99), overall and
+        #: for queries that actually evaluated.
+        self.latency_histogram = LatencyHistogram()
+        self.evaluated_latency_histogram = LatencyHistogram()
         #: Engine work counters summed over all evaluated queries.
         self.engine_counters = Counters()
 
@@ -94,12 +175,14 @@ class ServiceMetrics:
                 self.strategy_histogram.get(strategy, 0) + 1
             )
             self.latency.record(seconds)
+            self.latency_histogram.record(seconds)
             if result_cached:
                 self.result_cache_hits += 1
                 self.cached_latency.record(seconds)
             else:
                 self.result_cache_misses += 1
                 self.evaluated_latency.record(seconds)
+                self.evaluated_latency_histogram.record(seconds)
                 if plan_cached:
                     self.plan_cache_hits += 1
                 else:
@@ -154,6 +237,10 @@ class ServiceMetrics:
                 "latency": self.latency.as_dict(),
                 "cached_latency": self.cached_latency.as_dict(),
                 "evaluated_latency": self.evaluated_latency.as_dict(),
+                "latency_histogram": self.latency_histogram.as_dict(),
+                "evaluated_latency_histogram": (
+                    self.evaluated_latency_histogram.as_dict()
+                ),
                 "engine": self.engine_counters.as_dict(),
             }
 
@@ -167,11 +254,17 @@ class ServiceMetrics:
             self.latency = LatencyStats()
             self.cached_latency = LatencyStats()
             self.evaluated_latency = LatencyStats()
+            self.latency_histogram = LatencyHistogram()
+            self.evaluated_latency_histogram = LatencyHistogram()
             self.engine_counters = Counters()
 
     def __repr__(self) -> str:
-        return (
-            f"ServiceMetrics({self.queries} queries, "
-            f"{self.result_cache_hits} result hits, "
-            f"{self.plan_cache_hits} plan hits)"
-        )
+        # Counter reads must hold the lock too: on implementations
+        # without a GIL-serialized int read this could otherwise tear
+        # against a concurrent record_query.
+        with self._lock:
+            return (
+                f"ServiceMetrics({self.queries} queries, "
+                f"{self.result_cache_hits} result hits, "
+                f"{self.plan_cache_hits} plan hits)"
+            )

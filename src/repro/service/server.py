@@ -14,7 +14,20 @@ FACT      a clause, e.g.              ``added`` plus the new version stamp;
                                       IDB version instead
 STATS     —                           the ``ServiceMetrics`` snapshot plus
                                       cache/database state
+EXPLAIN   a query                     evaluate with tracing on; the full
+                                      EXPLAIN report — per-round delta
+                                      sizes, observed-vs-predicted
+                                      expansion ratios, split check
+TRACE     a query (optional)          with an argument: alias of EXPLAIN;
+                                      without: the last EXPLAIN report
+METRICS   —                           ``body``: the metrics in Prometheus
+                                      text exposition format
 ========  ==========================  =======================================
+
+A raw ``GET /metrics`` HTTP request line on the same port is answered
+with a minimal ``HTTP/1.0`` response carrying the Prometheus text page
+(connection closed afterwards) — so the TCP port doubles as a scrape
+target for ``curl``/Prometheus without a separate HTTP server.
 
 Every reply is ``{"ok": true, "verb": ..., ...}`` or
 ``{"ok": false, "verb": ..., "error": {"type": ..., "message": ...}}`` —
@@ -69,6 +82,24 @@ class _Handler(socketserver.StreamRequestHandler):
             except (ConnectionError, OSError):
                 return
             if not raw:
+                return
+            if raw.startswith(b"GET /metrics"):
+                # One-shot HTTP scrape on the line-protocol port:
+                # minimal HTTP/1.0 response, then close.
+                body = self.server.query_server.session.metrics_text().encode(
+                    "utf-8"
+                )
+                try:
+                    self.wfile.write(
+                        b"HTTP/1.0 200 OK\r\n"
+                        b"Content-Type: text/plain; version=0.0.4; "
+                        b"charset=utf-8\r\n"
+                        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                        b"Connection: close\r\n\r\n" + body
+                    )
+                    self.wfile.flush()
+                except (ConnectionError, OSError):
+                    pass
                 return
             if len(raw) > MAX_LINE_BYTES:
                 # readline() returned a *partial* line; drain the rest
@@ -176,11 +207,14 @@ class QueryServer:
             "PLAN": self._do_plan,
             "FACT": self._do_fact,
             "STATS": self._do_stats,
+            "EXPLAIN": self._do_explain,
+            "TRACE": self._do_trace,
+            "METRICS": self._do_metrics,
         }.get(verb)
         if handler is None:
             return _error_envelope(
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
-                "expected QUERY, PLAN, FACT or STATS"
+                "expected QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE or METRICS"
             )
         try:
             return handler(argument)
@@ -253,6 +287,37 @@ class QueryServer:
 
     def _do_stats(self, argument: str) -> Dict[str, object]:
         return {"ok": True, "verb": "STATS", "stats": self.session.stats()}
+
+    def _do_explain(self, argument: str) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "EXPLAIN", "ProtocolError", "EXPLAIN needs a query"
+            )
+        source = self._strip(argument)
+        future = self._pool.submit(self.session.explain, source, self.max_depth)
+        report = future.result(timeout=self.timeout)
+        return {"ok": True, "verb": "EXPLAIN", "trace": report}
+
+    def _do_trace(self, argument: str) -> Dict[str, object]:
+        if argument:
+            reply = self._do_explain(argument)
+            reply["verb"] = "TRACE"
+            return reply
+        report = self.session.last_trace
+        if report is None:
+            return _error_envelope(
+                "TRACE", "NoTrace",
+                "no traced query yet; use EXPLAIN <query> or TRACE <query>",
+            )
+        return {"ok": True, "verb": "TRACE", "trace": report}
+
+    def _do_metrics(self, argument: str) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "verb": "METRICS",
+            "content_type": "text/plain; version=0.0.4",
+            "body": self.session.metrics_text(),
+        }
 
 
 def serve(

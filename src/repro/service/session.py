@@ -44,6 +44,7 @@ from ..datalog.terms import Term, Var
 from ..engine.builtins import BuiltinRegistry
 from ..engine.counters import Counters
 from ..engine.database import Database
+from ..observe import EngineTracer, build_report, prometheus_text
 from .metrics import ServiceMetrics
 
 __all__ = ["QueryResult", "QuerySession"]
@@ -103,6 +104,8 @@ class QuerySession:
         # version invalidation — just a size cap against unbounded text.
         self._parse_cache: Dict[str, Tuple[Literal, List[Literal]]] = {}
         self._seen_version = database.version
+        #: Report of the most recent explain() call (TRACE verb).
+        self._last_trace: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Cache coherence
@@ -220,6 +223,78 @@ class QuerySession:
                 counters=counters,
             )
             return QueryResult(plan, list(rows), elapsed, plan_cached, False, counters)
+
+    def explain(
+        self, query_source, max_depth: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Answer a query with tracing on and return the EXPLAIN report.
+
+        A fresh :class:`~repro.observe.EngineTracer` is installed on
+        the shared planner for the duration of the evaluation (still
+        under the session lock, so concurrent queries never see it).
+        The result cache is bypassed — a cache hit would produce an
+        empty trace — but the answer still lands in it, and the plan
+        cache works as usual.  The report (see
+        :func:`~repro.observe.build_report`) is also retained as
+        :attr:`last_trace` for the server's argument-less ``TRACE``.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            tracer = EngineTracer()
+            self.planner.tracer = tracer
+            try:
+                plan, plan_cached = self._plan_locked(query, constraints)
+                saved_depth = self.planner.max_depth
+                if max_depth is not None:
+                    self.planner.max_depth = max_depth
+                try:
+                    answers, counters = self.planner.execute(plan)
+                finally:
+                    self.planner.max_depth = saved_depth
+            finally:
+                self.planner.tracer = None
+            rows = sorted(answers.rows(), key=str)
+            result_key = (str(query), tuple(str(c) for c in constraints))
+            self._result_cache[result_key] = (plan, rows)
+            while len(self._result_cache) > self.result_cache_size:
+                oldest = next(iter(self._result_cache))
+                del self._result_cache[oldest]
+            elapsed = time.perf_counter() - start
+            self.metrics.record_query(
+                plan.strategy,
+                elapsed,
+                plan_cached=plan_cached,
+                result_cached=False,
+                counters=counters,
+            )
+            report = build_report(
+                tracer,
+                plan=plan,
+                cost_model=self.planner.cost_model,
+                counters=counters,
+            )
+            report["query"] = str(query)
+            report["predicate"] = str(query.predicate)
+            report["answers"] = len(rows)
+            report["rows"] = [
+                "(" + ", ".join(str(v) for v in row) + ")" for row in rows
+            ]
+            report["elapsed_ms"] = elapsed * 1e3
+            report["plan_cached"] = plan_cached
+            self._last_trace = report
+            return report
+
+    @property
+    def last_trace(self) -> Optional[Dict[str, object]]:
+        """The report of the most recent :meth:`explain`, if any."""
+        with self._lock:
+            return self._last_trace
+
+    def metrics_text(self) -> str:
+        """The session's metrics in Prometheus text exposition format."""
+        return prometheus_text(self.stats())
 
     def answer_rows(self, query_source) -> List[Tuple[Term, ...]]:
         """Sorted answer rows (drop-in for ``Planner.answer_rows``)."""

@@ -1,5 +1,7 @@
 """Unit tests for the shared work counters."""
 
+from dataclasses import fields
+
 from repro.engine.counters import Counters
 
 
@@ -47,6 +49,19 @@ class TestCounters:
     def test_builtin_evals_in_total_work(self):
         counters = Counters(derived_tuples=1, builtin_evals=5)
         assert counters.total_work == 6
+
+    def test_as_dict_tracks_dataclass_fields(self):
+        """merge/as_dict are derived from the dataclass fields, so a
+        newly added counter can never silently fall out of either."""
+        assert tuple(Counters().as_dict()) == tuple(
+            f.name for f in fields(Counters)
+        )
+
+    def test_merge_covers_every_field(self):
+        a = Counters()
+        b = Counters(**{f.name: 2 for f in fields(Counters)})
+        a.merge(b)
+        assert all(value == 2 for value in a.as_dict().values())
 
     def test_peak_intermediate_merges_as_max(self):
         a = Counters(peak_intermediate=3)

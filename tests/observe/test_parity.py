@@ -1,0 +1,99 @@
+"""Tracing must not change evaluation: tracer-off vs no-op tracer.
+
+The disabled path (``tracer=None``) is the production default, and the
+issue's contract is that enabling a tracer changes *observability*, not
+*evaluation*: the work counters and the derived relations must be
+bit-identical whether no tracer, a no-op :class:`Tracer`, or a
+recording :class:`EngineTracer` is installed.
+"""
+
+from repro.core.planner import Planner
+from repro.engine.database import Database
+from repro.engine.seminaive import SemiNaiveEvaluator
+from repro.observe import EngineTracer, Tracer
+from repro.workloads import FamilyConfig, family_database, SCSG, SG
+
+SOURCE = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+parent(ann, carol). parent(bob, dan). parent(eve, dan).
+parent(carol, fay). parent(dan, gil).
+sibling(carol, dan).
+"""
+
+
+def _semi_naive(tracer):
+    db = Database()
+    db.load_source(SOURCE)
+    result = SemiNaiveEvaluator(db, tracer=tracer).evaluate()
+    rows = sorted(result.relation("sg", 2).rows(), key=str)
+    return rows, result.counters.as_dict()
+
+
+def _planner_run(tracer, query, program=SCSG):
+    config = FamilyConfig(levels=4, width=6, parents_per_child=2, countries=2, seed=7)
+    db = family_database(config, program=program)
+    planner = Planner(db)
+    planner.tracer = tracer
+    plan = planner.plan(query)
+    answers, counters = planner.execute(plan)
+    return sorted(answers.rows(), key=str), counters.as_dict(), plan.strategy
+
+
+class TestSemiNaiveParity:
+    def test_noop_tracer_counters_bit_identical(self):
+        rows_off, counters_off = _semi_naive(None)
+        rows_on, counters_on = _semi_naive(Tracer())
+        assert rows_on == rows_off
+        assert counters_on == counters_off
+
+    def test_recording_tracer_counters_bit_identical(self):
+        rows_off, counters_off = _semi_naive(None)
+        tracer = EngineTracer()
+        rows_on, counters_on = _semi_naive(tracer)
+        assert rows_on == rows_off
+        assert counters_on == counters_off
+        assert tracer.events("round_end"), "recording tracer saw no rounds"
+
+    def test_round_deltas_sum_to_derived_tuples(self):
+        tracer = EngineTracer()
+        _, counters = _semi_naive(tracer)
+        total = sum(
+            sum(event.data["delta"].values())
+            for event in tracer.events("round_end")
+        )
+        assert total == counters["derived_tuples"]
+
+
+class TestPlannerParity:
+    def test_chain_split_path_counters_bit_identical(self):
+        query = "scsg(p0_2, Y)"
+        rows_off, counters_off, strategy = _planner_run(None, query)
+        rows_on, counters_on, strategy_on = _planner_run(Tracer(), query)
+        assert strategy == strategy_on
+        assert rows_on == rows_off
+        assert counters_on == counters_off
+
+    def test_counting_path_counters_bit_identical(self):
+        query = "sg(p0_2, Y)"
+        rows_off, counters_off, strategy = _planner_run(None, query, program=SG)
+        tracer = EngineTracer()
+        rows_on, counters_on, strategy_on = _planner_run(
+            tracer, query, program=SG
+        )
+        assert strategy == strategy_on == "counting"
+        assert rows_on == rows_off
+        assert counters_on == counters_off
+        assert tracer.events("count_down"), "counting down phase untraced"
+        assert tracer.events("count_up"), "counting up phase untraced"
+
+    def test_recording_tracer_chain_split_parity(self):
+        query = "scsg(p0_2, Y)"
+        rows_off, counters_off, _ = _planner_run(None, query)
+        tracer = EngineTracer()
+        rows_on, counters_on, _ = _planner_run(tracer, query)
+        assert rows_on == rows_off
+        assert counters_on == counters_off
+        kinds = {event.kind for event in tracer.events()}
+        assert "strategy" in kinds
+        assert "round_end" in kinds

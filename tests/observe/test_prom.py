@@ -1,0 +1,108 @@
+"""Prometheus text exposition: format validity and content."""
+
+import re
+
+from repro.engine.counters import Counters
+from repro.service.metrics import ServiceMetrics
+from repro.observe import prometheus_text
+
+#: One sample line: name{labels} value  (labels optional).
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+def _stats():
+    metrics = ServiceMetrics()
+    metrics.record_query(
+        "chain_split_magic_sets", 0.012, False, False, Counters(derived_tuples=9)
+    )
+    metrics.record_query("chain_split_magic_sets", 0.001, True, True)
+    metrics.record_error()
+    snap = metrics.snapshot()
+    snap["caches"] = {"plan_cache": 1, "result_cache": 1}
+    snap["database"] = {
+        "edb_version": 3,
+        "idb_version": 1,
+        "relations": 2,
+        "facts": 10,
+        "rules": 2,
+    }
+    return snap
+
+
+class TestFormat:
+    def test_every_line_is_valid(self):
+        text = prometheus_text(_stats())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE.match(line), f"malformed sample line: {line!r}"
+
+    def test_type_headers_precede_samples(self):
+        text = prometheus_text(_stats())
+        seen_types = set()
+        for line in text.split("\n"):
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+            elif line and not line.startswith("#"):
+                name = line.split("{")[0].split(" ")[0]
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in seen_types or base in seen_types, line
+
+    def test_namespace_override(self):
+        text = prometheus_text(_stats(), namespace="deduct")
+        assert "deduct_queries_total 2" in text
+        assert "repro_" not in text
+
+
+class TestContent:
+    def test_counters_and_labels(self):
+        text = prometheus_text(_stats())
+        assert "repro_queries_total 2" in text
+        assert "repro_errors_total 1" in text
+        assert (
+            'repro_cache_events_total{cache="result",event="hits"} 1' in text
+        )
+        assert (
+            'repro_queries_by_strategy_total{strategy="chain_split_magic_sets"} 2'
+            in text
+        )
+        assert 'repro_engine_work_total{counter="derived_tuples"} 9' in text
+        assert 'repro_database_version{kind="edb"} 3' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = prometheus_text(_stats())
+        bucket_lines = [
+            line
+            for line in text.split("\n")
+            if line.startswith("repro_query_latency_seconds_bucket")
+        ]
+        assert bucket_lines
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert bucket_lines[-1].startswith(
+            'repro_query_latency_seconds_bucket{le="+Inf"}'
+        )
+        assert counts[-1] == 2
+        assert "repro_query_latency_seconds_count 2" in text
+
+    def test_quantile_gauges(self):
+        text = prometheus_text(_stats())
+        for q in ("0.5", "0.95", "0.99"):
+            assert (
+                f'repro_query_latency_quantile_seconds{{quantile="{q}"}}' in text
+            )
+
+    def test_evaluated_histogram_counts_only_misses(self):
+        text = prometheus_text(_stats())
+        assert "repro_evaluated_query_latency_seconds_count 1" in text
+
+    def test_label_escaping(self):
+        snap = _stats()
+        snap["strategies"] = {'weird"strategy\\name': 1}
+        text = prometheus_text(snap)
+        assert 'strategy="weird\\"strategy\\\\name"' in text

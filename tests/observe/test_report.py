@@ -1,0 +1,252 @@
+"""EXPLAIN report assembly: rounds, expansion ratios, split check."""
+
+import json
+from types import SimpleNamespace
+
+from repro.analysis.cost import CostModel, LinkageDecision
+from repro.datalog.parser import parse_rule
+from repro.engine.database import Database
+from repro.observe import EngineTracer, build_report, render_report
+
+
+def _body(source):
+    rule = parse_rule(source)
+    return list(enumerate(rule.body))
+
+
+def _database():
+    """parent/2 with fanout 1 on a bound first argument."""
+    db = Database()
+    db.load_source(
+        """
+        parent(a, b). parent(b, c). parent(c, d).
+        anc(X, Y) :- parent(X, Y).
+        anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        """
+    )
+    return db
+
+
+def _fake_plan(linkages, criterion="efficiency"):
+    return SimpleNamespace(
+        strategy="chain_split_magic_sets",
+        recursion_class="linear",
+        split_decision=SimpleNamespace(
+            criterion=criterion, linkage_decisions=linkages
+        ),
+        explain=lambda: "strategy: chain_split_magic_sets",
+    )
+
+
+class TestRounds:
+    def test_round_end_events_become_round_rows(self):
+        tracer = EngineTracer()
+        tracer.round_start(1)
+        tracer.round_end(1, {"anc/2": 3})
+        tracer.round_start(2)
+        tracer.round_end(2, {"anc/2": 0})
+        report = build_report(tracer)
+        assert report["rounds"] == [
+            {"round": 1, "delta": {"anc/2": 3}},
+            {"round": 2, "delta": {"anc/2": 0}},
+        ]
+
+
+class TestExpansion:
+    def test_stage_counts_aggregate_by_adornment(self):
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        # Two firings of the same body under the same seed adornment:
+        # stage 0 input = seeds, stage 1 input = stage 0 output.
+        tracer.body_evaluated(
+            "rule", body, [4, 8], seeds=2, initially_bound={"X"}
+        )
+        tracer.body_evaluated(
+            "rule", body, [2, 2], seeds=2, initially_bound={"X"}
+        )
+        report = build_report(tracer)
+        by_key = {
+            (row["predicate"], tuple(row["bound"])): row
+            for row in report["expansion"]
+        }
+        parent = by_key[("parent/2", (0,))]
+        assert parent["observed_in"] == 4
+        assert parent["observed_out"] == 6
+        assert parent["observed"] == 1.5
+        assert parent["events"] == 2
+        anc = by_key[("anc/2", (0,))]
+        assert anc["observed_in"] == 6  # fed by stage 0's output
+        assert anc["observed_out"] == 10
+
+    def test_negated_stage_skipped_but_flow_continues(self):
+        tracer = EngineTracer()
+        body = _body("p(X) :- edge(a, X), \\+ blocked(X), edge(X, b).")
+        tracer.body_evaluated("rule", body, [5, 3, 2], seeds=1)
+        report = build_report(tracer)
+        predicates = {row["predicate"] for row in report["expansion"]}
+        assert "blocked/1" not in predicates
+        by_pred = {
+            (row["predicate"], tuple(row["bound"])): row
+            for row in report["expansion"]
+        }
+        # The stage after the negation is fed its output count (3).
+        assert by_pred[("edge/2", (0, 1))]["observed_in"] == 3
+
+    def test_predicted_ratio_and_misprediction_flag(self):
+        db = _database()
+        cost_model = CostModel(db)
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Y).")
+        # Observed blow-up of 8x against a predicted fanout of ~1:
+        # predicted verdict "follow", observed verdict "split".
+        tracer.body_evaluated(
+            "rule", body, [16], seeds=2, initially_bound={"X"}
+        )
+        report = build_report(tracer, cost_model=cost_model)
+        (row,) = report["expansion"]
+        assert row["predicted"] is not None and row["predicted"] <= 1.5
+        assert row["observed"] == 8.0
+        assert row["predicted_verdict"] == "follow"
+        assert row["observed_verdict"] == "split"
+        assert row["mispredicted"]
+        assert "MISPREDICTED" in render_report(report)
+
+    def test_agreeing_prediction_not_flagged(self):
+        db = _database()
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Y).")
+        tracer.body_evaluated(
+            "rule", body, [2], seeds=2, initially_bound={"X"}
+        )
+        report = build_report(tracer, cost_model=CostModel(db))
+        (row,) = report["expansion"]
+        assert not row["mispredicted"]
+
+
+class TestSplitCheck:
+    def _literal(self):
+        return _body("anc(X, Y) :- parent(X, Z).")[0][1]
+
+    def test_no_plan_no_decisions(self):
+        report = build_report(EngineTracer())
+        assert report["split_check"]["decisions"] == []
+        assert not report["split_check"]["disagreement"]
+
+    def test_follow_decision_contradicted_by_observation(self):
+        db = _database()
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        tracer.body_evaluated(
+            "rule", body, [20, 20], seeds=2, initially_bound={"X"}
+        )
+        plan = _fake_plan(
+            [LinkageDecision(self._literal(), 1.0, True, "cheap", (0,))]
+        )
+        report = build_report(tracer, plan=plan, cost_model=CostModel(db))
+        (row,) = report["split_check"]["decisions"]
+        assert row["planner"] == "follow"
+        assert row["observed"] == 10.0
+        assert row["observed_verdict"] == "split"
+        assert row["disagree"]
+        assert report["split_check"]["disagreement"]
+        assert "DISAGREE" in render_report(report)
+
+    def test_split_decision_contradicted_by_observation(self):
+        db = _database()
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        tracer.body_evaluated(
+            "rule", body, [2, 2], seeds=2, initially_bound={"X"}
+        )
+        plan = _fake_plan(
+            [LinkageDecision(self._literal(), 6.0, False, "expensive", (0,))]
+        )
+        report = build_report(tracer, plan=plan, cost_model=CostModel(db))
+        (row,) = report["split_check"]["decisions"]
+        assert row["planner"] == "split"
+        assert row["observed_verdict"] == "follow"
+        assert row["disagree"]
+
+    def test_unprobed_adornment_agrees_with_note(self):
+        """A split linkage probed only under a *different* adornment
+        must not be compared against the decision's predicted ratio."""
+        db = _database()
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        # Probed with both arguments bound (a filter), adornment (0, 1).
+        tracer.body_evaluated(
+            "rule", body, [2, 2], seeds=2, initially_bound={"X", "Z"}
+        )
+        plan = _fake_plan(
+            [LinkageDecision(self._literal(), 6.0, False, "expensive", (0,))]
+        )
+        report = build_report(tracer, plan=plan, cost_model=CostModel(db))
+        (row,) = report["split_check"]["decisions"]
+        assert not row["disagree"]
+        assert row["observed"] is None
+        assert "not probed under the decision adornment" in row["note"]
+        assert not report["split_check"]["disagreement"]
+        assert "no split/follow disagreement observed" in render_report(report)
+
+    def test_agreeing_split_decision(self):
+        db = _database()
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        tracer.body_evaluated(
+            "rule", body, [20, 20], seeds=2, initially_bound={"X"}
+        )
+        plan = _fake_plan(
+            [LinkageDecision(self._literal(), 8.0, False, "expensive", (0,))]
+        )
+        report = build_report(tracer, plan=plan, cost_model=CostModel(db))
+        (row,) = report["split_check"]["decisions"]
+        assert not row["disagree"]
+        assert row["observed_verdict"] == "split"
+
+
+class TestReportEnvelope:
+    def test_plan_and_counters_sections(self):
+        from repro.engine.counters import Counters
+
+        tracer = EngineTracer()
+        plan = _fake_plan([])
+        report = build_report(
+            tracer, plan=plan, counters=Counters(derived_tuples=7)
+        )
+        assert report["strategy"] == "chain_split_magic_sets"
+        assert report["recursion_class"] == "linear"
+        assert report["counters"]["derived_tuples"] == 7
+
+    def test_report_is_strict_json_safe(self):
+        db = _database()
+        tracer = EngineTracer()
+        body = _body("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        tracer.round_start(1)
+        tracer.body_evaluated(
+            "rule", body, [3, 0], seeds=1, initially_bound={"X"}
+        )
+        tracer.round_end(1, {"anc/2": 3})
+        plan = _fake_plan(
+            [LinkageDecision(body[0][1], float("inf"), False, "unbounded", (0,))]
+        )
+        report = build_report(tracer, plan=plan, cost_model=CostModel(db))
+        json.dumps(report, allow_nan=False)
+
+    def test_render_report_sections(self):
+        tracer = EngineTracer()
+        tracer.round_start(1)
+        tracer.round_end(1, {"anc/2": 3})
+        report = build_report(tracer)
+        report["query"] = "anc(a, Y)"
+        report["answers"] = 3
+        report["elapsed_ms"] = 1.5
+        text = render_report(report)
+        assert "query:     anc(a, Y)" in text
+        assert "round 1: anc/2 +3" in text
+
+    def test_dropped_events_noted(self):
+        tracer = EngineTracer(capacity=1)
+        tracer.round_start(1)
+        tracer.round_end(1, {})
+        report = build_report(tracer)
+        assert "dropped" in render_report(report)

@@ -1,0 +1,175 @@
+"""Tracer: ring buffer semantics, stage profiles, event payloads."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.cost import LinkageDecision
+from repro.datalog.parser import parse_rule
+from repro.observe import EngineTracer, Tracer, stage_profile
+from repro.observe.tracer import _finite
+
+
+def _body(source):
+    """An ordered body like the evaluators pass to the tracer."""
+    rule = parse_rule(source)
+    return list(enumerate(rule.body))
+
+
+class TestFinite:
+    def test_passthrough(self):
+        assert _finite(2.5) == 2.5
+        assert _finite(0.0) == 0.0
+
+    def test_infinity_and_nan_become_none(self):
+        assert _finite(float("inf")) is None
+        assert _finite(float("-inf")) is None
+        assert _finite(float("nan")) is None
+
+
+class TestStageProfile:
+    def test_binds_left_to_right(self):
+        body = _body("sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).")
+        profile = stage_profile(body, initially_bound={"X"})
+        assert [s["predicate"] for s in profile] == [
+            "parent/2",
+            "sg/2",
+            "parent/2",
+        ]
+        # X bound at entry; X1 after stage 0; Y1 after stage 1; Y only
+        # after the whole body.
+        assert profile[0]["bound"] == [0]
+        assert profile[1]["bound"] == [0]
+        assert profile[2]["bound"] == [1]
+
+    def test_no_seed_bindings(self):
+        body = _body("p(X, Y) :- edge(X, Y).")
+        profile = stage_profile(body)
+        assert profile[0]["bound"] == []
+
+    def test_constants_count_as_bound(self):
+        body = _body("p(X) :- edge(a, X).")
+        profile = stage_profile(body)
+        assert profile[0]["bound"] == [0]
+
+    def test_negated_flag(self):
+        body = _body("p(X) :- edge(a, X), \\+ blocked(X).")
+        profile = stage_profile(body)
+        assert not profile[0]["negated"]
+        assert profile[1]["negated"]
+
+
+class TestNoOpTracer:
+    def test_every_hook_is_callable(self):
+        tracer = Tracer()
+        tracer.round_start(1, ("sg/2",))
+        tracer.round_end(1, {"sg/2": 3})
+        tracer.body_evaluated("rule", _body("p(X) :- e(X, Y)."), [2])
+        tracer.strategy_chosen("p(X)", "semi_naive", "linear")
+        tracer.cache_event("plan", True)
+        tracer.phase("magic_rewrite", rules=4)
+
+
+class TestEngineTracer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EngineTracer(capacity=0)
+
+    def test_sequence_numbers_are_monotone(self):
+        tracer = EngineTracer()
+        tracer.round_start(1)
+        tracer.round_end(1, {})
+        tracer.phase("done")
+        assert [e.seq for e in tracer.events()] == [1, 2, 3]
+
+    def test_ring_drops_oldest(self):
+        tracer = EngineTracer(capacity=3)
+        for round_no in range(5):
+            tracer.round_start(round_no)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [e.data["round"] for e in tracer.events()] == [2, 3, 4]
+        # Sequence numbers keep counting across drops.
+        assert [e.seq for e in tracer.events()] == [3, 4, 5]
+
+    def test_events_filter_by_kind(self):
+        tracer = EngineTracer()
+        tracer.round_start(1)
+        tracer.round_end(1, {"sg/2": 2})
+        tracer.round_start(2)
+        assert len(tracer.events("round_start")) == 2
+        assert len(tracer.events("round_end")) == 1
+
+    def test_clear(self):
+        tracer = EngineTracer(capacity=1)
+        tracer.round_start(1)
+        tracer.round_start(2)
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_body_evaluated_payload(self):
+        tracer = EngineTracer()
+        body = _body("sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).")
+        tracer.round_start(3)
+        tracer.body_evaluated(
+            "rule",
+            body,
+            [4, 8, 2],
+            seeds=2,
+            initially_bound={"X"},
+            rule="sg rule",
+            slot=1,
+            derived=2,
+            duplicates=0,
+            depth=5,
+        )
+        (event,) = tracer.events("rule")
+        assert event.data["round"] == 3
+        assert event.data["seeds"] == 2
+        assert event.data["slot"] == 1
+        assert event.data["depth"] == 5  # **extra passes through
+        assert [s["out"] for s in event.data["stages"]] == [4, 8, 2]
+        assert event.data["stages"][0]["bound"] == [0]
+
+    def test_body_evaluated_without_counts_records_zeros(self):
+        tracer = EngineTracer()
+        tracer.body_evaluated("rule", _body("p(X) :- e(X, Y)."), None)
+        (event,) = tracer.events("rule")
+        assert [s["out"] for s in event.data["stages"]] == [0]
+
+    def test_split_decision_payload(self):
+        body = _body("sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).")
+        up, _, down = (literal for _, literal in body)
+        decision = SimpleNamespace(
+            criterion="efficiency",
+            split=SimpleNamespace(
+                evaluable=[up], delayed=[down], buffered_vars=("Y1",)
+            ),
+            linkage_decisions=[
+                LinkageDecision(up, 1.2, True, "cheap", (0,)),
+                LinkageDecision(down, float("inf"), False, "unbounded", (0,)),
+            ],
+        )
+        tracer = EngineTracer()
+        tracer.split_decision(decision)
+        (event,) = tracer.events("split_decision")
+        assert event.data["criterion"] == "efficiency"
+        assert event.data["evaluable"] == [str(up)]
+        first, second = event.data["decisions"]
+        assert first["propagate"] and first["ratio"] == 1.2
+        assert not second["propagate"]
+        assert second["ratio"] is None  # infinity is JSON-safe None
+
+    def test_to_json_is_strict_json_safe(self):
+        tracer = EngineTracer(capacity=2)
+        tracer.round_start(1)
+        tracer.round_end(1, {"sg/2": 4})
+        tracer.phase("exit", calls=3)
+        dumped = json.dumps(tracer.to_json(), allow_nan=False)
+        parsed = json.loads(dumped)
+        assert parsed["capacity"] == 2
+        assert parsed["dropped"] == 1
+        assert len(parsed["events"]) == 2

@@ -2,8 +2,69 @@
 
 import threading
 
+import pytest
+
 from repro.engine.counters import Counters
 from repro.service import LatencyStats, ServiceMetrics
+from repro.service.metrics import DEFAULT_LATENCY_BOUNDS, LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        d = hist.as_dict()
+        assert d["count"] == 0
+        assert d["p50_ms"] == 0.0
+        assert d["buckets"][-1] == {"le": None, "count": 0}
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(0.2, 0.1))
+
+    def test_default_bounds_are_log_spaced(self):
+        assert len(DEFAULT_LATENCY_BOUNDS) == 24
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-4)
+        for lo, hi in zip(DEFAULT_LATENCY_BOUNDS, DEFAULT_LATENCY_BOUNDS[1:]):
+            assert hi / lo == pytest.approx(10 ** 0.25)
+
+    def test_buckets_are_cumulative(self):
+        hist = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        for seconds in (0.005, 0.05, 0.05, 0.5, 5.0):
+            hist.record(seconds)
+        d = hist.as_dict()
+        assert [b["count"] for b in d["buckets"]] == [1, 3, 4, 5]
+        assert d["buckets"][-1]["le"] is None
+        assert d["count"] == 5
+        assert d["sum_ms"] == pytest.approx(5605.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = LatencyHistogram(bounds=(0.0, 1.0))
+        for _ in range(100):
+            hist.record(0.5)  # all mass in the (0, 1] bucket
+        # Rank q*100 of 100 uniform-assumed samples in (0, 1]:
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+        assert hist.quantile(0.95) == pytest.approx(0.95)
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        hist = LatencyHistogram(bounds=(0.01, 0.1))
+        hist.record(99.0)
+        assert hist.quantile(0.99) == 0.1
+
+    def test_quantile_validation_and_empty(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_quantile_ordering(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 3, 10, 20, 200, 900, 5, 5, 5):
+            hist.record(ms / 1e3)
+        assert (
+            hist.quantile(0.5) <= hist.quantile(0.95) <= hist.quantile(0.99)
+        )
 
 
 class TestLatencyStats:
@@ -89,6 +150,43 @@ class TestServiceMetrics:
         snap = metrics.snapshot()
         assert snap["queries"] == 0
         assert snap["strategies"] == {}
+
+    def test_snapshot_includes_latency_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.record_query("counting", 0.010, False, False, Counters())
+        metrics.record_query("counting", 0.001, True, True)
+        snap = metrics.snapshot()
+        assert snap["latency_histogram"]["count"] == 2
+        # Only the result-cache miss evaluated.
+        assert snap["evaluated_latency_histogram"]["count"] == 1
+        for key in ("p50_ms", "p95_ms", "p99_ms", "buckets"):
+            assert key in snap["latency_histogram"]
+
+    def test_reset_clears_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.record_query("counting", 0.010, False, False, Counters())
+        metrics.reset()
+        assert metrics.snapshot()["latency_histogram"]["count"] == 0
+
+    def test_repr_holds_the_lock(self):
+        """repr reads counters under the metrics lock (regression: it
+        used to read them lock-free, tearing on free-threaded builds)."""
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                metrics.record_query("counting", 0.001, True, False, Counters())
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                text = repr(metrics)
+                assert text.startswith("ServiceMetrics(")
+        finally:
+            stop.set()
+            thread.join()
 
     def test_concurrent_recording(self):
         metrics = ServiceMetrics()

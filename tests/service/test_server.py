@@ -102,6 +102,94 @@ class TestProtocol:
             assert client.request("QUERY sg(ann, Y)")["ok"]
 
 
+class TestObservability:
+    def test_explain_verb(self, client):
+        reply = client.request("EXPLAIN sg(ann, Y)")
+        assert reply["ok"] and reply["verb"] == "EXPLAIN"
+        trace = reply["trace"]
+        assert trace["query"] == "sg(ann, Y)"
+        assert trace["answers"] == 1
+        assert trace["strategy"] == "counting"
+        assert trace["expansion"], "EXPLAIN must report expansion ratios"
+        assert "split_check" in trace
+        assert trace["counters"]["derived_tuples"] > 0
+
+    def test_explain_fixpoint_strategy_reports_rounds(self, client):
+        # The free query routes to magic sets, a fixpoint strategy.
+        reply = client.request("EXPLAIN sg(X, Y)")
+        trace = reply["trace"]
+        assert trace["strategy"] == "magic_sets"
+        assert trace["rounds"], "EXPLAIN must report fixpoint rounds"
+        assert all(
+            set(row) == {"round", "delta"} for row in trace["rounds"]
+        )
+
+    def test_explain_bypasses_result_cache(self, client):
+        client.request("QUERY sg(ann, Y)")  # warm the result cache
+        reply = client.request("EXPLAIN sg(ann, Y)")
+        # A cache hit would have produced an empty trace.
+        assert reply["trace"]["expansion"]
+
+    def test_trace_without_argument_replays_last(self, client):
+        first = client.request("TRACE")
+        assert not first["ok"] and first["error"]["type"] == "NoTrace"
+        client.request("EXPLAIN sg(ann, Y)")
+        reply = client.request("TRACE")
+        assert reply["ok"] and reply["verb"] == "TRACE"
+        assert reply["trace"]["query"] == "sg(ann, Y)"
+
+    def test_trace_with_argument_is_explain(self, client):
+        reply = client.request("TRACE sg(ann, Y)")
+        assert reply["ok"] and reply["verb"] == "TRACE"
+        assert reply["trace"]["expansion"]
+
+    def test_explain_missing_argument(self, client):
+        assert not client.request("EXPLAIN")["ok"]
+
+    def test_explain_counts_toward_metrics(self, server, client):
+        client.request("EXPLAIN sg(ann, Y)")
+        reply = client.request("STATS")
+        assert reply["stats"]["queries"] >= 1
+        assert reply["stats"]["evaluated_latency_histogram"]["count"] >= 1
+
+    def test_metrics_verb(self, client):
+        client.request("QUERY sg(ann, Y)")
+        reply = client.request("METRICS")
+        assert reply["ok"] and reply["verb"] == "METRICS"
+        assert reply["content_type"].startswith("text/plain")
+        body = reply["body"]
+        assert "# TYPE repro_queries_total counter" in body
+        assert "repro_queries_total 1" in body
+        assert 'quantile="0.99"' in body
+        assert 'le="+Inf"' in body
+
+    def test_http_get_metrics_scrape(self, server, client):
+        client.request("QUERY sg(ann, Y)")
+        sock = socket.create_connection(server.address, timeout=10)
+        try:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        finally:
+            sock.close()
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert b"text/plain; version=0.0.4" in head
+        assert b"repro_queries_total 1" in body
+        length = int(
+            [
+                line.split(b":")[1]
+                for line in head.split(b"\r\n")
+                if line.lower().startswith(b"content-length")
+            ][0]
+        )
+        assert length == len(body)
+
+
 class TestErrorEnvelopes:
     def test_unknown_verb(self, client):
         reply = client.request("EXPLODE now")

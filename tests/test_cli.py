@@ -120,6 +120,79 @@ class TestRepl:
         assert code == 0
 
 
+class TestTraceAndMetrics:
+    def test_trace_flag_prints_report(self, program_file):
+        code, output = run([program_file, "-q", "sg(ann, Y)", "--trace"])
+        assert code == 0
+        assert "(ann, bob)" in output
+        assert "strategy:" in output
+        assert "expansion ratios (observed vs predicted):" in output
+
+    def test_trace_fixpoint_strategy_prints_rounds(self, program_file):
+        # The free query routes to magic sets, which runs to fixpoint.
+        code, output = run([program_file, "-q", "sg(X, Y)", "--trace"])
+        assert code == 0
+        assert "rounds:" in output
+        assert "round 1:" in output
+
+    def test_trace_json_writes_report(self, program_file, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        code, output = run(
+            [
+                program_file,
+                "-q",
+                "sg(X, Y)",
+                "--trace",
+                "--trace-json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        report = json.loads(target.read_text())
+        assert report["query"] == "sg(X, Y)"
+        assert report["rounds"]
+        assert report["expansion"]
+
+    def test_trace_json_to_stdout(self, program_file):
+        code, output = run(
+            [program_file, "-q", "sg(ann, Y)", "--trace", "--trace-json", "-"]
+        )
+        assert code == 0
+        assert '"rounds"' in output
+
+    def test_trace_json_without_trace_errors(self, program_file):
+        code, output = run(
+            [program_file, "-q", "sg(ann, Y)", "--trace-json", "-"]
+        )
+        assert code == 1
+        assert "--trace-json needs --trace" in output
+
+    def test_trace_bad_query_recovers(self, program_file):
+        code, output = run([program_file, "-q", "nosuch(X)", "--trace"])
+        assert code == 1
+        assert "error" in output
+
+    def test_metrics_flag_prints_prometheus_text(self, program_file):
+        code, output = run([program_file, "-q", "sg(ann, Y)", "--metrics"])
+        assert code == 0
+        assert "# TYPE repro_queries_total counter" in output
+        assert "repro_queries_total 1" in output
+        assert 'quantile="0.95"' in output
+
+    def test_repl_trace_command(self, program_file):
+        _, output = run([program_file], ":trace sg(ann, Y).\n:quit\n")
+        assert "(ann, bob)" in output
+        assert "expansion ratios (observed vs predicted):" in output
+
+    def test_repl_metrics_command(self, program_file):
+        _, output = run(
+            [program_file], "?- sg(ann, Y).\n:metrics\n:quit\n"
+        )
+        assert "repro_queries_total 1" in output
+
+
 class TestFactsLoading:
     def test_load_csv_facts(self, tmp_path):
         rules = tmp_path / "anc.pl"
