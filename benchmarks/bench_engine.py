@@ -381,28 +381,121 @@ def tracer_parity(quick: bool) -> Dict[str, object]:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="small workloads (CI smoke: verifies engine agreement fast)",
-    )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=None,
-        help="write the JSON report to this file (default: stdout only)",
-    )
-    args = parser.parse_args(argv)
+def profiler_parity(quick: bool) -> Dict[str, object]:
+    """Profiling must not change evaluation either: the same sg
+    bottom-up run with the profiler off, on, and memory-sampling must
+    produce bit-identical counters and relations, and the enabled path
+    (timing only, no tracemalloc) must stay under 5% overhead.
 
+    The overhead estimate is the median of 25 *paired* off/on ratios
+    (pair order alternating): pairing cancels slow clock drift, the
+    median discards the pairs a scheduler hiccup spoiled, and 25 pairs
+    keep the estimate stable on noisy shared runners where any single
+    ratio can swing tens of percent.  Noise only ever inflates a
+    timing, so if the estimate still lands over the bound one retry
+    runs and the better (lower) estimate is judged — a genuine per-span
+    cost floors both, a noisy phase spoils at most one.  The workload
+    is a fixed mid-size sg (not the quick/full A/B config) so the
+    measured wall is long enough to resolve 5%."""
+    from repro.profile import SpanProfiler
+
+    config = FamilyConfig(
+        levels=4 if quick else 5,
+        width=8 if quick else 16,
+        parents_per_child=2,
+        countries=2,
+        seed=7,
+    )
+
+    def run(cfg, profiler):
+        # Build the database outside the timed region: workload
+        # construction is RNG + parsing, not engine work, and its
+        # jitter would swamp the per-span cost being measured.  A GC
+        # pass before the timer keeps garbage from earlier benchmark
+        # cases (or the db build itself) from triggering a collection
+        # inside the measured window.
+        import gc
+
+        db = family_database(cfg, program=SG)
+        gc.collect()
+        return _timed(
+            lambda: SemiNaiveEvaluator(db, profiler=profiler).evaluate()
+        )
+
+    off, _ = run(config, None)
+    on, _ = run(config, SpanProfiler())
+    memory_profiler = SpanProfiler(memory=True)
+    try:
+        mem, _ = run(config, memory_profiler)
+    finally:
+        memory_profiler.close()
+    for label, other in (("profiler", on), ("memory profiler", mem)):
+        if off.counters.as_dict() != other.counters.as_dict():
+            raise AssertionError(f"{label} changed the work counters")
+        if off.relation("sg", 2) != other.relation("sg", 2):
+            raise AssertionError(f"{label} changed the derived relation")
+
+    bench_config = FamilyConfig(
+        levels=5, width=24, parents_per_child=2, countries=2, seed=7
+    )
+    spans = 0
+
+    def estimate():
+        nonlocal spans
+        off_times, on_times, ratios = [], [], []
+        for i in range(25):
+            profiler = SpanProfiler()
+            if i % 2:
+                off_s = run(bench_config, None)[1]
+                on_s = run(bench_config, profiler)[1]
+            else:
+                on_s = run(bench_config, profiler)[1]
+                off_s = run(bench_config, None)[1]
+            off_times.append(off_s)
+            on_times.append(on_s)
+            ratios.append(on_s / max(off_s, 1e-9))
+            spans = len(profiler.spans())
+        import statistics
+
+        return min(off_times), min(on_times), statistics.median(ratios)
+
+    best_off, best_on, overhead = estimate()
+    if overhead > 1.05:
+        retry_off, retry_on, retry_overhead = estimate()
+        if retry_overhead < overhead:
+            best_off, best_on, overhead = retry_off, retry_on, retry_overhead
+    if overhead > 1.05:
+        raise AssertionError(
+            f"profiler overhead {overhead:.3f}x exceeds the 1.05x bound"
+        )
+    return {
+        "case": "sg_profiler",
+        "answers": len(on.relation("sg", 2)),
+        "profiler_off_ms": round(best_off * 1e3, 3),
+        "profiler_on_ms": round(best_on * 1e3, 3),
+        "overhead_ratio": round(overhead, 3),
+        "spans": spans,
+        "counters_identical": True,
+    }
+
+
+def run_bench(quick: bool, parity: bool = True) -> Dict[str, object]:
+    """One full benchmark run: the A/B cases plus the parity/overhead
+    guards, as the JSON-serializable report dict.
+
+    ``benchmarks/regress.py`` calls this directly (several times, for
+    the median) instead of shelling out; repeat runs pass
+    ``parity=False`` — the parity/overhead guards are pass/fail, not
+    timings to median over, so once per gate is enough."""
     report = {
         "benchmark": "engine: streaming pipeline + delta discipline vs legacy",
-        "quick": args.quick,
+        "quick": quick,
         "python": sys.version.split()[0],
-        "cases": [case(args.quick) for case in CASES],
-        "tracer_parity": tracer_parity(args.quick),
+        "cases": [case(quick) for case in CASES],
     }
+    if parity:
+        report["tracer_parity"] = tracer_parity(quick)
+        report["profiler_parity"] = profiler_parity(quick)
     for case in report["cases"]:
         legacy, current = case["legacy"], case["current"]
         case["peak_intermediate_ratio"] = round(
@@ -422,7 +515,25 @@ def main(argv=None) -> int:
             raise AssertionError(
                 f"{case['case']}: streaming peak did not beat legacy peak"
             )
+    return report
 
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads (CI smoke: verifies engine agreement fast)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report to this file (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.quick)
     text = json.dumps(report, indent=2)
     print(text)
     if args.out is not None:

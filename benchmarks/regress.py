@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh engine run vs the committed baseline.
+
+``BENCH_engine.json`` used to be a write-only artifact — committed once
+per engine change and never read again.  This script turns it into a
+gate: it re-runs :func:`benchmarks.bench_engine.run_bench` ``k`` times,
+takes the per-case **median** wall time (one noisy run must not fail or
+mask anything), and compares the result against the committed baseline
+with two kinds of bands:
+
+* **count metrics** (answers, derived/duplicate/intermediate tuples,
+  join probes, iterations, peak_intermediate) are deterministic for a
+  fixed workload, so they must match the baseline *exactly* — any drift
+  means the engine now does different work, which is exactly what the
+  gate exists to catch;
+* **wall_ms** is machine-dependent, so the fresh run is first
+  *calibrated*: the legacy engine is identical in both runs, so the
+  median ratio of fresh-legacy to baseline-legacy wall estimates how
+  much faster or slower this machine is, and the current engine's wall
+  is judged against ``baseline * calibration * tolerance`` (default
+  1.6x) rather than against raw milliseconds.
+
+The baseline file holds one run per mode::
+
+    {"benchmark": ..., "runs": {"quick": {...}, "full": {...}}}
+
+(the flat single-run layout from before this script is still accepted
+when its ``quick`` flag matches the requested mode).
+
+Usage::
+
+    python benchmarks/regress.py --quick               # CI gate
+    python benchmarks/regress.py --update-baseline     # refresh baseline
+    python benchmarks/regress.py --quick --table       # human summary
+
+Exit status is non-zero on any regression, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Counter fields that must match the baseline exactly — the workload
+#: is seeded and the engine deterministic, so any drift is a behaviour
+#: change, not noise.
+COUNT_METRICS = (
+    "derived_tuples",
+    "duplicate_tuples",
+    "join_probes",
+    "intermediate_tuples",
+    "iterations",
+    "peak_intermediate",
+)
+
+#: Default wall-clock band: fresh current-engine wall may be at most
+#: this many times the calibrated baseline wall.  Generous because CI
+#: runners are noisy even after calibration; a real regression from an
+#: accidental O(n^2) or a dropped index blows far past 1.6x.
+WALL_TOLERANCE = 1.6
+
+
+def median_bench(quick: bool, runs: int) -> Dict[str, object]:
+    """``run_bench`` repeated ``runs`` times, reduced to per-case
+    median wall times (counters come from the first run and are
+    asserted identical across runs)."""
+    from benchmarks.bench_engine import run_bench
+
+    reports = [
+        run_bench(quick, parity=(index == 0))
+        for index in range(max(1, runs))
+    ]
+    merged = reports[0]
+    for case_index, case in enumerate(merged["cases"]):
+        for engine in ("legacy", "current"):
+            walls = []
+            for report in reports:
+                other = report["cases"][case_index]
+                if other["case"] != case["case"]:
+                    raise AssertionError("benchmark case order changed mid-run")
+                for metric in COUNT_METRICS:
+                    if other[engine].get(metric) != case[engine].get(metric):
+                        raise AssertionError(
+                            f"{case['case']}.{engine}.{metric} varied across "
+                            "runs — the engine is nondeterministic"
+                        )
+                walls.append(other[engine]["wall_ms"])
+            case[engine]["wall_ms"] = round(statistics.median(walls), 3)
+        case["speedup"] = round(
+            case["legacy"]["wall_ms"] / max(case["current"]["wall_ms"], 1e-9), 2
+        )
+    merged["bench_runs"] = len(reports)
+    return merged
+
+
+def baseline_for_mode(
+    baseline: Dict[str, object], quick: bool
+) -> Optional[Dict[str, object]]:
+    """The baseline report for this mode, from either schema."""
+    runs = baseline.get("runs")
+    if isinstance(runs, dict):
+        return runs.get("quick" if quick else "full")
+    # Legacy flat layout: one report at the top level.
+    if baseline.get("cases") is not None and bool(baseline.get("quick")) == quick:
+        return baseline
+    return None
+
+
+def compare(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> Dict[str, object]:
+    """Pure comparison of a fresh report against a baseline report.
+
+    Returns ``{"calibration": ..., "rows": [...], "regressions": [...]}``;
+    no I/O, no timing — the unit tests feed it doctored reports.
+    """
+    baseline_cases = {c["case"]: c for c in baseline["cases"]}
+    fresh_cases = {c["case"]: c for c in fresh["cases"]}
+
+    # Machine-speed calibration from the legacy engine, which is the
+    # same code in both runs by construction.
+    ratios = [
+        fresh_cases[name]["legacy"]["wall_ms"]
+        / max(baseline_cases[name]["legacy"]["wall_ms"], 1e-9)
+        for name in baseline_cases
+        if name in fresh_cases
+    ]
+    calibration = statistics.median(ratios) if ratios else 1.0
+
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for name, base_case in sorted(baseline_cases.items()):
+        fresh_case = fresh_cases.get(name)
+        if fresh_case is None:
+            regressions.append(f"{name}: case missing from fresh run")
+            continue
+        problems: List[str] = []
+        if fresh_case["answers"] != base_case["answers"]:
+            problems.append(
+                f"answers {fresh_case['answers']} != {base_case['answers']}"
+            )
+        for metric in COUNT_METRICS:
+            got = fresh_case["current"].get(metric)
+            want = base_case["current"].get(metric)
+            if got != want:
+                problems.append(f"{metric} {got} != {want}")
+        base_wall = base_case["current"]["wall_ms"]
+        fresh_wall = fresh_case["current"]["wall_ms"]
+        limit = base_wall * calibration * wall_tolerance
+        ratio = fresh_wall / max(base_wall * calibration, 1e-9)
+        if fresh_wall > limit:
+            problems.append(
+                f"wall {fresh_wall:.3f}ms > {limit:.3f}ms "
+                f"({ratio:.2f}x the calibrated baseline)"
+            )
+        rows.append(
+            {
+                "case": name,
+                "baseline_wall_ms": base_wall,
+                "fresh_wall_ms": fresh_wall,
+                "calibrated_limit_ms": round(limit, 3),
+                "wall_ratio": round(ratio, 3),
+                "status": "REGRESSION" if problems else "ok",
+                "problems": problems,
+            }
+        )
+        for problem in problems:
+            regressions.append(f"{name}: {problem}")
+    return {
+        "calibration": round(calibration, 3),
+        "wall_tolerance": wall_tolerance,
+        "rows": rows,
+        "regressions": regressions,
+    }
+
+
+def render_table(comparison: Dict[str, object]) -> str:
+    lines = [
+        f"machine calibration: {comparison['calibration']}x the baseline "
+        f"machine (tolerance {comparison['wall_tolerance']}x)",
+        f"  {'case':<18} {'baseline ms':>12} {'fresh ms':>10} "
+        f"{'limit ms':>10} {'ratio':>6}  status",
+    ]
+    for row in comparison["rows"]:
+        lines.append(
+            f"  {row['case']:<18} {row['baseline_wall_ms']:>12.3f} "
+            f"{row['fresh_wall_ms']:>10.3f} {row['calibrated_limit_ms']:>10.3f} "
+            f"{row['wall_ratio']:>6.2f}  {row['status']}"
+        )
+    for problem in comparison["regressions"]:
+        lines.append(f"  !! {problem}")
+    return "\n".join(lines)
+
+
+def update_baseline(path: Path, quick: bool, report: Dict[str, object]) -> None:
+    """Write ``report`` into the baseline file under its mode slot,
+    preserving the other mode's run if present."""
+    existing: Dict[str, object] = {}
+    if path.exists():
+        existing = json.loads(path.read_text())
+    runs = existing.get("runs")
+    if not isinstance(runs, dict):
+        runs = {}
+        # Migrate a legacy flat baseline into its mode slot.
+        if existing.get("cases") is not None:
+            runs["quick" if existing.get("quick") else "full"] = existing
+    runs["quick" if quick else "full"] = report
+    out = {
+        "benchmark": report["benchmark"],
+        "runs": {mode: runs[mode] for mode in sorted(runs)},
+    }
+    path.write_text(json.dumps(out, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="compare the quick-mode workloads"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        help="fresh bench repetitions; the per-case median wall is compared "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=WALL_TOLERANCE,
+        help=f"wall-clock tolerance band (default {WALL_TOLERANCE}x)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the comparison JSON to this file (the CI artifact)",
+    )
+    parser.add_argument(
+        "--table", action="store_true", help="print the human-readable table"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="run fresh and overwrite this mode's slot in the baseline file "
+        "instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = median_bench(args.quick, args.runs)
+
+    if args.update_baseline:
+        update_baseline(args.baseline, args.quick, fresh)
+        print(
+            f"baseline updated: {args.baseline} "
+            f"[{'quick' if args.quick else 'full'}]"
+        )
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+        return 2
+    baseline = baseline_for_mode(json.loads(args.baseline.read_text()), args.quick)
+    if baseline is None:
+        print(
+            f"error: {args.baseline} has no "
+            f"{'quick' if args.quick else 'full'} run — regenerate it with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    comparison = compare(fresh, baseline, wall_tolerance=args.tolerance)
+    comparison["mode"] = "quick" if args.quick else "full"
+    comparison["bench_runs"] = fresh["bench_runs"]
+    if args.out is not None:
+        args.out.write_text(json.dumps(comparison, indent=2) + "\n")
+    if args.table or comparison["regressions"]:
+        print(render_table(comparison))
+    if comparison["regressions"]:
+        print(
+            f"{len(comparison['regressions'])} benchmark regression(s) "
+            "against the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"no regression: {len(comparison['rows'])} cases within "
+        f"{args.tolerance}x of the calibrated baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,12 @@ for ``sg`` (the counting path) and ``scsg`` (the chain-split magic-sets
 path), writes each report as strict JSON into ``--out-dir``, and exits
 non-zero when the ``scsg`` split check reports a disagreement between
 Algorithm 3.1's follow/split decision and the observed expansion
-ratios.  CI uploads the JSON files as artifacts and fails on the exit
-code, so a cost-model regression that makes the planner contradict
-observed reality is caught on every push::
+ratios.  Each query is also re-run under the span profiler and its
+Chrome-trace JSON (loadable in ``chrome://tracing`` / Perfetto) written
+next to the report as ``trace_<stem>.chrome.json``.  CI uploads the
+JSON files as artifacts and fails on the exit code, so a cost-model
+regression that makes the planner contradict observed reality is
+caught on every push::
 
     PYTHONPATH=src python benchmarks/trace_sample.py --out-dir traces/
 """
@@ -58,12 +61,23 @@ def main(argv=None) -> int:
             json.dumps(report, indent=2, sort_keys=True, allow_nan=False)
             + "\n"
         )
+        profile = session.profile(query, include_trace=True)
+        chrome_path = args.out_dir / f"trace_{stem}.chrome.json"
+        chrome_path.write_text(
+            json.dumps(
+                profile["chrome_trace"], indent=2, sort_keys=True,
+                allow_nan=False,
+            )
+            + "\n"
+        )
         check = report.get("split_check") or {}
         disagreement = bool(check.get("disagreement"))
         print(
             f"{stem}: {query} -> {len(report['rows'])} answers, "
             f"strategy={report['strategy']}, "
-            f"split disagreement={disagreement}  [{path}]"
+            f"split disagreement={disagreement}  [{path}], "
+            f"{len(profile['chrome_trace']['traceEvents'])} trace events "
+            f"[{chrome_path}]"
         )
         if stem == "scsg" and disagreement:
             print(

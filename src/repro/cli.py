@@ -7,6 +7,7 @@ Usage::
     python -m repro program.pl -q "..." --stats         # work counters
     python -m repro program.pl -q "..." --proof         # derivation tree
     python -m repro program.pl -q "..." --trace         # EXPLAIN report
+    python -m repro program.pl -q "..." --profile       # span profile
     python -m repro program.pl -q "..." --metrics       # Prometheus text
     python -m repro program.pl                          # REPL
     python -m repro program.pl --serve --port 8473      # TCP query server
@@ -21,10 +22,13 @@ REPL commands::
     :plan sg(ann, Y)      show the plan without running it
     :proof sg(ann, Y)     print the first answer's proof tree
     :trace sg(ann, Y)     evaluate with tracing; print the EXPLAIN report
+    :profile sg(ann, Y)   evaluate with span profiling; print the report
+    :slowlog              print retained slow queries (:slowlog clear)
     :facts                list stored relations
     :stats                print the session's service metrics
     :metrics              print the metrics in Prometheus text format
     :dot                  dump the dependency graph as Graphviz DOT
+    :help                 list these commands
     :quit                 exit
 """
 
@@ -84,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="with --trace: also dump the last trace report as JSON "
         "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="evaluate with span profiling on and print the per-rule/"
+        "per-stage wall-clock attribution report",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        help="with --profile: also dump the last profile report (with the "
+        "Chrome-trace events, loadable in Perfetto) as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="profile every evaluated query and retain those at or over "
+        "this many milliseconds in the slow-query log (REPL :slowlog, "
+        "server SLOWLOG verb and GET /slowlog)",
     )
     parser.add_argument(
         "--metrics",
@@ -164,6 +189,46 @@ def _run_trace(session: QuerySession, source: str, out: IO[str]) -> bool:
     return True
 
 
+def _run_profile(session: QuerySession, source: str, out: IO[str]) -> bool:
+    """Run one query with span profiling on; print answers + report."""
+    from .profile import render_profile
+
+    try:
+        report = session.profile(source, include_trace=True)
+    except (PlanningError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return False
+    except Exception as exc:  # evaluation-time errors are user-facing
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return False
+    print(
+        f"{report['answers']} answer(s) [{report['strategy']}] "
+        f"in {report['elapsed_ms']:.2f}ms",
+        file=out,
+    )
+    print(render_profile(report), file=out)
+    return True
+
+
+def _print_slowlog(session: QuerySession, out: IO[str]) -> None:
+    entries = session.slowlog()
+    if session.slow_query_ms is None:
+        print("slow-query log disabled (set --slow-query-ms)", file=out)
+        return
+    if not entries:
+        print(
+            f"slow-query log empty (threshold {session.slow_query_ms}ms)",
+            file=out,
+        )
+        return
+    for entry in entries:
+        print(
+            f"  {entry['elapsed_ms']:.2f}ms  {entry['query']}  "
+            f"[{entry['strategy']}]  {entry['answers']} answer(s)",
+            file=out,
+        )
+
+
 def _run_query(
     session: QuerySession,
     source: str,
@@ -172,10 +237,13 @@ def _run_query(
     stats: bool = False,
     proof: bool = False,
     trace: bool = False,
+    profile: bool = False,
 ) -> bool:
     """Run one query through the shared session; False on errors."""
     if trace:
         return _run_trace(session, source, out)
+    if profile:
+        return _run_profile(session, source, out)
     if explain:
         try:
             plan, cached = session.plan(source)
@@ -218,15 +286,49 @@ def _run_query(
     return True
 
 
+_REPL_HELP = """\
+  ?- sg(ann, Y).        evaluate a query
+  :plan sg(ann, Y)      show the plan without running it
+  :proof sg(ann, Y)     print the first answer's proof tree
+  :trace sg(ann, Y)     evaluate with tracing; print the EXPLAIN report
+  :profile sg(ann, Y)   evaluate with span profiling; print the report
+  :slowlog              print retained slow queries (:slowlog clear)
+  :facts                list stored relations
+  :stats                print the session's service metrics
+  :metrics              print the metrics in Prometheus text format
+  :dot                  dump the dependency graph as Graphviz DOT
+  :help                 list these commands
+  :quit                 exit"""
+
+
 def _repl(session: QuerySession, inp: IO[str], out: IO[str]) -> None:
     database = session.database
-    print("repro — chain-split deductive database. :quit to exit.", file=out)
+    print(
+        "repro — chain-split deductive database. :help for commands, "
+        ":quit to exit.",
+        file=out,
+    )
     for line in inp:
         line = line.strip()
         if not line:
             continue
         if line in {":quit", ":q", "halt."}:
             break
+        if line in {":help", ":h", "help."}:
+            print(_REPL_HELP, file=out)
+            continue
+        if line == ":slowlog" or line.lower() == ":slowlog clear":
+            if line.lower().endswith("clear"):
+                print(f"cleared {session.clear_slowlog()} entries", file=out)
+            else:
+                _print_slowlog(session, out)
+            continue
+        if line.startswith(":profile "):
+            query = line[9:].strip()
+            if query.endswith("."):
+                query = query[:-1]
+            _run_profile(session, query, out)
+            continue
         if line == ":facts":
             for predicate, relation in sorted(
                 database.relations.items(), key=lambda kv: str(kv[0])
@@ -299,7 +401,9 @@ def main(
             print(f"error: cannot load {spec}: {exc}", file=out)
             return 1
 
-    session = QuerySession(database, max_depth=args.max_depth)
+    session = QuerySession(
+        database, max_depth=args.max_depth, slow_query_ms=args.slow_query_ms
+    )
 
     if args.serve:
         server = QueryServer(
@@ -311,8 +415,8 @@ def main(
         host, port = server.address
         print(
             f"repro serving on {host}:{port} "
-            "(verbs: QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, METRICS; "
-            "one JSON reply per line)",
+            "(verbs: QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, METRICS, "
+            "PROFILE, SLOWLOG, HEALTH; one JSON reply per line)",
             file=out,
         )
         # Scripts discover the bound port (--port 0) from this line, so
@@ -338,7 +442,25 @@ def main(
                 stats=args.stats,
                 proof=args.proof,
                 trace=args.trace,
+                profile=args.profile,
             ) and ok
+        if args.profile_json:
+            report = session.last_profile
+            if report is None:
+                print("error: --profile-json needs --profile", file=out)
+                ok = False
+            elif args.profile_json == "-":
+                print(json.dumps(report, indent=2, sort_keys=True), file=out)
+            else:
+                try:
+                    with open(args.profile_json, "w") as handle:
+                        json.dump(report, handle, indent=2, sort_keys=True)
+                except OSError as exc:
+                    print(
+                        f"error: cannot write {args.profile_json}: {exc}",
+                        file=out,
+                    )
+                    ok = False
         if args.trace_json:
             report = session.last_trace
             if report is None:

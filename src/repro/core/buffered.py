@@ -88,6 +88,7 @@ class BufferedChainEvaluator:
         idb_solver=None,
         idb_finite=None,
         tracer=None,
+        profiler=None,
     ):
         self.database = database
         self.compiled = compiled
@@ -105,6 +106,9 @@ class BufferedChainEvaluator:
         # Optional observe.Tracer: one chain_down event per down-phase
         # level, one chain_up event for the whole up phase.
         self.tracer = tracer
+        # Optional profile.SpanProfiler: stage spans per down level,
+        # for the exit phase and for the up phase.
+        self.profiler = profiler
         self._injected_split = split
         chains = compiled.generating_chains()
         if len(chains) != 1:
@@ -126,6 +130,26 @@ class BufferedChainEvaluator:
                 f"query {query} is not on {self.compiled.predicate}"
             )
         counters = Counters()
+        profiler = self.profiler
+        run_span = (
+            profiler.begin("evaluate", "buffered_chain")
+            if profiler is not None
+            else None
+        )
+        try:
+            return self._evaluate(query, counters)
+        finally:
+            if profiler is not None:
+                profiler.end(run_span, derived=counters.derived_tuples)
+
+    def _evaluate(
+        self, query: Literal, counters: Counters
+    ) -> Tuple[Relation, Counters]:
+        profiler = self.profiler
+        if profiler is not None:
+            # The split + body ordering is planning-grade work; give it
+            # its own stage rather than container self time.
+            setup_span = profiler.begin("stage", "chain_setup")
         head_args = self.compiled.head_args
         rec_args = self.compiled.rec_args
         rec_literal = self.compiled.recursive_literal
@@ -178,6 +202,8 @@ class BufferedChainEvaluator:
         frontier: List[_CallNode] = [root]
         tracer = self.tracer
         depth = 0
+        if profiler is not None:
+            profiler.end(setup_span)
         while frontier:
             depth += 1
             if depth > self.max_depth:
@@ -185,6 +211,8 @@ class BufferedChainEvaluator:
                     f"down phase exceeded max depth {self.max_depth}"
                 )
             next_frontier: List[_CallNode] = []
+            if profiler is not None:
+                level_span = profiler.begin("stage", f"chain_down L{depth}")
             # One aggregated stage-count vector per level: the frontier
             # nodes all evaluate the same ordered body.
             level_counts = (
@@ -221,6 +249,10 @@ class BufferedChainEvaluator:
                         calls[child_key] = child
                         next_frontier.append(child)
                     child.parents.append((node.key, {**solution, **buffered}))
+            if profiler is not None:
+                profiler.end(
+                    level_span, seeds=len(frontier), spawned=len(next_frontier)
+                )
             if tracer is not None:
                 tracer.body_evaluated(
                     "chain_down",
@@ -234,6 +266,8 @@ class BufferedChainEvaluator:
             frontier = next_frontier
 
         # ---- exit phase -------------------------------------------------
+        if profiler is not None:
+            exit_span = profiler.begin("stage", "chain_exit")
         changed: List[_CallNode] = []
         for node in calls.values():
             for row in self._exit_rows(node, counters):
@@ -241,12 +275,18 @@ class BufferedChainEvaluator:
                     node.results.add(row)
             if node.results:
                 changed.append(node)
+        if profiler is not None:
+            profiler.end(
+                exit_span, calls=len(calls), with_exit_rows=len(changed)
+            )
         if tracer is not None:
             tracer.phase(
                 "chain_exit", calls=len(calls), with_exit_rows=len(changed)
             )
 
         # ---- up phase: propagate results through the delayed portion ---
+        if profiler is not None:
+            up_span = profiler.begin("stage", "chain_up")
         head_names = [a.name for a in head_args]
         pending = list(changed)
         processed_pairs: Set[Tuple[Tuple[object, ...], Tuple[Term, ...]]] = set()
@@ -289,6 +329,12 @@ class BufferedChainEvaluator:
                             parent.results.add(row)
                             counters.derived_tuples += 1
                             pending.append(parent)
+        if profiler is not None:
+            profiler.end(
+                up_span,
+                resumed=resumed_calls,
+                derived=counters.derived_tuples - up_derived_before,
+            )
         if tracer is not None and delayed_order:
             tracer.body_evaluated(
                 "chain_up",

@@ -50,12 +50,15 @@ class CountingEvaluator:
         registry: Optional[BuiltinRegistry] = None,
         max_depth: int = 10_000,
         tracer=None,
+        profiler=None,
     ):
         self.database = database
         self.compiled = compiled
         self.registry = registry if registry is not None else default_registry()
         self.max_depth = max_depth
         self.tracer = tracer
+        # Optional profile.SpanProfiler, same discipline as the tracer.
+        self.profiler = profiler
         chains = compiled.generating_chains()
         if len(chains) < 2:
             raise CountingError(
@@ -71,6 +74,24 @@ class CountingEvaluator:
         if query.predicate != self.compiled.predicate:
             raise CountingError(f"query {query} is not on {self.compiled.predicate}")
         counters = Counters()
+        profiler = self.profiler
+        run_span = (
+            profiler.begin("evaluate", "counting")
+            if profiler is not None
+            else None
+        )
+        try:
+            return self._evaluate(query, counters)
+        finally:
+            if profiler is not None:
+                profiler.end(run_span, derived=counters.derived_tuples)
+
+    def _evaluate(
+        self, query: Literal, counters: Counters
+    ) -> Tuple[Relation, Counters]:
+        profiler = self.profiler
+        if profiler is not None:
+            setup_span = profiler.begin("stage", "count_setup")
         head_args = self.compiled.head_args
         rec_args = self.compiled.rec_args
         if not all(isinstance(a, Var) for a in head_args):
@@ -112,8 +133,16 @@ class CountingEvaluator:
             )
         }
         seen_states: Set[frozenset] = set()
+        if profiler is not None:
+            profiler.end(setup_span)
         while current:
             frontiers.append(current)
+            if profiler is not None:
+                # Opened before the frontier-state cycle check: hashing
+                # the whole frontier is part of this level's work.
+                level_span = profiler.begin(
+                    "stage", f"count_down L{len(frontiers) - 1}"
+                )
             counters.buffered_values += len(current)
             if len(frontiers) > self.max_depth:
                 raise CountingError(
@@ -146,6 +175,12 @@ class CountingEvaluator:
                     )
                     if all(is_ground(v) for v in next_values):
                         next_frontier.add(next_values)
+            if profiler is not None:
+                profiler.end(
+                    level_span,
+                    seeds=len(current),
+                    spawned=len(next_frontier),
+                )
             if tracer is not None:
                 tracer.body_evaluated(
                     "count_down",
@@ -161,6 +196,8 @@ class CountingEvaluator:
         # ---- exit phase: cross the exit rules at each level -----------
         # Answers at level i map the down-chain values to full head
         # tuples of the *innermost* call; the up phase then rewinds.
+        if profiler is not None:
+            exit_span = profiler.begin("stage", "count_exit")
         per_level_exit: List[List[Substitution]] = []
         for level, frontier in enumerate(frontiers):
             level_solutions: List[Substitution] = []
@@ -203,6 +240,12 @@ class CountingEvaluator:
                             )
                         )
             per_level_exit.append(level_solutions)
+        if profiler is not None:
+            profiler.end(
+                exit_span,
+                levels=len(frontiers),
+                exit_solutions=sum(len(s) for s in per_level_exit),
+            )
         if tracer is not None:
             tracer.phase(
                 "count_exit",
@@ -211,6 +254,8 @@ class CountingEvaluator:
             )
 
         # ---- up phase: ascend every remaining chain level by level ----
+        if profiler is not None:
+            up_span = profiler.begin("stage", "count_up")
         up_orders = [
             order_body(
                 up.literals,
@@ -267,6 +312,8 @@ class CountingEvaluator:
                 if unify_sequences(query.args, tuple(row)) is not None:
                     if answers.add(tuple(row)):
                         counters.derived_tuples += 1
+        if profiler is not None:
+            profiler.end(up_span, derived=len(answers))
         if tracer is not None:
             for up, up_order, chain_counts, seed_counter in zip(
                 up_chains, up_orders, up_counts, up_seeds

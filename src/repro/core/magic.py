@@ -313,6 +313,7 @@ class MagicSetsEvaluator:
         chain_split: bool = False,
         supplementary: bool = False,
         tracer=None,
+        profiler=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
@@ -324,6 +325,9 @@ class MagicSetsEvaluator:
         # Optional observe.Tracer, handed down to the semi-naive run
         # over the rewritten program.
         self.tracer = tracer
+        # Optional profile.SpanProfiler: a plan span for the rewrite,
+        # then handed down like the tracer.
+        self.profiler = profiler
 
     def rewrite(self, query: Literal) -> MagicProgram:
         hook = (
@@ -362,7 +366,12 @@ class MagicSetsEvaluator:
         checking, §5).  The answers accumulated up to the abort are
         still returned.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            rewrite_span = profiler.begin("plan", "magic_rewrite")
         magic = self.rewrite(query)
+        if profiler is not None:
+            profiler.end(rewrite_span, rules=len(magic.program))
         scratch = self._scratch(magic)
         if self.tracer is not None:
             self.tracer.phase(
@@ -384,15 +393,19 @@ class MagicSetsEvaluator:
                 return relation is not None and stop_condition(relation)
 
         result = SemiNaiveEvaluator(
-            scratch, self.registry, tracer=self.tracer
+            scratch, self.registry, tracer=self.tracer, profiler=profiler
         ).evaluate(magic.program, stop_condition=seminaive_stop)
         answers_full = result.relation(
             magic.answer_predicate.name, magic.answer_predicate.arity
         )
+        if profiler is not None:
+            filter_span = profiler.begin("stage", "answer_filter")
         answers = Relation(query.name, query.arity)
         for row in answers_full:
             if unify_sequences(query.args, row) is not None:
                 answers.add(row)
+        if profiler is not None:
+            profiler.end(filter_span, answers=len(answers))
         return answers, result.counters, magic
 
     def magic_set_sizes(self, query: Literal) -> Dict[str, int]:

@@ -91,6 +91,7 @@ class PartialChainEvaluator:
         split: Optional[PathSplit] = None,
         max_depth: int = 10_000,
         tracer=None,
+        profiler=None,
     ):
         self.database = database
         self.compiled = compiled
@@ -99,6 +100,8 @@ class PartialChainEvaluator:
         self.max_depth = max_depth
         # Optional observe.Tracer: one descent event per frontier level.
         self.tracer = tracer
+        # Optional profile.SpanProfiler, same discipline as the tracer.
+        self.profiler = profiler
         self._injected_split = split
         chains = compiled.generating_chains()
         if len(chains) != 1:
@@ -119,6 +122,28 @@ class PartialChainEvaluator:
                 f"query {query} is not on {self.compiled.predicate}"
             )
         counters = Counters()
+        profiler = self.profiler
+        run_span = (
+            profiler.begin("evaluate", "partial_chain")
+            if profiler is not None
+            else None
+        )
+        try:
+            return self._evaluate(query, counters)
+        finally:
+            if profiler is not None:
+                profiler.end(
+                    run_span,
+                    derived=counters.derived_tuples,
+                    pruned=counters.pruned_tuples,
+                )
+
+    def _evaluate(
+        self, query: Literal, counters: Counters
+    ) -> Tuple[Relation, Counters]:
+        profiler = self.profiler
+        if profiler is not None:
+            setup_span = profiler.begin("stage", "descent_setup")
         head_args = self.compiled.head_args
         rec_args = self.compiled.rec_args
         rec_literal = self.compiled.recursive_literal
@@ -172,6 +197,8 @@ class PartialChainEvaluator:
         seen: Set[Tuple[object, ...]] = {start.key()}
         tracer = self.tracer
         depth = 0
+        if profiler is not None:
+            profiler.end(setup_span)
         while frontier:
             if depth > self.max_depth:
                 raise PartialEvaluationError(
@@ -180,6 +207,8 @@ class PartialChainEvaluator:
                     "step 4)"
                 )
             depth += 1
+            if profiler is not None:
+                level_span = profiler.begin("stage", f"descent L{depth}")
             level_counts = (
                 [0] * len(evaluable_order) if tracer is not None else None
             )
@@ -254,6 +283,13 @@ class PartialChainEvaluator:
                     if child_key not in seen:
                         seen.add(child_key)
                         next_frontier.append(child)
+            if profiler is not None:
+                profiler.end(
+                    level_span,
+                    seeds=len(frontier),
+                    spawned=len(next_frontier),
+                    pruned=counters.pruned_tuples - pruned_before,
+                )
             if tracer is not None:
                 tracer.body_evaluated(
                     "descent",

@@ -202,6 +202,9 @@ class Planner:
         # split-decision events and every executor hands the tracer to
         # its evaluator.  None keeps the fast path everywhere.
         self.tracer = None
+        # Optional profile.SpanProfiler, same discipline: planning and
+        # execution record spans, executors hand it to their evaluator.
+        self.profiler = None
         self._normalized = NormalizedProgram(database.program, self.registry)
         self._analysis_idb_version = database.idb_version
         # The rectified database shares EDB relations with the original.
@@ -235,7 +238,20 @@ class Planner:
         The first non-comparison goal is the query literal; remaining
         comparison goals become constraints (candidates for pushing).
         """
-        plan = self._plan_inner(query_source)
+        profiler = self.profiler
+        plan_span = (
+            profiler.begin("plan", "plan") if profiler is not None else None
+        )
+        try:
+            plan = self._plan_inner(query_source)
+        except BaseException:
+            if profiler is not None:
+                profiler.end(plan_span)
+            raise
+        if profiler is not None:
+            profiler.end(
+                plan_span, query=str(plan.query), strategy=plan.strategy
+            )
         if self.tracer is not None:
             self.tracer.strategy_chosen(
                 str(plan.query), plan.strategy, plan.recursion_class, plan.notes
@@ -318,8 +334,18 @@ class Planner:
         runner = dispatch.get(plan.strategy)
         if runner is None:
             raise PlanningError(f"no executor for strategy {plan.strategy}")
-        answers, counters = runner(plan)
-        answers = self._apply_residual_constraints(plan, answers, counters)
+        profiler = self.profiler
+        exec_span = (
+            profiler.begin("query", f"execute {plan.strategy}")
+            if profiler is not None
+            else None
+        )
+        try:
+            answers, counters = runner(plan)
+            answers = self._apply_residual_constraints(plan, answers, counters)
+        finally:
+            if profiler is not None:
+                profiler.end(exec_span, strategy=plan.strategy)
         return answers, counters
 
     def answer(self, query_source) -> Relation:
@@ -511,13 +537,19 @@ class Planner:
     # ------------------------------------------------------------------
     def _run_semi_naive(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
         result = SemiNaiveEvaluator(
-            self.database, self.registry, tracer=self.tracer
+            self.database,
+            self.registry,
+            tracer=self.tracer,
+            profiler=self.profiler,
         ).evaluate()
         return self._filter(plan.query, result.relations), result.counters
 
     def _run_magic(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
         evaluator = MagicSetsEvaluator(
-            self.database, self.registry, tracer=self.tracer
+            self.database,
+            self.registry,
+            tracer=self.tracer,
+            profiler=self.profiler,
         )
         answers, counters, _ = evaluator.evaluate(plan.query)
         return answers, counters
@@ -534,6 +566,7 @@ class Planner:
             chain_split=True,
             supplementary=True,
             tracer=self.tracer,
+            profiler=self.profiler,
         )
         answers, counters, _ = evaluator.evaluate(plan.query)
         return answers, counters
@@ -546,6 +579,7 @@ class Planner:
                 self.registry,
                 max_depth=self.max_depth,
                 tracer=self.tracer,
+                profiler=self.profiler,
             )
             return evaluator.evaluate(plan.query)
         except CountingError:
@@ -560,6 +594,7 @@ class Planner:
             split=plan.split_decision.split if plan.split_decision else None,
             max_depth=self.max_depth,
             tracer=self.tracer,
+            profiler=self.profiler,
         )
         return evaluator.evaluate(plan.query)
 
@@ -573,6 +608,7 @@ class Planner:
                 split=plan.split_decision.split if plan.split_decision else None,
                 max_depth=self.max_depth,
                 tracer=self.tracer,
+                profiler=self.profiler,
             )
             return evaluator.evaluate(plan.query)
         except PartialEvaluationError:
@@ -610,15 +646,22 @@ class Planner:
     def _filter(
         self, query: Literal, relations: Dict[Predicate, Relation]
     ) -> Relation:
+        profiler = self.profiler
+        filter_span = (
+            profiler.begin("stage", "answer_filter")
+            if profiler is not None
+            else None
+        )
         answers = Relation(query.name, query.arity)
         source = relations.get(query.predicate)
         if source is None:
             source = self.database.get(query.predicate)
-        if source is None:
-            return answers
-        for row in source:
-            if unify_sequences(query.args, row) is not None:
-                answers.add(row)
+        if source is not None:
+            for row in source:
+                if unify_sequences(query.args, row) is not None:
+                    answers.add(row)
+        if profiler is not None:
+            profiler.end(filter_span, answers=len(answers))
         return answers
 
     def _apply_residual_constraints(

@@ -100,6 +100,7 @@ class _BottomUpEvaluator:
         max_iterations: int = 100_000,
         orderer=None,
         tracer=None,
+        profiler=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
@@ -112,6 +113,10 @@ class _BottomUpEvaluator:
         # path: the evaluation loop only ever pays `is not None`
         # branches for it.
         self.tracer = tracer
+        # Optional profile.SpanProfiler, same discipline: None costs
+        # only `is not None` branches; installed, it times every
+        # fixpoint round and rule-variant body evaluation.
+        self.profiler = profiler
 
     def _order(self, body):
         if self._orderer is not None:
@@ -168,12 +173,28 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         program = program if program is not None else self.database.program
         counters = Counters()
         derived: Dict[Predicate, Relation] = {}
-        for stratum in self._strata(program):
-            stopped = self._evaluate_stratum(
-                program, stratum, derived, counters, stop_condition
-            )
-            if stopped:
-                break
+        profiler = self.profiler
+        run_span = (
+            profiler.begin("evaluate", "semi_naive")
+            if profiler is not None
+            else None
+        )
+        try:
+            for stratum in self._strata(program):
+                stopped = self._evaluate_stratum(
+                    program, stratum, derived, counters, stop_condition
+                )
+                if stopped:
+                    break
+        finally:
+            if profiler is not None:
+                # end() unwinds any round/rule span left open by an
+                # early stop or an evaluation error.
+                profiler.end(
+                    run_span,
+                    derived=counters.derived_tuples,
+                    iterations=counters.iterations,
+                )
         return EvaluationResult(derived, counters)
 
     def _evaluate_stratum(
@@ -184,6 +205,11 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         counters: Counters,
         stop_condition=None,
     ) -> bool:
+        profiler = self.profiler
+        if profiler is not None:
+            # Rule ordering + EDB seeding is real per-stratum work;
+            # attribute it instead of leaving it as container self time.
+            setup_span = profiler.begin("stage", "stratum_setup")
         rules = [r for r in program if r.head.predicate in stratum]
         for predicate in stratum:
             derived.setdefault(predicate, Relation(predicate.name, predicate.arity))
@@ -234,6 +260,8 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         delta_lo: Dict[Predicate, int] = {p: 0 for p in stratum}
         delta_hi: Dict[Predicate, int] = {p: derived[p].mark() for p in stratum}
 
+        if profiler is not None:
+            profiler.end(setup_span, rules=len(rules))
         tracer = self.tracer
         first_round = True
         round_no = 0
@@ -248,6 +276,9 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
                 tracer.round_start(
                     round_no, sorted(str(p) for p in stratum)
                 )
+            if profiler is not None:
+                round_span = profiler.begin("round", f"round {round_no}")
+                round_derived_before = counters.derived_tuples
             for rule in rules:
                 slots = recursive_slots[id(rule)]
                 if not slots:
@@ -296,6 +327,11 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
                 delta_hi[predicate] = mark
             if tracer is not None:
                 tracer.round_end(round_no, delta_sizes)
+            if profiler is not None:
+                profiler.end(
+                    round_span,
+                    derived=counters.derived_tuples - round_derived_before,
+                )
             if not progressed:
                 return False
 
@@ -313,14 +349,18 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         """Run one rule variant, appending new heads; True = stop."""
         target = derived[rule.head.predicate]
         tracer = self.tracer
-        if tracer is not None:
+        profiler = self.profiler
+        if tracer is not None or profiler is not None:
             # Per-tuple work stays branch-free with the tracer on: the
             # derived/duplicate deltas come from counter snapshots.
-            stage_counts = [0] * len(ordered_body)
             before_derived = counters.derived_tuples
             before_duplicate = counters.duplicate_tuples
+        if tracer is not None:
+            stage_counts = [0] * len(ordered_body)
         else:
             stage_counts = None
+        if profiler is not None:
+            rule_span = profiler.begin("rule", str(rule))
         stopped = False
         for subst in evaluate_body(
             ordered_body, lookup, self.registry, {}, counters,
@@ -334,6 +374,14 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
                     break
             else:
                 counters.duplicate_tuples += 1
+        if profiler is not None:
+            profiler.end(
+                rule_span,
+                predicate=str(rule.head.predicate),
+                slot=slot,
+                derived=counters.derived_tuples - before_derived,
+                duplicates=counters.duplicate_tuples - before_duplicate,
+            )
         if tracer is not None:
             tracer.body_evaluated(
                 "rule",

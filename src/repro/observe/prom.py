@@ -16,7 +16,7 @@ zero-dependency footprint.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["prometheus_text"]
 
@@ -71,27 +71,50 @@ class _Writer:
         return "\n".join(self.lines) + "\n"
 
 
-def _histogram(
-    writer: _Writer, name: str, help_text: str, hist: Dict[str, object]
+def _histogram_family(
+    writer: _Writer,
+    name: str,
+    help_text: str,
+    series: List[Tuple[Optional[Dict[str, str]], Dict[str, object]]],
 ) -> None:
-    """One histogram (cumulative le-buckets + _sum/_count) followed by
-    quantile gauges under ``<name>_quantile``."""
+    """A histogram family (cumulative le-buckets + _sum/_count per
+    labelled series, grouped under one header) followed by one gauge
+    family of interpolated quantiles under ``<name>_quantile``.
+
+    ``series`` pairs a label dict (or None for an unlabelled single
+    series) with a :meth:`LatencyHistogram.as_dict` snapshot.  All
+    samples of each family stay contiguous, as the exposition format
+    requires.
+    """
     full = writer.header(name, help_text, "histogram")
-    for bucket in hist["buckets"]:
-        writer.sample(
-            f"{full}_bucket", bucket["count"], {"le": _fmt(bucket["le"])}
-        )
-    writer.sample(f"{full}_sum", float(hist["sum_ms"]) / 1e3)
-    writer.sample(f"{full}_count", hist["count"])
+    for labels, hist in series:
+        base = dict(labels) if labels else {}
+        for bucket in hist["buckets"]:
+            writer.sample(
+                f"{full}_bucket",
+                bucket["count"],
+                {**base, "le": _fmt(bucket["le"])},
+            )
+        writer.sample(f"{full}_sum", float(hist["sum_ms"]) / 1e3, labels)
+        writer.sample(f"{full}_count", hist["count"], labels)
     quantile_full = writer.header(
         f"{name.rsplit('_seconds', 1)[0]}_quantile_seconds",
         f"{help_text} (interpolated quantiles)",
         "gauge",
     )
-    for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
-        writer.sample(
-            quantile_full, float(hist[key]) / 1e3, {"quantile": q}
-        )
+    for labels, hist in series:
+        base = dict(labels) if labels else {}
+        for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+            writer.sample(
+                quantile_full, float(hist[key]) / 1e3, {**base, "quantile": q}
+            )
+
+
+def _histogram(
+    writer: _Writer, name: str, help_text: str, hist: Dict[str, object]
+) -> None:
+    """One unlabelled histogram + its quantile gauges."""
+    _histogram_family(writer, name, help_text, [(None, hist)])
 
 
 def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
@@ -134,6 +157,23 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
             "evaluated_query_latency_seconds",
             "Latency of queries that missed the result cache and evaluated.",
             hist,
+        )
+    verb_latency = stats.get("verb_latency") or {}
+    if verb_latency:
+        _histogram_family(
+            w,
+            "request_latency_seconds",
+            "Request latency per verb (QUERY/PLAN/FACT).",
+            [
+                ({"verb": verb}, hist)
+                for verb, hist in sorted(verb_latency.items())
+            ],
+        )
+    if "slow_queries" in stats:
+        w.counter(
+            "slow_queries_total",
+            "Queries that exceeded the slow_query_ms threshold.",
+            stats.get("slow_queries", 0),
         )
 
     engine = stats.get("engine") or {}

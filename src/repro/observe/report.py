@@ -91,13 +91,16 @@ def build_report(
     plan=None,
     cost_model=None,
     counters=None,
+    profile=None,
 ) -> Dict[str, object]:
     """Assemble the JSON-serializable EXPLAIN report from a trace.
 
     ``plan`` (a :class:`~repro.core.planner.QueryPlan`) supplies the
     strategy and the chain-split decision to check; ``cost_model``
     supplies predicted expansion ratios for observed adornments that no
-    recorded decision covers.
+    recorded decision covers; ``profile`` (a
+    :func:`~repro.profile.profile_report` dict) adds wall-clock
+    attribution next to the count-based tables.
     """
     events = tracer.events()
 
@@ -149,6 +152,14 @@ def build_report(
         report["plan"] = plan.explain()
     if counters is not None:
         report["counters"] = counters.as_dict()
+    if profile is not None:
+        report["profile"] = profile
+        # EXPLAIN output should always carry timing: the profiler's
+        # measured wall is available even when the caller did not time
+        # the request itself.
+        report.setdefault("elapsed_ms", profile.get("wall_ms"))
+        if profile.get("tuples_per_sec") is not None:
+            report["tuples_per_sec"] = profile["tuples_per_sec"]
     return report
 
 
@@ -225,14 +236,14 @@ def render_report(report: Dict[str, object]) -> str:
             f"strategy:  {report['strategy']} ({report.get('recursion_class')})"
         )
     if "answers" in report:
-        lines.append(
-            f"answers:   {report['answers']}"
-            + (
-                f"   elapsed: {report['elapsed_ms']:.2f}ms"
-                if "elapsed_ms" in report
-                else ""
-            )
-        )
+        elapsed = report.get("elapsed_ms")
+        line = f"answers:   {report['answers']}"
+        if elapsed is not None:
+            line += f"   elapsed: {elapsed:.2f}ms"
+        derived = (report.get("counters") or {}).get("derived_tuples")
+        if derived and elapsed:
+            line += f"   ({derived / (elapsed / 1e3):,.0f} derived tuples/s)"
+        lines.append(line)
     rounds = report.get("rounds") or []
     if rounds:
         lines.append("rounds:")
@@ -276,6 +287,11 @@ def render_report(report: Dict[str, object]) -> str:
             if check.get("disagreement")
             else "no split/follow disagreement observed"
         )
+    profile = report.get("profile")
+    if profile:
+        from ..profile import render_profile
+
+        lines.append(render_profile(profile))
     dropped = (report.get("events") or {}).get("dropped", 0)
     if dropped:
         lines.append(f"(ring buffer dropped {dropped} oldest events)")

@@ -1,0 +1,242 @@
+"""Turn a span profile into time-attribution tables and Chrome traces.
+
+Two products:
+
+* :func:`profile_report` — a JSON-serializable dict attributing the
+  measured wall time to named spans: per-(category, name) rows with
+  cumulative and **self** time (duration minus direct children — the
+  quantity that sums to the measured wall across a whole profile),
+  percentage of total, observed tuples/sec for rule spans, and net
+  allocation when memory sampling was on.  ``coverage`` is the
+  fraction of wall time attributed to round/rule/stage/plan spans —
+  the share of the run the profile actually explains (the rest is
+  evaluator scaffolding: ordering, seeding, answer filtering).
+* :func:`chrome_trace` — the same spans as a Chrome-trace / Perfetto
+  JSON object (``traceEvents`` with ``ph: "X"`` complete events, one
+  track per thread).  Load it at https://ui.perfetto.dev or
+  ``chrome://tracing`` for flamegraph inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .spans import Span, SpanProfiler
+
+__all__ = ["profile_report", "render_profile", "chrome_trace"]
+
+#: Categories whose self time counts as *attributed* (explained) work.
+#: ``evaluate``/``query`` spans are containers: their self time is the
+#: scaffolding the profile does not break down further.
+ATTRIBUTED_CATS = frozenset({"round", "rule", "stage", "plan"})
+
+
+def _derived(span: Span) -> int:
+    """The span's derived-tuple count; 0 for absent or non-numeric
+    ``derived`` meta (callers may attach richer shapes)."""
+    value = span.meta.get("derived")
+    return value if isinstance(value, int) else 0
+
+
+def _self_times(spans: Sequence[Span]) -> Dict[int, int]:
+    """Self time per span seq: duration minus direct children."""
+    child_total: Dict[int, int] = {}
+    for span in spans:
+        if span.parent is not None:
+            child_total[span.parent] = (
+                child_total.get(span.parent, 0) + span.duration_ns
+            )
+    return {
+        s.seq: s.duration_ns - child_total.get(s.seq, 0) for s in spans
+    }
+
+
+def profile_report(
+    profiler: SpanProfiler, counters=None
+) -> Dict[str, object]:
+    """Aggregate a profile into per-name and per-predicate tables."""
+    spans = profiler.spans()
+    wall_ns = sum(s.duration_ns for s in spans if s.parent is None)
+    self_ns = _self_times(spans)
+
+    by_name: Dict[tuple, Dict[str, object]] = {}
+    by_predicate: Dict[str, Dict[str, object]] = {}
+    attributed_ns = 0
+    memory = any(s.alloc_bytes is not None for s in spans)
+    for span in spans:
+        own = self_ns[span.seq]
+        if span.cat in ATTRIBUTED_CATS:
+            attributed_ns += own
+        key = (span.cat, span.name)
+        row = by_name.get(key)
+        if row is None:
+            row = by_name[key] = {
+                "cat": span.cat,
+                "name": span.name,
+                "count": 0,
+                "total_ns": 0,
+                "self_ns": 0,
+                "derived": 0,
+            }
+            if memory:
+                row["alloc_bytes"] = 0
+        row["count"] += 1
+        row["total_ns"] += span.duration_ns
+        row["self_ns"] += own
+        row["derived"] += _derived(span)
+        if memory and span.alloc_bytes is not None:
+            row["alloc_bytes"] += span.alloc_bytes
+        predicate = span.meta.get("predicate")
+        if span.cat == "rule" and predicate:
+            agg = by_predicate.get(predicate)
+            if agg is None:
+                agg = by_predicate[predicate] = {
+                    "predicate": predicate,
+                    "count": 0,
+                    "total_ns": 0,
+                    "self_ns": 0,
+                    "derived": 0,
+                }
+            agg["count"] += 1
+            agg["total_ns"] += span.duration_ns
+            agg["self_ns"] += own
+            agg["derived"] += _derived(span)
+
+    def finish(row: Dict[str, object]) -> Dict[str, object]:
+        total_ns = row.pop("total_ns")
+        own_ns = row.pop("self_ns")
+        row["total_ms"] = total_ns / 1e6
+        row["self_ms"] = own_ns / 1e6
+        row["self_pct"] = 100.0 * own_ns / wall_ns if wall_ns else 0.0
+        derived = row.get("derived", 0)
+        row["tuples_per_sec"] = (
+            derived / (total_ns / 1e9) if derived and total_ns else None
+        )
+        return row
+
+    rows = sorted(
+        (finish(row) for row in by_name.values()),
+        key=lambda r: -r["self_ms"],
+    )
+    predicates = sorted(
+        (finish(row) for row in by_predicate.values()),
+        key=lambda r: -r["total_ms"],
+    )
+    report: Dict[str, object] = {
+        "wall_ms": wall_ns / 1e6,
+        "spans": len(spans),
+        "dropped": profiler.dropped,
+        "memory": memory,
+        "coverage": attributed_ns / wall_ns if wall_ns else 0.0,
+        "rows": rows,
+        "predicates": predicates,
+    }
+    if counters is not None:
+        derived = counters.derived_tuples
+        report["derived_tuples"] = derived
+        report["tuples_per_sec"] = (
+            derived / (wall_ns / 1e9) if wall_ns and derived else None
+        )
+    return report
+
+
+def _ms(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def render_profile(report: Dict[str, object], limit: int = 20) -> str:
+    """The profile report as the text table the CLI and REPL print."""
+    lines: List[str] = []
+    coverage = 100.0 * float(report.get("coverage", 0.0))
+    header = (
+        f"profile: wall {report['wall_ms']:.2f}ms over {report['spans']} "
+        f"spans ({coverage:.1f}% attributed)"
+    )
+    if report.get("dropped"):
+        header += f" [{report['dropped']} spans dropped]"
+    lines.append(header)
+    memory = bool(report.get("memory"))
+    alloc_col = f" {'alloc':>10}" if memory else ""
+    lines.append(
+        f"  {'span':<44} {'count':>6} {'total ms':>9} {'self ms':>8} "
+        f"{'self %':>6} {'tuples/s':>10}{alloc_col}"
+    )
+    for row in report["rows"][:limit]:
+        name = f"{row['cat']}:{row['name']}"
+        if len(name) > 44:
+            name = name[:41] + "..."
+        tps = row.get("tuples_per_sec")
+        alloc = ""
+        if memory:
+            alloc = f" {row.get('alloc_bytes', 0):>10}"
+        lines.append(
+            f"  {name:<44} {row['count']:>6} {_ms(row['total_ms']):>9} "
+            f"{_ms(row['self_ms']):>8} {row['self_pct']:>6.1f} "
+            f"{(f'{tps:,.0f}' if tps else '-'):>10}{alloc}"
+        )
+    hidden = len(report["rows"]) - limit
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more span name(s)")
+    predicates = report.get("predicates") or []
+    if predicates:
+        lines.append("per-predicate rule time:")
+        for row in predicates:
+            tps = row.get("tuples_per_sec")
+            lines.append(
+                f"  {row['predicate']:<34} {row['count']:>6} firings "
+                f"{_ms(row['total_ms']):>9}ms  +{row['derived']} tuples"
+                + (f"  ({tps:,.0f} tuples/s)" if tps else "")
+            )
+    if report.get("tuples_per_sec"):
+        lines.append(
+            f"throughput: {report['tuples_per_sec']:,.0f} derived tuples/s "
+            f"({report.get('derived_tuples', 0)} tuples / "
+            f"{report['wall_ms']:.2f}ms)"
+        )
+    return "\n".join(lines)
+
+
+def chrome_trace(
+    profiler: SpanProfiler, process_name: str = "repro"
+) -> Dict[str, object]:
+    """The profile as a Chrome-trace / Perfetto ``traceEvents`` object.
+
+    Every span becomes a complete (``ph: "X"``) event with
+    microsecond ``ts``/``dur``; threads map to tracks.  The returned
+    dict serializes with ``json.dumps(..., allow_nan=False)`` and loads
+    directly in https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in profiler.spans():
+        args: Dict[str, object] = dict(span.meta)
+        if span.alloc_bytes is not None:
+            args["alloc_bytes"] = span.alloc_bytes
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start_ns / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": 1,
+                "tid": span.thread,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.profile",
+            "started_at": profiler.started_at,
+            "dropped_spans": profiler.dropped,
+        },
+    }

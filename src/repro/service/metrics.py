@@ -154,6 +154,13 @@ class ServiceMetrics:
         #: for queries that actually evaluated.
         self.latency_histogram = LatencyHistogram()
         self.evaluated_latency_histogram = LatencyHistogram()
+        #: Request latency per verb (QUERY/PLAN/FACT), so a flood of
+        #: cheap FACT inserts cannot hide a QUERY tail — exported as
+        #: one labelled Prometheus histogram family.
+        self.verb_latency: Dict[str, LatencyHistogram] = {}
+        #: Queries that tripped the session's ``slow_query_ms``
+        #: threshold and were retained in the slow-query log.
+        self.slow_queries = 0
         #: Engine work counters summed over all evaluated queries.
         self.engine_counters = Counters()
 
@@ -189,6 +196,18 @@ class ServiceMetrics:
                     self.plan_cache_misses += 1
                 if counters is not None:
                     self.engine_counters.merge(counters)
+
+    def record_verb(self, verb: str, seconds: float) -> None:
+        """Account one request's latency under its verb label."""
+        with self._lock:
+            hist = self.verb_latency.get(verb)
+            if hist is None:
+                hist = self.verb_latency[verb] = LatencyHistogram()
+            hist.record(seconds)
+
+    def record_slow_query(self) -> None:
+        with self._lock:
+            self.slow_queries += 1
 
     def record_plan(self, cached: bool) -> None:
         """Account a plan-only request (``PLAN`` verb, ``:plan``)."""
@@ -241,6 +260,11 @@ class ServiceMetrics:
                 "evaluated_latency_histogram": (
                     self.evaluated_latency_histogram.as_dict()
                 ),
+                "verb_latency": {
+                    verb: hist.as_dict()
+                    for verb, hist in sorted(self.verb_latency.items())
+                },
+                "slow_queries": self.slow_queries,
                 "engine": self.engine_counters.as_dict(),
             }
 
@@ -256,6 +280,8 @@ class ServiceMetrics:
             self.evaluated_latency = LatencyStats()
             self.latency_histogram = LatencyHistogram()
             self.evaluated_latency_histogram = LatencyHistogram()
+            self.verb_latency = {}
+            self.slow_queries = 0
             self.engine_counters = Counters()
 
     def __repr__(self) -> str:

@@ -22,12 +22,23 @@ TRACE     a query (optional)          with an argument: alias of EXPLAIN;
                                       without: the last EXPLAIN report
 METRICS   —                           ``body``: the metrics in Prometheus
                                       text exposition format
+PROFILE   a query                     evaluate with span profiling on; the
+                                      per-rule/per-stage wall-clock
+                                      attribution report
+SLOWLOG   ``CLEAR`` (optional)        retained slow-query entries (span
+                                      profile attached), most recent
+                                      first; ``CLEAR`` drops them
+HEALTH    —                           liveness/pressure summary (uptime,
+                                      error/timeout/slow-query counts,
+                                      cache and database state)
 ========  ==========================  =======================================
 
-A raw ``GET /metrics`` HTTP request line on the same port is answered
-with a minimal ``HTTP/1.0`` response carrying the Prometheus text page
-(connection closed afterwards) — so the TCP port doubles as a scrape
-target for ``curl``/Prometheus without a separate HTTP server.
+Raw HTTP ``GET`` request lines on the same port are answered with a
+minimal ``HTTP/1.0`` response (connection closed afterwards):
+``/metrics`` carries the Prometheus text page, ``/healthz`` the HEALTH
+summary as JSON, ``/slowlog`` the slow-query log as JSON — so the TCP
+port doubles as a scrape/probe target for ``curl``/Prometheus without
+a separate HTTP server.
 
 Every reply is ``{"ok": true, "verb": ..., ...}`` or
 ``{"ok": false, "verb": ..., "error": {"type": ..., "message": ...}}`` —
@@ -83,23 +94,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not raw:
                 return
-            if raw.startswith(b"GET /metrics"):
-                # One-shot HTTP scrape on the line-protocol port:
-                # minimal HTTP/1.0 response, then close.
-                body = self.server.query_server.session.metrics_text().encode(
-                    "utf-8"
-                )
-                try:
-                    self.wfile.write(
-                        b"HTTP/1.0 200 OK\r\n"
-                        b"Content-Type: text/plain; version=0.0.4; "
-                        b"charset=utf-8\r\n"
-                        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-                        b"Connection: close\r\n\r\n" + body
-                    )
-                    self.wfile.flush()
-                except (ConnectionError, OSError):
-                    pass
+            if raw.startswith(b"GET "):
+                # One-shot HTTP request on the line-protocol port:
+                # minimal HTTP/1.0 response, then close.  /metrics is
+                # the Prometheus scrape; /healthz and /slowlog serve
+                # the probes next to it.
+                self._handle_http(raw)
                 return
             if len(raw) > MAX_LINE_BYTES:
                 # readline() returned a *partial* line; drain the rest
@@ -122,6 +122,42 @@ class _Handler(socketserver.StreamRequestHandler):
                 self.wfile.flush()
             except (ConnectionError, OSError):
                 return
+
+    def _handle_http(self, raw: bytes) -> None:
+        session = self.server.query_server.session
+        try:
+            path = raw.split()[1].decode("ascii", errors="replace")
+        except IndexError:
+            path = "/"
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            status = b"200 OK"
+            content_type = b"text/plain; version=0.0.4; charset=utf-8"
+            body = session.metrics_text().encode("utf-8")
+        elif path == "/healthz":
+            status = b"200 OK"
+            content_type = b"application/json; charset=utf-8"
+            body = json.dumps(session.health()).encode("utf-8")
+        elif path == "/slowlog":
+            status = b"200 OK"
+            content_type = b"application/json; charset=utf-8"
+            body = json.dumps(session.slowlog()).encode("utf-8")
+        else:
+            status = b"404 Not Found"
+            content_type = b"text/plain; charset=utf-8"
+            body = (
+                f"no route {path}; try /metrics, /healthz or /slowlog\n"
+            ).encode("utf-8")
+        try:
+            self.wfile.write(
+                b"HTTP/1.0 " + status + b"\r\n"
+                b"Content-Type: " + content_type + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            self.wfile.flush()
+        except (ConnectionError, OSError):
+            pass
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -210,11 +246,15 @@ class QueryServer:
             "EXPLAIN": self._do_explain,
             "TRACE": self._do_trace,
             "METRICS": self._do_metrics,
+            "PROFILE": self._do_profile,
+            "SLOWLOG": self._do_slowlog,
+            "HEALTH": self._do_health,
         }.get(verb)
         if handler is None:
             return _error_envelope(
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
-                "expected QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE or METRICS"
+                "expected QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, "
+                "METRICS, PROFILE, SLOWLOG or HEALTH"
             )
         try:
             return handler(argument)
@@ -319,6 +359,30 @@ class QueryServer:
             "body": self.session.metrics_text(),
         }
 
+    def _do_profile(self, argument: str) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "PROFILE", "ProtocolError", "PROFILE needs a query"
+            )
+        source = self._strip(argument)
+        future = self._pool.submit(self.session.profile, source, self.max_depth)
+        report = future.result(timeout=self.timeout)
+        return {"ok": True, "verb": "PROFILE", "profile": report}
+
+    def _do_slowlog(self, argument: str) -> Dict[str, object]:
+        if argument.upper() == "CLEAR":
+            dropped = self.session.clear_slowlog()
+            return {"ok": True, "verb": "SLOWLOG", "cleared": dropped}
+        return {
+            "ok": True,
+            "verb": "SLOWLOG",
+            "threshold_ms": self.session.slow_query_ms,
+            "entries": self.session.slowlog(),
+        }
+
+    def _do_health(self, argument: str) -> Dict[str, object]:
+        return {"ok": True, "verb": "HEALTH", "health": self.session.health()}
+
 
 def serve(
     database: Database,
@@ -326,10 +390,15 @@ def serve(
     port: int = 8473,
     timeout: Optional[float] = None,
     max_depth: Optional[int] = None,
+    slow_query_ms: Optional[float] = None,
+    slowlog_size: int = 8,
 ) -> QueryServer:
     """Convenience: session + server, already listening (foreground
     serving is the caller's ``serve_forever()`` call)."""
     return QueryServer(
-        QuerySession(database), host=host, port=port,
+        QuerySession(
+            database, slow_query_ms=slow_query_ms, slowlog_size=slowlog_size
+        ),
+        host=host, port=port,
         timeout=timeout, max_depth=max_depth,
     )

@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.cost import CostModel
 from ..core.planner import Planner, QueryPlan, plan_cache_key
@@ -45,6 +46,7 @@ from ..engine.builtins import BuiltinRegistry
 from ..engine.counters import Counters
 from ..engine.database import Database
 from ..observe import EngineTracer, build_report, prometheus_text
+from ..profile import SpanProfiler, chrome_trace, profile_report
 from .metrics import ServiceMetrics
 
 __all__ = ["QueryResult", "QuerySession"]
@@ -88,6 +90,8 @@ class QuerySession:
         max_depth: int = 10_000,
         result_cache_size: int = 256,
         metrics: Optional[ServiceMetrics] = None,
+        slow_query_ms: Optional[float] = None,
+        slowlog_size: int = 8,
     ):
         self.database = database
         self.planner = Planner(
@@ -95,6 +99,16 @@ class QuerySession:
         )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.result_cache_size = result_cache_size
+        #: Slow-query forensics: with a threshold set, every evaluated
+        #: (cache-miss) query runs under a span profiler, and queries
+        #: at or over ``slow_query_ms`` land in a bounded ring of
+        #: slowlog entries with their full span profile attached.
+        #: None (the default) keeps evaluation profiler-free.
+        self.slow_query_ms = slow_query_ms
+        self._slowlog: Deque[Dict[str, object]] = deque(
+            maxlen=max(1, slowlog_size)
+        )
+        self.started_at = time.time()
         self._lock = threading.RLock()
         self._plan_cache: Dict[object, QueryPlan] = {}
         # LRU: key -> (plan, rows); dict preserves insertion order and
@@ -106,6 +120,8 @@ class QuerySession:
         self._seen_version = database.version
         #: Report of the most recent explain() call (TRACE verb).
         self._last_trace: Optional[Dict[str, object]] = None
+        #: Report of the most recent profile() call (``--profile-json``).
+        self._last_profile: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Cache coherence
@@ -157,11 +173,13 @@ class QuerySession:
 
     def plan(self, query_source) -> Tuple[QueryPlan, bool]:
         """The plan for a query and whether it came from the cache."""
+        start = time.perf_counter()
         with self._lock:
             self._sync()
             query, constraints = self._parse(query_source)
             plan, cached = self._plan_locked(query, constraints)
             self.metrics.record_plan(cached)
+            self.metrics.record_verb("PLAN", time.perf_counter() - start)
             return plan, cached
 
     def _plan_locked(
@@ -199,16 +217,26 @@ class QuerySession:
                 self.metrics.record_query(
                     plan.strategy, elapsed, plan_cached=True, result_cached=True
                 )
+                self.metrics.record_verb("QUERY", elapsed)
                 return QueryResult(plan, list(rows), elapsed, True, True)
 
-            plan, plan_cached = self._plan_locked(query, constraints)
+            # Slow-query forensics: profile every evaluated query so an
+            # offender's span breakdown is already in hand when the
+            # threshold trips — a retrospective re-run would not
+            # reproduce cold caches.
+            profiler = (
+                SpanProfiler() if self.slow_query_ms is not None else None
+            )
+            self.planner.profiler = profiler
             saved_depth = self.planner.max_depth
             if max_depth is not None:
                 self.planner.max_depth = max_depth
             try:
+                plan, plan_cached = self._plan_locked(query, constraints)
                 answers, counters = self.planner.execute(plan)
             finally:
                 self.planner.max_depth = saved_depth
+                self.planner.profiler = None
             rows = sorted(answers.rows(), key=str)
             self._result_cache[result_key] = (plan, rows)
             while len(self._result_cache) > self.result_cache_size:
@@ -222,7 +250,43 @@ class QuerySession:
                 result_cached=False,
                 counters=counters,
             )
+            self.metrics.record_verb("QUERY", elapsed)
+            if (
+                profiler is not None
+                and elapsed * 1e3 >= self.slow_query_ms
+            ):
+                self._retain_slow(
+                    query, plan, plan_cached, rows, elapsed, counters, profiler
+                )
             return QueryResult(plan, list(rows), elapsed, plan_cached, False, counters)
+
+    def _retain_slow(
+        self,
+        query: Literal,
+        plan: QueryPlan,
+        plan_cached: bool,
+        rows: List[Tuple[Term, ...]],
+        elapsed: float,
+        counters: Counters,
+        profiler: SpanProfiler,
+    ) -> None:
+        """Append one slowlog entry (lock held by the caller)."""
+        entry: Dict[str, object] = {
+            "at": time.time(),
+            "query": str(query),
+            "strategy": plan.strategy,
+            "elapsed_ms": elapsed * 1e3,
+            "threshold_ms": self.slow_query_ms,
+            "answers": len(rows),
+            "plan_cached": plan_cached,
+            "counters": counters.as_dict(),
+            "profile": profile_report(profiler, counters),
+            "chrome_trace": chrome_trace(
+                profiler, process_name=f"repro slow: {query}"
+            ),
+        }
+        self._slowlog.append(entry)
+        self.metrics.record_slow_query()
 
     def explain(
         self, query_source, max_depth: Optional[int] = None
@@ -243,7 +307,9 @@ class QuerySession:
             self._sync()
             query, constraints = self._parse(query_source)
             tracer = EngineTracer()
+            profiler = SpanProfiler()
             self.planner.tracer = tracer
+            self.planner.profiler = profiler
             try:
                 plan, plan_cached = self._plan_locked(query, constraints)
                 saved_depth = self.planner.max_depth
@@ -255,6 +321,7 @@ class QuerySession:
                     self.planner.max_depth = saved_depth
             finally:
                 self.planner.tracer = None
+                self.planner.profiler = None
             rows = sorted(answers.rows(), key=str)
             result_key = (str(query), tuple(str(c) for c in constraints))
             self._result_cache[result_key] = (plan, rows)
@@ -269,11 +336,13 @@ class QuerySession:
                 result_cached=False,
                 counters=counters,
             )
+            self.metrics.record_verb("QUERY", elapsed)
             report = build_report(
                 tracer,
                 plan=plan,
                 cost_model=self.planner.cost_model,
                 counters=counters,
+                profile=profile_report(profiler, counters),
             )
             report["query"] = str(query)
             report["predicate"] = str(query.predicate)
@@ -286,11 +355,122 @@ class QuerySession:
             self._last_trace = report
             return report
 
+    def profile(
+        self,
+        query_source,
+        max_depth: Optional[int] = None,
+        memory: bool = False,
+        include_trace: bool = False,
+    ) -> Dict[str, object]:
+        """Answer a query with span profiling on; the attribution report.
+
+        Like :meth:`explain` but with the profiler instead of the
+        tracer: the result cache is bypassed (the answer still lands in
+        it), and the report is :func:`~repro.profile.profile_report`
+        plus query/strategy/answer fields.  ``memory=True`` adds
+        tracemalloc net-allocation sampling; ``include_trace=True``
+        embeds the Chrome-trace JSON under ``"chrome_trace"``.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            profiler = SpanProfiler(memory=memory)
+            self.planner.profiler = profiler
+            try:
+                plan, plan_cached = self._plan_locked(query, constraints)
+                saved_depth = self.planner.max_depth
+                if max_depth is not None:
+                    self.planner.max_depth = max_depth
+                try:
+                    answers, counters = self.planner.execute(plan)
+                finally:
+                    self.planner.max_depth = saved_depth
+            finally:
+                self.planner.profiler = None
+                profiler.close()
+            rows = sorted(answers.rows(), key=str)
+            result_key = (str(query), tuple(str(c) for c in constraints))
+            self._result_cache[result_key] = (plan, rows)
+            while len(self._result_cache) > self.result_cache_size:
+                oldest = next(iter(self._result_cache))
+                del self._result_cache[oldest]
+            elapsed = time.perf_counter() - start
+            self.metrics.record_query(
+                plan.strategy,
+                elapsed,
+                plan_cached=plan_cached,
+                result_cached=False,
+                counters=counters,
+            )
+            self.metrics.record_verb("QUERY", elapsed)
+            report = profile_report(profiler, counters)
+            report["query"] = str(query)
+            report["predicate"] = str(query.predicate)
+            report["strategy"] = plan.strategy
+            report["answers"] = len(rows)
+            report["elapsed_ms"] = elapsed * 1e3
+            report["plan_cached"] = plan_cached
+            if include_trace:
+                report["chrome_trace"] = chrome_trace(
+                    profiler, process_name=f"repro: {query}"
+                )
+            self._last_profile = report
+            return report
+
+    # ------------------------------------------------------------------
+    # Slow-query log / health
+    # ------------------------------------------------------------------
+    def slowlog(self) -> List[Dict[str, object]]:
+        """Retained slow-query entries, most recent first."""
+        with self._lock:
+            return [dict(entry) for entry in reversed(self._slowlog)]
+
+    def clear_slowlog(self) -> int:
+        """Drop all retained entries; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._slowlog)
+            self._slowlog.clear()
+            return dropped
+
+    def health(self) -> Dict[str, object]:
+        """A cheap liveness/pressure summary (the ``/healthz`` body)."""
+        snap = self.metrics.snapshot()
+        with self._lock:
+            slowlog_len = len(self._slowlog)
+            caches = {
+                "plan_cache": len(self._plan_cache),
+                "result_cache": len(self._result_cache),
+            }
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "queries": snap["queries"],
+            "errors": snap["errors"],
+            "timeouts": snap["timeouts"],
+            "slow_queries": snap["slow_queries"],
+            "slow_query_ms": self.slow_query_ms,
+            "slowlog": slowlog_len,
+            "caches": caches,
+            "database": {
+                "edb_version": self.database.edb_version,
+                "idb_version": self.database.idb_version,
+                "facts": self.database.total_facts(),
+                "rules": len(self.database.program),
+            },
+        }
+
     @property
     def last_trace(self) -> Optional[Dict[str, object]]:
         """The report of the most recent :meth:`explain`, if any."""
         with self._lock:
             return self._last_trace
+
+    @property
+    def last_profile(self) -> Optional[Dict[str, object]]:
+        """The report of the most recent :meth:`profile`, if any."""
+        with self._lock:
+            return self._last_profile
 
     def metrics_text(self) -> str:
         """The session's metrics in Prometheus text exposition format."""
@@ -314,16 +494,23 @@ class QuerySession:
     # invalidate at the next request — but not safe while another
     # thread is evaluating.
     def add_fact(self, name: str, values: Sequence[object]) -> bool:
+        start = time.perf_counter()
         with self._lock:
-            return self.database.add_fact(name, values)
+            added = self.database.add_fact(name, values)
+        self.metrics.record_verb("FACT", time.perf_counter() - start)
+        return added
 
     def add_rule(self, rule: Rule) -> None:
+        start = time.perf_counter()
         with self._lock:
             self.database.add_rule(rule)
+        self.metrics.record_verb("FACT", time.perf_counter() - start)
 
     def load_source(self, source: str) -> None:
+        start = time.perf_counter()
         with self._lock:
             self.database.load_source(source)
+        self.metrics.record_verb("FACT", time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Introspection

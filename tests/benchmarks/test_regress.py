@@ -1,0 +1,179 @@
+"""The benchmark regression gate, unit-tested on doctored reports.
+
+:func:`benchmarks.regress.compare` is pure (no timing, no I/O), so the
+gate's detection logic is tested directly: identical reports pass, an
+injected 2x current-engine slowdown fails, a uniformly 3x-slower
+machine is calibrated away, and any count-metric drift is flagged
+regardless of wall clock.  The committed ``BENCH_engine.json`` must
+hold both mode slots the CI gate reads.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.regress import (
+    COUNT_METRICS,
+    baseline_for_mode,
+    compare,
+    render_table,
+    update_baseline,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
+
+
+def make_case(name, wall_ms=10.0, answers=42):
+    engines = {}
+    for engine in ("legacy", "current"):
+        engines[engine] = dict.fromkeys(COUNT_METRICS, 100)
+        engines[engine]["wall_ms"] = wall_ms * (2.0 if engine == "legacy" else 1.0)
+    return {"case": name, "answers": answers, **engines}
+
+
+def make_report(quick=True):
+    return {
+        "benchmark": "engine",
+        "quick": quick,
+        "cases": [make_case("sg"), make_case("scsg", wall_ms=20.0)],
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        baseline = make_report()
+        comparison = compare(copy.deepcopy(baseline), baseline)
+        assert comparison["regressions"] == []
+        assert comparison["calibration"] == 1.0
+        assert all(row["status"] == "ok" for row in comparison["rows"])
+        assert all(row["wall_ratio"] == 1.0 for row in comparison["rows"])
+
+    def test_detects_injected_2x_slowdown(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        # Only the current engine slows down; legacy (the calibration
+        # yardstick) is untouched, so the 2x shows through undiluted.
+        fresh["cases"][0]["current"]["wall_ms"] *= 2.0
+        comparison = compare(fresh, baseline)
+        (regression,) = comparison["regressions"]
+        assert regression.startswith("sg: wall")
+        assert "2.00x" in regression
+        by_case = {row["case"]: row for row in comparison["rows"]}
+        assert by_case["sg"]["status"] == "REGRESSION"
+        assert by_case["scsg"]["status"] == "ok"
+
+    def test_slower_machine_is_calibrated_away(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        # A machine 3x slower across the board: legacy walls scale too,
+        # so calibration absorbs what raw tolerance (1.6x) never could.
+        for case in fresh["cases"]:
+            case["legacy"]["wall_ms"] *= 3.0
+            case["current"]["wall_ms"] *= 3.0
+        comparison = compare(fresh, baseline)
+        assert comparison["calibration"] == 3.0
+        assert comparison["regressions"] == []
+
+    def test_real_slowdown_on_slower_machine_still_caught(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        for case in fresh["cases"]:
+            case["legacy"]["wall_ms"] *= 3.0
+            case["current"]["wall_ms"] *= 3.0
+        fresh["cases"][0]["current"]["wall_ms"] *= 2.0  # genuine 2x on top
+        comparison = compare(fresh, baseline)
+        assert any(r.startswith("sg: wall") for r in comparison["regressions"])
+
+    @pytest.mark.parametrize("metric", COUNT_METRICS)
+    def test_count_drift_is_exact_match(self, metric):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        fresh["cases"][1]["current"][metric] += 1
+        comparison = compare(fresh, baseline)
+        (regression,) = comparison["regressions"]
+        assert regression == f"scsg: {metric} 101 != 100"
+
+    def test_answer_drift_flagged(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        fresh["cases"][0]["answers"] = 41
+        comparison = compare(fresh, baseline)
+        assert "sg: answers 41 != 42" in comparison["regressions"]
+
+    def test_missing_case_flagged(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        del fresh["cases"][0]
+        comparison = compare(fresh, baseline)
+        assert "sg: case missing from fresh run" in comparison["regressions"]
+
+    def test_tolerance_is_configurable(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        fresh["cases"][0]["current"]["wall_ms"] *= 1.3
+        assert compare(fresh, baseline)["regressions"] == []
+        tightened = compare(fresh, baseline, wall_tolerance=1.2)
+        assert tightened["regressions"]
+
+    def test_comparison_is_json_safe(self):
+        comparison = compare(make_report(), make_report())
+        json.dumps(comparison, allow_nan=False)
+
+
+class TestRenderTable:
+    def test_table_carries_status_and_calibration(self):
+        baseline = make_report()
+        fresh = copy.deepcopy(baseline)
+        fresh["cases"][0]["current"]["wall_ms"] *= 2.0
+        text = render_table(compare(fresh, baseline))
+        assert "machine calibration: 1.0x" in text
+        assert "REGRESSION" in text and "ok" in text
+        assert "!! sg: wall" in text
+
+
+class TestBaselineSchema:
+    def test_runs_schema_selects_mode(self):
+        baseline = {
+            "benchmark": "engine",
+            "runs": {"quick": {"cases": [], "quick": True},
+                     "full": {"cases": [], "quick": False}},
+        }
+        assert baseline_for_mode(baseline, quick=True)["quick"] is True
+        assert baseline_for_mode(baseline, quick=False)["quick"] is False
+
+    def test_legacy_flat_schema_accepted_when_mode_matches(self):
+        flat = make_report(quick=True)
+        assert baseline_for_mode(flat, quick=True) is flat
+        assert baseline_for_mode(flat, quick=False) is None
+
+    def test_update_baseline_writes_runs_schema(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        update_baseline(path, quick=True, report=make_report(quick=True))
+        update_baseline(path, quick=False, report=make_report(quick=False))
+        saved = json.loads(path.read_text())
+        assert sorted(saved["runs"]) == ["full", "quick"]
+        assert saved["runs"]["quick"]["quick"] is True
+        # Re-updating one slot preserves the other.
+        update_baseline(path, quick=True, report=make_report(quick=True))
+        assert "full" in json.loads(path.read_text())["runs"]
+
+    def test_update_baseline_migrates_flat_layout(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(make_report(quick=False)))
+        update_baseline(path, quick=True, report=make_report(quick=True))
+        saved = json.loads(path.read_text())
+        assert sorted(saved["runs"]) == ["full", "quick"]
+        assert saved["runs"]["full"]["quick"] is False
+
+    def test_committed_baseline_has_both_modes(self):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        for quick in (True, False):
+            report = baseline_for_mode(baseline, quick)
+            assert report is not None, f"missing {'quick' if quick else 'full'}"
+            assert report["cases"], "baseline mode slot has no cases"
+            for case in report["cases"]:
+                for metric in COUNT_METRICS:
+                    assert metric in case["current"], (case["case"], metric)
+                assert case["current"]["wall_ms"] > 0

@@ -1,0 +1,123 @@
+"""Profiling must not change evaluation, and must explain the wall.
+
+Two contracts from the issue:
+
+* **parity** — work counters and derived relations are bit-identical
+  with the profiler off, on, and memory-sampling, across the planner
+  strategies (sg/counting, scsg/chain-split magic sets) and a
+  nonlinear bottom-up program;
+* **coverage** — on workloads big enough that per-span bookkeeping is
+  noise (width >= 24 sg, levels-5 scsg), at least 95% of the measured
+  wall is attributed to named round/rule/stage/plan spans rather than
+  unexplained scaffolding.
+"""
+
+import pytest
+
+from repro.core.planner import Planner
+from repro.engine.database import Database
+from repro.engine.seminaive import SemiNaiveEvaluator
+from repro.profile import SpanProfiler, profile_report
+from repro.workloads import SCSG, SG, FamilyConfig, family_database
+
+NONLINEAR_SOURCE = """
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), path(Z, Y).
+"""
+
+QUICK_CONFIG = FamilyConfig(
+    levels=4, width=6, parents_per_child=2, countries=2, seed=7
+)
+
+
+def _planner_run(profiler, query, program):
+    db = family_database(QUICK_CONFIG, program=program)
+    planner = Planner(db)
+    planner.profiler = profiler
+    plan = planner.plan(query)
+    answers, counters = planner.execute(plan)
+    return sorted(answers.rows(), key=str), counters.as_dict()
+
+
+def _nonlinear_run(profiler):
+    db = Database()
+    db.load_source(NONLINEAR_SOURCE)
+    for i in range(12):
+        db.add_fact("edge", (f"v{i}", f"v{i + 1}"))
+    result = SemiNaiveEvaluator(db, profiler=profiler).evaluate()
+    return (
+        sorted(result.relation("path", 2).rows(), key=str),
+        result.counters.as_dict(),
+    )
+
+
+def _memory_profiler_run(run, *args):
+    profiler = SpanProfiler(memory=True)
+    try:
+        return run(profiler, *args)
+    finally:
+        profiler.close()
+
+
+class TestParity:
+    @pytest.mark.parametrize(
+        "query,program",
+        [("sg(p0_2, Y)", SG), ("scsg(p0_2, Y)", SCSG)],
+        ids=["sg", "scsg"],
+    )
+    def test_planner_strategies(self, query, program):
+        off = _planner_run(None, query, program)
+        on = _planner_run(SpanProfiler(), query, program)
+        memory = _memory_profiler_run(_planner_run, query, program)
+        assert off == on == memory
+
+    def test_nonlinear_bottom_up(self):
+        off = _nonlinear_run(None)
+        on = _nonlinear_run(SpanProfiler())
+        memory = _memory_profiler_run(_nonlinear_run)
+        assert off == on == memory
+
+    def test_profiler_actually_recorded(self):
+        profiler = SpanProfiler()
+        _planner_run(profiler, "scsg(p0_2, Y)", SCSG)
+        cats = {s.cat for s in profiler.spans()}
+        assert "plan" in cats and "query" in cats
+        assert cats & {"round", "rule", "stage"}
+
+
+class TestCoverage:
+    """>= 95% of the wall attributed to named spans on real workloads."""
+
+    def _bottom_up_coverage(self, config, program):
+        db = family_database(config, program=program)
+        profiler = SpanProfiler()
+        result = SemiNaiveEvaluator(db, profiler=profiler).evaluate()
+        return profile_report(profiler, result.counters)
+
+    def test_sg_coverage(self):
+        config = FamilyConfig(
+            levels=5, width=24, parents_per_child=2, countries=2, seed=7
+        )
+        report = self._bottom_up_coverage(config, SG)
+        assert report["coverage"] >= 0.95, report["coverage"]
+
+    def test_scsg_coverage(self):
+        config = FamilyConfig(
+            levels=5, width=14, parents_per_child=2, countries=2, seed=7
+        )
+        report = self._bottom_up_coverage(config, SCSG)
+        assert report["coverage"] >= 0.95, report["coverage"]
+
+    def test_planner_path_coverage(self):
+        """End-to-end through the planner (plan + evaluate spans)."""
+        config = FamilyConfig(
+            levels=5, width=24, parents_per_child=2, countries=2, seed=7
+        )
+        db = family_database(config, program=SG)
+        planner = Planner(db)
+        profiler = SpanProfiler()
+        planner.profiler = profiler
+        plan = planner.plan("sg(X, Y)")
+        _, counters = planner.execute(plan)
+        report = profile_report(profiler, counters)
+        assert report["coverage"] >= 0.9, report["coverage"]

@@ -1,0 +1,184 @@
+"""SpanProfiler mechanics: nesting, unwinding, capacity, memory mode."""
+
+import json
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.profile import SpanProfiler
+
+
+class TestBeginEnd:
+    def test_simple_span(self):
+        profiler = SpanProfiler()
+        token = profiler.begin("round", "round 1")
+        span = profiler.end(token, derived=3)
+        assert span is not None
+        assert span.cat == "round" and span.name == "round 1"
+        assert span.duration_ns >= 0
+        assert span.depth == 0 and span.parent is None
+        assert span.meta == {"derived": 3}
+
+    def test_nesting_links_parent_and_depth(self):
+        profiler = SpanProfiler()
+        outer = profiler.begin("evaluate", "semi_naive")
+        inner = profiler.begin("rule", "r1")
+        inner_span = profiler.end(inner)
+        outer_span = profiler.end(outer)
+        assert inner_span.depth == 1 and outer_span.depth == 0
+        # Parent seq is filled when the parent closes.
+        assert inner_span.parent == outer_span.seq
+        assert outer_span.parent is None
+
+    def test_seq_is_closing_order(self):
+        profiler = SpanProfiler()
+        outer = profiler.begin("evaluate", "run")
+        first = profiler.end(profiler.begin("round", "round 1"))
+        second = profiler.end(profiler.begin("round", "round 2"))
+        root = profiler.end(outer)
+        assert first.seq < second.seq < root.seq
+
+    def test_end_unwinds_abandoned_children(self):
+        """Ending an outer token closes anything still open above it —
+        the exception-path guarantee."""
+        profiler = SpanProfiler()
+        outer = profiler.begin("evaluate", "run")
+        profiler.begin("round", "round 1")
+        profiler.begin("rule", "r1")
+        root = profiler.end(outer)  # rule and round never ended explicitly
+        cats = [s.cat for s in profiler.spans()]
+        assert cats == ["rule", "round", "evaluate"]
+        assert root.parent is None
+        rule, round_, _ = profiler.spans()
+        assert round_.parent == root.seq
+        assert rule.depth == 2
+
+    def test_double_end_is_harmless(self):
+        profiler = SpanProfiler()
+        token = profiler.begin("round", "round 1")
+        assert profiler.end(token) is not None
+        assert profiler.end(token) is None
+        assert len(profiler.spans()) == 1
+
+    def test_durations_nest(self):
+        profiler = SpanProfiler()
+        outer = profiler.begin("evaluate", "run")
+        inner = profiler.end(profiler.begin("round", "round 1"))
+        root = profiler.end(outer)
+        assert root.duration_ns >= inner.duration_ns
+        assert root.start_ns <= inner.start_ns
+
+    def test_total_ns_sums_roots_only(self):
+        profiler = SpanProfiler()
+        outer = profiler.begin("evaluate", "run")
+        profiler.end(profiler.begin("round", "round 1"))
+        profiler.end(outer)
+        root = [s for s in profiler.spans() if s.parent is None]
+        assert profiler.total_ns() == sum(s.duration_ns for s in root)
+
+
+class TestCapacity:
+    def test_capacity_drops_newest(self):
+        profiler = SpanProfiler(capacity=2)
+        for n in range(4):
+            profiler.end(profiler.begin("round", f"round {n}"))
+        assert len(profiler.spans()) == 2
+        assert profiler.dropped == 2
+        assert [s.name for s in profiler.spans()] == ["round 0", "round 1"]
+
+    def test_dropped_span_returns_none(self):
+        profiler = SpanProfiler(capacity=1)
+        assert profiler.end(profiler.begin("round", "kept")) is not None
+        assert profiler.end(profiler.begin("round", "dropped")) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanProfiler(capacity=0)
+
+    def test_clear_resets(self):
+        profiler = SpanProfiler(capacity=1)
+        profiler.end(profiler.begin("round", "a"))
+        profiler.end(profiler.begin("round", "b"))
+        profiler.clear()
+        assert len(profiler.spans()) == 0 and profiler.dropped == 0
+
+
+class TestFiltersAndJson:
+    def test_spans_by_category(self):
+        profiler = SpanProfiler()
+        profiler.end(profiler.begin("round", "round 1"))
+        profiler.end(profiler.begin("rule", "r1"))
+        assert [s.name for s in profiler.spans("rule")] == ["r1"]
+
+    def test_to_json_roundtrips(self):
+        profiler = SpanProfiler()
+        token = profiler.begin("round", "round 1")
+        profiler.end(token, derived=2)
+        payload = json.dumps(profiler.to_json(), allow_nan=False)
+        data = json.loads(payload)
+        assert data["dropped"] == 0 and not data["memory"]
+        (span,) = data["spans"]
+        assert span["cat"] == "round" and span["meta"] == {"derived": 2}
+        assert span["duration_us"] >= 0
+
+
+class TestThreads:
+    def test_threads_nest_independently(self):
+        profiler = SpanProfiler()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            outer = profiler.begin("evaluate", name)
+            barrier.wait()
+            profiler.end(profiler.begin("round", f"{name} round"))
+            profiler.end(outer)
+
+        threads = [
+            threading.Thread(target=work, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = profiler.spans()
+        assert len(spans) == 4
+        roots = [s for s in spans if s.parent is None]
+        assert {s.name for s in roots} == {"a", "b"}
+        for child in (s for s in spans if s.parent is not None):
+            parent = next(s for s in spans if s.seq == child.parent)
+            assert parent.thread == child.thread
+            assert child.name == f"{parent.name} round"
+
+
+class TestMemorySampling:
+    def test_alloc_bytes_recorded(self):
+        with SpanProfiler(memory=True) as profiler:
+            token = profiler.begin("rule", "allocating")
+            sink = [object() for _ in range(1000)]
+            span = profiler.end(token)
+            del sink
+        assert span.alloc_bytes is not None
+        assert span.alloc_bytes > 0
+
+    def test_close_stops_owned_tracemalloc(self):
+        assert not tracemalloc.is_tracing()
+        profiler = SpanProfiler(memory=True)
+        assert tracemalloc.is_tracing()
+        profiler.close()
+        assert not tracemalloc.is_tracing()
+        profiler.close()  # idempotent
+
+    def test_does_not_stop_foreign_tracemalloc(self):
+        tracemalloc.start()
+        try:
+            profiler = SpanProfiler(memory=True)
+            profiler.close()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_timing_mode_has_no_alloc(self):
+        profiler = SpanProfiler()
+        span = profiler.end(profiler.begin("rule", "r"))
+        assert span.alloc_bytes is None

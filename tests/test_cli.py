@@ -193,6 +193,88 @@ class TestTraceAndMetrics:
         assert "repro_queries_total 1" in output
 
 
+class TestProfileAndSlowlog:
+    def test_profile_flag_prints_report(self, program_file):
+        code, output = run([program_file, "-q", "sg(ann, Y)", "--profile"])
+        assert code == 0
+        assert "1 answer(s) [counting]" in output
+        assert "profile: wall " in output
+        assert "% attributed" in output
+        assert "self ms" in output
+
+    def test_profile_json_writes_chrome_trace(self, program_file, tmp_path):
+        import json
+
+        target = tmp_path / "profile.json"
+        code, _ = run(
+            [
+                program_file,
+                "-q",
+                "sg(X, Y)",
+                "--profile",
+                "--profile-json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        report = json.loads(target.read_text())
+        assert report["query"] == "sg(X, Y)"
+        assert report["rows"]
+        events = report["chrome_trace"]["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_profile_json_to_stdout(self, program_file):
+        code, output = run(
+            [program_file, "-q", "sg(ann, Y)", "--profile", "--profile-json", "-"]
+        )
+        assert code == 0
+        assert '"chrome_trace"' in output
+
+    def test_profile_json_without_profile_errors(self, program_file):
+        code, output = run(
+            [program_file, "-q", "sg(ann, Y)", "--profile-json", "-"]
+        )
+        assert code == 1
+        assert "--profile-json needs --profile" in output
+
+    def test_profile_bad_query_recovers(self, program_file):
+        code, output = run([program_file, "-q", "nosuch(X)", "--profile"])
+        assert code == 1
+        assert "error" in output
+
+    def test_slow_query_ms_fills_slowlog(self, program_file):
+        _, output = run(
+            [program_file, "--slow-query-ms", "0"],
+            "?- sg(ann, Y).\n:slowlog\n:quit\n",
+        )
+        assert "sg(ann, Y)" in output
+        assert "ms" in output
+
+    def test_slowlog_without_threshold_says_disabled(self, program_file):
+        _, output = run([program_file], ":slowlog\n:quit\n")
+        assert "slow-query log disabled" in output
+
+    def test_slowlog_clear(self, program_file):
+        _, output = run(
+            [program_file, "--slow-query-ms", "0"],
+            "?- sg(ann, Y).\n:slowlog clear\n:slowlog\n:quit\n",
+        )
+        assert "cleared 1 entries" in output
+        assert "slow-query log empty" in output
+
+    def test_repl_profile_command(self, program_file):
+        _, output = run(
+            [program_file], ":profile sg(ann, Y).\n:quit\n"
+        )
+        assert "profile: wall " in output
+        assert "1 answer(s) [counting]" in output
+
+    def test_repl_help_lists_commands(self, program_file):
+        _, output = run([program_file], ":help\n:quit\n")
+        for command in (":plan", ":profile", ":slowlog", ":metrics", ":quit"):
+            assert command in output
+
+
 class TestFactsLoading:
     def test_load_csv_facts(self, tmp_path):
         rules = tmp_path / "anc.pl"
