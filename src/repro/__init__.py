@@ -67,6 +67,13 @@ from .core import (
     transitive_closure,
 )
 from .core.planner import adornment_key, plan_cache_key
+from .resilience import (
+    AdmissionController,
+    Budget,
+    BudgetExceeded,
+    ChaosSchedule,
+    CircuitBreaker,
+)
 from .service import (
     QueryResult,
     QueryServer,
@@ -78,8 +85,13 @@ from .service import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "Budget",
+    "BudgetExceeded",
     "BufferedChainEvaluator",
     "BuiltinRegistry",
+    "ChaosSchedule",
+    "CircuitBreaker",
     "CostModel",
     "Counters",
     "CountingEvaluator",

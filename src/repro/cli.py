@@ -130,6 +130,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="chain-evaluation depth budget (default 10000)",
     )
     parser.add_argument(
+        "--max-tuples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resource budget: abort any query deriving more than N tuples",
+    )
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resource budget: abort after N fixpoint rounds / chain "
+        "descent levels (resolution steps for top-down)",
+    )
+    parser.add_argument(
+        "--max-live",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resource budget: abort when more than N substitutions are "
+        "live at once",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="resource budget: abort any single evaluation after this "
+        "much wall-clock time",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="serve queries over TCP (QUERY/PLAN/FACT/STATS line protocol) "
@@ -152,6 +183,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="per-request wall-clock budget for --serve (default: none)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission control for --serve: shed heavy requests beyond N "
+        "in flight with OVERLOADED replies (default 64; 0 disables)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close --serve connections whose peer stays silent this long",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="trip the circuit breaker after N consecutive budget blowouts "
+        "on one query shape (default 3; 0 disables)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long a tripped circuit stays open before a probe "
+        "(default 5)",
     )
     return parser
 
@@ -401,8 +463,27 @@ def main(
             print(f"error: cannot load {spec}: {exc}", file=out)
             return 1
 
+    budget = None
+    if any(
+        value is not None
+        for value in (
+            args.max_tuples, args.max_rounds, args.max_live, args.time_budget
+        )
+    ):
+        from .resilience import Budget
+
+        budget = Budget(
+            max_tuples=args.max_tuples,
+            max_rounds=args.max_rounds,
+            max_live=args.max_live,
+            timeout=args.time_budget,
+        )
+
     session = QuerySession(
-        database, max_depth=args.max_depth, slow_query_ms=args.slow_query_ms
+        database,
+        max_depth=args.max_depth,
+        slow_query_ms=args.slow_query_ms,
+        budget=budget,
     )
 
     if args.serve:
@@ -411,6 +492,13 @@ def main(
             host=args.host,
             port=args.port,
             timeout=args.timeout,
+            budget=budget,
+            max_pending=args.max_pending if args.max_pending > 0 else None,
+            idle_timeout=args.idle_timeout,
+            breaker_threshold=(
+                args.breaker_threshold if args.breaker_threshold > 0 else None
+            ),
+            breaker_cooldown=args.breaker_cooldown,
         )
         host, port = server.address
         print(

@@ -89,6 +89,7 @@ class BufferedChainEvaluator:
         idb_finite=None,
         tracer=None,
         profiler=None,
+        budget=None,
     ):
         self.database = database
         self.compiled = compiled
@@ -109,6 +110,9 @@ class BufferedChainEvaluator:
         # Optional profile.SpanProfiler: stage spans per down level,
         # for the exit phase and for the up phase.
         self.profiler = profiler
+        # Optional resilience.Budget: checked per descent level, per
+        # buffered result row, and per streamed substitution.
+        self.budget = budget
         self._injected_split = split
         chains = compiled.generating_chains()
         if len(chains) != 1:
@@ -210,6 +214,8 @@ class BufferedChainEvaluator:
                 raise BufferedEvaluationError(
                     f"down phase exceeded max depth {self.max_depth}"
                 )
+            if self.budget is not None:
+                self.budget.check_round(depth, counters)
             next_frontier: List[_CallNode] = []
             if profiler is not None:
                 level_span = profiler.begin("stage", f"chain_down L{depth}")
@@ -228,6 +234,7 @@ class BufferedChainEvaluator:
                     counters,
                     idb_solver=self.idb_solver,
                     stage_counts=level_counts,
+                    budget=self.budget,
                 ):
                     child_bindings: Dict[str, Term] = {}
                     for p, rec_arg in enumerate(rec_args):
@@ -318,6 +325,7 @@ class BufferedChainEvaluator:
                         counters,
                         idb_solver=self.idb_solver,
                         stage_counts=up_counts,
+                        budget=self.budget,
                     ):
                         row = tuple(
                             apply_substitution(Var(name), solution)
@@ -328,6 +336,8 @@ class BufferedChainEvaluator:
                         if row not in parent.results:
                             parent.results.add(row)
                             counters.derived_tuples += 1
+                            if self.budget is not None:
+                                self.budget.check_tuple(counters)
                             pending.append(parent)
         if profiler is not None:
             profiler.end(
@@ -396,6 +406,7 @@ class BufferedChainEvaluator:
                 unified,
                 counters,
                 idb_solver=self.idb_solver,
+                budget=self.budget,
             ):
                 row = tuple(
                     apply_substitution(arg, solution)

@@ -51,6 +51,7 @@ class CountingEvaluator:
         max_depth: int = 10_000,
         tracer=None,
         profiler=None,
+        budget=None,
     ):
         self.database = database
         self.compiled = compiled
@@ -59,6 +60,9 @@ class CountingEvaluator:
         self.tracer = tracer
         # Optional profile.SpanProfiler, same discipline as the tracer.
         self.profiler = profiler
+        # Optional resilience.Budget: checked per descent level, per
+        # derived answer, and per streamed substitution.
+        self.budget = budget
         chains = compiled.generating_chains()
         if len(chains) < 2:
             raise CountingError(
@@ -148,6 +152,8 @@ class CountingEvaluator:
                 raise CountingError(
                     "down chain exceeded max depth (cyclic data?)"
                 )
+            if self.budget is not None:
+                self.budget.check_round(len(frontiers), counters)
             state = frozenset(current)
             if state in seen_states:
                 raise CountingError(
@@ -167,7 +173,7 @@ class CountingEvaluator:
                 }
                 for solution in evaluate_body(
                     down_order, lookup, self.registry, level_seed, counters,
-                    stage_counts=level_counts,
+                    stage_counts=level_counts, budget=self.budget,
                 ):
                     next_values = tuple(
                         apply_substitution(rec_args[p], solution)
@@ -221,7 +227,8 @@ class CountingEvaluator:
                         initially_bound=set(unified),
                     )
                     for solution in evaluate_body(
-                        exit_order, lookup, self.registry, unified, counters
+                        exit_order, lookup, self.registry, unified, counters,
+                        budget=self.budget,
                     ):
                         head_values = tuple(
                             apply_substitution(a, solution)
@@ -312,6 +319,8 @@ class CountingEvaluator:
                 if unify_sequences(query.args, tuple(row)) is not None:
                     if answers.add(tuple(row)):
                         counters.derived_tuples += 1
+                        if self.budget is not None:
+                            self.budget.check_tuple(counters)
         if profiler is not None:
             profiler.end(up_span, derived=len(answers))
         if tracer is not None:
@@ -359,7 +368,7 @@ class CountingEvaluator:
                         rec_seed[arg.name] = value
             for up_solution in evaluate_body(
                 up_order, lookup, self.registry, rec_seed, counters,
-                stage_counts=stage_counts,
+                stage_counts=stage_counts, budget=self.budget,
             ):
                 climbed = dict(solution)
                 for p in up.head_positions:

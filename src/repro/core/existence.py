@@ -40,17 +40,23 @@ class ExistenceChecker:
         database: Database,
         registry: Optional[BuiltinRegistry] = None,
         max_steps: int = 5_000_000,
+        budget=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
         self.max_steps = max_steps
+        # Optional resilience.Budget bounding the existence probe —
+        # the circuit breaker's degraded path uses a tight one so even
+        # "does any answer exist?" cannot blow up on a poisoned shape.
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def exists_top_down(self, query_source) -> Tuple[bool, Counters]:
         """First-witness SLD evaluation (lazy by construction)."""
         goals = self._goals(query_source)
         evaluator = TopDownEvaluator(
-            self.database, self.registry, max_steps=self.max_steps
+            self.database, self.registry, max_steps=self.max_steps,
+            budget=self.budget,
         )
         for _ in evaluator.solve(goals):
             return True, evaluator.counters
@@ -76,7 +82,9 @@ class ExistenceChecker:
                 unify_sequences(query.args, row) is not None for row in answers
             )
 
-        magic_evaluator = MagicSetsEvaluator(self.database, self.registry)
+        magic_evaluator = MagicSetsEvaluator(
+            self.database, self.registry, budget=self.budget
+        )
         answers, counters, _ = magic_evaluator.evaluate(
             query, stop_condition=witnessed
         )

@@ -314,6 +314,7 @@ class MagicSetsEvaluator:
         supplementary: bool = False,
         tracer=None,
         profiler=None,
+        budget=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
@@ -328,6 +329,10 @@ class MagicSetsEvaluator:
         # Optional profile.SpanProfiler: a plan span for the rewrite,
         # then handed down like the tracer.
         self.profiler = profiler
+        # Optional resilience.Budget, handed down the same way.  Magic
+        # tuples are derived tuples, so an un-split blowup trips the
+        # tuple ceiling while the magic set is still being computed.
+        self.budget = budget
 
     def rewrite(self, query: Literal) -> MagicProgram:
         hook = (
@@ -393,7 +398,8 @@ class MagicSetsEvaluator:
                 return relation is not None and stop_condition(relation)
 
         result = SemiNaiveEvaluator(
-            scratch, self.registry, tracer=self.tracer, profiler=profiler
+            scratch, self.registry, tracer=self.tracer, profiler=profiler,
+            budget=self.budget,
         ).evaluate(magic.program, stop_condition=seminaive_stop)
         answers_full = result.relation(
             magic.answer_predicate.name, magic.answer_predicate.arity

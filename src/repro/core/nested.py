@@ -65,11 +65,15 @@ class NestedChainEvaluator:
         predicate: Predicate,
         registry: Optional[BuiltinRegistry] = None,
         max_depth: int = 100_000,
+        budget=None,
     ):
         self.database = database
         self.predicate = predicate
         self.registry = registry if registry is not None else default_registry()
         self.max_depth = max_depth
+        # Optional resilience.Budget, handed to every inner buffered
+        # evaluation (outer recursion and nested inner calls alike).
+        self.budget = budget
         self._compiled: Dict[Predicate, CompiledRecursion] = {}
         self._call_cache: Dict[Tuple[Predicate, Tuple[object, ...]], Relation] = {}
         self.counters = Counters()
@@ -121,6 +125,7 @@ class NestedChainEvaluator:
             max_depth=self.max_depth,
             idb_solver=self._solve_idb,
             idb_finite=self._idb_finite,
+            budget=self.budget,
         )
         answers, counters = evaluator.evaluate(query)
         self.counters.merge(counters)

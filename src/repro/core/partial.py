@@ -92,6 +92,7 @@ class PartialChainEvaluator:
         max_depth: int = 10_000,
         tracer=None,
         profiler=None,
+        budget=None,
     ):
         self.database = database
         self.compiled = compiled
@@ -102,6 +103,9 @@ class PartialChainEvaluator:
         self.tracer = tracer
         # Optional profile.SpanProfiler, same discipline as the tracer.
         self.profiler = profiler
+        # Optional resilience.Budget: checked per descent level, per
+        # admitted answer, and per streamed substitution.
+        self.budget = budget
         self._injected_split = split
         chains = compiled.generating_chains()
         if len(chains) != 1:
@@ -207,6 +211,8 @@ class PartialChainEvaluator:
                     "step 4)"
                 )
             depth += 1
+            if self.budget is not None:
+                self.budget.check_round(depth, counters)
             if profiler is not None:
                 level_span = profiler.begin("stage", f"descent L{depth}")
             level_counts = (
@@ -228,7 +234,7 @@ class PartialChainEvaluator:
                 seed: Substitution = dict(frame.call)
                 for solution in evaluate_body(
                     evaluable_order, lookup, self.registry, seed, counters,
-                    stage_counts=level_counts,
+                    stage_counts=level_counts, budget=self.budget,
                 ):
                     new_acc: List[object] = []
                     admissible = True
@@ -380,7 +386,8 @@ class PartialChainEvaluator:
                 exit_rule.body, self.registry, initially_bound=bound_names
             )
             for solution in evaluate_body(
-                exit_order, lookup, self.registry, unified, counters
+                exit_order, lookup, self.registry, unified, counters,
+                budget=self.budget,
             ):
                 exit_row = [
                     apply_substitution(arg, solution)
@@ -444,6 +451,8 @@ class PartialChainEvaluator:
             return
         if answers.add(tuple(row)):
             counters.derived_tuples += 1
+            if self.budget is not None:
+                self.budget.check_tuple(counters)
 
     def _residual_ok(
         self,

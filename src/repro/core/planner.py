@@ -205,6 +205,10 @@ class Planner:
         # Optional profile.SpanProfiler, same discipline: planning and
         # execution record spans, executors hand it to their evaluator.
         self.profiler = None
+        # Optional resilience.Budget, installed per query by callers
+        # (the session does this under its lock); every executor hands
+        # it to its evaluator.  None keeps the fast path.
+        self.budget = None
         self._normalized = NormalizedProgram(database.program, self.registry)
         self._analysis_idb_version = database.idb_version
         # The rectified database shares EDB relations with the original.
@@ -541,6 +545,7 @@ class Planner:
             self.registry,
             tracer=self.tracer,
             profiler=self.profiler,
+            budget=self.budget,
         ).evaluate()
         return self._filter(plan.query, result.relations), result.counters
 
@@ -550,6 +555,7 @@ class Planner:
             self.registry,
             tracer=self.tracer,
             profiler=self.profiler,
+            budget=self.budget,
         )
         answers, counters, _ = evaluator.evaluate(plan.query)
         return answers, counters
@@ -567,6 +573,7 @@ class Planner:
             supplementary=True,
             tracer=self.tracer,
             profiler=self.profiler,
+            budget=self.budget,
         )
         answers, counters, _ = evaluator.evaluate(plan.query)
         return answers, counters
@@ -580,6 +587,7 @@ class Planner:
                 max_depth=self.max_depth,
                 tracer=self.tracer,
                 profiler=self.profiler,
+                budget=self.budget,
             )
             return evaluator.evaluate(plan.query)
         except CountingError:
@@ -595,6 +603,7 @@ class Planner:
             max_depth=self.max_depth,
             tracer=self.tracer,
             profiler=self.profiler,
+            budget=self.budget,
         )
         return evaluator.evaluate(plan.query)
 
@@ -609,6 +618,7 @@ class Planner:
                 max_depth=self.max_depth,
                 tracer=self.tracer,
                 profiler=self.profiler,
+                budget=self.budget,
             )
             return evaluator.evaluate(plan.query)
         except PartialEvaluationError:
@@ -621,14 +631,19 @@ class Planner:
                 plan.query.predicate,
                 self.registry,
                 max_depth=self.max_depth,
+                budget=self.budget,
             )
             return evaluator.evaluate(plan.query)
         except (NestedEvaluationError, ValueError):
+            # BudgetExceeded is a RuntimeError and deliberately NOT
+            # caught here: a blown budget must surface, not trigger a
+            # second (equally doomed) top-down attempt.
             return self._run_top_down(plan)
 
     def _run_top_down(self, plan: QueryPlan) -> Tuple[Relation, Counters]:
         evaluator = TopDownEvaluator(
-            self._rect_db, self.registry, selection="deferred"
+            self._rect_db, self.registry, selection="deferred",
+            budget=self.budget,
         )
         answers = Relation(plan.query.name, plan.query.arity)
         goals = [plan.query, *plan.constraints]

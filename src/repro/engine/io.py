@@ -9,6 +9,7 @@ numbers without a schema.
 from __future__ import annotations
 
 import csv
+import warnings
 from typing import IO, Iterable, List, Optional, Sequence, Union
 
 from ..datalog.terms import Const, Term
@@ -42,9 +43,17 @@ def infer_constant(text: str) -> Const:
 
 
 def load_program_file(database: Database, path: str) -> None:
-    """Load a Prolog-style source file into ``database``."""
+    """Load a Prolog-style source file into ``database``.
+
+    Parse errors are re-raised with the file path prepended, so a
+    multi-file load names the offending file, not just the clause.
+    """
     with open(path) as handle:
-        database.load_source(handle.read())
+        source = handle.read()
+    try:
+        database.load_source(source)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
 
 
 def load_facts_csv(
@@ -53,31 +62,55 @@ def load_facts_csv(
     predicate: str,
     delimiter: str = ",",
     skip_header: bool = False,
+    strict: bool = True,
 ) -> int:
     """Load rows of a delimited file as facts of ``predicate``.
 
     Returns the number of new facts.  All rows must have the same
-    number of columns; a :class:`ValueError` names the offending line
-    otherwise.
+    number of columns; under ``strict`` (the default) a
+    :class:`ValueError` pinpoints the offending ``file:line:column``,
+    while ``strict=False`` skips bad rows with a :class:`UserWarning`
+    carrying the same location — bulk loads of dirty data keep going.
     """
     owns_handle = isinstance(source, str)
     handle = open(source) if owns_handle else source
+    filename = source if owns_handle else getattr(handle, "name", "<stream>")
     try:
         reader = csv.reader(handle, delimiter=delimiter)
         added = 0
         arity: Optional[int] = None
-        for line_number, row in enumerate(reader, start=1):
-            if skip_header and line_number == 1:
+        row_number = 0
+        while True:
+            try:
+                row = next(reader)
+            except StopIteration:
+                break
+            except csv.Error as exc:
+                message = f"{filename}:{reader.line_num}: malformed row: {exc}"
+                if strict:
+                    raise ValueError(message) from exc
+                warnings.warn(message)
+                continue
+            row_number += 1
+            if skip_header and row_number == 1:
                 continue
             if not row:
                 continue
             if arity is None:
                 arity = len(row)
             if len(row) != arity:
-                raise ValueError(
-                    f"line {line_number}: expected {arity} columns, "
-                    f"got {len(row)}"
+                # Column where the shape diverges: one past the last
+                # expected cell for long rows, one past the last
+                # present cell for short ones.
+                column = min(len(row), arity) + 1
+                message = (
+                    f"{filename}:{reader.line_num}:{column}: "
+                    f"expected {arity} columns, got {len(row)}"
                 )
+                if strict:
+                    raise ValueError(message)
+                warnings.warn(message)
+                continue
             values = tuple(infer_constant(cell) for cell in row)
             if database.relation(predicate, arity).add(values):
                 added += 1

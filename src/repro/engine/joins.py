@@ -183,6 +183,7 @@ def evaluate_body(
     overrides: Optional[Dict[int, RelationLike]] = None,
     idb_solver: Optional[IdbSolver] = None,
     stage_counts: Optional[List[int]] = None,
+    budget=None,
 ) -> Iterator[Substitution]:
     """Evaluate an ordered body, lazily yielding complete solutions.
 
@@ -208,6 +209,12 @@ def evaluate_body(
     substitution stage *k* yields.  Since stage *k*'s input stream is
     exactly stage *k-1*'s output stream (the seed for *k = 0*), these
     counts alone determine every stage's observed expansion ratio.
+
+    ``budget`` — optional :class:`~repro.resilience.Budget` ticked once
+    per substitution popped off the stack.  This is the checkpoint that
+    catches a pure cross-product blowup: a weak linkage producing
+    millions of intermediate substitutions trips the budget mid-join
+    even if no new head tuple is ever derived.
     """
 
     depth = len(ordered_body)
@@ -298,6 +305,8 @@ def evaluate_body(
         if solution is _EXHAUSTED:
             stack.pop()
             continue
+        if budget is not None:
+            budget.tick(counters)
         if stage_counts is not None:
             # Every solution popped off stack[-1] is one output of
             # stage len(stack)-1 — a single branch covers all stages.

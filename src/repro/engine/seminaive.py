@@ -101,6 +101,7 @@ class _BottomUpEvaluator:
         orderer=None,
         tracer=None,
         profiler=None,
+        budget=None,
     ):
         self.database = database
         self.registry = registry if registry is not None else default_registry()
@@ -117,6 +118,11 @@ class _BottomUpEvaluator:
         # only `is not None` branches; installed, it times every
         # fixpoint round and rule-variant body evaluation.
         self.profiler = profiler
+        # Optional resilience.Budget, same discipline again: checked
+        # per round, per derived tuple and per streamed substitution;
+        # the checks only *read* the counters, so a no-op budget is
+        # bit-identical to no budget.
+        self.budget = budget
 
     def _order(self, body):
         if self._orderer is not None:
@@ -263,6 +269,7 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         if profiler is not None:
             profiler.end(setup_span, rules=len(rules))
         tracer = self.tracer
+        budget = self.budget
         first_round = True
         round_no = 0
         while True:
@@ -271,6 +278,8 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
                 raise RuntimeError(
                     f"fixpoint did not converge within {self.max_iterations} iterations"
                 )
+            if budget is not None:
+                budget.check_round(counters.iterations, counters)
             round_no += 1
             if tracer is not None:
                 tracer.round_start(
@@ -350,6 +359,7 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         target = derived[rule.head.predicate]
         tracer = self.tracer
         profiler = self.profiler
+        budget = self.budget
         if tracer is not None or profiler is not None:
             # Per-tuple work stays branch-free with the tracer on: the
             # derived/duplicate deltas come from counter snapshots.
@@ -364,11 +374,13 @@ class SemiNaiveEvaluator(_BottomUpEvaluator):
         stopped = False
         for subst in evaluate_body(
             ordered_body, lookup, self.registry, {}, counters,
-            overrides=overrides, stage_counts=stage_counts,
+            overrides=overrides, stage_counts=stage_counts, budget=budget,
         ):
             row = self._head_row(rule, subst)
             if target.add(row):
                 counters.derived_tuples += 1
+                if budget is not None:
+                    budget.check_tuple(counters)
                 if stop_condition is not None and stop_condition(derived):
                     stopped = True
                     break
@@ -424,6 +436,7 @@ class NaiveEvaluator(_BottomUpEvaluator):
         ordered_bodies = {
             id(rule): self._order(rule.body) for rule in rules
         }
+        budget = self.budget
         changed = True
         while changed:
             counters.iterations += 1
@@ -431,14 +444,19 @@ class NaiveEvaluator(_BottomUpEvaluator):
                 raise RuntimeError(
                     f"fixpoint did not converge within {self.max_iterations} iterations"
                 )
+            if budget is not None:
+                budget.check_round(counters.iterations, counters)
             changed = False
             for rule in rules:
                 for subst in evaluate_body(
-                    ordered_bodies[id(rule)], lookup, self.registry, {}, counters
+                    ordered_bodies[id(rule)], lookup, self.registry, {},
+                    counters, budget=budget,
                 ):
                     row = self._head_row(rule, subst)
                     if derived[rule.head.predicate].add(row):
                         counters.derived_tuples += 1
+                        if budget is not None:
+                            budget.check_tuple(counters)
                         changed = True
                     else:
                         counters.duplicate_tuples += 1

@@ -30,6 +30,7 @@ from ..datalog.parser import parse_query
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Term, Var, fresh_variable_factory, is_ground, term_variables
 from ..datalog.unify import Substitution, apply_substitution, unify_sequences
+from ..resilience.budget import Budget, BudgetExceeded
 from .builtins import BuiltinError, BuiltinRegistry, default_registry
 from .counters import Counters
 from .database import Database
@@ -41,10 +42,6 @@ __all__ = [
     "BudgetExceeded",
     "NotFinitelyEvaluable",
 ]
-
-
-class BudgetExceeded(RuntimeError):
-    """The resolution step budget ran out (likely nontermination)."""
 
 
 class NotFinitelyEvaluable(RuntimeError):
@@ -76,6 +73,10 @@ class TopDownEvaluator:
         Resolution-step budget; exceeded → :class:`BudgetExceeded`.
     selection:
         ``"leftmost"`` or ``"deferred"`` (chain-split) goal selection.
+    budget:
+        Optional :class:`~repro.resilience.Budget` checked once per
+        resolution step.  SLD resolution has no fixpoint rounds, so
+        ``max_rounds`` bounds resolution steps here.
     """
 
     def __init__(
@@ -84,6 +85,7 @@ class TopDownEvaluator:
         registry: Optional[BuiltinRegistry] = None,
         max_steps: int = 5_000_000,
         selection: str = "deferred",
+        budget: Optional[Budget] = None,
     ):
         if selection not in {"leftmost", "deferred"}:
             raise ValueError("selection must be 'leftmost' or 'deferred'")
@@ -91,6 +93,7 @@ class TopDownEvaluator:
         self.registry = registry if registry is not None else default_registry()
         self.max_steps = max_steps
         self.selection = selection
+        self.budget = budget
         self.counters = Counters()
         self._fresh = fresh_variable_factory("_R")
         self._steps = 0
@@ -143,8 +146,17 @@ class TopDownEvaluator:
         self._steps += 1
         if self._steps > self.max_steps:
             raise BudgetExceeded(
-                f"exceeded {self.max_steps} resolution steps"
+                f"exceeded {self.max_steps} resolution steps",
+                reason="steps",
+                limit=self.max_steps,
+                observed=self._steps,
+                counters=self.counters.as_dict(),
             )
+        budget = self.budget
+        if budget is not None:
+            budget.tick(self.counters)
+            if budget.max_rounds is not None and self._steps > budget.max_rounds:
+                budget.check_round(self._steps, self.counters)
 
     def _select(self, goals: List[Literal], subst: Substitution) -> int:
         """Index of the goal to resolve next under the active policy."""

@@ -176,6 +176,51 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
             stats.get("slow_queries", 0),
         )
 
+    # Resilience counters: guarded so snapshots from older sessions
+    # (or hand-built dicts in tests) still render.
+    if "rejected" in stats:
+        full = w.header(
+            "rejected_total",
+            "Requests shed by admission control (OVERLOADED replies).",
+            "counter",
+        )
+        w.sample(full, stats.get("rejected", 0))
+        by_verb = stats.get("rejected_by_verb") or {}
+        if by_verb:
+            full = w.header(
+                "rejected_by_verb_total",
+                "Requests shed by admission control, per verb.",
+                "counter",
+            )
+            for verb, count in sorted(by_verb.items()):
+                w.sample(full, count, {"verb": verb})
+    if "budget_exceeded" in stats:
+        w.counter(
+            "budget_exceeded_total",
+            "Evaluations aborted by a resource budget.",
+            stats.get("budget_exceeded", 0),
+        )
+    if "disconnects" in stats:
+        w.counter(
+            "disconnects_total",
+            "Clients that vanished mid-request.",
+            stats.get("disconnects", 0),
+        )
+    breaker = stats.get("breaker") or {}
+    if breaker:
+        full = w.header(
+            "breaker_keys",
+            "Plan-cache keys tracked by the circuit breaker, per state.",
+            "gauge",
+        )
+        for state in ("closed", "open", "half_open"):
+            w.sample(full, breaker.get(state, 0), {"state": state})
+        w.counter(
+            "breaker_trips_total",
+            "Circuit-breaker transitions into the open state.",
+            breaker.get("trips", 0),
+        )
+
     engine = stats.get("engine") or {}
     if engine:
         full = w.header(

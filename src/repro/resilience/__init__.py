@@ -1,0 +1,34 @@
+"""Resource governance, cancellation, and fault injection.
+
+* :mod:`repro.resilience.budget` — per-query resource ceilings with
+  cooperative checkpoints threaded through every evaluator.
+* :mod:`repro.resilience.admission` — bounded in-flight work with
+  per-verb limits (load shedding).
+* :mod:`repro.resilience.breaker` — a circuit breaker keyed by
+  plan-cache key that degrades repeat offenders.
+* :mod:`repro.resilience.chaos` — deterministic seeded fault injection
+  for the chaos test suite.
+"""
+
+from .budget import Budget, BudgetExceeded
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .chaos import (
+    ChaosClient,
+    ChaosError,
+    ChaosRelation,
+    ChaosSchedule,
+    chaos_relations,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "AdmissionController",
+    "CircuitBreaker",
+    "ChaosClient",
+    "ChaosError",
+    "ChaosRelation",
+    "ChaosSchedule",
+    "chaos_relations",
+]

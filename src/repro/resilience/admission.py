@@ -1,0 +1,75 @@
+"""Admission control: bounded in-flight work with per-verb limits.
+
+The server's thread pool bounds *execution* concurrency but not the
+number of requests piling up behind it — a burst of expensive queries
+used to queue without limit, each holding a handler thread.  The
+:class:`AdmissionController` bounds the total number of admitted
+heavy-verb requests and, optionally, the number in flight per verb, so
+excess load is shed immediately with an ``Overloaded`` envelope (plus
+``retry_after``) instead of growing an unbounded backlog.
+
+Cheap observability verbs (``STATS``/``HEALTH``/``METRICS``/...) are
+never metered — the whole point of load shedding is that the health
+surfaces stay responsive while the query path is saturated.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting semaphore with a global bound and per-verb bounds.
+
+    ``try_acquire`` never blocks: admission control is about refusing
+    work fast, not queueing it.  Every successful acquire must be paired
+    with a ``release`` (the server does this in a ``finally``).
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        verb_limits: Optional[Dict[str, int]] = None,
+        retry_after: float = 1.0,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.max_pending = max_pending
+        self.verb_limits = dict(verb_limits or {})
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._total = 0
+        self._per_verb: Dict[str, int] = {}
+
+    def try_acquire(self, verb: str) -> bool:
+        with self._lock:
+            if self._total >= self.max_pending:
+                return False
+            limit = self.verb_limits.get(verb)
+            in_flight = self._per_verb.get(verb, 0)
+            if limit is not None and in_flight >= limit:
+                return False
+            self._total += 1
+            self._per_verb[verb] = in_flight + 1
+            return True
+
+    def release(self, verb: str) -> None:
+        with self._lock:
+            self._total -= 1
+            remaining = self._per_verb.get(verb, 0) - 1
+            if remaining > 0:
+                self._per_verb[verb] = remaining
+            else:
+                self._per_verb.pop(verb, None)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "max_pending": self.max_pending,
+                "in_flight": self._total,
+                "per_verb": dict(self._per_verb),
+                "verb_limits": dict(self.verb_limits),
+            }

@@ -1,0 +1,125 @@
+"""Circuit breaker keyed by plan-cache key.
+
+A query shape that keeps blowing its budget will keep blowing it — the
+plan cache key (predicate, argument shape, constraint shape) identifies
+the shape, so after ``threshold`` *consecutive* budget blowouts on one
+key the breaker opens and the server stops paying for full evaluation
+of that shape, serving degraded answers (cached result, existence-only
+probe) instead.  After ``cooldown`` seconds one probe request is let
+through (half-open); success closes the breaker, another blowout
+re-opens it.
+
+The clock is injectable so breaker state machines are unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, Optional
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class _Entry:
+    __slots__ = ("state", "failures", "opened_at", "trips")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker with a half-open probe."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: Dict[Hashable, _Entry] = {}
+
+    # ------------------------------------------------------------------
+    def allow(self, key: Hashable) -> bool:
+        """May a full evaluation of this key proceed right now?
+
+        In the open state this returns ``False`` until the cooldown
+        elapses, then lets exactly one probe through (half-open) and
+        refuses the rest until the probe reports back.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state == CLOSED:
+                return True
+            if entry.state == OPEN:
+                if self._clock() - entry.opened_at >= self.cooldown:
+                    entry.state = HALF_OPEN
+                    return True
+                return False
+            # Half-open: a probe is already in flight.
+            return False
+
+    def record_success(self, key: Hashable) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.state = CLOSED
+                entry.failures = 0
+
+    def record_blowout(self, key: Hashable) -> str:
+        """Note a budget blowout; returns the resulting state."""
+        with self._lock:
+            entry = self._entries.setdefault(key, _Entry())
+            entry.failures += 1
+            if entry.state == HALF_OPEN or entry.failures >= self.threshold:
+                entry.state = OPEN
+                entry.opened_at = self._clock()
+                entry.trips += 1
+            return entry.state
+
+    def state(self, key: Hashable) -> str:
+        with self._lock:
+            entry = self._entries.get(key)
+            return CLOSED if entry is None else entry.state
+
+    def remaining(self, key: Hashable) -> float:
+        """Seconds until the next half-open probe (0 when not open)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state != OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (self._clock() - entry.opened_at))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregate state for metrics exposition."""
+        with self._lock:
+            counts = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+            trips = 0
+            degraded: Dict[str, str] = {}
+            for key, entry in self._entries.items():
+                counts[entry.state] += 1
+                trips += entry.trips
+                if entry.state != CLOSED:
+                    degraded[str(key)] = entry.state
+            return {
+                "tracked": len(self._entries),
+                "closed": counts[CLOSED],
+                "open": counts[OPEN],
+                "half_open": counts[HALF_OPEN],
+                "trips": trips,
+                "degraded_keys": degraded,
+            }

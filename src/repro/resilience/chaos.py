@@ -1,0 +1,240 @@
+"""Deterministic fault injection for resilience testing.
+
+Robustness claims are worthless untested.  This module injects three
+fault kinds — ``delay`` (a short sleep), ``error`` (a raised
+:class:`ChaosError`), ``drop`` (a raised :class:`ConnectionResetError`)
+— at three layers:
+
+* **relations** (:class:`ChaosRelation` / :func:`chaos_relations`):
+  every index probe, scan and insert the streaming join pipeline makes
+  can fault, which exercises mid-join unwinding through every
+  evaluator;
+* **sockets** (:class:`ChaosClient`): a line-protocol client that,
+  per schedule, sends garbage frames, oversized frames, or vanishes
+  before reading the reply;
+* anything else via :meth:`ChaosSchedule.fault` at a site of your
+  choosing.
+
+Determinism: each injection site draws from a stream seeded by
+``crc32(f"{seed}:{site}:{call_index}")`` — the decision for the Nth
+call at a site depends only on the schedule seed, the site name and N,
+never on thread interleavings or ``PYTHONHASHSEED``.  Replaying the
+same call sequence replays the same faults.
+
+No engine imports here (relations are duck-typed) so the package can
+be imported from anywhere in the engine without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ChaosError",
+    "ChaosSchedule",
+    "ChaosRelation",
+    "chaos_relations",
+    "ChaosClient",
+]
+
+
+class ChaosError(RuntimeError):
+    """An injected, on-purpose failure."""
+
+
+class ChaosSchedule:
+    """A seeded, per-site-deterministic fault plan.
+
+    ``rates`` maps fault kind (``"delay"``/``"error"``/``"drop"``) to a
+    probability in ``[0, 1]``; kinds are tried in sorted order against a
+    single uniform draw, so the rates must sum to at most 1.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Dict[str, float]] = None,
+        delay_s: float = 0.0005,
+    ):
+        self.seed = seed
+        self.rates = dict(rates or {})
+        if sum(self.rates.values()) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self.delay_s = delay_s
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+        self.injected = 0
+        self.by_kind: Dict[str, int] = {}
+        self.by_site: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def draw(self, site: str) -> Optional[str]:
+        """The fault kind (or ``None``) for this call at ``site``."""
+        with self._lock:
+            index = self._calls.get(site, 0)
+            self._calls[site] = index + 1
+        key = f"{self.seed}:{site}:{index}".encode()
+        # crc32 -> [0, 1): stable across processes, unlike hash().
+        roll = zlib.crc32(key) / 2**32
+        threshold = 0.0
+        for kind in sorted(self.rates):
+            threshold += self.rates[kind]
+            if roll < threshold:
+                with self._lock:
+                    self.injected += 1
+                    self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+                    self.by_site[site] = self.by_site.get(site, 0) + 1
+                return kind
+        return None
+
+    def fault(self, site: str) -> None:
+        """Draw and act: sleep, raise ChaosError, or raise a drop."""
+        kind = self.draw(site)
+        if kind is None:
+            return
+        if kind == "delay":
+            time.sleep(self.delay_s)
+        elif kind == "error":
+            raise ChaosError(f"injected fault at {site}")
+        elif kind == "drop":
+            raise ConnectionResetError(f"injected connection drop at {site}")
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "injected": self.injected,
+                "by_kind": dict(self.by_kind),
+                "by_site": dict(self.by_site),
+            }
+
+
+class ChaosRelation:
+    """Wraps a relation; every access may fault per the schedule.
+
+    Duck-typed: windows returned by ``mark()``/``window()`` are wrapped
+    too, so generation-window probes inside the semi-naive delta loop
+    fault just like full-relation probes.
+    """
+
+    __slots__ = ("_inner", "_schedule", "_site")
+
+    def __init__(self, inner, schedule: ChaosSchedule, site: Optional[str] = None):
+        self._inner = inner
+        self._schedule = schedule
+        if site is None:
+            name = getattr(inner, "name", "?")
+            arity = getattr(inner, "arity", "?")
+            site = f"relation:{name}/{arity}"
+        self._site = site
+
+    # Fault-injecting access paths --------------------------------------
+    def lookup(self, *args, **kwargs):
+        self._schedule.fault(self._site + ":lookup")
+        return self._inner.lookup(*args, **kwargs)
+
+    def add(self, row):
+        self._schedule.fault(self._site + ":add")
+        return self._inner.add(row)
+
+    def rows(self):
+        self._schedule.fault(self._site + ":scan")
+        return self._inner.rows()
+
+    def __iter__(self):
+        self._schedule.fault(self._site + ":scan")
+        return iter(self._inner)
+
+    def __contains__(self, row):
+        self._schedule.fault(self._site + ":lookup")
+        return row in self._inner
+
+    def window(self, *args, **kwargs):
+        return ChaosRelation(
+            self._inner.window(*args, **kwargs), self._schedule, self._site
+        )
+
+    # Transparent passthroughs ------------------------------------------
+    def __len__(self):
+        return len(self._inner)
+
+    def __eq__(self, other):
+        if isinstance(other, ChaosRelation):
+            other = other._inner
+        return self._inner == other
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@contextmanager
+def chaos_relations(database, schedule: ChaosSchedule):
+    """Wrap every relation of ``database`` for the duration of the block.
+
+    The relations mapping is mutated in place (not replaced) so shared
+    references — the planner's scratch copies, sessions — see the
+    wrapped relations too, and the originals come back on exit even if
+    the block raises.
+    """
+    relations = database.relations
+    originals = dict(relations)
+    for predicate, relation in originals.items():
+        relations[predicate] = ChaosRelation(relation, schedule)
+    try:
+        yield schedule
+    finally:
+        for predicate, relation in originals.items():
+            relations[predicate] = relation
+
+
+class ChaosClient:
+    """Line-protocol client that injects socket-level faults.
+
+    Per request the schedule may replace the frame with garbage bytes,
+    send an oversized frame, or disconnect before reading the reply.
+    Returns ``(outcome, reply_line)`` where outcome is ``"ok"`` or the
+    injected fault kind, and ``reply_line`` is the raw reply (``None``
+    when the client dropped the connection on purpose).
+    """
+
+    SITE = "socket:client"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        schedule: ChaosSchedule,
+        timeout: float = 10.0,
+        oversized_bytes: int = 96 * 1024,
+    ):
+        self.host = host
+        self.port = port
+        self.schedule = schedule
+        self.timeout = timeout
+        self.oversized_bytes = oversized_bytes
+
+    def request(self, line: str) -> Tuple[str, Optional[str]]:
+        import socket
+
+        kind = self.schedule.draw(self.SITE)
+        payload = (line.rstrip("\n") + "\n").encode()
+        if kind == "error":
+            payload = b"\xff\xfe GARBAGE \x00 frame\n"
+        elif kind == "delay":
+            payload = b"QUERY " + b" " * self.oversized_bytes + b"\n"
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(payload)
+            if kind == "drop":
+                # Vanish before reading the reply; the server's write
+                # fails and must clean up without wedging the session.
+                return "drop", None
+            reader = sock.makefile("rb")
+            reply = reader.readline()
+        outcome = "ok" if kind is None else kind
+        return outcome, reply.decode("utf-8", "replace").strip() or None

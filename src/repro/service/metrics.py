@@ -161,6 +161,18 @@ class ServiceMetrics:
         #: Queries that tripped the session's ``slow_query_ms``
         #: threshold and were retained in the slow-query log.
         self.slow_queries = 0
+        #: Requests shed by admission control (``OVERLOADED`` replies).
+        self.rejected = 0
+        self.rejected_by_verb: Dict[str, int] = {}
+        #: Evaluations aborted by a resource :class:`~repro.resilience.Budget`.
+        self.budget_exceeded = 0
+        #: Clients that vanished mid-request (write failed or the peer
+        #: closed while the query was still running).
+        self.disconnects = 0
+        #: Optional zero-arg callable returning the circuit breaker's
+        #: ``snapshot()``; the server installs it so STATS/metrics can
+        #: surface breaker state without metrics importing the breaker.
+        self.breaker_provider = None
         #: Engine work counters summed over all evaluated queries.
         self.engine_counters = Counters()
 
@@ -226,6 +238,20 @@ class ServiceMetrics:
             self.timeouts += 1
             self.errors += 1
 
+    def record_rejected(self, verb: str) -> None:
+        """Account one request shed by admission control."""
+        with self._lock:
+            self.rejected += 1
+            self.rejected_by_verb[verb] = self.rejected_by_verb.get(verb, 0) + 1
+
+    def record_budget_exceeded(self) -> None:
+        with self._lock:
+            self.budget_exceeded += 1
+
+    def record_disconnect(self) -> None:
+        with self._lock:
+            self.disconnects += 1
+
     def record_invalidation(self, plans: bool) -> None:
         with self._lock:
             self.result_invalidations += 1
@@ -237,8 +263,12 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable copy of every aggregate."""
+        # Breaker state is owned by the server's CircuitBreaker (its own
+        # lock); call the provider outside ours to avoid nesting locks.
+        provider = self.breaker_provider
+        breaker = provider() if provider is not None else None
         with self._lock:
-            return {
+            snap = {
                 "queries": self.queries,
                 "errors": self.errors,
                 "timeouts": self.timeouts,
@@ -265,8 +295,15 @@ class ServiceMetrics:
                     for verb, hist in sorted(self.verb_latency.items())
                 },
                 "slow_queries": self.slow_queries,
+                "rejected": self.rejected,
+                "rejected_by_verb": dict(self.rejected_by_verb),
+                "budget_exceeded": self.budget_exceeded,
+                "disconnects": self.disconnects,
                 "engine": self.engine_counters.as_dict(),
             }
+        if breaker is not None:
+            snap["breaker"] = breaker
+        return snap
 
     def reset(self) -> None:
         with self._lock:
@@ -282,6 +319,10 @@ class ServiceMetrics:
             self.evaluated_latency_histogram = LatencyHistogram()
             self.verb_latency = {}
             self.slow_queries = 0
+            self.rejected = 0
+            self.rejected_by_verb = {}
+            self.budget_exceeded = 0
+            self.disconnects = 0
             self.engine_counters = Counters()
 
     def __repr__(self) -> str:

@@ -45,32 +45,65 @@ Every reply is ``{"ok": true, "verb": ..., ...}`` or
 parse errors, planning errors, evaluation errors and timeouts all come
 back as structured envelopes; the connection (and the server) survives.
 
-``QUERY`` requests run under a wall-clock ``timeout`` and a chain-depth
-budget (``max_depth``).  The timeout is enforced by running evaluation
-on a worker pool and abandoning the wait: the reply is a ``Timeout``
-envelope, while the abandoned evaluation runs to completion in the
-background (it still holds the session lock, so a pathological query
-delays — but never corrupts — later ones; pick ``max_depth`` to bound
-that).  Clients keep the connection open for any number of requests.
+``QUERY`` requests run under a wall-clock ``timeout``, a chain-depth
+budget (``max_depth``) and an optional resource ``budget`` template
+(tuples/rounds/live substitutions).  The timeout is enforced by running
+evaluation on a worker pool; when the wait is abandoned the in-flight
+request's :class:`~repro.resilience.Budget` is *cancelled*, so the
+worker observes the cancellation at its next cooperative checkpoint and
+releases the session lock promptly instead of running the pathological
+query to completion.  The same cancellation fires when the client
+vanishes mid-request.  Clients keep the connection open for any number
+of requests.
+
+Overload and repeated blowouts degrade gracefully rather than crash:
+
+* an :class:`~repro.resilience.AdmissionController` sheds excess
+  heavy-verb requests with ``Overloaded`` envelopes carrying
+  ``retry_after`` (observability verbs are never shed);
+* a :class:`~repro.resilience.CircuitBreaker` keyed on the plan-cache
+  key trips after consecutive budget blowouts on the same query shape
+  and serves degraded answers while open — a stale cached result if one
+  exists, else an existence-only probe under a tight budget, else a
+  ``CircuitOpen`` envelope with ``retry_after``.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional, Tuple
 
 from ..datalog.parser import parse_rule
 from ..engine.database import Database
+from ..resilience import AdmissionController, Budget, BudgetExceeded, CircuitBreaker
 from .session import QuerySession
 
-__all__ = ["QueryServer", "serve"]
+__all__ = ["ClientDisconnected", "QueryServer", "serve"]
 
 #: Refuse absurd request lines instead of buffering them.
 MAX_LINE_BYTES = 64 * 1024
+
+#: Hard ceiling on bytes drained after an oversized request line; a
+#: peer still streaming past this is hosing us and gets disconnected.
+MAX_DRAIN_BYTES = 512 * 1024
+
+#: Verbs that evaluate (or plan) a query and therefore go through
+#: admission control; STATS/HEALTH/METRICS/SLOWLOG/FACT stay exempt so
+#: the health surfaces remain responsive under load shedding.
+HEAVY_VERBS = frozenset({"QUERY", "PLAN", "EXPLAIN", "TRACE", "PROFILE"})
+
+#: How often the result-wait loop re-checks deadline and peer liveness.
+_POLL_INTERVAL = 0.05
+
+
+class ClientDisconnected(ConnectionError):
+    """The peer vanished while its request was still being served."""
 
 
 def _error_envelope(verb: str, exc_type: str, message: str) -> Dict[str, object]:
@@ -85,6 +118,14 @@ class _Handler(socketserver.StreamRequestHandler):
     """One connection: read request lines, write JSON reply lines."""
 
     server: "_TCPServer"
+
+    def setup(self) -> None:
+        # Per-connection idle timeout: a silent peer eventually gets its
+        # handler thread back (readline raises socket.timeout → close).
+        idle = self.server.query_server.idle_timeout
+        if idle is not None:
+            self.request.settimeout(idle)
+        super().setup()
 
     def handle(self) -> None:
         while True:
@@ -101,13 +142,22 @@ class _Handler(socketserver.StreamRequestHandler):
                 # the probes next to it.
                 self._handle_http(raw)
                 return
+            close_after_reply = False
             if len(raw) > MAX_LINE_BYTES:
                 # readline() returned a *partial* line; drain the rest
                 # so the tail is not parsed as a second request (one
-                # request line must yield exactly one reply line).
+                # request line must yield exactly one reply line) — but
+                # only up to MAX_DRAIN_BYTES: a peer streaming past
+                # that is refused the drain and disconnected after the
+                # error envelope instead of being buffered unbounded.
+                drained = len(raw)
                 while not raw.endswith(b"\n"):
                     raw = self.rfile.readline(MAX_LINE_BYTES + 1)
                     if not raw:
+                        break
+                    drained += len(raw)
+                    if drained > MAX_DRAIN_BYTES:
+                        close_after_reply = True
                         break
                 reply = _error_envelope(
                     "?", "ProtocolError", f"request line over {MAX_LINE_BYTES} bytes"
@@ -116,11 +166,21 @@ class _Handler(socketserver.StreamRequestHandler):
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
-                reply = self.server.query_server.handle_line(line)
+                try:
+                    reply = self.server.query_server.handle_line(
+                        line, connection=self.connection
+                    )
+                except ClientDisconnected:
+                    # Budget already cancelled and disconnect recorded
+                    # by the wait loop; nothing left to reply to.
+                    return
             try:
                 self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
                 self.wfile.flush()
             except (ConnectionError, OSError):
+                self.server.query_server.session.metrics.record_disconnect()
+                return
+            if close_after_reply:
                 return
 
     def _handle_http(self, raw: bytes) -> None:
@@ -172,6 +232,17 @@ class QueryServer:
     ``timeout`` is the per-request wall-clock budget in seconds (None
     disables it); ``max_depth`` the per-request chain-depth budget
     (None defers to the session's own).
+
+    ``budget`` is a :class:`~repro.resilience.Budget` *template*: every
+    heavy request runs under a fresh ``fork()`` of it, giving the server
+    a cancellation handle even when no limits are set.  ``max_pending``
+    bounds admitted heavy-verb requests (None disables admission
+    control); ``verb_limits`` optionally bounds per-verb concurrency
+    (default: at most ``workers`` concurrent ``QUERY``\\ s).
+    ``idle_timeout`` closes connections whose peer goes silent.
+    ``breaker_threshold`` consecutive budget blowouts on one plan-cache
+    key trip the circuit breaker for ``breaker_cooldown`` seconds (None
+    disables the breaker).
     """
 
     def __init__(
@@ -182,10 +253,40 @@ class QueryServer:
         timeout: Optional[float] = None,
         max_depth: Optional[int] = None,
         workers: int = 8,
+        budget: Optional[Budget] = None,
+        max_pending: Optional[int] = 64,
+        verb_limits: Optional[Dict[str, int]] = None,
+        retry_after: float = 1.0,
+        idle_timeout: Optional[float] = None,
+        breaker_threshold: Optional[int] = 3,
+        breaker_cooldown: float = 5.0,
     ):
         self.session = session
         self.timeout = timeout
         self.max_depth = max_depth
+        self.budget = budget
+        self.retry_after = retry_after
+        self.idle_timeout = idle_timeout
+        if max_pending is None:
+            self.admission: Optional[AdmissionController] = None
+        else:
+            self.admission = AdmissionController(
+                max_pending=max_pending,
+                verb_limits=(
+                    verb_limits if verb_limits is not None
+                    else {"QUERY": workers}
+                ),
+                retry_after=retry_after,
+            )
+        if breaker_threshold is None:
+            self.breaker: Optional[CircuitBreaker] = None
+        else:
+            self.breaker = CircuitBreaker(
+                threshold=breaker_threshold, cooldown=breaker_cooldown
+            )
+            # STATS / the Prometheus page surface breaker state without
+            # the metrics module importing the breaker.
+            session.metrics.breaker_provider = self.breaker.snapshot
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.query_server = self
         self._pool = ThreadPoolExecutor(
@@ -233,8 +334,14 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
-    def handle_line(self, line: str) -> Dict[str, object]:
-        """Dispatch one request line to its verb handler."""
+    def handle_line(
+        self, line: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
+        """Dispatch one request line to its verb handler.
+
+        ``connection`` (when serving a real socket) lets long-running
+        verbs notice the peer vanishing and cancel the evaluation.
+        """
         verb, _, argument = line.partition(" ")
         verb = verb.upper()
         argument = argument.strip()
@@ -256,8 +363,19 @@ class QueryServer:
                 "expected QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, "
                 "METRICS, PROFILE, SLOWLOG or HEALTH"
             )
+        metered = self.admission is not None and verb in HEAVY_VERBS
+        if metered and not self.admission.try_acquire(verb):
+            self.session.metrics.record_rejected(verb)
+            reply = _error_envelope(
+                verb, "Overloaded",
+                "server at capacity; retry after the indicated delay",
+            )
+            reply["retry_after"] = self.retry_after
+            return reply
         try:
-            return handler(argument)
+            return handler(argument, connection)
+        except ClientDisconnected:
+            raise  # nothing to reply to; the handler closes the socket
         except FutureTimeoutError:
             self.session.metrics.record_timeout()
             return _error_envelope(
@@ -266,6 +384,9 @@ class QueryServer:
         except Exception as exc:  # envelope instead of a dead connection
             self.session.metrics.record_error()
             return _error_envelope(verb, type(exc).__name__, str(exc))
+        finally:
+            if metered:
+                self.admission.release(verb)
 
     def _strip(self, argument: str) -> str:
         if argument.startswith("?-"):
@@ -274,14 +395,142 @@ class QueryServer:
             argument = argument[:-1]
         return argument
 
-    def _do_query(self, argument: str) -> Dict[str, object]:
+    # ------------------------------------------------------------------
+    # Budgeted evaluation helpers
+    # ------------------------------------------------------------------
+    def _request_budget(self) -> Budget:
+        """A fresh per-request budget — always one, even limitless,
+        so the wait loop has a cancellation handle."""
+        if self.budget is not None:
+            return self.budget.fork()
+        if self.timeout is not None:
+            # Belt and braces: the worker's own deadline matches the
+            # server timeout, so an abandoned evaluation self-aborts
+            # even if the cancel signal were missed.
+            return Budget(timeout=self.timeout)
+        return Budget()
+
+    @staticmethod
+    def _peer_vanished(connection: socket.socket) -> bool:
+        """Non-blocking probe: has the peer closed its end?"""
+        flags = getattr(socket, "MSG_DONTWAIT", None)
+        if flags is None:
+            return False  # platform can't probe without blocking
+        try:
+            data = connection.recv(1, socket.MSG_PEEK | flags)
+        except (BlockingIOError, InterruptedError):
+            return False  # no data pending — still connected
+        except OSError:
+            return True
+        return data == b""
+
+    def _await(
+        self,
+        future,
+        budget: Budget,
+        connection: Optional[socket.socket],
+    ):
+        """Wait for a worker result, enforcing the wall-clock timeout
+        and watching for the client vanishing; either event cancels the
+        request's budget so the worker aborts at its next checkpoint."""
+        if self.timeout is None and connection is None:
+            return future.result()
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        while True:
+            try:
+                return future.result(timeout=_POLL_INTERVAL)
+            except FutureTimeoutError:
+                pass
+            if deadline is not None and time.monotonic() >= deadline:
+                budget.cancel("request timeout")
+                raise FutureTimeoutError()
+            if connection is not None and self._peer_vanished(connection):
+                budget.cancel("client disconnected")
+                self.session.metrics.record_disconnect()
+                raise ClientDisconnected("client disconnected mid-request")
+
+    def _degraded_reply(self, source: str, key: object) -> Dict[str, object]:
+        """Answer while the breaker is open: stale cached rows if any,
+        else an existence-only probe under a tight budget, else a
+        ``CircuitOpen`` envelope with ``retry_after``."""
+        cached = self.session.peek_cached(source)
+        if cached is not None:
+            plan, rows = cached
+            return {
+                "ok": True,
+                "verb": "QUERY",
+                "query": source,
+                "strategy": plan.strategy,
+                "answers": [[str(value) for value in row] for row in rows],
+                "count": len(rows),
+                "plan_cached": True,
+                "result_cached": True,
+                "degraded": "cached",
+            }
+        try:
+            found = self.session.exists(
+                source, budget=Budget(timeout=0.25, max_rounds=100_000)
+            )
+        except Exception:
+            pass  # even the probe is over budget (or unparsable)
+        else:
+            return {
+                "ok": True,
+                "verb": "QUERY",
+                "query": source,
+                "degraded": "existence",
+                "exists": found,
+                "answers": [],
+                "count": 0,
+            }
+        remaining = self.breaker.remaining(key) if self.breaker else 0.0
+        reply = _error_envelope(
+            "QUERY", "CircuitOpen",
+            "circuit open for this query shape after repeated budget "
+            f"blowouts; retry in {remaining:.2f}s",
+        )
+        reply["retry_after"] = remaining
+        return reply
+
+    def _do_query(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if not argument:
             return _error_envelope("QUERY", "ProtocolError", "QUERY needs a query")
         source = self._strip(argument)
+        key = None
+        if self.breaker is not None:
+            try:
+                key = self.session.plan_key(source)
+            except Exception:
+                key = None  # parse errors surface from execute below
+            if key is not None and not self.breaker.allow(key):
+                return self._degraded_reply(source, key)
+        budget = self._request_budget()
         future = self._pool.submit(
-            self.session.execute, source, self.max_depth
+            self.session.execute, source, self.max_depth, budget
         )
-        result = future.result(timeout=self.timeout)
+        try:
+            result = self._await(future, budget, connection)
+        except BudgetExceeded as exc:
+            if self.breaker is not None and key is not None:
+                self.breaker.record_blowout(key)
+            if exc.reason == "deadline":
+                # The worker's own deadline races the wait loop's; both
+                # mean the same thing, so both render as Timeout.
+                self.session.metrics.record_timeout()
+                reply = _error_envelope("QUERY", "Timeout", str(exc))
+            else:
+                self.session.metrics.record_error()
+                reply = _error_envelope("QUERY", "BudgetExceeded", str(exc))
+            reply["budget"] = exc.as_dict()
+            reply["retry_after"] = self.retry_after
+            return reply
+        if self.breaker is not None and key is not None:
+            self.breaker.record_success(key)
         return {
             "ok": True,
             "verb": "QUERY",
@@ -294,7 +543,9 @@ class QueryServer:
             "elapsed_ms": result.elapsed * 1e3,
         }
 
-    def _do_plan(self, argument: str) -> Dict[str, object]:
+    def _do_plan(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if not argument:
             return _error_envelope("PLAN", "ProtocolError", "PLAN needs a query")
         plan, cached = self.session.plan(self._strip(argument))
@@ -307,7 +558,9 @@ class QueryServer:
             "cached": cached,
         }
 
-    def _do_fact(self, argument: str) -> Dict[str, object]:
+    def _do_fact(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if not argument:
             return _error_envelope("FACT", "ProtocolError", "FACT needs a clause")
         clause = argument if argument.endswith(".") else argument + "."
@@ -325,22 +578,31 @@ class QueryServer:
             "idb_version": database.idb_version,
         }
 
-    def _do_stats(self, argument: str) -> Dict[str, object]:
+    def _do_stats(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         return {"ok": True, "verb": "STATS", "stats": self.session.stats()}
 
-    def _do_explain(self, argument: str) -> Dict[str, object]:
+    def _do_explain(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if not argument:
             return _error_envelope(
                 "EXPLAIN", "ProtocolError", "EXPLAIN needs a query"
             )
         source = self._strip(argument)
-        future = self._pool.submit(self.session.explain, source, self.max_depth)
-        report = future.result(timeout=self.timeout)
+        budget = self._request_budget()
+        future = self._pool.submit(
+            self.session.explain, source, self.max_depth, budget
+        )
+        report = self._await(future, budget, connection)
         return {"ok": True, "verb": "EXPLAIN", "trace": report}
 
-    def _do_trace(self, argument: str) -> Dict[str, object]:
+    def _do_trace(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if argument:
-            reply = self._do_explain(argument)
+            reply = self._do_explain(argument, connection)
             reply["verb"] = "TRACE"
             return reply
         report = self.session.last_trace
@@ -351,7 +613,9 @@ class QueryServer:
             )
         return {"ok": True, "verb": "TRACE", "trace": report}
 
-    def _do_metrics(self, argument: str) -> Dict[str, object]:
+    def _do_metrics(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         return {
             "ok": True,
             "verb": "METRICS",
@@ -359,17 +623,24 @@ class QueryServer:
             "body": self.session.metrics_text(),
         }
 
-    def _do_profile(self, argument: str) -> Dict[str, object]:
+    def _do_profile(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if not argument:
             return _error_envelope(
                 "PROFILE", "ProtocolError", "PROFILE needs a query"
             )
         source = self._strip(argument)
-        future = self._pool.submit(self.session.profile, source, self.max_depth)
-        report = future.result(timeout=self.timeout)
+        budget = self._request_budget()
+        future = self._pool.submit(
+            self.session.profile, source, self.max_depth, budget=budget
+        )
+        report = self._await(future, budget, connection)
         return {"ok": True, "verb": "PROFILE", "profile": report}
 
-    def _do_slowlog(self, argument: str) -> Dict[str, object]:
+    def _do_slowlog(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         if argument.upper() == "CLEAR":
             dropped = self.session.clear_slowlog()
             return {"ok": True, "verb": "SLOWLOG", "cleared": dropped}
@@ -380,7 +651,9 @@ class QueryServer:
             "entries": self.session.slowlog(),
         }
 
-    def _do_health(self, argument: str) -> Dict[str, object]:
+    def _do_health(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
         return {"ok": True, "verb": "HEALTH", "health": self.session.health()}
 
 
@@ -392,6 +665,11 @@ def serve(
     max_depth: Optional[int] = None,
     slow_query_ms: Optional[float] = None,
     slowlog_size: int = 8,
+    budget: Optional[Budget] = None,
+    max_pending: Optional[int] = 64,
+    idle_timeout: Optional[float] = None,
+    breaker_threshold: Optional[int] = 3,
+    breaker_cooldown: float = 5.0,
 ) -> QueryServer:
     """Convenience: session + server, already listening (foreground
     serving is the caller's ``serve_forever()`` call)."""
@@ -401,4 +679,8 @@ def serve(
         ),
         host=host, port=port,
         timeout=timeout, max_depth=max_depth,
+        budget=budget, max_pending=max_pending,
+        idle_timeout=idle_timeout,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
     )

@@ -47,6 +47,7 @@ from ..engine.counters import Counters
 from ..engine.database import Database
 from ..observe import EngineTracer, build_report, prometheus_text
 from ..profile import SpanProfiler, chrome_trace, profile_report
+from ..resilience import Budget, BudgetExceeded
 from .metrics import ServiceMetrics
 
 __all__ = ["QueryResult", "QuerySession"]
@@ -92,6 +93,7 @@ class QuerySession:
         metrics: Optional[ServiceMetrics] = None,
         slow_query_ms: Optional[float] = None,
         slowlog_size: int = 8,
+        budget: Optional[Budget] = None,
     ):
         self.database = database
         self.planner = Planner(
@@ -105,6 +107,11 @@ class QuerySession:
         #: slowlog entries with their full span profile attached.
         #: None (the default) keeps evaluation profiler-free.
         self.slow_query_ms = slow_query_ms
+        #: Default resource budget *template*: each evaluated query runs
+        #: under a fresh fork() of it (restarted clock, cleared cancel)
+        #: unless the caller passes a per-request budget.  None keeps
+        #: evaluation budget-free.
+        self.budget = budget
         self._slowlog: Deque[Dict[str, object]] = deque(
             maxlen=max(1, slowlog_size)
         )
@@ -196,11 +203,21 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query_source, max_depth: Optional[int] = None) -> QueryResult:
+    def execute(
+        self,
+        query_source,
+        max_depth: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> QueryResult:
         """Answer a query, going through both caches.
 
         ``max_depth`` temporarily overrides the session's chain-depth
         budget for this one request (the server's per-request budget).
+        ``budget`` runs the evaluation under a per-request resource
+        budget (default: a fork of the session's budget template, if
+        any); a blown budget raises
+        :class:`~repro.resilience.BudgetExceeded` *after* recording
+        the per-verb latency, so the histogram never loses the request.
         """
         start = time.perf_counter()
         with self._lock:
@@ -227,16 +244,27 @@ class QuerySession:
             profiler = (
                 SpanProfiler() if self.slow_query_ms is not None else None
             )
+            if budget is None and self.budget is not None:
+                budget = self.budget.fork()
             self.planner.profiler = profiler
+            self.planner.budget = budget
             saved_depth = self.planner.max_depth
             if max_depth is not None:
                 self.planner.max_depth = max_depth
             try:
                 plan, plan_cached = self._plan_locked(query, constraints)
                 answers, counters = self.planner.execute(plan)
+            except BudgetExceeded:
+                # The request still happened: record its latency (the
+                # disconnect/timeout path depends on the histogram not
+                # losing aborted queries) and the blowout itself.
+                self.metrics.record_budget_exceeded()
+                self.metrics.record_verb("QUERY", time.perf_counter() - start)
+                raise
             finally:
                 self.planner.max_depth = saved_depth
                 self.planner.profiler = None
+                self.planner.budget = None
             rows = sorted(answers.rows(), key=str)
             self._result_cache[result_key] = (plan, rows)
             while len(self._result_cache) > self.result_cache_size:
@@ -289,7 +317,10 @@ class QuerySession:
         self.metrics.record_slow_query()
 
     def explain(
-        self, query_source, max_depth: Optional[int] = None
+        self,
+        query_source,
+        max_depth: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> Dict[str, object]:
         """Answer a query with tracing on and return the EXPLAIN report.
 
@@ -308,8 +339,11 @@ class QuerySession:
             query, constraints = self._parse(query_source)
             tracer = EngineTracer()
             profiler = SpanProfiler()
+            if budget is None and self.budget is not None:
+                budget = self.budget.fork()
             self.planner.tracer = tracer
             self.planner.profiler = profiler
+            self.planner.budget = budget
             try:
                 plan, plan_cached = self._plan_locked(query, constraints)
                 saved_depth = self.planner.max_depth
@@ -319,9 +353,14 @@ class QuerySession:
                     answers, counters = self.planner.execute(plan)
                 finally:
                     self.planner.max_depth = saved_depth
+            except BudgetExceeded:
+                self.metrics.record_budget_exceeded()
+                self.metrics.record_verb("QUERY", time.perf_counter() - start)
+                raise
             finally:
                 self.planner.tracer = None
                 self.planner.profiler = None
+                self.planner.budget = None
             rows = sorted(answers.rows(), key=str)
             result_key = (str(query), tuple(str(c) for c in constraints))
             self._result_cache[result_key] = (plan, rows)
@@ -361,6 +400,7 @@ class QuerySession:
         max_depth: Optional[int] = None,
         memory: bool = False,
         include_trace: bool = False,
+        budget: Optional[Budget] = None,
     ) -> Dict[str, object]:
         """Answer a query with span profiling on; the attribution report.
 
@@ -376,7 +416,10 @@ class QuerySession:
             self._sync()
             query, constraints = self._parse(query_source)
             profiler = SpanProfiler(memory=memory)
+            if budget is None and self.budget is not None:
+                budget = self.budget.fork()
             self.planner.profiler = profiler
+            self.planner.budget = budget
             try:
                 plan, plan_cached = self._plan_locked(query, constraints)
                 saved_depth = self.planner.max_depth
@@ -386,8 +429,13 @@ class QuerySession:
                     answers, counters = self.planner.execute(plan)
                 finally:
                     self.planner.max_depth = saved_depth
+            except BudgetExceeded:
+                self.metrics.record_budget_exceeded()
+                self.metrics.record_verb("QUERY", time.perf_counter() - start)
+                raise
             finally:
                 self.planner.profiler = None
+                self.planner.budget = None
                 profiler.close()
             rows = sorted(answers.rows(), key=str)
             result_key = (str(query), tuple(str(c) for c in constraints))
@@ -417,6 +465,56 @@ class QuerySession:
                 )
             self._last_profile = report
             return report
+
+    # ------------------------------------------------------------------
+    # Degraded answers (circuit-breaker support)
+    # ------------------------------------------------------------------
+    def plan_key(self, query_source) -> object:
+        """The plan-cache key of a query — the circuit breaker's key.
+
+        Parsing only (memoized); no planning or evaluation happens.
+        """
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            return plan_cache_key(query, constraints)
+
+    def peek_cached(
+        self, query_source
+    ) -> Optional[Tuple[QueryPlan, List[Tuple[Term, ...]]]]:
+        """The cached (plan, rows) for a query, or None — never
+        evaluates.  Used to serve stale-but-real answers while the
+        circuit breaker is open."""
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            result_key = (str(query), tuple(str(c) for c in constraints))
+            hit = self._result_cache.get(result_key)
+            if hit is None:
+                return None
+            plan, rows = hit
+            return plan, list(rows)
+
+    def exists(self, query_source, budget: Optional[Budget] = None) -> bool:
+        """Existence-only probe: does the query have *any* answer?
+
+        First-witness SLD evaluation under ``budget`` — the degraded
+        answer the breaker serves when full evaluation keeps blowing
+        up.  May itself raise :class:`~repro.resilience.BudgetExceeded`
+        when even finding one witness is over budget.
+        """
+        from ..core.existence import ExistenceChecker
+
+        with self._lock:
+            self._sync()
+            query, constraints = self._parse(query_source)
+            checker = ExistenceChecker(
+                self.database, self.planner.registry, budget=budget
+            )
+            found, _counters = checker.exists_top_down(
+                [query, *constraints]
+            )
+            return found
 
     # ------------------------------------------------------------------
     # Slow-query log / health

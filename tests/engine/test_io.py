@@ -180,3 +180,66 @@ class TestDatabasePersistence:
         loaded = load_database(str(empty))
         assert loaded.total_facts() == 0
         assert len(loaded.program) == 0
+
+
+class TestErrorLocations:
+    def test_arity_mismatch_names_file_line_column(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("a,b\nc,d\ne\n")
+        db = Database()
+        with pytest.raises(ValueError) as excinfo:
+            load_facts_csv(db, str(path), "edge")
+        # Short row: the column one past the last present cell.
+        assert str(excinfo.value) == (
+            f"{path}:3:2: expected 2 columns, got 1"
+        )
+
+    def test_long_row_column_is_first_excess_cell(self):
+        db = Database()
+        data = io.StringIO("a,b\nc,d,e\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_facts_csv(db, data, "edge")
+        assert "<stream>:2:3: expected 2 columns, got 3" in str(excinfo.value)
+
+    def test_malformed_row_names_line(self):
+        db = Database()
+        # A bare carriage return in an unquoted field upsets the csv
+        # module (files opened in universal-newline mode never see one,
+        # but pre-opened binary-ish streams can).
+        data = io.StringIO("a,b\nnew\rline,q\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_facts_csv(db, data, "edge")
+        message = str(excinfo.value)
+        assert message.startswith("<stream>:")
+        assert "malformed row" in message
+
+    def test_program_file_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "broken.pl"
+        path.write_text("p(X) :- \n")
+        db = Database()
+        with pytest.raises(ValueError) as excinfo:
+            load_program_file(db, str(path))
+        assert str(excinfo.value).startswith(f"{path}: ")
+
+
+class TestLenientMode:
+    def test_bad_rows_warn_and_good_rows_load(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text("a,b\nc\nd,e\n")
+        db = Database()
+        with pytest.warns(UserWarning, match=r":2:2: expected 2 columns"):
+            added = load_facts_csv(db, str(path), "edge", strict=False)
+        assert added == 2
+        assert len(db.relation("edge", 2)) == 2
+
+    def test_malformed_rows_skipped_leniently(self):
+        db = Database()
+        data = io.StringIO("a,b\nnew\rline,q\nc,d\n")
+        with pytest.warns(UserWarning, match="malformed row"):
+            added = load_facts_csv(db, data, "edge", strict=False)
+        assert added == 2
+
+    def test_strict_default_unchanged(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            load_facts_csv(db, io.StringIO("a,b\nc\n"), "edge")

@@ -1,0 +1,57 @@
+"""Unit tests for the admission controller."""
+
+import pytest
+
+from repro.resilience import AdmissionController
+
+
+class TestGlobalBound:
+    def test_sheds_past_max_pending(self):
+        admission = AdmissionController(max_pending=2)
+        assert admission.try_acquire("QUERY")
+        assert admission.try_acquire("PLAN")
+        assert not admission.try_acquire("QUERY")
+
+    def test_release_reopens(self):
+        admission = AdmissionController(max_pending=1)
+        assert admission.try_acquire("QUERY")
+        assert not admission.try_acquire("QUERY")
+        admission.release("QUERY")
+        assert admission.try_acquire("QUERY")
+
+    def test_rejects_invalid_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+
+
+class TestPerVerbBound:
+    def test_verb_limit_hits_before_global(self):
+        admission = AdmissionController(
+            max_pending=10, verb_limits={"QUERY": 1}
+        )
+        assert admission.try_acquire("QUERY")
+        assert not admission.try_acquire("QUERY")
+        # Other verbs only see the global bound.
+        assert admission.try_acquire("EXPLAIN")
+
+    def test_unlimited_verbs_pass(self):
+        admission = AdmissionController(
+            max_pending=10, verb_limits={"QUERY": 1}
+        )
+        for _ in range(5):
+            assert admission.try_acquire("PLAN")
+
+
+class TestSnapshot:
+    def test_snapshot_reflects_in_flight(self):
+        admission = AdmissionController(
+            max_pending=4, verb_limits={"QUERY": 2}
+        )
+        admission.try_acquire("QUERY")
+        admission.try_acquire("PLAN")
+        snap = admission.snapshot()
+        assert snap["in_flight"] == 2
+        assert snap["per_verb"] == {"QUERY": 1, "PLAN": 1}
+        assert snap["max_pending"] == 4
+        admission.release("PLAN")
+        assert admission.snapshot()["per_verb"] == {"QUERY": 1}

@@ -1,0 +1,96 @@
+"""Circuit-breaker state machine, under a fake clock (no sleeping)."""
+
+from repro.resilience import CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def breaker(threshold=3, cooldown=5.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown, clock=clock), clock
+
+
+class TestTripping:
+    def test_closed_until_threshold(self):
+        b, _ = breaker(threshold=3)
+        assert b.record_blowout("k") == CLOSED
+        assert b.record_blowout("k") == CLOSED
+        assert b.allow("k")
+        assert b.record_blowout("k") == OPEN
+        assert not b.allow("k")
+
+    def test_success_resets_consecutive_count(self):
+        b, _ = breaker(threshold=2)
+        b.record_blowout("k")
+        b.record_success("k")
+        assert b.record_blowout("k") == CLOSED  # streak restarted
+        assert b.allow("k")
+
+    def test_keys_are_independent(self):
+        b, _ = breaker(threshold=1)
+        b.record_blowout("poisoned")
+        assert not b.allow("poisoned")
+        assert b.allow("healthy")
+
+
+class TestHalfOpenProbe:
+    def test_cooldown_admits_exactly_one_probe(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_blowout("k")
+        assert not b.allow("k")
+        clock.advance(5.0)
+        assert b.allow("k")           # the probe
+        assert b.state("k") == HALF_OPEN
+        assert not b.allow("k")       # everyone else keeps waiting
+
+    def test_probe_success_closes(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_blowout("k")
+        clock.advance(5.0)
+        assert b.allow("k")
+        b.record_success("k")
+        assert b.state("k") == CLOSED
+        assert b.allow("k")
+
+    def test_probe_blowout_reopens(self):
+        b, clock = breaker(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            b.record_blowout("k")
+        clock.advance(5.0)
+        assert b.allow("k")
+        # One blowout suffices in half-open, regardless of threshold.
+        assert b.record_blowout("k") == OPEN
+        assert not b.allow("k")
+
+
+class TestReporting:
+    def test_remaining_counts_down(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_blowout("k")
+        assert b.remaining("k") == 5.0
+        clock.advance(2.0)
+        assert b.remaining("k") == 3.0
+        assert b.remaining("unknown") == 0.0
+
+    def test_snapshot_aggregates(self):
+        b, clock = breaker(threshold=1, cooldown=5.0)
+        b.record_blowout("bad")
+        b.record_blowout("worse")
+        b.record_success("fine")  # never tracked: no-op
+        snap = b.snapshot()
+        assert snap["open"] == 2
+        assert snap["trips"] == 2
+        assert set(snap["degraded_keys"]) == {"bad", "worse"}
+        clock.advance(5.0)
+        b.allow("bad")
+        assert b.snapshot()["half_open"] == 1

@@ -1,0 +1,147 @@
+"""Unit tests for the Budget checkpoint vocabulary."""
+
+import time
+
+import pytest
+
+from repro.engine.counters import Counters
+from repro.resilience import Budget, BudgetExceeded
+
+
+class TestBudgetExceeded:
+    def test_single_message_compat(self):
+        # The historical top-down step-budget raise takes one positional
+        # message; the structured fields default to None.
+        exc = BudgetExceeded("exceeded 5 resolution steps")
+        assert str(exc) == "exceeded 5 resolution steps"
+        assert exc.reason is None and exc.counters is None
+
+    def test_as_dict(self):
+        exc = BudgetExceeded(
+            "budget exceeded: tuples 11 > 10",
+            reason="tuples",
+            limit=10,
+            observed=11,
+            counters={"derived_tuples": 11},
+            elapsed=0.5,
+        )
+        rendered = exc.as_dict()
+        assert rendered["reason"] == "tuples"
+        assert rendered["limit"] == 10
+        assert rendered["observed"] == 11
+        assert rendered["counters"]["derived_tuples"] == 11
+        assert rendered["elapsed_s"] == 0.5
+
+    def test_is_runtime_error(self):
+        # Evaluation-error handling paths catch RuntimeError, never
+        # ValueError, so planning fallbacks cannot swallow a blowout.
+        assert issubclass(BudgetExceeded, RuntimeError)
+        assert not issubclass(BudgetExceeded, ValueError)
+
+
+class TestTupleCeiling:
+    def test_trips_one_past_ceiling(self):
+        budget = Budget(max_tuples=10)
+        counters = Counters()
+        for _ in range(10):
+            counters.derived_tuples += 1
+            budget.check_tuple(counters)  # at the ceiling: fine
+        counters.derived_tuples += 1
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_tuple(counters)
+        assert info.value.reason == "tuples"
+        assert info.value.observed == 11
+        assert info.value.counters["derived_tuples"] == 11
+
+    def test_unlimited_never_trips(self):
+        budget = Budget()
+        counters = Counters()
+        counters.derived_tuples = 10**9
+        budget.check_tuple(counters)
+
+
+class TestRoundCeiling:
+    def test_trips_past_rounds(self):
+        budget = Budget(max_rounds=3)
+        counters = Counters()
+        for round_number in (1, 2, 3):
+            budget.check_round(round_number, counters)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_round(4, counters)
+        assert info.value.reason == "rounds"
+        assert info.value.limit == 3
+
+
+class TestLiveCeiling:
+    def test_tick_trips_on_peak(self):
+        budget = Budget(max_live=100)
+        counters = Counters()
+        counters.peak_intermediate = 100
+        budget.tick(counters)
+        counters.peak_intermediate = 101
+        with pytest.raises(BudgetExceeded) as info:
+            budget.tick(counters)
+        assert info.value.reason == "live_substitutions"
+
+
+class TestDeadline:
+    def test_check_round_observes_deadline(self):
+        budget = Budget(timeout=0.01)
+        time.sleep(0.03)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_round(1)
+        assert info.value.reason == "deadline"
+
+    def test_tick_samples_deadline(self):
+        budget = Budget(timeout=0.01)
+        time.sleep(0.03)
+        with pytest.raises(BudgetExceeded):
+            for _ in range(1000):  # well past the clock sample stride
+                budget.tick()
+
+
+class TestCancellation:
+    def test_cancel_observed_at_every_checkpoint(self):
+        counters = Counters()
+        for checkpoint in (
+            lambda b: b.tick(counters),
+            lambda b: b.check_tuple(counters),
+            lambda b: b.check_round(1, counters),
+        ):
+            budget = Budget()
+            budget.cancel("client disconnected")
+            with pytest.raises(BudgetExceeded) as info:
+                checkpoint(budget)
+            assert info.value.reason == "cancelled"
+            assert "client disconnected" in str(info.value)
+
+    def test_limitless_budget_is_a_cancel_handle(self):
+        budget = Budget()
+        budget.tick()
+        budget.cancel()
+        with pytest.raises(BudgetExceeded):
+            budget.tick()
+
+
+class TestForkAndStart:
+    def test_fork_copies_limits_clears_cancel(self):
+        template = Budget(max_tuples=5, max_rounds=7, timeout=30.0)
+        template.cancel("stale")
+        fork = template.fork()
+        assert fork.limits() == template.limits()
+        assert not fork.cancelled
+        fork.tick()  # does not raise
+        assert template.cancelled  # template untouched
+
+    def test_start_restarts_clock(self):
+        budget = Budget(timeout=10.0)
+        first_deadline = budget.deadline
+        time.sleep(0.01)
+        budget.start()
+        assert budget.deadline > first_deadline
+
+    def test_limits_rendering(self):
+        limits = Budget(max_tuples=3).limits()
+        assert limits["max_tuples"] == 3
+        assert limits["max_rounds"] is None
+        assert limits["timeout_s"] is None

@@ -1,0 +1,87 @@
+"""Budget parity: a no-op budget must be bit-identical to no budget.
+
+The checkpoints only *read* the engine counters, so running any query
+under ``Budget()`` (no limits) must produce exactly the same answers
+and exactly the same work counters as running with ``budget=None`` —
+the zero-cost discipline the tracer and profiler already follow.
+"""
+
+from repro.core.magic import MagicSetsEvaluator
+from repro.core.planner import Planner
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.engine.topdown import TopDownEvaluator
+from repro.resilience import Budget
+from repro.workloads import APPEND, FamilyConfig, family_database
+
+CONFIG = FamilyConfig(
+    levels=4, width=8, countries=2, parents_per_child=2, seed=0
+)
+
+QUERIES = [
+    "scsg(p0_0, Y)",
+    "scsg(X, Y)",
+    "parent(p0_0, Y)",
+]
+
+
+def _family():
+    return family_database(CONFIG)
+
+
+class TestPlannerParity:
+    def test_rows_and_counters_identical(self):
+        for source in QUERIES:
+            baseline = Planner(_family())
+            rel_none, counters_none = baseline.execute(baseline.plan(source))
+
+            budgeted = Planner(_family())
+            budgeted.budget = Budget()
+            rel_noop, counters_noop = budgeted.execute(budgeted.plan(source))
+
+            assert rel_none.rows() == rel_noop.rows(), source
+            assert counters_none.as_dict() == counters_noop.as_dict(), source
+
+    def test_append_parity(self):
+        source = "append(X, Y, [a, b, c])"
+        db = Database()
+        db.load_source(APPEND)
+        baseline = Planner(db)
+        rel_none, counters_none = baseline.execute(baseline.plan(source))
+
+        db2 = Database()
+        db2.load_source(APPEND)
+        budgeted = Planner(db2)
+        budgeted.budget = Budget()
+        rel_noop, counters_noop = budgeted.execute(budgeted.plan(source))
+
+        assert rel_none.rows() == rel_noop.rows()
+        assert counters_none.as_dict() == counters_noop.as_dict()
+
+
+class TestEvaluatorParity:
+    def test_magic_sets_parity(self):
+        for chain_split in (False, True):
+            query = parse_query("scsg(p0_0, Y)")[0]
+            answers_none, counters_none, _ = MagicSetsEvaluator(
+                _family(), chain_split=chain_split
+            ).evaluate(query)
+            answers_noop, counters_noop, _ = MagicSetsEvaluator(
+                _family(), chain_split=chain_split, budget=Budget()
+            ).evaluate(query)
+            assert answers_none.rows() == answers_noop.rows()
+            assert counters_none.as_dict() == counters_noop.as_dict()
+
+    def test_top_down_parity(self):
+        db = Database()
+        db.load_source(APPEND)
+        goals = parse_query("append(X, Y, [a, b, c])")
+
+        plain = TopDownEvaluator(db)
+        rows_none = sorted(str(s) for s in plain.solve(goals))
+
+        budgeted = TopDownEvaluator(db, budget=Budget())
+        rows_noop = sorted(str(s) for s in budgeted.solve(goals))
+
+        assert rows_none == rows_noop
+        assert plain.counters.as_dict() == budgeted.counters.as_dict()

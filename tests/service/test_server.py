@@ -252,9 +252,9 @@ class TestBudgets:
         # Deterministic: a session whose evaluation outlasts any budget
         # by construction (real workloads race the clock and flake).
         class SlowSession(QuerySession):
-            def execute(self, query_source, max_depth=None):
+            def execute(self, query_source, max_depth=None, budget=None):
                 time.sleep(0.25)
-                return super().execute(query_source, max_depth)
+                return super().execute(query_source, max_depth, budget)
 
         db = Database()
         db.load_source(SOURCE)
