@@ -23,6 +23,7 @@ REPL commands::
     :proof sg(ann, Y)     print the first answer's proof tree
     :trace sg(ann, Y)     evaluate with tracing; print the EXPLAIN report
     :profile sg(ann, Y)   evaluate with span profiling; print the report
+    :retract f(a, b)      remove a stored fact
     :slowlog              print retained slow queries (:slowlog clear)
     :facts                list stored relations
     :stats                print the session's service metrics
@@ -159,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="resource budget: abort any single evaluation after this "
         "much wall-clock time",
+    )
+    parser.add_argument(
+        "--ivm",
+        action="store_true",
+        help="incremental view maintenance: repair cached results in place "
+        "on FACT/RETRACT instead of flushing them, and let --serve clients "
+        "SUBSCRIBE to derived predicates",
     )
     parser.add_argument(
         "--serve",
@@ -354,6 +362,7 @@ _REPL_HELP = """\
   :proof sg(ann, Y)     print the first answer's proof tree
   :trace sg(ann, Y)     evaluate with tracing; print the EXPLAIN report
   :profile sg(ann, Y)   evaluate with span profiling; print the report
+  :retract f(a, b)      remove a stored fact
   :slowlog              print retained slow queries (:slowlog clear)
   :facts                list stored relations
   :stats                print the session's service metrics
@@ -390,6 +399,23 @@ def _repl(session: QuerySession, inp: IO[str], out: IO[str]) -> None:
             if query.endswith("."):
                 query = query[:-1]
             _run_profile(session, query, out)
+            continue
+        if line.startswith(":retract "):
+            clause = line[9:].strip()
+            if not clause.endswith("."):
+                clause += "."
+            try:
+                from .datalog.parser import parse_rule
+
+                rule = parse_rule(clause)
+                if not rule.is_fact():
+                    print("error: :retract takes a ground fact", file=out)
+                    continue
+                removed = session.retract_fact(rule.head.name, rule.head.args)
+            except ValueError as exc:
+                print(f"error: {exc}", file=out)
+                continue
+            print("retracted" if removed else "no such fact", file=out)
             continue
         if line == ":facts":
             for predicate, relation in sorted(
@@ -484,6 +510,7 @@ def main(
         max_depth=args.max_depth,
         slow_query_ms=args.slow_query_ms,
         budget=budget,
+        ivm=args.ivm,
     )
 
     if args.serve:
@@ -503,8 +530,9 @@ def main(
         host, port = server.address
         print(
             f"repro serving on {host}:{port} "
-            "(verbs: QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, METRICS, "
-            "PROFILE, SLOWLOG, HEALTH; one JSON reply per line)",
+            "(verbs: QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, UNSUBSCRIBE, "
+            "STATS, EXPLAIN, TRACE, METRICS, PROFILE, SLOWLOG, HEALTH; "
+            "one JSON reply per line)",
             file=out,
         )
         # Scripts discover the bound port (--port 0) from this line, so

@@ -8,14 +8,62 @@ finite-evaluability analysis consumes (:mod:`repro.analysis.finiteness`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..datalog.literals import Predicate
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Term
 from .relation import Relation, Row, wrap_term
 
-__all__ = ["Database", "FinitenessConstraint"]
+__all__ = [
+    "Database",
+    "FinitenessConstraint",
+    "MutationBatch",
+    "RelationDelta",
+]
+
+
+@dataclass
+class RelationDelta:
+    """The net effect of one committed mutation batch on one relation.
+
+    ``window`` is the ``[lo, hi)`` insertion-log interval the added rows
+    occupy in the stored relation — consumers (incremental view
+    maintenance) turn it into a zero-copy
+    :class:`~repro.engine.relation.RelationWindow` delta instead of
+    re-hashing the added rows.
+    """
+
+    predicate: Predicate
+    added: List[Row] = field(default_factory=list)
+    removed: List[Row] = field(default_factory=list)
+    window: Tuple[int, int] = (0, 0)
+
+
+@dataclass
+class MutationBatch:
+    """One committed group of EDB mutations, net of cancellations.
+
+    Handed to mutation listeners *after* the stored relations and the
+    version counters reflect the batch.  ``deltas`` only holds
+    relations that actually changed.
+    """
+
+    deltas: Dict[Predicate, RelationDelta]
+    edb_version: int
+
+    def __bool__(self) -> bool:
+        return bool(self.deltas)
 
 
 class FinitenessConstraint:
@@ -78,6 +126,11 @@ class Database:
         self.edb_version: int = 0
         #: Bumped on every IDB (rule) mutation.
         self.idb_version: int = 0
+        #: Per-relation mutation counters: ``edb_version`` says *that*
+        #: something changed, these say *what* — the granularity
+        #: selective cache invalidation and view maintenance need.
+        self.relation_versions: Dict[Predicate, int] = {}
+        self._mutation_listeners: List[Callable[[MutationBatch], None]] = []
         if program is not None:
             self.load_program(program)
 
@@ -91,11 +144,21 @@ class Database:
     # ------------------------------------------------------------------
     def add_relation(self, relation: Relation) -> None:
         predicate = Predicate(relation.name, relation.arity)
-        if predicate in self.relations:
-            self.relations[predicate].add_all(relation.rows())
+        existing = self.relations.get(predicate)
+        if existing is not None:
+            lo = existing.mark()
+            added = [row for row in relation.rows() if existing.add(row)]
+            hi = existing.mark()
         else:
             self.relations[predicate] = relation
+            added = list(relation.rows())
+            lo, hi = 0, relation.mark()
         self.edb_version += 1
+        self._bump_relation(predicate)
+        if added and self._mutation_listeners:
+            self._notify(
+                {predicate: RelationDelta(predicate, added, [], (lo, hi))}
+            )
 
     def relation(self, name: str, arity: int) -> Relation:
         """The relation for ``name/arity``, created empty on demand."""
@@ -110,13 +173,117 @@ class Database:
     def add_fact(self, name: str, values: Sequence[object]) -> bool:
         """Insert a fact given Python values or terms."""
         row = tuple(wrap_term(v) for v in values)
-        added = self.relation(name, len(row)).add(row)
-        if added:
+        relation = self.relation(name, len(row))
+        lo = relation.mark()
+        if not relation.add(row):
+            return False
+        predicate = Predicate(name, len(row))
+        self.edb_version += 1
+        self._bump_relation(predicate)
+        if self._mutation_listeners:
+            self._notify(
+                {
+                    predicate: RelationDelta(
+                        predicate, [row], [], (lo, relation.mark())
+                    )
+                }
+            )
+        return True
+
+    def retract_fact(self, name: str, values: Sequence[object]) -> bool:
+        """Remove a fact; ``False`` when it was not stored."""
+        row = tuple(wrap_term(v) for v in values)
+        predicate = Predicate(name, len(row))
+        relation = self.relations.get(predicate)
+        if relation is None or not relation.discard(row):
+            return False
+        self.edb_version += 1
+        self._bump_relation(predicate)
+        if self._mutation_listeners:
+            mark = relation.mark()
+            self._notify(
+                {predicate: RelationDelta(predicate, [], [row], (mark, mark))}
+            )
+        return True
+
+    def apply_batch(
+        self, mutations: Iterable[Tuple[str, str, Sequence[object]]]
+    ) -> MutationBatch:
+        """Apply ``(op, name, values)`` mutations as one committed batch.
+
+        ``op`` is ``"add"`` or ``"retract"``.  The batch is normalised
+        to its *net* effect first (an add followed by a retract of the
+        same row cancels out), then per relation all removals land
+        before any additions — so the added rows occupy one contiguous
+        log window and a listener never observes an intermediate state
+        where a retracted row still shadows its re-addition.  The
+        version counters bump once per batch (``edb_version``) and once
+        per touched relation.
+        """
+        desired: Dict[Predicate, Dict[Row, bool]] = {}
+        for op, name, values in mutations:
+            if op not in ("add", "retract"):
+                raise ValueError(f"unknown mutation op {op!r}")
+            row = tuple(wrap_term(v) for v in values)
+            predicate = Predicate(name, len(row))
+            desired.setdefault(predicate, {})[row] = op == "add"
+        deltas: Dict[Predicate, RelationDelta] = {}
+        for predicate, wants in desired.items():
+            relation = self.relation(predicate.name, predicate.arity)
+            removed = [
+                row
+                for row, want in wants.items()
+                if not want and relation.discard(row)
+            ]
+            lo = relation.mark()
+            added = [
+                row for row, want in wants.items() if want and relation.add(row)
+            ]
+            if added or removed:
+                deltas[predicate] = RelationDelta(
+                    predicate, added, removed, (lo, relation.mark())
+                )
+        if deltas:
             self.edb_version += 1
-        return added
+            for predicate in deltas:
+                self._bump_relation(predicate)
+            if self._mutation_listeners:
+                self._notify(deltas)
+        return MutationBatch(deltas, self.edb_version)
 
     def edb_predicates(self) -> Set[Predicate]:
         return set(self.relations)
+
+    # ------------------------------------------------------------------
+    # Mutation listeners
+    # ------------------------------------------------------------------
+    def add_mutation_listener(
+        self, listener: Callable[[MutationBatch], None]
+    ) -> None:
+        """Register ``listener`` to run after each committed EDB batch.
+
+        Listeners run synchronously, in registration order, with the
+        relations and version counters already reflecting the batch.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[MutationBatch], None]
+    ) -> None:
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _bump_relation(self, predicate: Predicate) -> None:
+        self.relation_versions[predicate] = (
+            self.relation_versions.get(predicate, 0) + 1
+        )
+
+    def _notify(self, deltas: Dict[Predicate, RelationDelta]) -> None:
+        batch = MutationBatch(deltas, self.edb_version)
+        for listener in list(self._mutation_listeners):
+            listener(batch)
 
     # ------------------------------------------------------------------
     # IDB management
@@ -132,8 +299,7 @@ class Database:
 
     def add_rule(self, rule: Rule) -> None:
         if rule.is_fact():
-            if self.relation(rule.head.name, rule.head.arity).add(rule.head.args):
-                self.edb_version += 1
+            self.add_fact(rule.head.name, rule.head.args)
         else:
             self.program.add(rule)
             self.idb_version += 1

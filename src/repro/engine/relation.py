@@ -40,7 +40,7 @@ from typing import (
 
 from ..datalog.terms import Const, Term, is_ground
 
-__all__ = ["Relation", "RelationWindow", "Row", "wrap_term"]
+__all__ = ["OverlayRelation", "Relation", "RelationWindow", "Row", "wrap_term"]
 
 Row = Tuple[Term, ...]
 
@@ -296,6 +296,65 @@ class RelationWindow:
 
     def __repr__(self) -> str:
         return f"RelationWindow({self.name!r}/{self.arity}, {len(self)} rows)"
+
+
+class OverlayRelation:
+    """A read-only union of a relation-like base and a small extra set.
+
+    Incremental maintenance needs to evaluate rule bodies against a
+    state the stored relations no longer hold: DRed's over-deletion
+    joins run against the *pre-batch* state after retracted rows have
+    already been tombstoned, and counting deletion needs the pre-batch
+    view of every touched relation.  Rather than copying relations,
+    the maintainer overlays the already-removed rows back on top of the
+    (mutated) base.
+
+    Exposes only what :func:`~repro.engine.joins.evaluate_body`
+    consumes: :meth:`lookup`, membership, iteration and ``len``.  Rows
+    present in both base and extra are reported once — but callers
+    should keep the two disjoint (they are, by construction: ``extra``
+    holds exactly the rows no longer visible through ``base``).
+    """
+
+    __slots__ = ("base", "extra")
+
+    def __init__(self, base, extra: Relation):
+        self.base = base
+        self.extra = extra
+
+    @property
+    def name(self) -> str:
+        return f"{getattr(self.base, 'name', '?')}+overlay"
+
+    @property
+    def arity(self) -> int:
+        return self.base.arity
+
+    def lookup(self, columns: Sequence[int], key: Sequence[Term]) -> List[Row]:
+        rows = list(self.base.lookup(columns, key))
+        for row in self.extra.lookup(columns, key):
+            if row not in self.base:
+                rows.append(row)
+        return rows
+
+    def rows(self) -> Set[Row]:
+        return set(self)
+
+    def __contains__(self, row: Sequence[Term]) -> bool:
+        return row in self.base or row in self.extra
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.base:
+            yield row
+        for row in self.extra:
+            if row not in self.base:
+                yield row
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        return f"OverlayRelation({self.name!r}/{self.arity}, {len(self)} rows)"
 
 
 def wrap_term(value: object) -> Term:

@@ -42,7 +42,13 @@ from .database import Database
 from .joins import UnsafeRuleError, evaluate_body, order_body
 from .relation import Relation
 
-__all__ = ["SemiNaiveEvaluator", "NaiveEvaluator", "EvaluationResult"]
+__all__ = [
+    "SemiNaiveEvaluator",
+    "NaiveEvaluator",
+    "EvaluationResult",
+    "delta_first_order",
+    "head_row",
+]
 
 
 class EvaluationResult:
@@ -71,13 +77,17 @@ class EvaluationResult:
         return f"EvaluationResult({sizes})"
 
 
-def _delta_first_order(
+def delta_first_order(
     rule: Rule, slot: int, registry: BuiltinRegistry
 ) -> List[Tuple[int, Literal]]:
     """A safe body order for the semi-naive variant whose delta sits at
     body position ``slot``: the delta literal leads (the delta window
     is the smallest relation in the join), and the remaining literals
-    are greedily reordered with the delta's variables already bound."""
+    are greedily reordered with the delta's variables already bound.
+
+    Public because incremental view maintenance (``repro.ivm``) builds
+    the same delta-first variants for its insert-propagation and
+    over-deletion rounds."""
     delta_literal = rule.body[slot]
     rest = [(i, lit) for i, lit in enumerate(rule.body) if i != slot]
     ordered_rest = order_body(
@@ -88,6 +98,27 @@ def _delta_first_order(
     return [(slot, delta_literal)] + [
         (rest[position][0], literal) for position, literal in ordered_rest
     ]
+
+
+#: Backwards-compatible private alias (the evaluator below predates the
+#: public name).
+_delta_first_order = delta_first_order
+
+
+def head_row(rule: Rule, subst: Substitution) -> Tuple[Term, ...]:
+    """Instantiate ``rule``'s head under ``subst`` as a ground row.
+
+    Raises :class:`UnsafeRuleError` when a head variable stays unbound —
+    the same range-restriction check every bottom-up evaluator applies.
+    Public so ``repro.ivm`` derives head rows with identical semantics.
+    """
+    row = tuple(apply_substitution(arg, subst) for arg in rule.head.args)
+    for value in row:
+        if not is_ground(value):
+            raise UnsafeRuleError(
+                f"head of {rule} not ground after body evaluation"
+            )
+    return row
 
 
 class _BottomUpEvaluator:
@@ -140,13 +171,7 @@ class _BottomUpEvaluator:
 
     @staticmethod
     def _head_row(rule: Rule, subst: Substitution) -> Tuple[Term, ...]:
-        row = tuple(apply_substitution(arg, subst) for arg in rule.head.args)
-        for value in row:
-            if not is_ground(value):
-                raise UnsafeRuleError(
-                    f"head of {rule} not ground after body evaluation"
-                )
-        return row
+        return head_row(rule, subst)
 
     def _strata(self, program: Program) -> List[Set[Predicate]]:
         return program.strata()

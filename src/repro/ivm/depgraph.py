@@ -1,0 +1,116 @@
+"""Per-predicate dependency closures over the IDB program.
+
+The maintenance planner needs three facts about a predicate before it
+touches a single tuple:
+
+* its **closure** — every stored or derived predicate reachable through
+  rule bodies, which is exactly the set of relations whose mutation can
+  change the predicate's extension (the invalidation footprint);
+* whether the closure crosses **negation** — then incremental deletion
+  is unsound without stratified DRed bookkeeping we don't attempt, and
+  the view falls back to recompute-and-diff;
+* whether the closure calls **functional builtins** (``is``, ``cons``,
+  ``sum``, ...) — then the full extension is unbounded (the planner's
+  own ``_closure_is_functional`` makes the same call) and no view is
+  materialized at all.
+
+Comparisons and ``=`` are harmless: they only filter bindings, so a
+closure using nothing else stays fully maintainable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from ..datalog.literals import Predicate
+from ..datalog.rules import Program, Rule
+from ..engine.builtins import BuiltinRegistry, default_registry
+
+__all__ = ["ClosureInfo", "DependencyGraph"]
+
+
+@dataclass(frozen=True)
+class ClosureInfo:
+    """What one predicate's rule closure looks like to the maintainer."""
+
+    predicate: Predicate
+    #: Every stored/derived predicate in the closure (builtins excluded).
+    preds: FrozenSet[Predicate]
+    #: The derived (IDB) predicates of the closure.
+    idb: FrozenSet[Predicate]
+    has_negation: bool
+    has_functional: bool
+
+    @property
+    def maintainable(self) -> bool:
+        """Definite and non-functional: counting/DRed maintenance applies."""
+        return not self.has_negation and not self.has_functional
+
+    @property
+    def materializable(self) -> bool:
+        """A finite extension exists (negation OK, functional builtins not)."""
+        return not self.has_functional
+
+
+class DependencyGraph:
+    """Closure analysis over a :class:`Program`, memoized per predicate.
+
+    Built once per IDB version — rule mutations invalidate every cached
+    closure, so consumers rebuild the graph instead of patching it.
+    """
+
+    def __init__(self, program: Program, registry: BuiltinRegistry = None):
+        self.program = program
+        self.registry = registry if registry is not None else default_registry()
+        self._idb = program.head_predicates()
+        self._rules: Dict[Predicate, List[Rule]] = {}
+        for rule in program:
+            self._rules.setdefault(rule.head.predicate, []).append(rule)
+        self._info: Dict[Predicate, ClosureInfo] = {}
+
+    def is_idb(self, predicate: Predicate) -> bool:
+        return predicate in self._idb
+
+    def rules_for(self, predicate: Predicate) -> List[Rule]:
+        return self._rules.get(predicate, [])
+
+    def info(self, predicate: Predicate) -> ClosureInfo:
+        cached = self._info.get(predicate)
+        if cached is not None:
+            return cached
+        preds = {predicate}
+        has_negation = False
+        has_functional = False
+        stack = [predicate]
+        while stack:
+            for rule in self._rules.get(stack.pop(), ()):
+                for literal in rule.body:
+                    if literal.negated:
+                        has_negation = True
+                    builtin = self.registry.get(literal.predicate)
+                    if builtin is not None:
+                        # Builtins are not stored relations: they never
+                        # join the closure, but functional ones poison
+                        # materializability (same test the planner's
+                        # _closure_is_functional applies).
+                        if not literal.is_comparison() and literal.name != "=":
+                            has_functional = True
+                        continue
+                    if literal.predicate not in preds:
+                        preds.add(literal.predicate)
+                        if literal.predicate in self._idb:
+                            stack.append(literal.predicate)
+        info = ClosureInfo(
+            predicate=predicate,
+            preds=frozenset(preds),
+            idb=frozenset(p for p in preds if p in self._idb),
+            has_negation=has_negation,
+            has_functional=has_functional,
+        )
+        self._info[predicate] = info
+        return info
+
+    def closure(self, predicate: Predicate) -> FrozenSet[Predicate]:
+        """The invalidation footprint of ``predicate`` (includes itself)."""
+        return self.info(predicate).preds

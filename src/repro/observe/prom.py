@@ -221,6 +221,51 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
             breaker.get("trips", 0),
         )
 
+    ivm = stats.get("ivm") or {}
+    if ivm:
+        w.counter(
+            "ivm_repairs_total",
+            "Cached results repaired in place after a mutation.",
+            ivm.get("repairs", 0),
+        )
+        w.counter(
+            "ivm_results_kept_total",
+            "Cached results kept untouched because the mutation did not "
+            "reach their closure.",
+            ivm.get("results_kept", 0),
+        )
+        w.counter(
+            "ivm_rederivations_total",
+            "Over-deleted tuples rederived during DRed maintenance.",
+            ivm.get("rederivations", 0),
+        )
+        w.counter(
+            "ivm_recomputes_total",
+            "Materializations rebuilt from scratch instead of maintained.",
+            ivm.get("recomputes", 0),
+        )
+        w.counter(
+            "ivm_maintenance_runs_total",
+            "Mutation batches folded into materialized views.",
+            ivm.get("maintenance_runs", 0),
+        )
+        w.counter(
+            "ivm_failures_total",
+            "Maintenance runs that failed and marked the view dirty.",
+            ivm.get("failures", 0),
+        )
+        w.counter(
+            "ivm_view_serves_total",
+            "Queries answered straight from a materialized view.",
+            ivm.get("view_serves", 0),
+        )
+    if "subscribers" in stats:
+        w.gauge(
+            "subscribers",
+            "Live SUBSCRIBE registrations across connections.",
+            stats.get("subscribers", 0),
+        )
+
     engine = stats.get("engine") or {}
     if engine:
         full = w.header(

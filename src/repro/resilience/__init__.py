@@ -17,6 +17,7 @@ from .chaos import (
     ChaosClient,
     ChaosError,
     ChaosRelation,
+    ChaosSubscriber,
     ChaosSchedule,
     chaos_relations,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "ChaosClient",
     "ChaosError",
     "ChaosRelation",
+    "ChaosSubscriber",
     "ChaosSchedule",
     "chaos_relations",
 ]

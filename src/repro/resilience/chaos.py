@@ -39,6 +39,7 @@ __all__ = [
     "ChaosRelation",
     "chaos_relations",
     "ChaosClient",
+    "ChaosSubscriber",
 ]
 
 
@@ -141,6 +142,10 @@ class ChaosRelation:
         self._schedule.fault(self._site + ":add")
         return self._inner.add(row)
 
+    def discard(self, row):
+        self._schedule.fault(self._site + ":discard")
+        return self._inner.discard(row)
+
     def rows(self):
         self._schedule.fault(self._site + ":scan")
         return self._inner.rows()
@@ -238,3 +243,74 @@ class ChaosClient:
             reply = reader.readline()
         outcome = "ok" if kind is None else kind
         return outcome, reply.decode("utf-8", "replace").strip() or None
+
+
+class ChaosSubscriber:
+    """A SUBSCRIBE client that misbehaves mid-stream, per schedule.
+
+    Holds one long-lived connection; :meth:`subscribe` registers a
+    subscription, :meth:`read_delta` reads the next pushed line — but
+    per the schedule a read may instead slam the connection shut
+    (``drop``) or stall before reading (``delay``), exercising the
+    server's push-path cleanup while deltas are in flight.
+
+    ``read_delta`` returns ``(outcome, parsed_line_or_None)``; after a
+    ``drop`` the connection is gone and further calls return
+    ``("closed", None)``.
+    """
+
+    SITE = "socket:subscriber"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        schedule: ChaosSchedule,
+        timeout: float = 10.0,
+    ):
+        import socket
+
+        self.schedule = schedule
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, line: str) -> Optional[dict]:
+        """One request/reply round trip on the subscriber connection."""
+        import json
+
+        if self._sock is None:
+            return None
+        self._sock.sendall((line.rstrip("\n") + "\n").encode())
+        reply = self._reader.readline()
+        if not reply:
+            return None
+        return json.loads(reply)
+
+    def subscribe(self, target: str) -> Optional[dict]:
+        return self.request(f"SUBSCRIBE {target}")
+
+    def read_delta(self) -> Tuple[str, Optional[dict]]:
+        import json
+
+        if self._sock is None:
+            return "closed", None
+        kind = self.schedule.draw(self.SITE)
+        if kind == "drop":
+            self.close()
+            return "drop", None
+        if kind == "delay":
+            time.sleep(self.schedule.delay_s)
+        line = self._reader.readline()
+        if not line:
+            self.close()
+            return "closed", None
+        return ("ok" if kind is None else kind), json.loads(line)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # already torn down by the peer
+                pass
+            self._sock = None
+            self._reader = None

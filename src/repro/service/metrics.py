@@ -173,6 +173,26 @@ class ServiceMetrics:
         #: ``snapshot()``; the server installs it so STATS/metrics can
         #: surface breaker state without metrics importing the breaker.
         self.breaker_provider = None
+        #: Incremental view maintenance (``repro.ivm``) aggregates.
+        #: Cached results repaired in place instead of evicted:
+        self.ivm_repairs = 0
+        #: Cached results kept untouched (closure disjoint from the
+        #: mutated relations — selective invalidation):
+        self.ivm_results_kept = 0
+        #: Tuples rederived after a DRed over-delete:
+        self.ivm_rederivations = 0
+        #: Views that fell back to a full recompute:
+        self.ivm_recomputes = 0
+        #: Maintenance runs folded into materializations:
+        self.ivm_maintenance_runs = 0
+        #: Maintenance runs that faulted (view went dirty):
+        self.ivm_failures = 0
+        #: Queries answered straight from a materialized view:
+        self.ivm_view_serves = 0
+        #: Optional zero-arg callable returning the current number of
+        #: active subscriptions (installed by the server, same pattern
+        #: as :attr:`breaker_provider`).
+        self.subscriber_provider = None
         #: Engine work counters summed over all evaluated queries.
         self.engine_counters = Counters()
 
@@ -258,6 +278,35 @@ class ServiceMetrics:
             if plans:
                 self.plan_invalidations += 1
 
+    def record_ivm_sync(self, kept: int, repaired: int) -> None:
+        """Account one selective cache sync: entries kept vs repaired."""
+        with self._lock:
+            self.ivm_results_kept += kept
+            self.ivm_repairs += repaired
+
+    def record_ivm_maintenance(
+        self,
+        rederivations: int = 0,
+        recomputed: bool = False,
+        failed: bool = False,
+    ) -> None:
+        """Account one maintenance run folded into a materialization."""
+        with self._lock:
+            self.ivm_maintenance_runs += 1
+            self.ivm_rederivations += rederivations
+            if recomputed:
+                self.ivm_recomputes += 1
+            if failed:
+                self.ivm_failures += 1
+
+    def record_ivm_recompute(self) -> None:
+        with self._lock:
+            self.ivm_recomputes += 1
+
+    def record_view_serve(self) -> None:
+        with self._lock:
+            self.ivm_view_serves += 1
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -265,8 +314,11 @@ class ServiceMetrics:
         """A JSON-serializable copy of every aggregate."""
         # Breaker state is owned by the server's CircuitBreaker (its own
         # lock); call the provider outside ours to avoid nesting locks.
+        # Same for the subscription registry.
         provider = self.breaker_provider
         breaker = provider() if provider is not None else None
+        sub_provider = self.subscriber_provider
+        subscribers = sub_provider() if sub_provider is not None else None
         with self._lock:
             snap = {
                 "queries": self.queries,
@@ -299,10 +351,21 @@ class ServiceMetrics:
                 "rejected_by_verb": dict(self.rejected_by_verb),
                 "budget_exceeded": self.budget_exceeded,
                 "disconnects": self.disconnects,
+                "ivm": {
+                    "repairs": self.ivm_repairs,
+                    "results_kept": self.ivm_results_kept,
+                    "rederivations": self.ivm_rederivations,
+                    "recomputes": self.ivm_recomputes,
+                    "maintenance_runs": self.ivm_maintenance_runs,
+                    "failures": self.ivm_failures,
+                    "view_serves": self.ivm_view_serves,
+                },
                 "engine": self.engine_counters.as_dict(),
             }
         if breaker is not None:
             snap["breaker"] = breaker
+        if subscribers is not None:
+            snap["subscribers"] = subscribers
         return snap
 
     def reset(self) -> None:
@@ -323,6 +386,10 @@ class ServiceMetrics:
             self.rejected_by_verb = {}
             self.budget_exceeded = 0
             self.disconnects = 0
+            self.ivm_repairs = self.ivm_results_kept = 0
+            self.ivm_rederivations = self.ivm_recomputes = 0
+            self.ivm_maintenance_runs = self.ivm_failures = 0
+            self.ivm_view_serves = 0
             self.engine_counters = Counters()
 
     def __repr__(self) -> str:

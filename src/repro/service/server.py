@@ -12,6 +12,17 @@ PLAN      a query                     ``plan`` (the explain text),
 FACT      a clause, e.g.              ``added`` plus the new version stamp;
           ``parent(ann, bea).``       rules are accepted too and bump the
                                       IDB version instead
+RETRACT   a ground fact, e.g.         ``removed`` plus the new version
+          ``parent(ann, bea).``       stamp; only stored facts can be
+                                      retracted, not rules
+SUBSCRIBE ``name/arity`` or a         ``subscription`` (an id); from then
+          literal, e.g. ``sg(X,Y)``   on every committed mutation batch
+                                      that changes the predicate pushes a
+                                      ``DELTA`` line (``adds``/``dels``)
+                                      on this connection
+UNSUBSCRIBE  an id (optional)         drops that subscription (or, with
+                                      no argument, all on this
+                                      connection); ``removed`` lists ids
 STATS     —                           the ``ServiceMetrics`` snapshot plus
                                       cache/database state
 EXPLAIN   a query                     evaluate with tracing on; the full
@@ -66,21 +77,35 @@ Overload and repeated blowouts degrade gracefully rather than crash:
   and serves degraded answers while open — a stale cached result if one
   exists, else an existence-only probe under a tight budget, else a
   ``CircuitOpen`` envelope with ``retry_after``.
+
+``SUBSCRIBE`` turns the connection into a push channel: a pusher thread
+delivers one ``{"ok": true, "verb": "DELTA", "subscription": id,
+"predicate": "name/arity", "adds": [...], "dels": [...]}`` line per
+committed mutation batch that changes the subscribed predicate.  For
+stored predicates the deltas come straight from the batch; for derived
+predicates they come from the session's incremental view maintenance
+(the session must be constructed with ``ivm=True``).  Request replies
+and pushed deltas on the same connection are serialized by a
+per-connection write lock so lines never interleave.  Subscribed
+connections are exempt from ``idle_timeout`` and from the mid-request
+disconnect probe — silence is their normal state.
 """
 
 from __future__ import annotations
 
 import json
+import queue
 import socket
 import socketserver
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..datalog.literals import Predicate
 from ..datalog.parser import parse_rule
-from ..engine.database import Database
+from ..engine.database import Database, MutationBatch
 from ..resilience import AdmissionController, Budget, BudgetExceeded, CircuitBreaker
 from .session import QuerySession
 
@@ -94,8 +119,9 @@ MAX_LINE_BYTES = 64 * 1024
 MAX_DRAIN_BYTES = 512 * 1024
 
 #: Verbs that evaluate (or plan) a query and therefore go through
-#: admission control; STATS/HEALTH/METRICS/SLOWLOG/FACT stay exempt so
-#: the health surfaces remain responsive under load shedding.
+#: admission control; STATS/HEALTH/METRICS/SLOWLOG and the mutation
+#: verbs (FACT/RETRACT) stay exempt so the health surfaces and the
+#: write path remain responsive under load shedding.
 HEAVY_VERBS = frozenset({"QUERY", "PLAN", "EXPLAIN", "TRACE", "PROFILE"})
 
 #: How often the result-wait loop re-checks deadline and peer liveness.
@@ -112,6 +138,110 @@ def _error_envelope(verb: str, exc_type: str, message: str) -> Dict[str, object]
         "verb": verb,
         "error": {"type": exc_type, "message": message},
     }
+
+
+class _Subscription:
+    """One SUBSCRIBE registration: a predicate feeding one connection."""
+
+    __slots__ = ("id", "predicate", "connection", "lock")
+
+    def __init__(
+        self,
+        sub_id: int,
+        predicate: Predicate,
+        connection: socket.socket,
+        lock: threading.Lock,
+    ):
+        self.id = sub_id
+        self.predicate = predicate
+        self.connection = connection
+        self.lock = lock
+
+
+class _Subscriptions:
+    """Thread-safe registry of live subscriptions.
+
+    Also owns the per-connection write locks that serialize request
+    replies against pushed DELTA lines on the same socket.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._by_id: Dict[int, _Subscription] = {}
+        self._by_conn: Dict[socket.socket, List[int]] = {}
+        self._conn_locks: Dict[socket.socket, threading.Lock] = {}
+
+    def lock_for(self, connection: socket.socket) -> threading.Lock:
+        with self._lock:
+            lock = self._conn_locks.get(connection)
+            if lock is None:
+                lock = threading.Lock()
+                self._conn_locks[connection] = lock
+            return lock
+
+    def add(
+        self, connection: socket.socket, predicate: Predicate
+    ) -> _Subscription:
+        write_lock = self.lock_for(connection)
+        with self._lock:
+            sub = _Subscription(
+                self._next_id, predicate, connection, write_lock
+            )
+            self._next_id += 1
+            self._by_id[sub.id] = sub
+            self._by_conn.setdefault(connection, []).append(sub.id)
+            return sub
+
+    def remove(
+        self, sub_id: int, connection: Optional[socket.socket] = None
+    ) -> Optional[_Subscription]:
+        """Drop ``sub_id``; with ``connection`` given, only if it owns it."""
+        with self._lock:
+            sub = self._by_id.get(sub_id)
+            if sub is None:
+                return None
+            if connection is not None and sub.connection is not connection:
+                return None
+            del self._by_id[sub_id]
+            ids = self._by_conn.get(sub.connection)
+            if ids is not None:
+                try:
+                    ids.remove(sub_id)
+                except ValueError:
+                    pass
+                if not ids:
+                    del self._by_conn[sub.connection]
+            return sub
+
+    def drop_connection(self, connection: socket.socket) -> List[int]:
+        """The connection closed: forget its subscriptions and lock."""
+        with self._lock:
+            ids = self._by_conn.pop(connection, [])
+            for sub_id in ids:
+                self._by_id.pop(sub_id, None)
+            self._conn_locks.pop(connection, None)
+            return ids
+
+    def ids_for(self, connection: socket.socket) -> List[int]:
+        with self._lock:
+            return list(self._by_conn.get(connection, ()))
+
+    def is_subscribed(self, connection: socket.socket) -> bool:
+        with self._lock:
+            return connection in self._by_conn
+
+    def for_predicate(self, predicate: Predicate) -> List[_Subscription]:
+        with self._lock:
+            return [
+                sub
+                for sub in self._by_id.values()
+                if sub.predicate == predicate
+            ]
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._by_id)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -175,13 +305,22 @@ class _Handler(socketserver.StreamRequestHandler):
                     # by the wait loop; nothing left to reply to.
                     return
             try:
-                self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
-                self.wfile.flush()
+                # The connection's write lock keeps the reply line from
+                # interleaving with DELTA pushes on the same socket.
+                with self.server.query_server.subscriptions.lock_for(
+                    self.connection
+                ):
+                    self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+                    self.wfile.flush()
             except (ConnectionError, OSError):
                 self.server.query_server.session.metrics.record_disconnect()
                 return
             if close_after_reply:
                 return
+
+    def finish(self) -> None:
+        self.server.query_server.subscriptions.drop_connection(self.connection)
+        super().finish()
 
     def _handle_http(self, raw: bytes) -> None:
         session = self.server.query_server.session
@@ -293,6 +432,18 @@ class QueryServer:
             max_workers=workers, thread_name_prefix="repro-query"
         )
         self._thread: Optional[threading.Thread] = None
+        self.subscriptions = _Subscriptions()
+        # STATS / the Prometheus page surface the live subscriber count.
+        session.metrics.subscriber_provider = self.subscriptions.count
+        self._push_queue: "queue.Queue" = queue.Queue()
+        self._pusher = threading.Thread(
+            target=self._pusher_loop, name="repro-push", daemon=True
+        )
+        self._pusher.start()
+        # Registered after the session's own ViewManager listener (the
+        # session constructor ran first), so by the time _on_mutation
+        # sees a batch the maintenance report for it is already final.
+        session.database.add_mutation_listener(self._on_mutation)
 
     @classmethod
     def for_database(cls, database: Database, **kwargs) -> "QueryServer":
@@ -318,9 +469,12 @@ class QueryServer:
         return self
 
     def shutdown(self) -> None:
+        self.session.database.remove_mutation_listener(self._on_mutation)
+        self._push_queue.put(None)
         self._tcp.shutdown()
         self._tcp.server_close()
         self._pool.shutdown(wait=False)
+        self._pusher.join(timeout=5)
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -330,6 +484,67 @@ class QueryServer:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Delta push channel
+    # ------------------------------------------------------------------
+    def _on_mutation(self, batch: MutationBatch) -> None:
+        """Database listener: fan one committed batch out as DELTA lines.
+
+        Envelopes are built here, synchronously with the batch — the
+        session's maintenance report is still the one for *this* batch
+        — but the socket writes happen on the pusher thread so a slow
+        subscriber never blocks the mutating caller.
+        """
+        if not self.subscriptions.count():
+            return
+        deltas: Dict[Predicate, Tuple[list, list]] = {}
+        for predicate, delta in batch.deltas.items():
+            deltas[predicate] = (list(delta.added), list(delta.removed))
+        views = self.session.views
+        if views is not None:
+            report = views.last_report
+            if report is not None and report.batch is batch:
+                # Derived deltas override raw ones: when a predicate is
+                # both stored and derived, the maintained net change is
+                # the truthful one.
+                for predicate, (adds, dels) in report.derived.items():
+                    deltas[predicate] = (list(adds), list(dels))
+        for predicate, (adds, dels) in deltas.items():
+            if not adds and not dels:
+                continue
+            subs = self.subscriptions.for_predicate(predicate)
+            if not subs:
+                continue
+            envelope = {
+                "ok": True,
+                "verb": "DELTA",
+                "predicate": str(predicate),
+                "adds": [[str(value) for value in row] for row in adds],
+                "dels": [[str(value) for value in row] for row in dels],
+                "edb_version": batch.edb_version,
+            }
+            for sub in subs:
+                payload = dict(envelope)
+                payload["subscription"] = sub.id
+                self._push_queue.put(
+                    (sub, json.dumps(payload).encode("utf-8") + b"\n")
+                )
+
+    def _pusher_loop(self) -> None:
+        while True:
+            item = self._push_queue.get()
+            if item is None:
+                return
+            sub, payload = item
+            try:
+                with sub.lock:
+                    sub.connection.sendall(payload)
+            except OSError:
+                # Dead push channel: drop the subscription; the handler
+                # thread notices the close on its next read.
+                if self.subscriptions.remove(sub.id) is not None:
+                    self.session.metrics.record_disconnect()
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -349,6 +564,9 @@ class QueryServer:
             "QUERY": self._do_query,
             "PLAN": self._do_plan,
             "FACT": self._do_fact,
+            "RETRACT": self._do_retract,
+            "SUBSCRIBE": self._do_subscribe,
+            "UNSUBSCRIBE": self._do_unsubscribe,
             "STATS": self._do_stats,
             "EXPLAIN": self._do_explain,
             "TRACE": self._do_trace,
@@ -360,8 +578,9 @@ class QueryServer:
         if handler is None:
             return _error_envelope(
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
-                "expected QUERY, PLAN, FACT, STATS, EXPLAIN, TRACE, "
-                "METRICS, PROFILE, SLOWLOG or HEALTH"
+                "expected QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, "
+                "UNSUBSCRIBE, STATS, EXPLAIN, TRACE, METRICS, PROFILE, "
+                "SLOWLOG or HEALTH"
             )
         metered = self.admission is not None and verb in HEAVY_VERBS
         if metered and not self.admission.try_acquire(verb):
@@ -447,7 +666,14 @@ class QueryServer:
             if deadline is not None and time.monotonic() >= deadline:
                 budget.cancel("request timeout")
                 raise FutureTimeoutError()
-            if connection is not None and self._peer_vanished(connection):
+            if (
+                connection is not None
+                and not self.subscriptions.is_subscribed(connection)
+                and self._peer_vanished(connection)
+            ):
+                # Subscribed connections are exempt from the probe: the
+                # pusher may be mid-write on the same socket, and their
+                # liveness is established by the push path itself.
                 budget.cancel("client disconnected")
                 self.session.metrics.record_disconnect()
                 raise ClientDisconnected("client disconnected mid-request")
@@ -578,6 +804,91 @@ class QueryServer:
             "idb_version": database.idb_version,
         }
 
+    def _do_retract(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "RETRACT", "ProtocolError", "RETRACT needs a ground fact"
+            )
+        clause = argument if argument.endswith(".") else argument + "."
+        rule = parse_rule(clause)
+        if not rule.is_fact():
+            return _error_envelope(
+                "RETRACT", "ProtocolError",
+                "RETRACT takes a ground fact; rules cannot be retracted",
+            )
+        database = self.session.database
+        removed = self.session.retract_fact(rule.head.name, rule.head.args)
+        return {
+            "ok": True,
+            "verb": "RETRACT",
+            "clause": str(rule),
+            "removed": removed,
+            "edb_version": database.edb_version,
+            "idb_version": database.idb_version,
+        }
+
+    def _parse_predicate(self, argument: str) -> Predicate:
+        """``name/arity`` or a literal like ``sg(X, Y)`` → a Predicate."""
+        argument = self._strip(argument)
+        if "/" in argument:
+            name, _, arity_text = argument.partition("/")
+            return Predicate(name.strip(), int(arity_text.strip()))
+        rule = parse_rule(
+            argument if argument.endswith(".") else argument + "."
+        )
+        return rule.head.predicate
+
+    def _do_subscribe(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "SUBSCRIBE", "ProtocolError",
+                "SUBSCRIBE needs a predicate (name/arity or a literal)",
+            )
+        if connection is None:
+            return _error_envelope(
+                "SUBSCRIBE", "ProtocolError",
+                "SUBSCRIBE needs a live connection to push deltas to",
+            )
+        predicate = self._parse_predicate(argument)
+        problem = self.session.subscribable(predicate)
+        if problem is not None:
+            return _error_envelope("SUBSCRIBE", "Unsubscribable", problem)
+        sub = self.subscriptions.add(connection, predicate)
+        # Push channels are long-lived and mostly silent; the idle
+        # timeout would reap them mid-subscription.
+        connection.settimeout(None)
+        return {
+            "ok": True,
+            "verb": "SUBSCRIBE",
+            "subscription": sub.id,
+            "predicate": str(predicate),
+        }
+
+    def _do_unsubscribe(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
+        removed: List[int] = []
+        if argument:
+            sub_id = int(argument)
+            if self.subscriptions.remove(sub_id, connection=connection):
+                removed.append(sub_id)
+        elif connection is not None:
+            for sub_id in self.subscriptions.ids_for(connection):
+                if self.subscriptions.remove(sub_id, connection=connection):
+                    removed.append(sub_id)
+        if (
+            connection is not None
+            and removed
+            and not self.subscriptions.is_subscribed(connection)
+            and self.idle_timeout is not None
+        ):
+            connection.settimeout(self.idle_timeout)
+        return {"ok": True, "verb": "UNSUBSCRIBE", "removed": removed}
+
     def _do_stats(
         self, argument: str, connection: Optional[socket.socket] = None
     ) -> Dict[str, object]:
@@ -670,12 +981,17 @@ def serve(
     idle_timeout: Optional[float] = None,
     breaker_threshold: Optional[int] = 3,
     breaker_cooldown: float = 5.0,
+    ivm: bool = False,
 ) -> QueryServer:
     """Convenience: session + server, already listening (foreground
-    serving is the caller's ``serve_forever()`` call)."""
+    serving is the caller's ``serve_forever()`` call).  ``ivm=True``
+    turns on incremental view maintenance — cached results are repaired
+    instead of flushed on mutation, and SUBSCRIBE works for derived
+    predicates."""
     return QueryServer(
         QuerySession(
-            database, slow_query_ms=slow_query_ms, slowlog_size=slowlog_size
+            database, slow_query_ms=slow_query_ms, slowlog_size=slowlog_size,
+            ivm=ivm,
         ),
         host=host, port=port,
         timeout=timeout, max_depth=max_depth,

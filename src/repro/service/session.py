@@ -22,6 +22,16 @@ request, so mutating through :meth:`add_fact`/:meth:`load_source` or
 directly on the :class:`~repro.engine.database.Database` is equally
 safe.
 
+With ``ivm=True`` the session additionally owns a
+:class:`~repro.ivm.ViewManager` and EDB mutations stop flushing the
+result cache wholesale: cached results whose predicate closure does not
+reach any mutated relation are *kept*, results over maintained or
+stored-only predicates are *repaired* in place by re-filtering the
+(incrementally maintained) materialized relations, and only the rest
+are evicted.  Cache-miss queries on maintainable predicates are served
+straight from the materialized view.  See :mod:`repro.ivm` and
+``docs/ivm.md``.
+
 A session is thread-safe: one re-entrant lock serializes planning and
 evaluation (the evaluators share mutable relation state), while cache
 hits return under the same lock in microseconds.  Many server threads
@@ -42,6 +52,7 @@ from ..core.planner import Planner, QueryPlan, plan_cache_key
 from ..datalog.literals import Literal
 from ..datalog.rules import Rule
 from ..datalog.terms import Term, Var
+from ..datalog.unify import unify_sequences
 from ..engine.builtins import BuiltinRegistry
 from ..engine.counters import Counters
 from ..engine.database import Database
@@ -63,6 +74,9 @@ class QueryResult:
     plan_cached: bool
     result_cached: bool
     counters: Optional[Counters] = None
+    #: Answered by filtering a maintained materialized view instead of
+    #: running the plan's evaluator (``ivm=True`` sessions only).
+    via_view: bool = False
 
     @property
     def strategy(self) -> str:
@@ -94,6 +108,7 @@ class QuerySession:
         slow_query_ms: Optional[float] = None,
         slowlog_size: int = 8,
         budget: Optional[Budget] = None,
+        ivm: bool = False,
     ):
         self.database = database
         self.planner = Planner(
@@ -129,28 +144,172 @@ class QuerySession:
         self._last_trace: Optional[Dict[str, object]] = None
         #: Report of the most recent profile() call (``--profile-json``).
         self._last_profile: Optional[Dict[str, object]] = None
+        #: Incremental view maintenance (opt-in): selective cache
+        #: invalidation, in-place result repair and view-served answers.
+        self.views = None
+        self._seen_relation_versions: Dict[object, int] = {}
+        if ivm:
+            from ..ivm import ViewManager
+
+            self.views = ViewManager(
+                database, self.planner.registry, metrics=self.metrics
+            )
+            self._seen_relation_versions = dict(database.relation_versions)
 
     # ------------------------------------------------------------------
     # Cache coherence
     # ------------------------------------------------------------------
     def _sync(self) -> None:
-        """Flush caches that the database's version counters outdated.
+        """Reconcile caches with the database's version counters.
 
-        Must be called with the lock held.  Any mutation invalidates
-        cached *answers*; only rule changes invalidate cached *plans*
-        (and the planner's normalized-program snapshot, via
-        ``Planner.refresh``).
+        Must be called with the lock held.  Without IVM, any mutation
+        invalidates cached *answers*; only rule changes invalidate
+        cached *plans* (and the planner's normalized-program snapshot,
+        via ``Planner.refresh``).
+
+        With IVM, an EDB-only drift consults the dependency graph
+        instead of flushing: cached results whose predicate closure is
+        disjoint from the mutated relations are kept as-is, results
+        that can be re-filtered from maintained views (or straight
+        from a stored relation) are repaired in place, and only the
+        remainder is evicted.
         """
         version = self.database.version
         if version == self._seen_version:
             return
         idb_changed = version[1] != self._seen_version[1]
-        self._result_cache.clear()
-        if idb_changed:
-            self._plan_cache.clear()
-            self.planner.refresh()
+        if idb_changed or self.views is None:
+            self._result_cache.clear()
+            if idb_changed:
+                self._plan_cache.clear()
+                self.planner.refresh()
+                if self.views is not None:
+                    self.views.on_idb_change()
+            self._seen_version = version
+            if self.views is not None:
+                self._seen_relation_versions = dict(
+                    self.database.relation_versions
+                )
+            self.metrics.record_invalidation(plans=idb_changed)
+            return
+        # EDB-only drift with IVM: selective invalidation + repair.
+        current = self.database.relation_versions
+        mutated = {
+            predicate
+            for predicate, counter in current.items()
+            if self._seen_relation_versions.get(predicate) != counter
+        }
+        pending = self.views.drain_pending()
+        kept = repaired = evicted = 0
+        for key, (plan, rows) in list(self._result_cache.items()):
+            predicate = plan.query.predicate
+            if self.views.closure(predicate).isdisjoint(mutated):
+                kept += 1
+                continue
+            repaired_rows = self._patch_rows(plan, rows, pending.get(predicate))
+            if repaired_rows is None:
+                repaired_rows = self._repair_rows(plan)
+            if repaired_rows is None:
+                del self._result_cache[key]
+                evicted += 1
+            else:
+                self._result_cache[key] = (plan, repaired_rows)
+                self.views.register_shape(plan).repairs += 1
+                repaired += 1
         self._seen_version = version
-        self.metrics.record_invalidation(plans=idb_changed)
+        self._seen_relation_versions = dict(current)
+        if evicted:
+            self.metrics.record_invalidation(plans=False)
+        if kept or repaired:
+            self.metrics.record_ivm_sync(kept=kept, repaired=repaired)
+
+    def _patch_rows(
+        self,
+        plan: QueryPlan,
+        rows: List[Tuple[Term, ...]],
+        delta: Optional[Dict[object, int]],
+    ) -> Optional[List[Tuple[Term, ...]]]:
+        """Apply the predicate's net row delta to a cached result.
+
+        O(|delta|) instead of re-filtering the whole view: each changed
+        row is matched against the query's constants (and, for
+        additions, its residual constraints) and folded into the cached
+        answer set.  Returns ``None`` when the delta log is not
+        authoritative for this predicate — no materialization, or a
+        dirty one (skipped/failed maintenance) whose drift the log
+        never saw — and the caller must fall back to a full repair.
+        """
+        predicate = plan.query.predicate
+        if self.views.graph.is_idb(predicate):
+            fix = self.views.fixpoints.get(predicate)
+            if fix is None or fix.dirty:
+                return None
+        if not delta:
+            return rows
+        from ..engine.relation import Relation
+
+        adds = Relation(plan.query.name, plan.query.arity)
+        dels = set()
+        for row, sign in delta.items():
+            if unify_sequences(plan.query.args, row) is None:
+                continue
+            if sign < 0:
+                dels.add(row)
+            else:
+                adds.add(row)
+        if len(adds):
+            adds = self.planner._apply_residual_constraints(
+                plan, adds, Counters()
+            )
+        if not len(adds) and not dels:
+            return rows
+        merged = set(rows)
+        merged.difference_update(dels)
+        merged.update(adds)
+        return sorted(merged, key=str)
+
+    def _repair_rows(
+        self, plan: QueryPlan
+    ) -> Optional[List[Tuple[Term, ...]]]:
+        """Re-filter a cached result from maintained state, or ``None``.
+
+        ``None`` means no cheap repair exists (unmaterialized derived
+        predicate, dirty view, or the filter itself failed) and the
+        entry must be evicted.
+        """
+        try:
+            relations = self.views.relations_for_repair(plan.query.predicate)
+            if relations is None:
+                return None
+            answers = self.planner._filter(plan.query, relations)
+            answers = self.planner._apply_residual_constraints(
+                plan, answers, Counters()
+            )
+            return sorted(answers.rows(), key=str)
+        except Exception:
+            return None
+
+    def _view_rows(
+        self, plan: QueryPlan, budget: Optional[Budget]
+    ) -> Optional[List[Tuple[Term, ...]]]:
+        """Answer a cache-miss query from a maintained view, or ``None``.
+
+        Only maintainable closures are served this way (the manager
+        refuses the rest); the filter applies the query's constants and
+        residual constraints exactly like plan execution would.
+        """
+        relations = self.views.relations_for_query(
+            plan.query.predicate, budget=budget
+        )
+        if relations is None:
+            return None
+        answers = self.planner._filter(plan.query, relations)
+        answers = self.planner._apply_residual_constraints(
+            plan, answers, Counters()
+        )
+        self.views.register_shape(plan).hits += 1
+        self.metrics.record_view_serve()
+        return sorted(answers.rows(), key=str)
 
     def cache_sizes(self) -> Dict[str, int]:
         with self._lock:
@@ -251,9 +410,20 @@ class QuerySession:
             saved_depth = self.planner.max_depth
             if max_depth is not None:
                 self.planner.max_depth = max_depth
+            via_view = False
+            counters: Optional[Counters] = None
             try:
                 plan, plan_cached = self._plan_locked(query, constraints)
-                answers, counters = self.planner.execute(plan)
+                rows = (
+                    self._view_rows(plan, budget)
+                    if self.views is not None
+                    else None
+                )
+                if rows is None:
+                    answers, counters = self.planner.execute(plan)
+                    rows = sorted(answers.rows(), key=str)
+                else:
+                    via_view = True
             except BudgetExceeded:
                 # The request still happened: record its latency (the
                 # disconnect/timeout path depends on the histogram not
@@ -265,7 +435,6 @@ class QuerySession:
                 self.planner.max_depth = saved_depth
                 self.planner.profiler = None
                 self.planner.budget = None
-            rows = sorted(answers.rows(), key=str)
             self._result_cache[result_key] = (plan, rows)
             while len(self._result_cache) > self.result_cache_size:
                 oldest = next(iter(self._result_cache))
@@ -284,9 +453,23 @@ class QuerySession:
                 and elapsed * 1e3 >= self.slow_query_ms
             ):
                 self._retain_slow(
-                    query, plan, plan_cached, rows, elapsed, counters, profiler
+                    query,
+                    plan,
+                    plan_cached,
+                    rows,
+                    elapsed,
+                    counters if counters is not None else Counters(),
+                    profiler,
                 )
-            return QueryResult(plan, list(rows), elapsed, plan_cached, False, counters)
+            return QueryResult(
+                plan,
+                list(rows),
+                elapsed,
+                plan_cached,
+                False,
+                counters,
+                via_view=via_view,
+            )
 
     def _retain_slow(
         self,
@@ -540,7 +723,7 @@ class QuerySession:
                 "plan_cache": len(self._plan_cache),
                 "result_cache": len(self._result_cache),
             }
-        return {
+        health: Dict[str, object] = {
             "status": "ok",
             "uptime_s": time.time() - self.started_at,
             "queries": snap["queries"],
@@ -557,6 +740,9 @@ class QuerySession:
                 "rules": len(self.database.program),
             },
         }
+        if self.views is not None:
+            health["ivm_views"] = self.views.snapshot()
+        return health
 
     @property
     def last_trace(self) -> Optional[Dict[str, object]]:
@@ -598,6 +784,43 @@ class QuerySession:
         self.metrics.record_verb("FACT", time.perf_counter() - start)
         return added
 
+    def retract_fact(self, name: str, values: Sequence[object]) -> bool:
+        """Remove a fact; ``False`` when it was not stored."""
+        start = time.perf_counter()
+        with self._lock:
+            removed = self.database.retract_fact(name, values)
+        self.metrics.record_verb("RETRACT", time.perf_counter() - start)
+        return removed
+
+    def apply_batch(self, mutations):
+        """Apply ``(op, name, values)`` mutations as one committed batch."""
+        start = time.perf_counter()
+        with self._lock:
+            batch = self.database.apply_batch(mutations)
+        self.metrics.record_verb("BATCH", time.perf_counter() - start)
+        return batch
+
+    def subscribable(self, predicate) -> Optional[str]:
+        """Why ``predicate`` cannot stream deltas, or ``None`` if it can.
+
+        Stored (EDB) predicates always can — their deltas come straight
+        from the mutation batch.  Derived predicates need IVM enabled
+        and a materializable closure; on success the view is
+        materialized and pinned so every future batch produces a diff.
+        """
+        with self._lock:
+            self._sync()
+            if self.views is None:
+                if predicate in self.database.program.head_predicates():
+                    return (
+                        f"{predicate} is derived and this session has "
+                        "incremental view maintenance disabled; start the "
+                        "session with ivm=True (CLI: --ivm) to subscribe "
+                        "to derived predicates"
+                    )
+                return None
+            return self.views.ensure_pinned(predicate)
+
     def add_rule(self, rule: Rule) -> None:
         start = time.perf_counter()
         with self._lock:
@@ -624,6 +847,8 @@ class QuerySession:
             "facts": self.database.total_facts(),
             "rules": len(self.database.program),
         }
+        if self.views is not None:
+            snap["ivm_views"] = self.views.snapshot()
         return snap
 
     def __repr__(self) -> str:

@@ -1,0 +1,172 @@
+"""Retraction, batch mutations, per-relation versions and listeners."""
+
+import pytest
+
+from repro.datalog.literals import Predicate
+from repro.engine.database import Database
+from repro.engine.relation import OverlayRelation, Relation
+
+
+def rendered(rows):
+    return sorted(tuple(str(value) for value in row) for row in rows)
+
+
+class TestRetractFact:
+    def test_retract_removes_and_bumps(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        before = db.edb_version
+        assert db.retract_fact("edge", (1, 2))
+        assert db.edb_version == before + 1
+        assert (1, 2) not in db.relation("edge", 2)
+
+    def test_retract_missing_is_noop(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        before = db.edb_version
+        assert not db.retract_fact("edge", (9, 9))
+        assert not db.retract_fact("nothing", (1,))
+        assert db.edb_version == before
+
+    def test_retracted_row_vanishes_from_windows(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        db.add_fact("edge", (3, 4))
+        relation = db.relation("edge", 2)
+        window = relation.window(0, relation.mark())
+        db.retract_fact("edge", (1, 2))
+        assert {tuple(str(v) for v in row) for row in window} == {("3", "4")}
+
+
+class TestRelationVersions:
+    def test_only_touched_relation_bumps(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        db.add_fact("color", (1, "red"))
+        edge, color = Predicate("edge", 2), Predicate("color", 2)
+        edge_v = db.relation_versions[edge]
+        color_v = db.relation_versions[color]
+        db.add_fact("edge", (2, 3))
+        assert db.relation_versions[edge] == edge_v + 1
+        assert db.relation_versions[color] == color_v
+
+    def test_retract_bumps_relation_version(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        edge = Predicate("edge", 2)
+        before = db.relation_versions[edge]
+        db.retract_fact("edge", (1, 2))
+        assert db.relation_versions[edge] == before + 1
+
+
+class TestApplyBatch:
+    def test_batch_nets_out_per_row(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        batch = db.apply_batch(
+            [
+                ("add", "edge", (3, 4)),
+                ("retract", "edge", (3, 4)),
+                ("retract", "edge", (1, 2)),
+                ("add", "edge", (5, 6)),
+            ]
+        )
+        delta = batch.deltas[Predicate("edge", 2)]
+        assert rendered(delta.added) == [("5", "6")]
+        assert rendered(delta.removed) == [("1", "2")]
+        assert rendered(db.relation("edge", 2)) == [("5", "6")]
+
+    def test_last_op_wins_for_same_row(self):
+        db = Database()
+        batch = db.apply_batch(
+            [
+                ("retract", "edge", (1, 2)),
+                ("add", "edge", (1, 2)),
+            ]
+        )
+        delta = batch.deltas[Predicate("edge", 2)]
+        assert rendered(delta.added) == [("1", "2")]
+        assert not delta.removed
+
+    def test_batch_adds_occupy_one_window(self):
+        db = Database()
+        db.add_fact("edge", (0, 0))
+        batch = db.apply_batch(
+            [("add", "edge", (1, 2)), ("add", "edge", (3, 4))]
+        )
+        delta = batch.deltas[Predicate("edge", 2)]
+        lo, hi = delta.window
+        window = db.relation("edge", 2).window(lo, hi)
+        assert rendered(window) == [("1", "2"), ("3", "4")]
+
+    def test_empty_batch_is_falsy_and_single_edb_bump(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        assert not db.apply_batch([("retract", "edge", (9, 9))])
+        before = db.edb_version
+        assert db.apply_batch(
+            [("add", "a", (1,)), ("add", "b", (2,)), ("add", "a", (3,))]
+        )
+        assert db.edb_version == before + 1
+
+    def test_unknown_op_rejected(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.apply_batch([("frobnicate", "edge", (1, 2))])
+
+
+class TestMutationListeners:
+    def test_listener_sees_every_mutation_kind(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        seen = []
+        db.add_mutation_listener(lambda batch: seen.append(batch))
+        db.add_fact("edge", (3, 4))
+        db.retract_fact("edge", (1, 2))
+        db.apply_batch([("add", "edge", (5, 6))])
+        assert len(seen) == 3
+        edge = Predicate("edge", 2)
+        assert rendered(seen[0].deltas[edge].added) == [("3", "4")]
+        assert rendered(seen[1].deltas[edge].removed) == [("1", "2")]
+
+    def test_silent_mutations_do_not_notify(self):
+        db = Database()
+        db.add_fact("edge", (1, 2))
+        seen = []
+        db.add_mutation_listener(lambda batch: seen.append(batch))
+        db.add_fact("edge", (1, 2))  # duplicate
+        db.retract_fact("edge", (9, 9))  # missing
+        assert not seen
+
+    def test_remove_listener(self):
+        db = Database()
+        seen = []
+        listener = lambda batch: seen.append(batch)  # noqa: E731
+        db.add_mutation_listener(listener)
+        db.remove_mutation_listener(listener)
+        db.remove_mutation_listener(listener)  # idempotent
+        db.add_fact("edge", (1, 2))
+        assert not seen
+
+
+class TestOverlayRelation:
+    def test_union_semantics(self):
+        base = Relation("edge", 2)
+        base.add((1, 2))
+        extra = Relation("edge", 2)
+        extra.add((3, 4))
+        extra.add((1, 2))  # shadowed by base
+        overlay = OverlayRelation(base, extra)
+        assert (1, 2) in overlay and (3, 4) in overlay
+        assert sorted(map(tuple, overlay)) == [(1, 2), (3, 4)]
+        assert len(overlay) == 2
+
+    def test_lookup_merges_without_duplicates(self):
+        base = Relation("edge", 2)
+        base.add((1, 2))
+        extra = Relation("edge", 2)
+        extra.add((1, 3))
+        extra.add((1, 2))
+        overlay = OverlayRelation(base, extra)
+        rows = sorted(map(tuple, overlay.lookup((0,), (1,))))
+        assert rows == [(1, 2), (1, 3)]

@@ -1,0 +1,97 @@
+"""Closure analysis: footprints, negation and builtin classification."""
+
+from repro.datalog.literals import Predicate
+from repro.engine.database import Database
+from repro.ivm import DependencyGraph
+from repro.workloads import ANCESTOR, SCSG, SG, TRAVEL
+
+
+def graph_for(source: str) -> DependencyGraph:
+    db = Database()
+    db.load_source(source)
+    return DependencyGraph(db.program)
+
+
+class TestClosure:
+    def test_ancestor_closure(self):
+        graph = graph_for(ANCESTOR)
+        ancestor = Predicate("ancestor", 2)
+        assert graph.is_idb(ancestor)
+        assert graph.closure(ancestor) == {
+            ancestor,
+            Predicate("parent", 2),
+        }
+
+    def test_sg_closure_includes_both_edbs(self):
+        graph = graph_for(SG)
+        closure = graph.closure(Predicate("sg", 2))
+        assert Predicate("parent", 2) in closure
+        assert Predicate("sibling", 2) in closure
+
+    def test_scsg_adds_weak_linkage(self):
+        graph = graph_for(SCSG)
+        closure = graph.closure(Predicate("scsg", 2))
+        assert Predicate("same_country", 2) in closure
+
+    def test_disjoint_predicates_stay_out(self):
+        graph = graph_for(SG + "\nother(X) :- thing(X).\n")
+        closure = graph.closure(Predicate("sg", 2))
+        assert Predicate("thing", 1) not in closure
+        assert Predicate("other", 1) not in closure
+
+    def test_edb_closure_is_itself(self):
+        graph = graph_for(SG)
+        parent = Predicate("parent", 2)
+        assert not graph.is_idb(parent)
+
+    def test_transitive_idb_dependency(self):
+        graph = graph_for(
+            "a(X) :- b(X).\nb(X) :- c(X), base(X).\nc(X) :- leaf(X).\n"
+        )
+        closure = graph.closure(Predicate("a", 1))
+        assert Predicate("leaf", 1) in closure
+        assert Predicate("base", 1) in closure
+        info = graph.info(Predicate("a", 1))
+        assert info.idb == {
+            Predicate("a", 1),
+            Predicate("b", 1),
+            Predicate("c", 1),
+        }
+
+
+class TestMaintainability:
+    def test_definite_program_is_maintainable(self):
+        graph = graph_for(SG)
+        info = graph.info(Predicate("sg", 2))
+        assert info.maintainable
+        assert info.materializable
+        assert not info.has_negation
+        assert not info.has_functional
+
+    def test_negation_blocks_maintenance_not_materialization(self):
+        graph = graph_for(
+            "only(X) :- node(X), \\+ blocked(X).\nblocked(X) :- bad(X).\n"
+        )
+        info = graph.info(Predicate("only", 1))
+        assert info.has_negation
+        assert not info.maintainable
+        assert info.materializable
+
+    def test_negation_detected_transitively(self):
+        graph = graph_for(
+            "top(X) :- mid(X).\nmid(X) :- node(X), \\+ bad(X).\n"
+        )
+        assert graph.info(Predicate("top", 1)).has_negation
+
+    def test_functional_builtins_block_materialization(self):
+        graph = graph_for(TRAVEL)
+        info = graph.info(Predicate("travel", 6))
+        assert info.has_functional
+        assert not info.maintainable
+        assert not info.materializable
+
+    def test_comparisons_are_harmless(self):
+        graph = graph_for("big(X, Y) :- pair(X, Y), X > Y.\n")
+        info = graph.info(Predicate("big", 2))
+        assert not info.has_functional
+        assert info.maintainable

@@ -106,3 +106,44 @@ class TestContent:
         snap["strategies"] = {'weird"strategy\\name': 1}
         text = prometheus_text(snap)
         assert 'strategy="weird\\"strategy\\\\name"' in text
+
+
+class TestIvmSection:
+    def test_ivm_counters_rendered(self):
+        metrics = ServiceMetrics()
+        metrics.record_ivm_sync(kept=2, repaired=1)
+        metrics.record_ivm_maintenance(rederivations=3)
+        metrics.record_ivm_maintenance(recomputed=True, failed=True)
+        metrics.record_view_serve()
+        text = prometheus_text(_stats_with(metrics))
+        assert "repro_ivm_repairs_total 1" in text
+        assert "repro_ivm_results_kept_total 2" in text
+        assert "repro_ivm_rederivations_total 3" in text
+        assert "repro_ivm_recomputes_total 1" in text
+        assert "repro_ivm_maintenance_runs_total 2" in text
+        assert "repro_ivm_failures_total 1" in text
+        assert "repro_ivm_view_serves_total 1" in text
+
+    def test_subscriber_gauge_when_provider_set(self):
+        metrics = ServiceMetrics()
+        metrics.subscriber_provider = lambda: 4
+        text = prometheus_text(_stats_with(metrics))
+        assert "# TYPE repro_subscribers gauge" in text
+        assert "repro_subscribers 4" in text
+
+    def test_no_subscriber_gauge_without_provider(self):
+        text = prometheus_text(_stats())
+        assert "repro_subscribers" not in text
+
+    def test_hand_built_snapshot_without_ivm_still_renders(self):
+        snap = _stats()
+        snap.pop("ivm", None)
+        text = prometheus_text(snap)
+        assert "repro_ivm_repairs_total" not in text
+        assert "repro_queries_total" in text
+
+
+def _stats_with(metrics):
+    snap = metrics.snapshot()
+    snap["caches"] = {"plan_cache": 0, "result_cache": 0}
+    return snap
