@@ -75,17 +75,21 @@ from .resilience import (
     CircuitBreaker,
 )
 from .service import (
+    AsyncQueryServer,
     QueryResult,
     QueryServer,
     QuerySession,
     ServiceMetrics,
+    WorkerPool,
     serve,
+    serve_async,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdmissionController",
+    "AsyncQueryServer",
     "Budget",
     "BudgetExceeded",
     "BufferedChainEvaluator",
@@ -113,6 +117,7 @@ __all__ = [
     "Rule",
     "SemiNaiveEvaluator",
     "ServiceMetrics",
+    "WorkerPool",
     "TabledEvaluator",
     "Strategy",
     "TopDownEvaluator",
@@ -129,6 +134,7 @@ __all__ = [
     "plan_cache_key",
     "rectify_program",
     "serve",
+    "serve_async",
     "split_path",
     "transitive_closure",
 ]

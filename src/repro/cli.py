@@ -208,6 +208,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="close --serve connections whose peer stays silent this long",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluator worker processes for --serve heavy verbs "
+        "(default: one per CPU core where fork is available, else 0; "
+        "0 evaluates in-process)",
+    )
+    parser.add_argument(
+        "--threaded",
+        action="store_true",
+        help="use the thread-per-connection server for --serve instead "
+        "of the event-loop front end",
+    )
+    parser.add_argument(
+        "--push-backlog",
+        type=int,
+        default=1_048_576,
+        metavar="BYTES",
+        help="per-subscriber cap on buffered DELTA bytes; a consumer "
+        "that falls further behind is dropped (default 1MiB)",
+    )
+    parser.add_argument(
+        "--push-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --threaded: bound on any single push write before "
+        "the stalled subscriber is reaped (default 5)",
+    )
+    parser.add_argument(
         "--breaker-threshold",
         type=int,
         default=3,
@@ -514,8 +545,7 @@ def main(
     )
 
     if args.serve:
-        server = QueryServer(
-            session,
+        common = dict(
             host=args.host,
             port=args.port,
             timeout=args.timeout,
@@ -526,7 +556,16 @@ def main(
                 args.breaker_threshold if args.breaker_threshold > 0 else None
             ),
             breaker_cooldown=args.breaker_cooldown,
+            push_backlog=args.push_backlog,
         )
+        if args.threaded:
+            server = QueryServer(
+                session, push_timeout=args.push_timeout, **common
+            )
+        else:
+            from .service.eventloop import AsyncQueryServer
+
+            server = AsyncQueryServer(session, workers=args.workers, **common)
         host, port = server.address
         print(
             f"repro serving on {host}:{port} "

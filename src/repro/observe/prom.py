@@ -265,6 +265,42 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
             "Live SUBSCRIBE registrations across connections.",
             stats.get("subscribers", 0),
         )
+    if "push_dropped" in stats:
+        w.counter(
+            "push_dropped_total",
+            "Subscribers dropped for overflowing their push backlog or "
+            "stalling past the push send timeout.",
+            stats.get("push_dropped", 0),
+        )
+
+    workers = stats.get("workers") or {}
+    if workers:
+        w.gauge(
+            "workers",
+            "Evaluator worker processes in the pool.",
+            workers.get("workers", 0),
+        )
+        w.gauge(
+            "worker_queue_depth",
+            "Heavy requests waiting for a free evaluator worker.",
+            workers.get("queue_depth", 0),
+        )
+        w.counter(
+            "worker_restarts_total",
+            "Evaluator workers killed and respawned after dying or "
+            "ignoring a cancellation.",
+            workers.get("restarts", 0),
+        )
+        w.counter(
+            "worker_refreshes_total",
+            "Pool re-forks triggered by database snapshot drift.",
+            workers.get("refreshes", 0),
+        )
+        w.counter(
+            "worker_dispatches_total",
+            "Heavy requests dispatched to evaluator workers.",
+            workers.get("dispatches", 0),
+        )
 
     engine = stats.get("engine") or {}
     if engine:

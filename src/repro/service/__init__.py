@@ -5,19 +5,28 @@ Turns the one-shot library into a compile-once/serve-many system:
 :class:`~repro.core.planner.Planner` plus plan and result caches with
 version-counter invalidation; :class:`QueryServer` exposes a session
 over a threaded TCP line protocol (``QUERY``/``PLAN``/``FACT``/
-``STATS``); :class:`ServiceMetrics` aggregates per-query latency,
-cache hit rates and strategy usage.  See ``docs/service.md``.
+``STATS``); :class:`AsyncQueryServer` serves the same protocol from a
+``selectors`` event loop and dispatches heavy verbs to a
+:class:`WorkerPool` of forked evaluator processes;
+:class:`ServiceMetrics` aggregates per-query latency, cache hit rates
+and strategy usage.  See ``docs/service.md``.
 """
 
 from .metrics import LatencyStats, ServiceMetrics
 from .session import QueryResult, QuerySession
 from .server import QueryServer, serve
+from .eventloop import AsyncQueryServer, serve_async
+from .workers import WorkerPool, fork_available
 
 __all__ = [
+    "AsyncQueryServer",
     "LatencyStats",
     "QueryResult",
     "QueryServer",
     "QuerySession",
     "ServiceMetrics",
+    "WorkerPool",
+    "fork_available",
     "serve",
+    "serve_async",
 ]

@@ -1,0 +1,1210 @@
+"""A ``selectors``-based event-loop front end with evaluator workers.
+
+The threaded server (:mod:`repro.service.server`) spends one OS thread
+per connection — fine for tens of clients, hopeless for thousands of
+mostly-idle subscribers — and evaluates every fixpoint under the GIL.
+:class:`AsyncQueryServer` keeps the same line protocol, envelopes and
+resilience ladder while changing the machinery underneath:
+
+* **One event loop** (``selectors.DefaultSelector``) owns every socket.
+  An idle connection costs one registered file descriptor and ~1 KiB of
+  buffers, so thousands of idle clients fit in the default fd limit.
+  Peer disconnects arrive as readiness events (``recv() == b""``)
+  instead of the threaded server's per-poll ``MSG_PEEK`` probe.
+* **Bounded per-connection outboxes** replace the pusher thread:
+  replies and DELTA pushes are appended to the connection's outbox and
+  drained when the socket reports writable.  A subscriber that stops
+  reading accumulates backlog until ``push_backlog`` bytes, then is
+  dropped (``repro_push_dropped_total``) — it never blocks the loop,
+  other subscribers, or replies.
+* **A dispatch thread pool** runs verb handlers off-loop, so a slow
+  STATS or a saturated admission queue never stalls socket I/O.
+  Requests on one connection stay strictly ordered (one in flight,
+  FIFO queue behind it); requests across connections run concurrently.
+* **Heavy verbs go to forked evaluator processes** — a
+  :class:`~repro.service.workers.WorkerPool` — when ``workers > 0``
+  and the platform can fork.  QUERY/PLAN/EXPLAIN/TRACE then evaluate
+  on separate cores over copy-on-write database snapshots, refreshed
+  whenever the per-relation version counters drift.  Budget blowouts,
+  timeouts, cancellation-on-disconnect and the circuit-breaker ladder
+  behave exactly as in-process; the parity tests pin the envelopes
+  bit-identical.  With ``workers=0`` heavy verbs run in-process on the
+  dispatch threads (the GIL-bound fallback, still event-loop fronted).
+
+The AdmissionController and CircuitBreaker sit in the dispatcher —
+requests are shed or degraded before touching a worker.  ``/metrics``
+additionally exports ``repro_workers``, ``repro_worker_queue_depth``
+and ``repro_worker_restarts_total`` via the pool's snapshot provider.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..datalog.literals import Predicate
+from ..datalog.parser import parse_rule
+from ..engine.counters import Counters
+from ..engine.database import Database, MutationBatch
+from ..resilience import AdmissionController, Budget, BudgetExceeded, CircuitBreaker
+from .server import (
+    HEAVY_VERBS,
+    MAX_DRAIN_BYTES,
+    MAX_LINE_BYTES,
+    ClientDisconnected,
+    _error_envelope,
+    _Subscriptions,
+    http_response,
+)
+from .session import QuerySession
+from .workers import (
+    ClientGone,
+    RemoteEvaluationError,
+    WorkerDied,
+    WorkerPool,
+    fork_available,
+)
+
+__all__ = ["AsyncQueryServer", "serve_async"]
+
+#: Sentinels queued in place of a request line when the peer sent an
+#: oversized line (the second also closes after the error reply).
+_OVERSIZED = b"\x00oversized"
+_OVERSIZED_CLOSE = b"\x00oversized-close"
+
+#: recv() chunk size on readable sockets.
+_READ_CHUNK = 65536
+
+#: Upper bound on one selector cycle, so the idle sweep always runs.
+_TICK = 0.2
+
+
+class _Connection:
+    """Loop-side state for one client socket."""
+
+    __slots__ = (
+        "sock", "addr", "lock", "inbox", "outbox", "outbox_bytes",
+        "requests", "inflight", "budget", "eof", "gone", "closed",
+        "close_after_flush", "draining", "drained", "last_active",
+        "registered_events",
+    )
+
+    def __init__(self, sock: socket.socket, addr):
+        self.sock = sock
+        self.addr = addr
+        #: Guards outbox/requests/inflight/budget against the dispatch
+        #: threads; the loop-only fields (inbox, draining, interest)
+        #: need no lock.
+        self.lock = threading.Lock()
+        self.inbox = bytearray()
+        self.outbox: deque = deque()
+        self.outbox_bytes = 0
+        #: Complete request lines not yet dispatched (FIFO; one in
+        #: flight at a time keeps per-connection reply order).
+        self.requests: deque = deque()
+        self.inflight = False
+        #: The in-flight request's budget (in-process fallback only);
+        #: the loop cancels it when the peer vanishes.
+        self.budget: Optional[Budget] = None
+        self.eof = False
+        #: The peer is gone and any in-flight evaluation should abort.
+        self.gone = False
+        self.closed = False
+        self.close_after_flush = False
+        self.draining = False
+        self.drained = 0
+        self.last_active = time.monotonic()
+        self.registered_events = 0
+
+
+class AsyncQueryServer:
+    """Event-loop server over a shared :class:`QuerySession`.
+
+    Protocol, envelopes, verbs and resilience semantics match
+    :class:`~repro.service.server.QueryServer`; see that module's
+    docstring for the verb table.  Differences are purely operational:
+    ``workers`` forked evaluator processes serve the heavy verbs
+    (``0`` = evaluate in-process), ``dispatch_threads`` bounds
+    concurrent verb handling, ``push_backlog`` caps each connection's
+    outbox, and there is no ``push_timeout`` — a stalled subscriber is
+    detected by backlog growth, not blocked writes.
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: Optional[float] = None,
+        max_depth: Optional[int] = None,
+        workers: Optional[int] = None,
+        dispatch_threads: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        max_pending: Optional[int] = 64,
+        verb_limits: Optional[Dict[str, int]] = None,
+        retry_after: float = 1.0,
+        idle_timeout: Optional[float] = None,
+        breaker_threshold: Optional[int] = 3,
+        breaker_cooldown: float = 5.0,
+        push_backlog: int = 1_048_576,
+        kill_grace: float = 1.0,
+    ):
+        self.session = session
+        self.timeout = timeout
+        self.max_depth = max_depth
+        self.budget = budget
+        self.retry_after = retry_after
+        self.idle_timeout = idle_timeout
+        self.push_backlog = push_backlog
+        if workers is None:
+            import os
+
+            workers = (os.cpu_count() or 1) if fork_available() else 0
+        self.pool: Optional[WorkerPool] = None
+        if workers > 0 and fork_available():
+            self.pool = WorkerPool(session, workers, kill_grace=kill_grace)
+            session.metrics.worker_provider = self.pool.snapshot
+        if dispatch_threads is None:
+            dispatch_threads = max(8, workers + 4)
+        self.dispatch_threads = dispatch_threads
+        if max_pending is None:
+            self.admission: Optional[AdmissionController] = None
+        else:
+            self.admission = AdmissionController(
+                max_pending=max_pending,
+                verb_limits=(
+                    verb_limits if verb_limits is not None
+                    else {"QUERY": dispatch_threads}
+                ),
+                retry_after=retry_after,
+            )
+        if breaker_threshold is None:
+            self.breaker: Optional[CircuitBreaker] = None
+        else:
+            self.breaker = CircuitBreaker(
+                threshold=breaker_threshold, cooldown=breaker_cooldown
+            )
+            session.metrics.breaker_provider = self.breaker.snapshot
+        self.subscriptions = _Subscriptions()
+        session.metrics.subscriber_provider = self.subscriptions.count
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=dispatch_threads, thread_name_prefix="repro-dispatch"
+        )
+        self._selector = selectors.DefaultSelector()
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind((host, port))
+        self._listen.listen(1024)
+        self._listen.setblocking(False)
+        self._selector.register(self._listen, selectors.EVENT_READ, "listen")
+        # Wake pipe: dispatch threads poke the loop after touching an
+        # outbox so write interest is (re)registered promptly.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._conns: set = set()
+        #: Connections whose outbox/interest changed off-loop, and
+        #: connections a dispatch thread asked to close.
+        self._control_lock = threading.Lock()
+        self._dirty: set = set()
+        self._to_close: set = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        session.database.add_mutation_listener(self._on_mutation)
+
+    @classmethod
+    def for_database(cls, database: Database, **kwargs) -> "AsyncQueryServer":
+        return cls(QuerySession(database), **kwargs)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._listen.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        self._loop()
+
+    def start(self) -> "AsyncQueryServer":
+        """Run the event loop on a daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-eventloop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.session.database.remove_mutation_listener(self._on_mutation)
+        self._stop.set()
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._executor.shutdown(wait=False)
+        if self.pool is not None:
+            self.pool.close()
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        try:
+            self._selector.unregister(self._listen)
+        except (KeyError, ValueError):
+            pass
+        self._listen.close()
+        self._wake_r.close()
+        self._wake_w.close()
+        self._selector.close()
+
+    def __enter__(self) -> "AsyncQueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Event loop (everything here runs on the loop thread)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        last_sweep = time.monotonic()
+        while not self._stop.is_set():
+            events = self._selector.select(timeout=_TICK)
+            for key, mask in events:
+                tag = key.data
+                if tag == "listen":
+                    self._accept()
+                elif tag == "wake":
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, InterruptedError):
+                        pass
+                else:
+                    conn: _Connection = tag
+                    if mask & selectors.EVENT_WRITE:
+                        self._flush(conn)
+                    if mask & selectors.EVENT_READ and not conn.closed:
+                        self._on_readable(conn)
+            self._process_control()
+            now = time.monotonic()
+            if self.idle_timeout is not None and now - last_sweep >= 1.0:
+                last_sweep = now
+                self._sweep_idle(now)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listen.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            conn = _Connection(sock, addr)
+            self._conns.add(conn)
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            conn.registered_events = selectors.EVENT_READ
+
+    def _process_control(self) -> None:
+        with self._control_lock:
+            dirty, self._dirty = self._dirty, set()
+            to_close, self._to_close = self._to_close, set()
+        for conn in to_close:
+            dirty.discard(conn)
+            # Closes requested with pending output flush first.
+            with conn.lock:
+                pending = conn.outbox_bytes > 0
+            if pending and not conn.gone:
+                conn.close_after_flush = True
+                self._update_interest(conn)
+            else:
+                self._close_conn(conn)
+        for conn in dirty:
+            self._update_interest(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        events = 0
+        if not conn.eof:
+            events |= selectors.EVENT_READ
+        with conn.lock:
+            if conn.outbox:
+                events |= selectors.EVENT_WRITE
+        if events == conn.registered_events:
+            return
+        try:
+            if conn.registered_events == 0:
+                if events:
+                    self._selector.register(conn.sock, events, conn)
+            elif events == 0:
+                self._selector.unregister(conn.sock)
+            else:
+                self._selector.modify(conn.sock, events, conn)
+            conn.registered_events = events
+        except (KeyError, ValueError, OSError):
+            self._close_conn(conn)
+
+    def _on_readable(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(_READ_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._on_peer_lost(conn)
+            return
+        if not chunk:
+            self._on_eof(conn)
+            return
+        conn.last_active = time.monotonic()
+        if conn.draining:
+            # Mid-drain of an oversized line: discard until newline,
+            # bounded by MAX_DRAIN_BYTES.
+            idx = chunk.find(b"\n")
+            if idx == -1:
+                conn.drained += len(chunk)
+                if conn.drained > MAX_DRAIN_BYTES:
+                    conn.draining = False
+                    self._enqueue(conn, _OVERSIZED_CLOSE)
+                    conn.eof = True  # stop reading from this hoser
+                    self._update_interest(conn)
+                return
+            conn.drained += idx + 1
+            conn.draining = False
+            self._enqueue(
+                conn,
+                _OVERSIZED_CLOSE
+                if conn.drained > MAX_DRAIN_BYTES
+                else _OVERSIZED,
+            )
+            chunk = chunk[idx + 1:]
+            conn.drained = 0
+            if not chunk:
+                return
+        conn.inbox += chunk
+        while True:
+            idx = conn.inbox.find(b"\n")
+            if idx == -1:
+                if len(conn.inbox) > MAX_LINE_BYTES:
+                    conn.draining = True
+                    conn.drained = len(conn.inbox)
+                    conn.inbox.clear()
+                break
+            line = bytes(conn.inbox[: idx + 1])
+            del conn.inbox[: idx + 1]
+            if len(line) > MAX_LINE_BYTES:
+                self._enqueue(
+                    conn,
+                    _OVERSIZED_CLOSE
+                    if len(line) > MAX_DRAIN_BYTES
+                    else _OVERSIZED,
+                )
+            else:
+                self._enqueue(conn, line)
+
+    def _on_peer_lost(self, conn: _Connection) -> None:
+        """Hard socket error: abort everything immediately."""
+        with conn.lock:
+            conn.eof = True
+            conn.gone = True
+            budget = conn.budget
+        if budget is not None:
+            budget.cancel("client disconnected")
+        self._close_conn(conn)
+
+    def _on_eof(self, conn: _Connection) -> None:
+        """Orderly EOF: this is the readiness-event disconnect signal.
+
+        Queued (pipelined) requests still get served — the threaded
+        server would have processed them too before noticing the close
+        — but with nothing queued the in-flight request is cancelled
+        right away, replacing the ``MSG_PEEK`` probe.
+        """
+        with conn.lock:
+            conn.eof = True
+            has_queued = bool(conn.requests) or conn.inflight
+            budget = conn.budget
+            flushing = conn.outbox_bytes > 0
+            if not conn.requests:
+                conn.gone = True
+        if conn.gone and budget is not None:
+            budget.cancel("client disconnected")
+        if not has_queued:
+            if flushing:
+                conn.close_after_flush = True
+                self._update_interest(conn)
+            else:
+                self._close_conn(conn)
+        else:
+            self._update_interest(conn)  # drop read interest
+
+    def _flush(self, conn: _Connection) -> None:
+        while True:
+            with conn.lock:
+                if not conn.outbox:
+                    break
+                head = conn.outbox[0]
+            try:
+                sent = conn.sock.send(head)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._on_peer_lost(conn)
+                return
+            with conn.lock:
+                conn.outbox_bytes -= sent
+                if sent == len(head):
+                    conn.outbox.popleft()
+                else:
+                    conn.outbox[0] = head[sent:]
+                    break
+        with conn.lock:
+            done = not conn.outbox
+        if done and conn.close_after_flush:
+            self._close_conn(conn)
+        elif done:
+            self._update_interest(conn)
+
+    def _sweep_idle(self, now: float) -> None:
+        for conn in list(self._conns):
+            if conn.closed or self.subscriptions.is_subscribed(conn):
+                continue
+            with conn.lock:
+                busy = conn.inflight or bool(conn.requests)
+            if busy:
+                continue
+            if now - conn.last_active > self.idle_timeout:
+                self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            if conn.registered_events:
+                self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        conn.registered_events = 0
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._conns.discard(conn)
+        self.subscriptions.drop_connection(conn)
+
+    # ------------------------------------------------------------------
+    # Outbound bytes (called from dispatch threads and the loop)
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, BrokenPipeError, OSError):
+            pass
+
+    def _send_bytes(
+        self, conn: _Connection, data: bytes,
+        close_after: bool = False, push: bool = False,
+    ) -> Optional[bool]:
+        """Queue bytes on the connection's outbox.
+
+        Returns ``True`` when queued, ``False`` when the connection is
+        already closed, and ``None`` when ``push=True`` and queueing
+        would overflow ``push_backlog`` (the stalled-subscriber
+        signal).  Never blocks.
+        """
+        with conn.lock:
+            if conn.closed:
+                return False
+            if push and conn.outbox_bytes + len(data) > self.push_backlog:
+                return None
+            conn.outbox.append(data)
+            conn.outbox_bytes += len(data)
+            if close_after:
+                conn.close_after_flush = True
+        with self._control_lock:
+            self._dirty.add(conn)
+        self._wake()
+        return True
+
+    def _request_close(self, conn: _Connection) -> None:
+        with self._control_lock:
+            self._to_close.add(conn)
+        self._wake()
+
+    # ------------------------------------------------------------------
+    # Request pipeline (dispatch threads)
+    # ------------------------------------------------------------------
+    def _enqueue(self, conn: _Connection, raw: bytes) -> None:
+        with conn.lock:
+            conn.requests.append(raw)
+            if conn.inflight:
+                return
+            conn.inflight = True
+            raw = conn.requests.popleft()
+        self._executor.submit(self._process, conn, raw)
+
+    def _request_done(self, conn: _Connection) -> None:
+        with conn.lock:
+            if conn.requests:
+                raw = conn.requests.popleft()
+                self._executor.submit(self._process, conn, raw)
+                return
+            conn.inflight = False
+            drained_after_eof = conn.eof
+        if drained_after_eof:
+            with conn.lock:
+                conn.gone = True
+            self._request_close(conn)
+
+    def _process(self, conn: _Connection, raw: bytes) -> None:
+        """Serve one queued request line and queue its reply."""
+        try:
+            close_after = False
+            if raw in (_OVERSIZED, _OVERSIZED_CLOSE):
+                reply = _error_envelope(
+                    "?", "ProtocolError",
+                    f"request line over {MAX_LINE_BYTES} bytes",
+                )
+                close_after = raw is _OVERSIZED_CLOSE
+            elif raw.startswith(b"GET "):
+                self._send_bytes(
+                    conn, http_response(self.session, raw), close_after=True
+                )
+                return
+            else:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    return
+                try:
+                    reply = self.handle_line(line, connection=conn)
+                except ClientDisconnected:
+                    self._request_close(conn)
+                    return
+            self._send_bytes(
+                conn,
+                json.dumps(reply).encode("utf-8") + b"\n",
+                close_after=close_after,
+            )
+        except Exception:
+            # A dispatch crash must never leak the connection's FIFO
+            # slot; drop the connection instead of wedging it.
+            self._request_close(conn)
+        finally:
+            self._request_done(conn)
+
+    # ------------------------------------------------------------------
+    # Verb dispatch
+    # ------------------------------------------------------------------
+    def handle_line(
+        self, line: str, connection: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        """Dispatch one request line to its verb handler.
+
+        Same contract (and same envelopes) as the threaded server's
+        ``handle_line`` — chaos and saturation tests drive this
+        directly.
+        """
+        verb, _, argument = line.partition(" ")
+        verb = verb.upper()
+        argument = argument.strip()
+        handler = {
+            "QUERY": self._do_query,
+            "PLAN": self._do_plan,
+            "FACT": self._do_fact,
+            "RETRACT": self._do_retract,
+            "SUBSCRIBE": self._do_subscribe,
+            "UNSUBSCRIBE": self._do_unsubscribe,
+            "STATS": self._do_stats,
+            "EXPLAIN": self._do_explain,
+            "TRACE": self._do_trace,
+            "METRICS": self._do_metrics,
+            "PROFILE": self._do_profile,
+            "SLOWLOG": self._do_slowlog,
+            "HEALTH": self._do_health,
+        }.get(verb)
+        if handler is None:
+            return _error_envelope(
+                verb, "ProtocolError", f"unknown verb {verb!r}; "
+                "expected QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, "
+                "UNSUBSCRIBE, STATS, EXPLAIN, TRACE, METRICS, PROFILE, "
+                "SLOWLOG or HEALTH"
+            )
+        metered = self.admission is not None and verb in HEAVY_VERBS
+        if metered and not self.admission.try_acquire(verb):
+            self.session.metrics.record_rejected(verb)
+            reply = _error_envelope(
+                verb, "Overloaded",
+                "server at capacity; retry after the indicated delay",
+            )
+            reply["retry_after"] = self.retry_after
+            return reply
+        try:
+            return handler(argument, connection)
+        except ClientDisconnected:
+            raise  # nothing to reply to; the connection is closing
+        except FutureTimeoutError:
+            self.session.metrics.record_timeout()
+            return _error_envelope(
+                verb, "Timeout", f"request exceeded {self.timeout}s budget"
+            )
+        except RemoteEvaluationError as exc:
+            self.session.metrics.record_error()
+            return _error_envelope(verb, exc.exc_type, str(exc))
+        except Exception as exc:  # envelope instead of a dead connection
+            self.session.metrics.record_error()
+            return _error_envelope(verb, type(exc).__name__, str(exc))
+        finally:
+            if metered:
+                self.admission.release(verb)
+
+    def _strip(self, argument: str) -> str:
+        if argument.startswith("?-"):
+            argument = argument[2:].strip()
+        if argument.endswith("."):
+            argument = argument[:-1]
+        return argument
+
+    # -- budgets / cancellation ----------------------------------------
+    def _budget_limits(self) -> Optional[Dict[str, Any]]:
+        """The budget template's limits, as Budget(**kwargs) keys, with
+        the server timeout folded in as a belt-and-braces deadline."""
+        limits: Dict[str, Any] = {}
+        if self.budget is not None:
+            limits = {
+                "max_tuples": self.budget.max_tuples,
+                "max_live": self.budget.max_live,
+                "max_rounds": self.budget.max_rounds,
+                "timeout": self.budget.timeout,
+                "max_memory_bytes": self.budget.max_memory_bytes,
+            }
+        if self.timeout is not None and (
+            limits.get("timeout") is None or limits["timeout"] > self.timeout
+        ):
+            limits["timeout"] = self.timeout
+        return {k: v for k, v in limits.items() if v is not None} or None
+
+    def _local_budget(self, conn: Optional[_Connection]) -> Budget:
+        """A per-request budget for in-process (no-pool) evaluation.
+
+        The server timeout becomes the budget deadline (there is no
+        wait loop to abandon the evaluation from), and the budget is
+        parked on the connection so the loop cancels it on EOF.
+        """
+        if self.budget is not None:
+            budget = self.budget.fork()
+        else:
+            budget = Budget()
+        if self.timeout is not None and (
+            budget.timeout is None or budget.timeout > self.timeout
+        ):
+            budget.timeout = self.timeout
+            budget.deadline = budget.started_at + self.timeout
+        if conn is not None:
+            with conn.lock:
+                if conn.gone:
+                    budget.cancel("client disconnected")
+                conn.budget = budget
+        return budget
+
+    def _clear_budget(self, conn: Optional[_Connection]) -> None:
+        if conn is not None:
+            with conn.lock:
+                conn.budget = None
+
+    def _peer_gone_probe(self, conn: Optional[_Connection]):
+        if conn is None:
+            return None
+        return lambda: conn.gone
+
+    def _translate_local_budget(
+        self, exc: BudgetExceeded, conn: Optional[_Connection]
+    ) -> None:
+        """In-process fallback: map a cancelled/deadline blowout onto
+        the threaded server's surface (disconnect / Timeout)."""
+        if exc.reason == "cancelled" and "client disconnected" in str(exc):
+            self.session.metrics.record_disconnect()
+            raise ClientDisconnected("client disconnected mid-request")
+        if (
+            exc.reason == "deadline"
+            and self.budget is None
+            and self.timeout is not None
+        ):
+            # The deadline was purely the server timeout we injected;
+            # the threaded server would have rendered this as Timeout
+            # without a budget envelope.
+            raise FutureTimeoutError()
+
+    # -- QUERY ----------------------------------------------------------
+    def _record_query_metrics(self, payload: Dict[str, Any]) -> None:
+        counters = (
+            Counters(**payload["counters"]) if payload.get("counters") else None
+        )
+        self.session.metrics.record_query(
+            payload["strategy"],
+            payload["elapsed"],
+            plan_cached=payload["plan_cached"],
+            result_cached=payload["result_cached"],
+            counters=counters,
+        )
+        self.session.metrics.record_verb("QUERY", payload["elapsed"])
+
+    def _pool_execute(
+        self,
+        verb: str,
+        source: str,
+        conn: Optional[_Connection],
+    ) -> Dict[str, Any]:
+        """Dispatch to a worker, translating transport-level failures."""
+        for attempt in (0, 1):
+            try:
+                return self.pool.execute(
+                    verb,
+                    source,
+                    max_depth=self.max_depth,
+                    limits=self._budget_limits(),
+                    timeout=self.timeout,
+                    peer_gone=self._peer_gone_probe(conn),
+                )
+            except ClientGone:
+                self.session.metrics.record_disconnect()
+                raise ClientDisconnected("client disconnected mid-request")
+            except BudgetExceeded as exc:
+                # The worker recorded the blowout in its own forked
+                # metrics; replicate the session-level accounting the
+                # in-process path gets from QuerySession.
+                self.session.metrics.record_budget_exceeded()
+                self.session.metrics.record_verb(
+                    "QUERY", exc.elapsed or 0.0
+                )
+                raise
+            except WorkerDied:
+                if attempt == 1:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _do_query(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope("QUERY", "ProtocolError", "QUERY needs a query")
+        source = self._strip(argument)
+        key = None
+        if self.breaker is not None:
+            try:
+                key = self.session.plan_key(source)
+            except Exception:
+                key = None  # parse errors surface from evaluation below
+            if key is not None and not self.breaker.allow(key):
+                return self._degraded_reply(source, key)
+        try:
+            if self.pool is not None:
+                payload = self._pool_execute("QUERY", source, conn)
+                self._record_query_metrics(payload)
+            else:
+                payload = self._local_query(source, conn)
+        except BudgetExceeded as exc:
+            if self.breaker is not None and key is not None:
+                self.breaker.record_blowout(key)
+            if exc.reason == "deadline":
+                self.session.metrics.record_timeout()
+                reply = _error_envelope("QUERY", "Timeout", str(exc))
+            else:
+                self.session.metrics.record_error()
+                reply = _error_envelope("QUERY", "BudgetExceeded", str(exc))
+            reply["budget"] = exc.as_dict()
+            reply["retry_after"] = self.retry_after
+            return reply
+        if self.breaker is not None and key is not None:
+            self.breaker.record_success(key)
+        return {
+            "ok": True,
+            "verb": "QUERY",
+            "query": source,
+            "strategy": payload["strategy"],
+            "answers": payload["answers"],
+            "count": payload["count"],
+            "plan_cached": payload["plan_cached"],
+            "result_cached": payload["result_cached"],
+            "elapsed_ms": payload["elapsed"] * 1e3,
+        }
+
+    def _local_query(
+        self, source: str, conn: Optional[_Connection]
+    ) -> Dict[str, Any]:
+        budget = self._local_budget(conn)
+        try:
+            result = self.session.execute(source, self.max_depth, budget)
+        except BudgetExceeded as exc:
+            self._translate_local_budget(exc, conn)
+            raise
+        finally:
+            self._clear_budget(conn)
+        return {
+            "strategy": result.strategy,
+            "answers": [[str(v) for v in row] for row in result.rows],
+            "count": len(result.rows),
+            "plan_cached": result.plan_cached,
+            "result_cached": result.result_cached,
+            "elapsed": result.elapsed,
+        }
+
+    def _degraded_reply(self, source: str, key: object) -> Dict[str, object]:
+        """Answer while the breaker is open — same ladder as threaded:
+        stale cached rows, else a tight existence probe, else
+        ``CircuitOpen`` with ``retry_after``."""
+        cached = self.session.peek_cached(source)
+        if cached is not None:
+            plan, rows = cached
+            return {
+                "ok": True,
+                "verb": "QUERY",
+                "query": source,
+                "strategy": plan.strategy,
+                "answers": [[str(value) for value in row] for row in rows],
+                "count": len(rows),
+                "plan_cached": True,
+                "result_cached": True,
+                "degraded": "cached",
+            }
+        try:
+            found = self.session.exists(
+                source, budget=Budget(timeout=0.25, max_rounds=100_000)
+            )
+        except Exception:
+            pass  # even the probe is over budget (or unparsable)
+        else:
+            return {
+                "ok": True,
+                "verb": "QUERY",
+                "query": source,
+                "degraded": "existence",
+                "exists": found,
+                "answers": [],
+                "count": 0,
+            }
+        remaining = self.breaker.remaining(key) if self.breaker else 0.0
+        reply = _error_envelope(
+            "QUERY", "CircuitOpen",
+            "circuit open for this query shape after repeated budget "
+            f"blowouts; retry in {remaining:.2f}s",
+        )
+        reply["retry_after"] = remaining
+        return reply
+
+    # -- PLAN / EXPLAIN / TRACE / PROFILE -------------------------------
+    def _do_plan(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope("PLAN", "ProtocolError", "PLAN needs a query")
+        source = self._strip(argument)
+        if self.pool is not None:
+            payload = self._pool_execute("PLAN", source, conn)
+            self.session.metrics.record_plan(payload["cached"])
+            self.session.metrics.record_verb("PLAN", payload["elapsed"])
+            return {
+                "ok": True,
+                "verb": "PLAN",
+                "strategy": payload["strategy"],
+                "recursion_class": payload["recursion_class"],
+                "plan": payload["plan"],
+                "cached": payload["cached"],
+            }
+        plan, cached = self.session.plan(source)
+        return {
+            "ok": True,
+            "verb": "PLAN",
+            "strategy": plan.strategy,
+            "recursion_class": plan.recursion_class,
+            "plan": plan.explain(),
+            "cached": cached,
+        }
+
+    def _do_explain(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "EXPLAIN", "ProtocolError", "EXPLAIN needs a query"
+            )
+        source = self._strip(argument)
+        if self.pool is not None:
+            payload = self._pool_execute("EXPLAIN", source, conn)
+            report = payload["report"]
+            elapsed = float(report.get("elapsed_ms") or 0.0) / 1e3
+            counters = report.get("counters")
+            self.session.metrics.record_query(
+                report.get("strategy", "unknown"),
+                elapsed,
+                plan_cached=bool(report.get("plan_cached")),
+                result_cached=False,
+                counters=Counters(**counters) if counters else None,
+            )
+            self.session.metrics.record_verb("QUERY", elapsed)
+            self.session.remember_trace(report)
+            return {"ok": True, "verb": "EXPLAIN", "trace": report}
+        budget = self._local_budget(conn)
+        try:
+            report = self.session.explain(source, self.max_depth, budget)
+        except BudgetExceeded as exc:
+            self._translate_local_budget(exc, conn)
+            raise
+        finally:
+            self._clear_budget(conn)
+        return {"ok": True, "verb": "EXPLAIN", "trace": report}
+
+    def _do_trace(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if argument:
+            reply = self._do_explain(argument, conn)
+            reply["verb"] = "TRACE"
+            return reply
+        report = self.session.last_trace
+        if report is None:
+            return _error_envelope(
+                "TRACE", "NoTrace",
+                "no traced query yet; use EXPLAIN <query> or TRACE <query>",
+            )
+        return {"ok": True, "verb": "TRACE", "trace": report}
+
+    def _do_profile(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "PROFILE", "ProtocolError", "PROFILE needs a query"
+            )
+        source = self._strip(argument)
+        # Span profiling carries process-local span objects; it always
+        # runs in-process (still off-loop, on a dispatch thread).
+        budget = self._local_budget(conn)
+        try:
+            report = self.session.profile(source, self.max_depth, budget=budget)
+        except BudgetExceeded as exc:
+            self._translate_local_budget(exc, conn)
+            raise
+        finally:
+            self._clear_budget(conn)
+        return {"ok": True, "verb": "PROFILE", "profile": report}
+
+    # -- mutation & observability verbs ---------------------------------
+    def _do_fact(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope("FACT", "ProtocolError", "FACT needs a clause")
+        clause = argument if argument.endswith(".") else argument + "."
+        rule = parse_rule(clause)
+        database = self.session.database
+        before = database.version
+        self.session.add_rule(rule)  # serializes with in-flight queries
+        return {
+            "ok": True,
+            "verb": "FACT",
+            "clause": str(rule),
+            "kind": "fact" if rule.is_fact() else "rule",
+            "added": database.version != before,
+            "edb_version": database.edb_version,
+            "idb_version": database.idb_version,
+        }
+
+    def _do_retract(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "RETRACT", "ProtocolError", "RETRACT needs a ground fact"
+            )
+        clause = argument if argument.endswith(".") else argument + "."
+        rule = parse_rule(clause)
+        if not rule.is_fact():
+            return _error_envelope(
+                "RETRACT", "ProtocolError",
+                "RETRACT takes a ground fact; rules cannot be retracted",
+            )
+        database = self.session.database
+        removed = self.session.retract_fact(rule.head.name, rule.head.args)
+        return {
+            "ok": True,
+            "verb": "RETRACT",
+            "clause": str(rule),
+            "removed": removed,
+            "edb_version": database.edb_version,
+            "idb_version": database.idb_version,
+        }
+
+    def _parse_predicate(self, argument: str) -> Predicate:
+        argument = self._strip(argument)
+        if "/" in argument:
+            name, _, arity_text = argument.partition("/")
+            return Predicate(name.strip(), int(arity_text.strip()))
+        rule = parse_rule(
+            argument if argument.endswith(".") else argument + "."
+        )
+        return rule.head.predicate
+
+    def _do_subscribe(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if not argument:
+            return _error_envelope(
+                "SUBSCRIBE", "ProtocolError",
+                "SUBSCRIBE needs a predicate (name/arity or a literal)",
+            )
+        if conn is None:
+            return _error_envelope(
+                "SUBSCRIBE", "ProtocolError",
+                "SUBSCRIBE needs a live connection to push deltas to",
+            )
+        predicate = self._parse_predicate(argument)
+        problem = self.session.subscribable(predicate)
+        if problem is not None:
+            return _error_envelope("SUBSCRIBE", "Unsubscribable", problem)
+        # No settimeout dance here: the idle sweep skips subscribed
+        # connections, and push liveness is policed by backlog growth.
+        sub = self.subscriptions.add(conn, predicate)
+        return {
+            "ok": True,
+            "verb": "SUBSCRIBE",
+            "subscription": sub.id,
+            "predicate": str(predicate),
+        }
+
+    def _do_unsubscribe(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        removed: List[int] = []
+        if argument:
+            sub_id = int(argument)
+            if self.subscriptions.remove(sub_id, connection=conn):
+                removed.append(sub_id)
+        elif conn is not None:
+            for sub_id in self.subscriptions.ids_for(conn):
+                if self.subscriptions.remove(sub_id, connection=conn):
+                    removed.append(sub_id)
+        return {"ok": True, "verb": "UNSUBSCRIBE", "removed": removed}
+
+    def _do_stats(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        return {"ok": True, "verb": "STATS", "stats": self.session.stats()}
+
+    def _do_metrics(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "verb": "METRICS",
+            "content_type": "text/plain; version=0.0.4",
+            "body": self.session.metrics_text(),
+        }
+
+    def _do_slowlog(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if argument.upper() == "CLEAR":
+            dropped = self.session.clear_slowlog()
+            return {"ok": True, "verb": "SLOWLOG", "cleared": dropped}
+        return {
+            "ok": True,
+            "verb": "SLOWLOG",
+            "threshold_ms": self.session.slow_query_ms,
+            "entries": self.session.slowlog(),
+        }
+
+    def _do_health(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        return {"ok": True, "verb": "HEALTH", "health": self.session.health()}
+
+    # ------------------------------------------------------------------
+    # Delta push channel
+    # ------------------------------------------------------------------
+    def _on_mutation(self, batch: MutationBatch) -> None:
+        """Fan one committed batch out as DELTA lines via the outboxes.
+
+        Runs on the mutating thread; queueing is non-blocking, so a
+        slow subscriber can never stall the mutator.  A subscriber
+        whose outbox would overflow ``push_backlog`` is dropped and
+        counted in ``repro_push_dropped_total``.
+        """
+        if not self.subscriptions.count():
+            return
+        deltas: Dict[Predicate, Tuple[list, list]] = {}
+        for predicate, delta in batch.deltas.items():
+            deltas[predicate] = (list(delta.added), list(delta.removed))
+        views = self.session.views
+        if views is not None:
+            report = views.last_report
+            if report is not None and report.batch is batch:
+                for predicate, (adds, dels) in report.derived.items():
+                    deltas[predicate] = (list(adds), list(dels))
+        for predicate, (adds, dels) in deltas.items():
+            if not adds and not dels:
+                continue
+            subs = self.subscriptions.for_predicate(predicate)
+            if not subs:
+                continue
+            envelope = {
+                "ok": True,
+                "verb": "DELTA",
+                "predicate": str(predicate),
+                "adds": [[str(value) for value in row] for row in adds],
+                "dels": [[str(value) for value in row] for row in dels],
+                "edb_version": batch.edb_version,
+            }
+            for sub in subs:
+                payload = dict(envelope)
+                payload["subscription"] = sub.id
+                wire = json.dumps(payload).encode("utf-8") + b"\n"
+                status = self._send_bytes(sub.connection, wire, push=True)
+                if status is None:
+                    # Stalled subscriber: backlog overflow.
+                    if self.subscriptions.remove(sub.id) is not None:
+                        self.session.metrics.record_push_dropped()
+                        self.session.metrics.record_disconnect()
+                        self._request_close(sub.connection)
+
+
+def serve_async(
+    database: Database,
+    host: str = "127.0.0.1",
+    port: int = 8473,
+    timeout: Optional[float] = None,
+    max_depth: Optional[int] = None,
+    slow_query_ms: Optional[float] = None,
+    slowlog_size: int = 8,
+    workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    max_pending: Optional[int] = 64,
+    idle_timeout: Optional[float] = None,
+    breaker_threshold: Optional[int] = 3,
+    breaker_cooldown: float = 5.0,
+    push_backlog: int = 1_048_576,
+    ivm: bool = False,
+) -> AsyncQueryServer:
+    """Convenience: session + event-loop server, already listening."""
+    return AsyncQueryServer(
+        QuerySession(
+            database, slow_query_ms=slow_query_ms, slowlog_size=slowlog_size,
+            ivm=ivm,
+        ),
+        host=host, port=port,
+        timeout=timeout, max_depth=max_depth,
+        workers=workers,
+        budget=budget, max_pending=max_pending,
+        idle_timeout=idle_timeout,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
+        push_backlog=push_backlog,
+    )

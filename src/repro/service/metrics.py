@@ -169,6 +169,13 @@ class ServiceMetrics:
         #: Clients that vanished mid-request (write failed or the peer
         #: closed while the query was still running).
         self.disconnects = 0
+        #: Subscribers dropped because their push backlog overflowed or
+        #: a push write stayed blocked past the send timeout.
+        self.push_dropped = 0
+        #: Optional zero-arg callable returning the evaluator worker
+        #: pool's gauge snapshot (size/queue depth/restarts); installed
+        #: by the server the same way as :attr:`breaker_provider`.
+        self.worker_provider = None
         #: Optional zero-arg callable returning the circuit breaker's
         #: ``snapshot()``; the server installs it so STATS/metrics can
         #: surface breaker state without metrics importing the breaker.
@@ -272,6 +279,11 @@ class ServiceMetrics:
         with self._lock:
             self.disconnects += 1
 
+    def record_push_dropped(self) -> None:
+        """Account one subscriber dropped from the push channel."""
+        with self._lock:
+            self.push_dropped += 1
+
     def record_invalidation(self, plans: bool) -> None:
         with self._lock:
             self.result_invalidations += 1
@@ -319,6 +331,8 @@ class ServiceMetrics:
         breaker = provider() if provider is not None else None
         sub_provider = self.subscriber_provider
         subscribers = sub_provider() if sub_provider is not None else None
+        worker_provider = self.worker_provider
+        workers = worker_provider() if worker_provider is not None else None
         with self._lock:
             snap = {
                 "queries": self.queries,
@@ -351,6 +365,7 @@ class ServiceMetrics:
                 "rejected_by_verb": dict(self.rejected_by_verb),
                 "budget_exceeded": self.budget_exceeded,
                 "disconnects": self.disconnects,
+                "push_dropped": self.push_dropped,
                 "ivm": {
                     "repairs": self.ivm_repairs,
                     "results_kept": self.ivm_results_kept,
@@ -366,6 +381,8 @@ class ServiceMetrics:
             snap["breaker"] = breaker
         if subscribers is not None:
             snap["subscribers"] = subscribers
+        if workers is not None:
+            snap["workers"] = workers
         return snap
 
     def reset(self) -> None:
@@ -386,6 +403,7 @@ class ServiceMetrics:
             self.rejected_by_verb = {}
             self.budget_exceeded = 0
             self.disconnects = 0
+            self.push_dropped = 0
             self.ivm_repairs = self.ivm_results_kept = 0
             self.ivm_rederivations = self.ivm_recomputes = 0
             self.ivm_maintenance_runs = self.ivm_failures = 0

@@ -89,12 +89,24 @@ and pushed deltas on the same connection are serialized by a
 per-connection write lock so lines never interleave.  Subscribed
 connections are exempt from ``idle_timeout`` and from the mid-request
 disconnect probe — silence is their normal state.
+
+The push path is bounded in both time and space: every push write must
+finish within ``push_timeout`` seconds (a stalled consumer is reaped
+like a dead one, so it cannot freeze DELTA delivery to healthy
+subscribers), and each subscriber may have at most ``push_backlog``
+bytes of undelivered DELTA payload queued — overflowing the backlog
+drops the subscriber and bumps ``repro_push_dropped_total``.
+
+For an event-loop front end that keeps thousands of idle connections
+cheap and dispatches heavy verbs to a multiprocessing pool of evaluator
+workers, see :mod:`repro.service.eventloop`.
 """
 
 from __future__ import annotations
 
 import json
 import queue
+import select
 import socket
 import socketserver
 import threading
@@ -132,6 +144,49 @@ class ClientDisconnected(ConnectionError):
     """The peer vanished while its request was still being served."""
 
 
+class _PushTimeout(OSError):
+    """A push write stayed blocked past the send timeout."""
+
+
+#: Per-call non-blocking send flag (0 where unsupported, in which case
+#: the bounded send degrades to trusting select's writability report).
+_MSG_DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
+
+
+def _send_all_bounded(
+    sock: socket.socket, payload: bytes, timeout: Optional[float]
+) -> None:
+    """``sendall`` with a wall-clock bound, without touching the
+    socket's own timeout state (the handler thread may be blocked in a
+    read on the same socket, and ``settimeout`` would yank its rug).
+
+    Waits for write readiness and sends in chunks; a send that cannot
+    finish within ``timeout`` raises :class:`_PushTimeout` (an
+    ``OSError``, so callers treat a stall exactly like a dead socket).
+    """
+    if timeout is None:
+        sock.sendall(payload)
+        return
+    view = memoryview(payload)
+    deadline = time.monotonic() + timeout
+    while view:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise _PushTimeout(f"push write blocked over {timeout}s")
+        _, writable, _ = select.select([], [sock], [], remaining)
+        if not writable:
+            continue
+        # MSG_DONTWAIT makes this single call non-blocking without
+        # flipping the fd's blocking mode: a blocking send() of a
+        # buffer larger than the free kernel space would stall until
+        # *all* of it fits, defeating the deadline above.
+        try:
+            sent = sock.send(view, _MSG_DONTWAIT)
+        except (BlockingIOError, InterruptedError):
+            continue  # spurious writability; re-wait
+        view = view[sent:]
+
+
 def _error_envelope(verb: str, exc_type: str, message: str) -> Dict[str, object]:
     return {
         "ok": False,
@@ -140,22 +195,62 @@ def _error_envelope(verb: str, exc_type: str, message: str) -> Dict[str, object]
     }
 
 
+def http_response(session: QuerySession, raw: bytes) -> bytes:
+    """One-shot HTTP/1.0 response for a ``GET ...`` request line on the
+    line-protocol port: /metrics (Prometheus scrape), /healthz and
+    /slowlog probes.  Shared by the threaded handler and the event-loop
+    front end."""
+    try:
+        path = raw.split()[1].decode("ascii", errors="replace")
+    except IndexError:
+        path = "/"
+    path = path.split("?", 1)[0]
+    if path == "/metrics":
+        status = b"200 OK"
+        content_type = b"text/plain; version=0.0.4; charset=utf-8"
+        body = session.metrics_text().encode("utf-8")
+    elif path == "/healthz":
+        status = b"200 OK"
+        content_type = b"application/json; charset=utf-8"
+        body = json.dumps(session.health()).encode("utf-8")
+    elif path == "/slowlog":
+        status = b"200 OK"
+        content_type = b"application/json; charset=utf-8"
+        body = json.dumps(session.slowlog()).encode("utf-8")
+    else:
+        status = b"404 Not Found"
+        content_type = b"text/plain; charset=utf-8"
+        body = (
+            f"no route {path}; try /metrics, /healthz or /slowlog\n"
+        ).encode("utf-8")
+    return (
+        b"HTTP/1.0 " + status + b"\r\n"
+        b"Content-Type: " + content_type + b"\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"Connection: close\r\n\r\n" + body
+    )
+
+
 class _Subscription:
     """One SUBSCRIBE registration: a predicate feeding one connection."""
 
-    __slots__ = ("id", "predicate", "connection", "lock")
+    __slots__ = ("id", "predicate", "connection", "lock", "pending_bytes")
 
     def __init__(
         self,
         sub_id: int,
         predicate: Predicate,
-        connection: socket.socket,
+        connection,
         lock: threading.Lock,
     ):
         self.id = sub_id
         self.predicate = predicate
         self.connection = connection
         self.lock = lock
+        #: Bytes of DELTA payload enqueued for this subscriber but not
+        #: yet written to its socket — the per-subscriber backlog that
+        #: ``push_backlog`` caps.
+        self.pending_bytes = 0
 
 
 class _Subscriptions:
@@ -226,6 +321,32 @@ class _Subscriptions:
     def ids_for(self, connection: socket.socket) -> List[int]:
         with self._lock:
             return list(self._by_conn.get(connection, ()))
+
+    def is_live(self, sub: _Subscription) -> bool:
+        """Is this exact registration still current?"""
+        with self._lock:
+            return self._by_id.get(sub.id) is sub
+
+    def try_reserve(self, sub: _Subscription, nbytes: int, cap: int):
+        """Account ``nbytes`` of pending push payload for ``sub``.
+
+        Returns ``True`` when reserved, ``False`` when the subscription
+        is already gone, and ``None`` when the reservation would push
+        the subscriber past ``cap`` — the overflow signal that makes
+        the caller drop the subscriber instead of buffering unbounded.
+        """
+        with self._lock:
+            if self._by_id.get(sub.id) is not sub:
+                return False
+            if sub.pending_bytes + nbytes > cap:
+                return None
+            sub.pending_bytes += nbytes
+            return True
+
+    def release(self, sub: _Subscription, nbytes: int) -> None:
+        """The pusher wrote (or abandoned) ``nbytes`` of backlog."""
+        with self._lock:
+            sub.pending_bytes = max(0, sub.pending_bytes - nbytes)
 
     def is_subscribed(self, connection: socket.socket) -> bool:
         with self._lock:
@@ -323,36 +444,9 @@ class _Handler(socketserver.StreamRequestHandler):
         super().finish()
 
     def _handle_http(self, raw: bytes) -> None:
-        session = self.server.query_server.session
-        try:
-            path = raw.split()[1].decode("ascii", errors="replace")
-        except IndexError:
-            path = "/"
-        path = path.split("?", 1)[0]
-        if path == "/metrics":
-            status = b"200 OK"
-            content_type = b"text/plain; version=0.0.4; charset=utf-8"
-            body = session.metrics_text().encode("utf-8")
-        elif path == "/healthz":
-            status = b"200 OK"
-            content_type = b"application/json; charset=utf-8"
-            body = json.dumps(session.health()).encode("utf-8")
-        elif path == "/slowlog":
-            status = b"200 OK"
-            content_type = b"application/json; charset=utf-8"
-            body = json.dumps(session.slowlog()).encode("utf-8")
-        else:
-            status = b"404 Not Found"
-            content_type = b"text/plain; charset=utf-8"
-            body = (
-                f"no route {path}; try /metrics, /healthz or /slowlog\n"
-            ).encode("utf-8")
         try:
             self.wfile.write(
-                b"HTTP/1.0 " + status + b"\r\n"
-                b"Content-Type: " + content_type + b"\r\n"
-                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-                b"Connection: close\r\n\r\n" + body
+                http_response(self.server.query_server.session, raw)
             )
             self.wfile.flush()
         except (ConnectionError, OSError):
@@ -399,6 +493,8 @@ class QueryServer:
         idle_timeout: Optional[float] = None,
         breaker_threshold: Optional[int] = 3,
         breaker_cooldown: float = 5.0,
+        push_backlog: int = 1_048_576,
+        push_timeout: Optional[float] = 5.0,
     ):
         self.session = session
         self.timeout = timeout
@@ -406,6 +502,13 @@ class QueryServer:
         self.budget = budget
         self.retry_after = retry_after
         self.idle_timeout = idle_timeout
+        #: Per-subscriber cap on buffered DELTA bytes; a consumer whose
+        #: backlog exceeds it is dropped (``repro_push_dropped_total``)
+        #: instead of growing server memory without bound.
+        self.push_backlog = push_backlog
+        #: Wall-clock bound on any single push write; a subscriber that
+        #: keeps a write blocked longer is treated as dead and reaped.
+        self.push_timeout = push_timeout
         if max_pending is None:
             self.admission: Optional[AdmissionController] = None
         else:
@@ -527,9 +630,31 @@ class QueryServer:
             for sub in subs:
                 payload = dict(envelope)
                 payload["subscription"] = sub.id
-                self._push_queue.put(
-                    (sub, json.dumps(payload).encode("utf-8") + b"\n")
+                wire = json.dumps(payload).encode("utf-8") + b"\n"
+                reserved = self.subscriptions.try_reserve(
+                    sub, len(wire), self.push_backlog
                 )
+                if reserved is False:
+                    continue  # already reaped; skip silently
+                if reserved is None:
+                    # Backlog overflow: the consumer is not keeping up.
+                    # Dropping the subscriber bounds server memory; the
+                    # shutdown() below unblocks any push write already
+                    # in flight on this socket so the pusher thread is
+                    # not left waiting out its timeout on a dead peer.
+                    self._drop_subscriber(sub)
+                    continue
+                self._push_queue.put((sub, wire))
+
+    def _drop_subscriber(self, sub: _Subscription) -> None:
+        if self.subscriptions.remove(sub.id) is None:
+            return
+        self.session.metrics.record_push_dropped()
+        self.session.metrics.record_disconnect()
+        try:
+            sub.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
 
     def _pusher_loop(self) -> None:
         while True:
@@ -538,13 +663,33 @@ class QueryServer:
                 return
             sub, payload = item
             try:
+                if not self.subscriptions.is_live(sub):
+                    continue  # reaped while queued; discard its backlog
+                # sub.lock only orders this write against reply writes
+                # on the same socket; the send itself is bounded by
+                # push_timeout, so a stalled peer delays the queue by at
+                # most one timeout before being reaped — it can no
+                # longer freeze delivery to every other subscriber.
                 with sub.lock:
-                    sub.connection.sendall(payload)
-            except OSError:
-                # Dead push channel: drop the subscription; the handler
-                # thread notices the close on its next read.
+                    _send_all_bounded(
+                        sub.connection, payload, self.push_timeout
+                    )
+            except OSError as exc:
+                # Dead or stalled push channel (timeout counts): drop
+                # the subscription; the handler thread notices the
+                # close on its next read.
                 if self.subscriptions.remove(sub.id) is not None:
+                    if isinstance(exc, _PushTimeout):
+                        # A stall is a backpressure drop, not a peer
+                        # death; count it with the overflow drops.
+                        self.session.metrics.record_push_dropped()
                     self.session.metrics.record_disconnect()
+                    try:
+                        sub.connection.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+            finally:
+                self.subscriptions.release(sub, len(payload))
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -981,6 +1126,8 @@ def serve(
     idle_timeout: Optional[float] = None,
     breaker_threshold: Optional[int] = 3,
     breaker_cooldown: float = 5.0,
+    push_backlog: int = 1_048_576,
+    push_timeout: Optional[float] = 5.0,
     ivm: bool = False,
 ) -> QueryServer:
     """Convenience: session + server, already listening (foreground
@@ -999,4 +1146,6 @@ def serve(
         idle_timeout=idle_timeout,
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
+        push_backlog=push_backlog,
+        push_timeout=push_timeout,
     )

@@ -130,7 +130,11 @@ class QuerySession:
         self._slowlog: Deque[Dict[str, object]] = deque(
             maxlen=max(1, slowlog_size)
         )
+        #: Wall-clock start stamp, for display only (slowlog-style "at"
+        #: fields).  Uptime is tracked on the monotonic clock so HEALTH
+        #: never jumps or goes negative across NTP steps.
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._lock = threading.RLock()
         self._plan_cache: Dict[object, QueryPlan] = {}
         # LRU: key -> (plan, rows); dict preserves insertion order and
@@ -725,7 +729,7 @@ class QuerySession:
             }
         health: Dict[str, object] = {
             "status": "ok",
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self._started_monotonic,
             "queries": snap["queries"],
             "errors": snap["errors"],
             "timeouts": snap["timeouts"],
@@ -749,6 +753,17 @@ class QuerySession:
         """The report of the most recent :meth:`explain`, if any."""
         with self._lock:
             return self._last_trace
+
+    def remember_trace(self, report: Dict[str, object]) -> None:
+        """Retain an EXPLAIN report as :attr:`last_trace`.
+
+        The worker-pool dispatcher evaluates EXPLAIN in a forked
+        evaluator process; the report crosses back as plain JSON and is
+        parked here so the argument-less ``TRACE`` verb replays it just
+        like an in-process EXPLAIN.
+        """
+        with self._lock:
+            self._last_trace = report
 
     @property
     def last_profile(self) -> Optional[Dict[str, object]]:
