@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Flight-recorder overhead benchmark: lifecycle telemetry on vs. off.
+
+The per-request flight recorder (``repro.observe.lifecycle``) is
+*always on* by default, so its cost is a standing tax on every served
+request.  Two numbers, measured against the same live event-loop
+server with the recorder swapped between a default-size ring and a
+disabled one (``reqlog_size=0`` — marks degrade to ``None`` checks):
+
+1. **Per-request tax.**  Request-level p50 latency with the recorder
+   toggled on *every other request* over fully cached QUERYs.
+   Adjacent requests see identical machine state, so the p50 delta
+   isolates the recorder's absolute per-request cost (~10us) from
+   scheduler noise — repeatable to ~1us where batch-throughput
+   comparisons on a shared runner swing by +-10%.  The tax is a fixed
+   per-request constant: it is paid in the mint/mark/commit stages,
+   not during evaluation (verified by direct A/B passes over the
+   evaluating workload, which show no eval-scaling component).
+
+2. **Serving overhead** (gated, acceptance bar < 5%): the tax against
+   the sg/scsg serving workload's median round trip — a pool of
+   distinct bound-first probes over the family database, caches
+   cleared before every pass so each pass does the same real
+   evaluation work (1-5ms of engine time per probe).  Reported as
+   ``tax / serving p50``; the direct on/off throughput ratio is also
+   reported, but eval-time variance makes it a far noisier estimator
+   of the same quantity, so the stable one is gated.
+
+The cached-hit p50 ratio itself — the recorder against the smallest
+possible RTT, a workload that is *all* protocol overhead — is gated
+loosely (default < 15%) as a regression backstop.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_lifecycle.py [--quick] \
+        [--max-overhead FRACTION] [--max-cached-overhead FRACTION] \
+        [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observe import FlightRecorder
+from repro.service import AsyncQueryServer, QuerySession
+from repro.workloads import SCSG, SG, FamilyConfig, family_database
+
+CONFIG = FamilyConfig(
+    levels=4,
+    width=6,
+    parents_per_child=2,
+    countries=2,
+    seed=7,
+    sibling_fraction=1.0,
+)
+
+#: Fixed probes for the cached worst case; warmed once, every timed
+#: request is a result-cache hit.
+CACHED_PROBES = ["sg(p0_0, Y)", "sg(p0_1, Y)", "sg(X, p0_2)", "sg(p1_0, Y)"]
+
+
+def serving_pool() -> List[str]:
+    """Distinct sg and scsg probes — the serving workload.
+
+    Every probe is distinct, and the benchmark clears the session's
+    caches before each timed pass, so a pass evaluates each probe for
+    real (1-5ms of engine work apiece) the way the serving benchmarks
+    do — the workload the acceptance bar is defined over.
+    """
+    names = [
+        f"p{level}_{i}" for level in range(2) for i in range(CONFIG.width)
+    ]
+    pool = [f"sg({n}, Y)" for n in names]
+    pool += [f"sg(X, {n})" for n in names]
+    pool += [f"scsg({n}, Y)" for n in names[: CONFIG.width]]
+    return pool
+
+
+class _Lane:
+    """The live server plus one persistent synchronous client.
+
+    The recorder is swapped on the session between requests (the
+    client is strictly request-response, so nothing is in flight at a
+    swap), which keeps every other variable — server threads, socket,
+    memory layout — identical between the on and off measurements.
+    """
+
+    def __init__(self, reqlog_size: int = 256):
+        self.session = QuerySession(
+            family_database(CONFIG, program=SG + SCSG),
+            reqlog_size=reqlog_size,
+        )
+        self.server = AsyncQueryServer(self.session, workers=0)
+        self.server.start()
+        self.sock = socket.create_connection(self.server.address, timeout=60)
+        self.sock.settimeout(60)
+        self.handle = self.sock.makefile("rw", encoding="utf-8")
+
+    def request_ns(self, probe: str) -> int:
+        """One QUERY round trip; returns client-observed nanoseconds."""
+        handle = self.handle
+        start = time.perf_counter_ns()
+        handle.write(f"QUERY {probe}\n")
+        handle.flush()
+        reply = handle.readline()
+        elapsed = time.perf_counter_ns() - start
+        if not json.loads(reply).get("ok"):
+            raise AssertionError(f"benchmark request failed: {probe}")
+        return elapsed
+
+    def pass_qps(self, probes: List[str]) -> float:
+        """Serve every probe once; return requests/second."""
+        start = time.perf_counter()
+        for probe in probes:
+            self.request_ns(probe)
+        return len(probes) / max(time.perf_counter() - start, 1e-9)
+
+    def close(self) -> None:
+        self.sock.close()
+        self.server.shutdown()
+
+
+def _measure_serving(
+    lane: _Lane, rec_on: FlightRecorder, rec_off: FlightRecorder,
+    rounds: int,
+) -> Dict[str, object]:
+    """Per-request RTTs over the evaluating workload, both modes.
+
+    Passes alternate recorder on/off in ABBA order on the one server
+    and connection; caches are cleared before every pass so each pass
+    re-evaluates the identical probe set.
+    """
+    pool = serving_pool()
+    session = lane.session
+    # Warm plan structures and the server once; timed passes run cold
+    # on the result cache (cleared per pass) so they evaluate for real.
+    lane.pass_qps(pool)
+    on_ns: List[int] = []
+    off_ns: List[int] = []
+    for index in range(rounds):
+        order = (
+            [(rec_on, on_ns), (rec_off, off_ns)]
+            if index % 2 == 0
+            else [(rec_off, off_ns), (rec_on, on_ns)]
+        )
+        for recorder, sink in order:
+            session.lifecycle = recorder
+            session.clear_caches()
+            sink.extend(lane.request_ns(probe) for probe in pool)
+    session.lifecycle = rec_on
+    on_ns.sort()
+    off_ns.sort()
+    p50_on = on_ns[len(on_ns) // 2]
+    p50_off = off_ns[len(off_ns) // 2]
+    direct = p50_on / p50_off - 1.0
+    return {
+        "probes": len(pool),
+        "rounds": rounds,
+        "p50_on_us": round(p50_on / 1e3, 1),
+        "p50_off_us": round(p50_off / 1e3, 1),
+        "direct_p50_overhead_pct": round(direct * 100, 2),
+    }
+
+
+def _measure_cached(
+    lane: _Lane, rec_on: FlightRecorder, rec_off: FlightRecorder,
+    requests: int,
+) -> Dict[str, object]:
+    session = lane.session
+    for probe in CACHED_PROBES:
+        lane.request_ns(probe)  # warm the result cache
+    on_ns: List[int] = []
+    off_ns: List[int] = []
+    for index in range(requests):
+        # Toggle per request: adjacent requests see identical machine
+        # state, so p50(on) vs p50(off) isolates the recorder from
+        # scheduler noise far better than separate batches can.
+        if index % 2 == 0:
+            session.lifecycle = rec_on
+            sink = on_ns
+        else:
+            session.lifecycle = rec_off
+            sink = off_ns
+        sink.append(lane.request_ns(CACHED_PROBES[index % len(CACHED_PROBES)]))
+    session.lifecycle = rec_on
+    on_ns.sort()
+    off_ns.sort()
+    p50_on = on_ns[len(on_ns) // 2]
+    p50_off = off_ns[len(off_ns) // 2]
+    overhead = p50_on / p50_off - 1.0
+    return {
+        "requests": requests,
+        "p50_on_us": round(p50_on / 1e3, 1),
+        "p50_off_us": round(p50_off / 1e3, 1),
+        "tax_us": round((p50_on - p50_off) / 1e3, 1),
+        "overhead": round(overhead, 4),
+        "overhead_pct": round(overhead * 100, 2),
+    }
+
+
+def run_bench(quick: bool) -> Dict[str, object]:
+    lane = _Lane(reqlog_size=256)
+    rec_on = lane.session.lifecycle
+    rec_off = FlightRecorder(0, origin="async")
+    try:
+        serving = _measure_serving(
+            lane, rec_on, rec_off, rounds=4 if quick else 10
+        )
+        cached = _measure_cached(
+            lane, rec_on, rec_off, requests=6000 if quick else 16000
+        )
+    finally:
+        lane.close()
+    # The stable estimator of serving overhead: the recorder's fixed
+    # per-request tax (precise to ~1us from the cached alternation)
+    # against the serving workload's median round trip.
+    tax_us = max(cached["tax_us"], 0.0)
+    overhead = tax_us / serving["p50_off_us"]
+    serving["overhead"] = round(overhead, 4)
+    serving["overhead_pct"] = round(overhead * 100, 2)
+    return {
+        "benchmark": "lifecycle: flight recorder on vs off",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "tax_us": tax_us,
+        "serving": serving,
+        "cached_worst_case": cached,
+        "overhead": serving["overhead"],
+        "overhead_pct": serving["overhead_pct"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer and shorter runs (CI smoke)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit non-zero when the recorder's overhead on the sg/scsg "
+        "serving workload exceeds this fraction (acceptance bar: 0.05)",
+    )
+    parser.add_argument(
+        "--max-cached-overhead",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="gate on the fully-cached worst case (pure result-cache "
+        "hits, the recorder's absolute tax against the smallest RTT); "
+        "sized to catch gross regressions, default 0.15",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report to this file (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = run_bench(args.quick)
+    except AssertionError as error:
+        print(f"workload failure: {error}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    failed = False
+    if args.max_overhead is not None and report["overhead"] > args.max_overhead:
+        print(
+            f"flight recorder serving overhead {report['overhead_pct']}% "
+            f"exceeds the {args.max_overhead * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = True
+    cached = report["cached_worst_case"]
+    if cached["overhead"] > args.max_cached_overhead:
+        print(
+            f"flight recorder cached worst-case overhead "
+            f"{cached['overhead_pct']}% exceeds the "
+            f"{args.max_cached_overhead * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,6 +112,29 @@ def build_parser() -> argparse.ArgumentParser:
         "server SLOWLOG verb and GET /slowlog)",
     )
     parser.add_argument(
+        "--reqlog-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="flight-recorder ring size: retain the last N per-request "
+        "stage timelines (REQLOG verb and GET /reqlog; 0 disables, "
+        "default 256)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines (one object per line) on "
+        "stderr instead of the human-readable format",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="log verbosity for the serving stack (default warning; "
+        "request dispatch logs at debug, cancellations and worker "
+        "respawns at info)",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="after the queries, print the session metrics in Prometheus "
@@ -503,6 +526,10 @@ def main(
     inp = stdin if stdin is not None else sys.stdin
     out = stdout if stdout is not None else sys.stdout
 
+    from .observe import configure_logging
+
+    configure_logging(json_mode=args.log_json, level=args.log_level)
+
     database = _load_database(args.program, out)
     if database is None:
         return 1
@@ -540,6 +567,7 @@ def main(
         database,
         max_depth=args.max_depth,
         slow_query_ms=args.slow_query_ms,
+        reqlog_size=args.reqlog_size,
         budget=budget,
         ivm=args.ivm,
     )
@@ -570,8 +598,8 @@ def main(
         print(
             f"repro serving on {host}:{port} "
             "(verbs: QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, UNSUBSCRIBE, "
-            "STATS, EXPLAIN, TRACE, METRICS, PROFILE, SLOWLOG, HEALTH; "
-            "one JSON reply per line)",
+            "STATS, EXPLAIN, TRACE, METRICS, PROFILE, SLOWLOG, REQLOG, "
+            "HEALTH; one JSON reply per line)",
             file=out,
         )
         # Scripts discover the bound port (--port 0) from this line, so

@@ -11,11 +11,33 @@ Three pieces:
   expansion ratios, split-decision check) and :func:`render_report`
   prints it;
 * :mod:`~repro.observe.prom` — :func:`prometheus_text` renders a
-  metrics snapshot in Prometheus text exposition format.
+  metrics snapshot in Prometheus text exposition format;
+* :mod:`~repro.observe.lifecycle` — per-request stage timelines in an
+  always-on bounded :class:`FlightRecorder` ring, the request-id
+  context (:func:`current_id` / :func:`mark_stage`), and the
+  cross-process chrome-trace merge (:func:`merge_worker_trace`);
+* :mod:`~repro.observe.jsonlog` — structured event logging with
+  request-id correlation (``--log-json`` / ``--log-level``).
 
 See ``docs/observability.md`` for the event vocabulary and formats.
 """
 
+from .jsonlog import configure_logging, get_logger, log_event
+from .lifecycle import (
+    STAGES,
+    FlightRecorder,
+    RequestRecord,
+    activate,
+    set_active,
+    chrome_stage_events,
+    current_id,
+    current_record,
+    dump_diagnostics,
+    mark_stage,
+    merge_worker_trace,
+    register_session,
+    set_verb,
+)
 from .prom import prometheus_text
 from .report import build_report, render_report
 from .tracer import EngineTracer, TraceEvent, Tracer, stage_profile
@@ -28,4 +50,20 @@ __all__ = [
     "build_report",
     "render_report",
     "prometheus_text",
+    "STAGES",
+    "FlightRecorder",
+    "RequestRecord",
+    "activate",
+    "set_active",
+    "current_record",
+    "current_id",
+    "mark_stage",
+    "set_verb",
+    "chrome_stage_events",
+    "merge_worker_trace",
+    "register_session",
+    "dump_diagnostics",
+    "configure_logging",
+    "get_logger",
+    "log_event",
 ]

@@ -1,0 +1,131 @@
+"""Structured (JSON-lines) logging with request-id correlation.
+
+The serving stack logs *events*, not prose: each call site names an
+event (``accept``, ``dispatch``, ``cancel``, ``worker_respawn``, ...)
+and attaches flat key/value fields — including the active request id
+when one is in scope — so log lines join against REQLOG records and
+chrome traces on ``request_id``.
+
+Two renderings of the same stream:
+
+* default (human): ``HH:MM:SS LEVEL logger event key=value ...``
+* ``--log-json``: one JSON object per line
+  (``{"ts": ..., "level": ..., "logger": ..., "event": ..., ...}``),
+  strict JSON, safe to pipe into ``jq`` / a log shipper.
+
+Library rule: the ``repro`` logger tree carries a ``NullHandler`` so
+importing the package never prints; :func:`configure_logging` (called
+from the CLI) attaches real handlers, idempotently.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "JsonFormatter",
+    "EventFormatter",
+]
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+class JsonFormatter(logging.Formatter):
+    """One strict-JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = repr(record.exc_info[1])
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class EventFormatter(logging.Formatter):
+    """Human-oriented: timestamp, level, logger, event, key=value."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        parts = [
+            stamp,
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        fields = getattr(record, "fields", None)
+        if fields:
+            parts.extend(f"{key}={value}" for key, value in fields.items())
+        line = " ".join(str(part) for part in parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line = f"{line} exc={record.exc_info[1]!r}"
+        return line
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("eventloop")``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields
+) -> None:
+    """Emit ``event`` with structured ``fields`` (cheap when disabled).
+
+    The active request id is attached automatically when one is in
+    scope and the caller did not pass its own.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    if "request_id" not in fields:
+        from .lifecycle import current_id
+
+        request_id = current_id()
+        if request_id is not None:
+            fields["request_id"] = request_id
+    logger.log(level, event, extra={"fields": fields})
+
+
+def configure_logging(
+    json_mode: bool = False,
+    level: str = "warning",
+    stream=None,
+) -> logging.Logger:
+    """Attach a handler to the ``repro`` tree (idempotent).
+
+    Re-invocation replaces the previously installed handler, so tests
+    and REPL reconfiguration do not stack duplicate outputs.
+    """
+    root = logging.getLogger(_ROOT)
+    resolved = getattr(logging, level.upper(), None)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_handler = True
+    handler.setFormatter(JsonFormatter() if json_mode else EventFormatter())
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    root.propagate = False
+    return root

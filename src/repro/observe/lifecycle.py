@@ -1,0 +1,480 @@
+"""Per-request lifecycle telemetry: the flight recorder.
+
+A serving stack answers "how fast" with latency histograms, but not
+"where did the time go" — socket read, dispatch-queue wait, parse,
+admission, waiting for a free evaluator worker, the evaluation itself,
+serialization, outbox drain.  This module records exactly that, per
+request, into an always-on bounded ring (the *flight recorder*):
+
+* :class:`RequestRecord` — one request's stage timeline.  A record is
+  minted when a frame completes on the socket and carries a process-
+  unique request id; each pipeline stage stamps a monotonic mark
+  (:data:`STAGES` names the canonical order) and the record is
+  committed to the ring when the reply's last byte is flushed (or the
+  request is aborted).  Marks are plain dict writes on the owning
+  thread — no locks on the hot path.
+* :class:`FlightRecorder` — the bounded ring plus the request-id
+  context.  ``REQLOG`` / ``GET /reqlog`` render :meth:`records`;
+  committing a record feeds the per-stage latency histograms
+  (``repro_stage_latency_seconds{stage=...}``).
+* The **active-record context**: servers wrap verb dispatch in
+  :func:`activate`, and any code on that thread — verb handlers, the
+  worker-pool dispatcher, the session's slowlog — reaches the current
+  request via :func:`current_record` / :func:`current_id` and stamps
+  stages with :func:`mark_stage`.  All of it no-ops when no record is
+  active, so library use pays nothing.
+* **Cross-process correlation**: the request id rides the worker pipe
+  on the request payload, the worker stamps it into its slowlog
+  entries, and :func:`merge_worker_trace` splices the parent's stage
+  spans into a worker-produced Chrome trace (aligned on the shared
+  wall clock) so one Perfetto view shows the whole cross-process
+  timeline keyed by one request id.
+* :func:`dump_diagnostics` — CI post-mortem hook: dump every live
+  session's reqlog + slowlog + health to a directory so storm failures
+  are diagnosable from workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+import weakref
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "STAGES",
+    "RequestRecord",
+    "FlightRecorder",
+    "activate",
+    "set_active",
+    "current_record",
+    "current_id",
+    "mark_stage",
+    "set_verb",
+    "chrome_stage_events",
+    "merge_worker_trace",
+    "register_session",
+    "dump_diagnostics",
+]
+
+#: Canonical stage order of one request's pipeline.  ``read`` is frame
+#: arrival → frame complete; ``queue`` the dispatch-FIFO wait; ``parse``
+#: verb/argument split; ``admission`` the admission-control decision;
+#: ``worker`` the wait for a free evaluator worker (pooled verbs only);
+#: ``eval`` the evaluation; ``serialize`` reply rendering; ``outbox``
+#: enqueue on the connection's outbox; ``flush`` last byte written.
+STAGES = (
+    "read",
+    "queue",
+    "parse",
+    "admission",
+    "worker",
+    "eval",
+    "serialize",
+    "outbox",
+    "flush",
+)
+
+_STAGE_INDEX = {name: index for index, name in enumerate(STAGES)}
+
+
+class RequestRecord:
+    """One request's stage timeline, stamped on the monotonic clock.
+
+    ``created_ns`` (``time.perf_counter_ns``) anchors the timeline and
+    ``created_wall`` (``time.time``) anchors it to the shared wall
+    clock for cross-process merges.  ``marks`` maps stage name → the
+    perf-counter stamp at which that stage *completed*; durations are
+    the diffs between consecutive present marks (stages that do not
+    apply — e.g. ``worker`` for in-process evaluation — are simply
+    absent).
+    """
+
+    __slots__ = (
+        "id",
+        "verb",
+        "detail",
+        "client",
+        "created_ns",
+        "created_wall",
+        "marks",
+        "status",
+        "origin",
+        "done",
+        "committed",
+    )
+
+    def __init__(self, request_id: str, client: Optional[str] = None,
+                 origin: str = "async", start_ns: Optional[int] = None):
+        self.id = request_id
+        self.verb: Optional[str] = None
+        #: First ~200 chars of the request line, for REQLOG display.
+        self.detail: Optional[str] = None
+        self.client = client
+        self.created_ns = (
+            start_ns if start_ns is not None else time.perf_counter_ns()
+        )
+        self.created_wall = time.time()
+        self.marks: Dict[str, int] = {}
+        self.status = "pending"
+        self.origin = origin
+        self.done = False
+        self.committed = False
+
+    def mark(self, stage: str) -> None:
+        """Stamp ``stage`` as completed now (idempotent per stage)."""
+        if stage not in self.marks:
+            self.marks[stage] = time.perf_counter_ns()
+
+    def finish(self, status: str = "ok") -> None:
+        if not self.done:
+            self.status = status
+            self.done = True
+
+    # ------------------------------------------------------------------
+    def stage_durations_ns(self) -> Dict[str, int]:
+        """Per-stage nanoseconds: diffs of consecutive present marks.
+
+        ``marks`` insertion order is chronological (stages are stamped
+        as the pipeline advances and re-marks are ignored), so one pass
+        over the dict suffices — this runs on every commit, so it
+        avoids the per-stage lookup loop over :data:`STAGES`.
+        """
+        out: Dict[str, int] = {}
+        previous = self.created_ns
+        for stage, stamp in self.marks.items():
+            delta = stamp - previous
+            out[stage] = delta if delta > 0 else 0
+            previous = stamp
+        return out
+
+    def total_ns(self) -> int:
+        if not self.marks:
+            return 0
+        return max(0, max(self.marks.values()) - self.created_ns)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering for REQLOG / ``GET /reqlog``."""
+        return {
+            "id": self.id,
+            "verb": self.verb,
+            "detail": self.detail,
+            "client": self.client,
+            "at": self.created_wall,
+            "status": self.status,
+            "origin": self.origin,
+            "pooled": "worker" in self.marks,
+            "total_ms": self.total_ns() / 1e6,
+            "stages_ms": {
+                stage: ns / 1e6
+                for stage, ns in self.stage_durations_ns().items()
+            },
+            "marks_ms": {
+                stage: (stamp - self.created_ns) / 1e6
+                for stage, stamp in sorted(
+                    self.marks.items(), key=lambda kv: kv[1]
+                )
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Active-record context (thread-local)
+# ----------------------------------------------------------------------
+_active = threading.local()
+
+
+class activate:
+    """Context manager installing ``record`` as the thread's active
+    request.  ``activate(None)`` is a no-op context, so call sites need
+    no branching."""
+
+    __slots__ = ("record", "_previous")
+
+    def __init__(self, record: Optional[RequestRecord]):
+        self.record = record
+
+    def __enter__(self) -> Optional[RequestRecord]:
+        self._previous = getattr(_active, "record", None)
+        if self.record is not None:
+            _active.record = self.record
+        return self.record
+
+    def __exit__(self, *exc_info) -> None:
+        if self.record is not None:
+            _active.record = self._previous
+
+
+def set_active(record: Optional[RequestRecord]) -> None:
+    """Install ``record`` as the thread's active request — fast path.
+
+    Unlike :func:`activate` this allocates nothing and restores
+    nothing: callers own the whole request on their thread (server
+    dispatch threads never nest requests) and must clear with
+    ``set_active(None)`` in a ``finally``.  Library code and anything
+    reentrant should use :func:`activate`.
+    """
+    _active.record = record
+
+
+def current_record() -> Optional[RequestRecord]:
+    """The thread's active request record, or ``None``."""
+    return getattr(_active, "record", None)
+
+
+def current_id() -> Optional[str]:
+    """The active request's id, or ``None``."""
+    record = getattr(_active, "record", None)
+    return record.id if record is not None else None
+
+
+def mark_stage(stage: str) -> None:
+    """Stamp ``stage`` on the active record; no-op without one."""
+    record = getattr(_active, "record", None)
+    if record is not None:
+        record.mark(stage)
+
+
+def set_verb(verb: str) -> None:
+    """Label the active record with its verb; no-op without one."""
+    record = getattr(_active, "record", None)
+    if record is not None and record.verb is None:
+        record.verb = verb
+
+
+# ----------------------------------------------------------------------
+# The ring
+# ----------------------------------------------------------------------
+class FlightRecorder:
+    """Always-on bounded ring of committed :class:`RequestRecord`\\ s.
+
+    ``size`` bounds memory regardless of traffic; ``size=0`` disables
+    recording entirely (:meth:`begin` returns ``None`` and every
+    downstream mark/commit is skipped, so the serving path pays only a
+    ``None`` check).  Appends ride the GIL-atomic ``deque``; reads
+    snapshot under a lock.
+    """
+
+    def __init__(self, size: int = 256, origin: str = "async"):
+        self.size = size
+        self.origin = origin
+        self._ring: deque = deque(maxlen=max(1, size))
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._prefix = f"req-{os.getpid():x}-{int(time.time()) & 0xFFFF:x}-"
+        #: Records committed but not yet folded into the stage-latency
+        #: histograms.  Feeding histograms costs a few microseconds per
+        #: request, so commit parks the record here and the session
+        #: drains the backlog at the next metrics snapshot (STATS,
+        #: ``/metrics`` and health all read through ``snapshot()``, so
+        #: no visible surface ever sees a stale histogram).  Bounded:
+        #: a scrape gap under extreme burst drops the oldest timelines
+        #: rather than growing without limit.
+        self._metrics_pending: deque = deque(maxlen=4096)
+
+    @property
+    def enabled(self) -> bool:
+        return self.size > 0
+
+    def begin(
+        self,
+        client: Optional[str] = None,
+        start_ns: Optional[int] = None,
+    ) -> Optional[RequestRecord]:
+        """Mint a record (and its request id), or ``None`` if disabled."""
+        if self.size <= 0:
+            return None
+        request_id = self._prefix + str(next(self._seq))
+        return RequestRecord(
+            request_id, client=client, origin=self.origin, start_ns=start_ns
+        )
+
+    def commit(self, record: Optional[RequestRecord], metrics=None) -> None:
+        """Append a finished record; queue it for the stage histograms.
+
+        Idempotent per record (a reply can be finalized by the flush
+        path and raced by connection teardown) and exception-free — the
+        recorder must never take a serving path down.  Histogram
+        accounting is deferred: the record is parked on a pending queue
+        that :meth:`drain_metrics` folds in lazily at snapshot time,
+        keeping the serving thread's post-flush work to two deque
+        appends.
+        """
+        if record is None:
+            return
+        try:
+            with self._lock:
+                if record.committed:
+                    return
+                record.committed = True
+                self._ring.append(record)
+            if metrics is not None:
+                self._metrics_pending.append(record)
+        except Exception:
+            pass
+
+    def drain_metrics(self, metrics) -> None:
+        """Fold every pending record into ``metrics``' stage histograms.
+
+        Called by the owning session just before a metrics snapshot is
+        taken; safe from any thread (``deque.popleft`` is atomic) and
+        never raises.
+        """
+        pending = self._metrics_pending
+        try:
+            while True:
+                try:
+                    record = pending.popleft()
+                except IndexError:
+                    return
+                metrics.record_stages_ns(record.stage_durations_ns())
+        except Exception:
+            pass
+
+    def records(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Committed records as dicts, most recent first."""
+        with self._lock:
+            snapshot = list(self._ring)
+        snapshot.reverse()
+        if limit is not None:
+            snapshot = snapshot[: max(0, limit)]
+        return [record.as_dict() for record in snapshot]
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._ring)
+            self._ring.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace merge
+# ----------------------------------------------------------------------
+def chrome_stage_events(
+    record: RequestRecord, pid: int = 2, tid: int = 0
+) -> List[Dict[str, object]]:
+    """The record's stage timeline as Chrome-trace complete events.
+
+    ``ts`` is microseconds relative to the record's start, so the
+    events compose with a worker profile shifted onto the same
+    timeline by :func:`merge_worker_trace`.
+    """
+    events: List[Dict[str, object]] = []
+    previous = record.created_ns
+    for stage in STAGES:
+        stamp = record.marks.get(stage)
+        if stamp is None:
+            continue
+        events.append(
+            {
+                "name": stage,
+                "cat": "lifecycle",
+                "ph": "X",
+                "ts": (previous - record.created_ns) / 1e3,
+                "dur": max(0, stamp - previous) / 1e3,
+                "pid": pid,
+                "tid": tid,
+                "args": {"request_id": record.id, "verb": record.verb},
+            }
+        )
+        previous = stamp
+    return events
+
+
+def merge_worker_trace(
+    trace: Dict[str, object], record: RequestRecord
+) -> Dict[str, object]:
+    """Splice the parent's stage spans into a worker's Chrome trace.
+
+    The worker's span timestamps are relative to its profiler's start;
+    its ``otherData.started_at`` wall-clock anchor and the record's own
+    wall-clock anchor put both processes on one timeline (t=0 = frame
+    complete in the parent).  Worker events keep ``pid`` 1, the
+    parent's stage spans arrive as ``pid`` 2 ("event loop"), and every
+    event is tagged with the shared ``request_id`` — load the result in
+    Perfetto for the cross-process flamegraph.  Mutates and returns
+    ``trace``.
+    """
+    events = trace.setdefault("traceEvents", [])
+    other = trace.get("otherData") or {}
+    anchor = other.get("started_at")
+    shift_us = (
+        (float(anchor) - record.created_wall) * 1e6
+        if isinstance(anchor, (int, float))
+        else 0.0
+    )
+    for event in events:
+        if "ts" in event and event.get("ph") != "M":
+            event["ts"] = float(event["ts"]) + shift_us
+        event.setdefault("args", {})["request_id"] = record.id
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "tid": 0,
+            "args": {"name": "repro event loop", "request_id": record.id},
+        }
+    )
+    events.extend(chrome_stage_events(record, pid=2))
+    if isinstance(other, dict):
+        other.setdefault("request_id", record.id)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# CI diagnostics
+# ----------------------------------------------------------------------
+#: Live sessions that opted into post-mortem dumps (weak: a dead
+#: session must not be kept alive by diagnostics bookkeeping).
+_LIVE_SESSIONS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_session(session) -> None:
+    """Track a session for :func:`dump_diagnostics` (weakly)."""
+    try:
+        _LIVE_SESSIONS.add(session)
+    except TypeError:
+        pass
+
+
+def dump_diagnostics(directory: str, label: str = "failure") -> List[str]:
+    """Dump every live session's reqlog + slowlog + health to files.
+
+    Called from the test harness on failure when ``REPRO_DIAG_DIR`` is
+    set; the written JSON files are uploaded as workflow artifacts so
+    chaos-storm failures are diagnosable post-hoc.  Returns the paths
+    written; never raises.
+    """
+    written: List[str] = []
+    try:
+        os.makedirs(directory, exist_ok=True)
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in label
+        )[-120:]
+        for index, session in enumerate(list(_LIVE_SESSIONS)):
+            payload: Dict[str, Any] = {"label": label, "at": time.time()}
+            for field, getter in (
+                ("reqlog", lambda: session.reqlog()),
+                ("slowlog", lambda: session.slowlog()),
+                ("health", lambda: session.health()),
+            ):
+                try:
+                    payload[field] = getter()
+                except Exception as exc:
+                    payload[field] = {"error": repr(exc)}
+            path = os.path.join(directory, f"{safe}.session{index}.json")
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=2, default=str)
+            written.append(path)
+    except Exception:
+        pass
+    return written

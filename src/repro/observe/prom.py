@@ -169,6 +169,26 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
                 for verb, hist in sorted(verb_latency.items())
             ],
         )
+    stage_latency = stats.get("stage_latency") or {}
+    if stage_latency:
+        _histogram_family(
+            w,
+            "stage_latency_seconds",
+            "Per-request lifecycle stage latency "
+            "(read/queue/parse/admission/worker/eval/serialize/outbox/flush).",
+            [
+                ({"stage": stage}, hist)
+                for stage, hist in sorted(stage_latency.items())
+            ],
+        )
+    worker_wait = stats.get("worker_wait_histogram")
+    if worker_wait and worker_wait.get("count"):
+        _histogram(
+            w,
+            "worker_acquire_wait_seconds",
+            "Time heavy verbs waited for a free evaluator worker.",
+            worker_wait,
+        )
     if "slow_queries" in stats:
         w.counter(
             "slow_queries_total",
@@ -300,6 +320,42 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
             "worker_dispatches_total",
             "Heavy requests dispatched to evaluator workers.",
             workers.get("dispatches", 0),
+        )
+        if "alive" in workers:
+            w.gauge(
+                "workers_alive",
+                "Evaluator workers whose process is currently alive.",
+                workers.get("alive", 0),
+            )
+        if workers.get("last_restart_age_s") is not None:
+            w.gauge(
+                "worker_last_restart_age_seconds",
+                "Seconds since the most recent worker respawn.",
+                workers.get("last_restart_age_s", 0),
+            )
+
+    eventloop = stats.get("eventloop") or {}
+    if eventloop:
+        w.gauge(
+            "eventloop_lag_seconds",
+            "Duration of the event loop's most recent processing pass "
+            "(readiness handling + dispatch between selector waits).",
+            eventloop.get("lag_s", 0.0),
+        )
+        w.gauge(
+            "connections",
+            "Open client connections on the event loop.",
+            eventloop.get("connections", 0),
+        )
+        w.gauge(
+            "outbox_bytes",
+            "Bytes buffered across every connection outbox.",
+            eventloop.get("outbox_bytes", 0),
+        )
+        w.gauge(
+            "outbox_max_bytes",
+            "Largest single-connection outbox backlog.",
+            eventloop.get("outbox_max_bytes", 0),
         )
 
     engine = stats.get("engine") or {}

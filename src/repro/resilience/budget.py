@@ -115,6 +115,7 @@ class Budget:
         "deadline",
         "cancelled",
         "cancel_reason",
+        "request_id",
         "_ticks",
     )
 
@@ -131,6 +132,11 @@ class Budget:
         self.max_rounds = max_rounds
         self.timeout = timeout
         self.max_memory_bytes = max_memory_bytes
+        # Correlation only — set by the serving layer so evaluation
+        # artifacts (slowlog entries, worker envelopes) can be joined
+        # back to the request lifecycle record.  Budget logic never
+        # reads it, and fork() deliberately does not inherit it.
+        self.request_id: Optional[str] = None
         self.start()
 
     # ------------------------------------------------------------------

@@ -40,6 +40,7 @@ and ``repro_worker_restarts_total`` via the pool's snapshot provider.
 from __future__ import annotations
 
 import json
+import logging
 import selectors
 import socket
 import threading
@@ -53,6 +54,16 @@ from ..datalog.literals import Predicate
 from ..datalog.parser import parse_rule
 from ..engine.counters import Counters
 from ..engine.database import Database, MutationBatch
+from ..observe import (
+    RequestRecord,
+    current_id,
+    current_record,
+    get_logger,
+    log_event,
+    mark_stage,
+    set_active,
+    set_verb,
+)
 from ..resilience import AdmissionController, Budget, BudgetExceeded, CircuitBreaker
 from .server import (
     HEAVY_VERBS,
@@ -74,6 +85,8 @@ from .workers import (
 
 __all__ = ["AsyncQueryServer", "serve_async"]
 
+_log = get_logger("eventloop")
+
 #: Sentinels queued in place of a request line when the peer sent an
 #: oversized line (the second also closes after the error reply).
 _OVERSIZED = b"\x00oversized"
@@ -93,12 +106,19 @@ class _Connection:
         "sock", "addr", "lock", "inbox", "outbox", "outbox_bytes",
         "requests", "inflight", "budget", "eof", "gone", "closed",
         "close_after_flush", "draining", "drained", "last_active",
-        "registered_events",
+        "registered_events", "frame_started", "client_label",
     )
 
     def __init__(self, sock: socket.socket, addr):
         self.sock = sock
         self.addr = addr
+        #: "host:port" rendered once at accept — every request minted on
+        #: this connection reuses it instead of re-formatting the peer.
+        self.client_label = f"{addr[0]}:{addr[1]}" if addr else None
+        #: perf_counter_ns stamp of the first byte of a partial frame
+        #: still sitting in the inbox — the lifecycle record minted when
+        #: the frame completes anchors its "read" stage here.
+        self.frame_started: Optional[int] = None
         #: Guards outbox/requests/inflight/budget against the dispatch
         #: threads; the loop-only fields (inbox, draining, interest)
         #: need no lock.
@@ -218,6 +238,11 @@ class AsyncQueryServer:
         self._to_close: set = set()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: Duration of the most recent between-selects processing pass
+        #: — the event-loop lag gauge.  Written by the loop thread only;
+        #: read lock-free by the metrics provider.
+        self._last_cycle_s = 0.0
+        session.metrics.eventloop_provider = self._eventloop_snapshot
         session.database.add_mutation_listener(self._on_mutation)
 
     @classmethod
@@ -277,6 +302,7 @@ class AsyncQueryServer:
         last_sweep = time.monotonic()
         while not self._stop.is_set():
             events = self._selector.select(timeout=_TICK)
+            cycle_start = time.perf_counter()
             for key, mask in events:
                 tag = key.data
                 if tag == "listen":
@@ -298,6 +324,31 @@ class AsyncQueryServer:
             if self.idle_timeout is not None and now - last_sweep >= 1.0:
                 last_sweep = now
                 self._sweep_idle(now)
+            # Everything since select() ran on the loop thread while no
+            # socket was being served — that's the loop's lag.
+            self._last_cycle_s = time.perf_counter() - cycle_start
+
+    def _eventloop_snapshot(self) -> Dict[str, object]:
+        """Loop gauges for /metrics (lag, connections, outbox depths).
+
+        Reads are lock-free on purpose: each field is a GIL-atomic
+        int/float read, and gauge scrapes tolerate a value one write
+        stale.
+        """
+        conns = list(self._conns)
+        total = 0
+        biggest = 0
+        for conn in conns:
+            pending = conn.outbox_bytes
+            total += pending
+            if pending > biggest:
+                biggest = pending
+        return {
+            "lag_s": self._last_cycle_s,
+            "connections": len(conns),
+            "outbox_bytes": total,
+            "outbox_max_bytes": biggest,
+        }
 
     def _accept(self) -> None:
         while True:
@@ -312,6 +363,10 @@ class AsyncQueryServer:
             self._conns.add(conn)
             self._selector.register(sock, selectors.EVENT_READ, conn)
             conn.registered_events = selectors.EVENT_READ
+            log_event(
+                _log, logging.DEBUG, "accept",
+                client=conn.client_label or "?",
+            )
 
     def _process_control(self) -> None:
         with self._control_lock:
@@ -389,6 +444,8 @@ class AsyncQueryServer:
             conn.drained = 0
             if not chunk:
                 return
+        if not conn.inbox:
+            conn.frame_started = time.perf_counter_ns()
         conn.inbox += chunk
         while True:
             idx = conn.inbox.find(b"\n")
@@ -397,10 +454,12 @@ class AsyncQueryServer:
                     conn.draining = True
                     conn.drained = len(conn.inbox)
                     conn.inbox.clear()
+                    conn.frame_started = None
                 break
             line = bytes(conn.inbox[: idx + 1])
             del conn.inbox[: idx + 1]
             if len(line) > MAX_LINE_BYTES:
+                conn.frame_started = None
                 self._enqueue(
                     conn,
                     _OVERSIZED_CLOSE
@@ -408,7 +467,30 @@ class AsyncQueryServer:
                     else _OVERSIZED,
                 )
             else:
-                self._enqueue(conn, line)
+                self._enqueue(conn, line, self._mint_record(conn))
+        if conn.inbox and conn.frame_started is None:
+            # Leftover bytes start the next frame; its read stage
+            # begins now, not when its newline eventually arrives.
+            conn.frame_started = time.perf_counter_ns()
+
+    def _mint_record(self, conn: _Connection) -> Optional[RequestRecord]:
+        """Mint a lifecycle record for one completed frame.
+
+        ``frame_started`` (the first byte's arrival) anchors the read
+        stage; pipelined frames completing in the same chunk fall back
+        to "now".  Returns ``None`` when the recorder is disabled.
+        """
+        start_ns = conn.frame_started
+        conn.frame_started = None
+        recorder = self.session.lifecycle
+        if not recorder.enabled:
+            return None
+        record = recorder.begin(
+            client=conn.client_label, start_ns=start_ns
+        )
+        if record is not None:
+            record.mark("read")
+        return record
 
     def _on_peer_lost(self, conn: _Connection) -> None:
         """Hard socket error: abort everything immediately."""
@@ -418,6 +500,11 @@ class AsyncQueryServer:
             budget = conn.budget
         if budget is not None:
             budget.cancel("client disconnected")
+            log_event(
+                _log, logging.INFO, "cancel",
+                reason="peer lost",
+                request_id=getattr(budget, "request_id", None),
+            )
         self._close_conn(conn)
 
     def _on_eof(self, conn: _Connection) -> None:
@@ -437,6 +524,11 @@ class AsyncQueryServer:
                 conn.gone = True
         if conn.gone and budget is not None:
             budget.cancel("client disconnected")
+            log_event(
+                _log, logging.INFO, "cancel",
+                reason="client disconnected",
+                request_id=getattr(budget, "request_id", None),
+            )
         if not has_queued:
             if flushing:
                 conn.close_after_flush = True
@@ -451,7 +543,7 @@ class AsyncQueryServer:
             with conn.lock:
                 if not conn.outbox:
                     break
-                head = conn.outbox[0]
+                head, record = conn.outbox[0]
             try:
                 sent = conn.sock.send(head)
             except (BlockingIOError, InterruptedError):
@@ -459,13 +551,21 @@ class AsyncQueryServer:
             except OSError:
                 self._on_peer_lost(conn)
                 return
+            flushed = None
             with conn.lock:
                 conn.outbox_bytes -= sent
                 if sent == len(head):
                     conn.outbox.popleft()
+                    flushed = record
                 else:
-                    conn.outbox[0] = head[sent:]
-                    break
+                    conn.outbox[0] = (head[sent:], record)
+            if flushed is not None:
+                # The reply's last byte hit the kernel buffer: the
+                # request's lifecycle is complete.
+                flushed.mark("flush")
+                self._finalize_record(flushed, "ok")
+            if sent != len(head):
+                break
         with conn.lock:
             done = not conn.outbox
         if done and conn.close_after_flush:
@@ -482,6 +582,10 @@ class AsyncQueryServer:
             if busy:
                 continue
             if now - conn.last_active > self.idle_timeout:
+                log_event(
+                    _log, logging.DEBUG, "idle_close",
+                    idle_s=round(now - conn.last_active, 3),
+                )
                 self._close_conn(conn)
 
     def _close_conn(self, conn: _Connection) -> None:
@@ -500,6 +604,27 @@ class AsyncQueryServer:
             pass
         self._conns.discard(conn)
         self.subscriptions.drop_connection(conn)
+        # Requests still queued (or replies still unflushed) will never
+        # complete: commit their lifecycle records as aborted so REQLOG
+        # shows the cut-off instead of silently losing them.
+        with conn.lock:
+            orphans = [
+                record for _item, record in conn.requests
+                if record is not None
+            ]
+            orphans.extend(
+                record for _item, record in conn.outbox if record is not None
+            )
+            conn.requests.clear()
+        for record in orphans:
+            self._finalize_record(record, "aborted")
+
+    def _finalize_record(
+        self, record: Optional[RequestRecord], status: str
+    ) -> None:
+        if record is not None:
+            record.finish(status)
+            self.session.lifecycle.commit(record, self.session.metrics)
 
     # ------------------------------------------------------------------
     # Outbound bytes (called from dispatch threads and the loop)
@@ -513,20 +638,25 @@ class AsyncQueryServer:
     def _send_bytes(
         self, conn: _Connection, data: bytes,
         close_after: bool = False, push: bool = False,
+        record: Optional[RequestRecord] = None,
     ) -> Optional[bool]:
         """Queue bytes on the connection's outbox.
 
         Returns ``True`` when queued, ``False`` when the connection is
         already closed, and ``None`` when ``push=True`` and queueing
         would overflow ``push_backlog`` (the stalled-subscriber
-        signal).  Never blocks.
+        signal).  Never blocks.  ``record`` rides the outbox with the
+        bytes: the flush path finalizes it when the last byte leaves.
         """
         with conn.lock:
             if conn.closed:
+                self._finalize_record(record, "aborted")
                 return False
             if push and conn.outbox_bytes + len(data) > self.push_backlog:
                 return None
-            conn.outbox.append(data)
+            if record is not None:
+                record.mark("outbox")
+            conn.outbox.append((data, record))
             conn.outbox_bytes += len(data)
             if close_after:
                 conn.close_after_flush = True
@@ -543,20 +673,25 @@ class AsyncQueryServer:
     # ------------------------------------------------------------------
     # Request pipeline (dispatch threads)
     # ------------------------------------------------------------------
-    def _enqueue(self, conn: _Connection, raw: bytes) -> None:
+    def _enqueue(
+        self,
+        conn: _Connection,
+        raw: bytes,
+        record: Optional[RequestRecord] = None,
+    ) -> None:
         with conn.lock:
-            conn.requests.append(raw)
+            conn.requests.append((raw, record))
             if conn.inflight:
                 return
             conn.inflight = True
-            raw = conn.requests.popleft()
-        self._executor.submit(self._process, conn, raw)
+            raw, record = conn.requests.popleft()
+        self._executor.submit(self._process, conn, raw, record)
 
     def _request_done(self, conn: _Connection) -> None:
         with conn.lock:
             if conn.requests:
-                raw = conn.requests.popleft()
-                self._executor.submit(self._process, conn, raw)
+                raw, record = conn.requests.popleft()
+                self._executor.submit(self._process, conn, raw, record)
                 return
             conn.inflight = False
             drained_after_eof = conn.eof
@@ -565,9 +700,18 @@ class AsyncQueryServer:
                 conn.gone = True
             self._request_close(conn)
 
-    def _process(self, conn: _Connection, raw: bytes) -> None:
+    def _process(
+        self,
+        conn: _Connection,
+        raw: bytes,
+        record: Optional[RequestRecord] = None,
+    ) -> None:
         """Serve one queued request line and queue its reply."""
         try:
+            if record is not None:
+                # Time between frame completion and this thread picking
+                # the request up — FIFO wait plus executor scheduling.
+                record.mark("queue")
             close_after = False
             if raw in (_OVERSIZED, _OVERSIZED_CLOSE):
                 reply = _error_envelope(
@@ -576,27 +720,56 @@ class AsyncQueryServer:
                 )
                 close_after = raw is _OVERSIZED_CLOSE
             elif raw.startswith(b"GET "):
-                self._send_bytes(
-                    conn, http_response(self.session, raw), close_after=True
-                )
+                if record is not None:
+                    record.verb = "HTTP"
+                    record.detail = raw.decode(
+                        "utf-8", errors="replace"
+                    ).strip()[:200]
+                    record.mark("parse")
+                body = http_response(self.session, raw)
+                if record is not None:
+                    record.mark("eval")
+                    record.mark("serialize")
+                self._send_bytes(conn, body, close_after=True, record=record)
                 return
             else:
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
-                    return
+                    return  # empty keep-alive line: no reply, no record
+                if record is not None:
+                    record.detail = line[:200]
+                    # Guarded at the call site: this fires per request,
+                    # and even a disabled log_event call costs a kwargs
+                    # dict on the serving path.
+                    if _log.isEnabledFor(logging.DEBUG):
+                        log_event(
+                            _log, logging.DEBUG, "dispatch",
+                            request_id=record.id, line=record.detail,
+                        )
+                # set_active over the activate() context manager: this
+                # dispatch thread owns the whole request, and the fast
+                # path skips the per-request manager allocation.
+                if record is not None:
+                    set_active(record)
                 try:
                     reply = self.handle_line(line, connection=conn)
                 except ClientDisconnected:
+                    self._finalize_record(record, "disconnected")
                     self._request_close(conn)
                     return
-            self._send_bytes(
-                conn,
-                json.dumps(reply).encode("utf-8") + b"\n",
-                close_after=close_after,
-            )
+                finally:
+                    if record is not None:
+                        set_active(None)
+                if record is not None:
+                    record.mark("eval")
+            wire = json.dumps(reply).encode("utf-8") + b"\n"
+            if record is not None:
+                record.mark("serialize")
+            self._send_bytes(conn, wire, close_after=close_after, record=record)
         except Exception:
             # A dispatch crash must never leak the connection's FIFO
             # slot; drop the connection instead of wedging it.
+            self._finalize_record(record, "error")
             self._request_close(conn)
         finally:
             self._request_done(conn)
@@ -616,6 +789,8 @@ class AsyncQueryServer:
         verb, _, argument = line.partition(" ")
         verb = verb.upper()
         argument = argument.strip()
+        set_verb(verb)
+        mark_stage("parse")
         handler = {
             "QUERY": self._do_query,
             "PLAN": self._do_plan,
@@ -629,6 +804,7 @@ class AsyncQueryServer:
             "METRICS": self._do_metrics,
             "PROFILE": self._do_profile,
             "SLOWLOG": self._do_slowlog,
+            "REQLOG": self._do_reqlog,
             "HEALTH": self._do_health,
         }.get(verb)
         if handler is None:
@@ -636,7 +812,7 @@ class AsyncQueryServer:
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
                 "expected QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, "
                 "UNSUBSCRIBE, STATS, EXPLAIN, TRACE, METRICS, PROFILE, "
-                "SLOWLOG or HEALTH"
+                "SLOWLOG, REQLOG or HEALTH"
             )
         metered = self.admission is not None and verb in HEAVY_VERBS
         if metered and not self.admission.try_acquire(verb):
@@ -647,6 +823,7 @@ class AsyncQueryServer:
             )
             reply["retry_after"] = self.retry_after
             return reply
+        mark_stage("admission")
         try:
             return handler(argument, connection)
         except ClientDisconnected:
@@ -708,6 +885,7 @@ class AsyncQueryServer:
         ):
             budget.timeout = self.timeout
             budget.deadline = budget.started_at + self.timeout
+        budget.request_id = current_id()
         if conn is not None:
             with conn.lock:
                 if conn.gone:
@@ -766,7 +944,7 @@ class AsyncQueryServer:
         """Dispatch to a worker, translating transport-level failures."""
         for attempt in (0, 1):
             try:
-                return self.pool.execute(
+                payload = self.pool.execute(
                     verb,
                     source,
                     max_depth=self.max_depth,
@@ -774,6 +952,18 @@ class AsyncQueryServer:
                     timeout=self.timeout,
                     peer_gone=self._peer_gone_probe(conn),
                 )
+                # For pooled verbs the worker round-trip *is* the
+                # evaluation; stamping eval here (idempotent) lets the
+                # trace merge below include the span.
+                mark_stage("eval")
+                # Worker-side slow-query forensics arrive as an
+                # envelope sidecar; fold them into the parent's ring
+                # (merging this request's stage spans into the chrome
+                # trace) before the payload becomes a client reply.
+                sidecar = payload.pop("slowlog", None)
+                if sidecar:
+                    self.session.adopt_slowlog(sidecar, current_record())
+                return payload
             except ClientGone:
                 self.session.metrics.record_disconnect()
                 raise ClientDisconnected("client disconnected mid-request")
@@ -1122,6 +1312,28 @@ class AsyncQueryServer:
             "entries": self.session.slowlog(),
         }
 
+    def _do_reqlog(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        if argument.upper() == "CLEAR":
+            dropped = self.session.lifecycle.clear()
+            return {"ok": True, "verb": "REQLOG", "cleared": dropped}
+        limit = None
+        if argument:
+            try:
+                limit = int(argument)
+            except ValueError:
+                return _error_envelope(
+                    "REQLOG", "ProtocolError",
+                    "REQLOG takes an optional integer limit, or CLEAR",
+                )
+        return {
+            "ok": True,
+            "verb": "REQLOG",
+            "size": self.session.lifecycle.size,
+            "records": self.session.reqlog(limit),
+        }
+
     def _do_health(
         self, argument: str, conn: Optional[_Connection] = None
     ) -> Dict[str, object]:
@@ -1173,6 +1385,11 @@ class AsyncQueryServer:
                     if self.subscriptions.remove(sub.id) is not None:
                         self.session.metrics.record_push_dropped()
                         self.session.metrics.record_disconnect()
+                        log_event(
+                            _log, logging.INFO, "push_drop",
+                            subscription=sub.id,
+                            predicate=str(predicate),
+                        )
                         self._request_close(sub.connection)
 
 
@@ -1192,12 +1409,13 @@ def serve_async(
     breaker_cooldown: float = 5.0,
     push_backlog: int = 1_048_576,
     ivm: bool = False,
+    reqlog_size: int = 256,
 ) -> AsyncQueryServer:
     """Convenience: session + event-loop server, already listening."""
     return AsyncQueryServer(
         QuerySession(
             database, slow_query_ms=slow_query_ms, slowlog_size=slowlog_size,
-            ivm=ivm,
+            ivm=ivm, reqlog_size=reqlog_size,
         ),
         host=host, port=port,
         timeout=timeout, max_depth=max_depth,

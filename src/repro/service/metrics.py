@@ -158,6 +158,13 @@ class ServiceMetrics:
         #: cheap FACT inserts cannot hide a QUERY tail — exported as
         #: one labelled Prometheus histogram family.
         self.verb_latency: Dict[str, LatencyHistogram] = {}
+        #: Per-stage request lifecycle latency (read/queue/parse/
+        #: admission/worker/eval/serialize/outbox/flush) fed by the
+        #: flight recorder on commit — exported as one labelled
+        #: ``repro_stage_latency_seconds`` family.
+        self.stage_latency: Dict[str, LatencyHistogram] = {}
+        #: Time heavy verbs waited for a free evaluator worker.
+        self.worker_wait = LatencyHistogram()
         #: Queries that tripped the session's ``slow_query_ms``
         #: threshold and were retained in the slow-query log.
         self.slow_queries = 0
@@ -176,6 +183,15 @@ class ServiceMetrics:
         #: pool's gauge snapshot (size/queue depth/restarts); installed
         #: by the server the same way as :attr:`breaker_provider`.
         self.worker_provider = None
+        #: Optional zero-arg callable returning event-loop gauges
+        #: (loop lag, connection count, outbox depths); installed by
+        #: :class:`~repro.service.eventloop.AsyncQueryServer`.
+        self.eventloop_provider = None
+        #: Optional zero-arg callable that folds the flight recorder's
+        #: pending stage timelines into :attr:`stage_latency`; installed
+        #: by the session so histogram feeding happens lazily at
+        #: snapshot time instead of on the serving thread.
+        self.stage_drain = None
         #: Optional zero-arg callable returning the circuit breaker's
         #: ``snapshot()``; the server installs it so STATS/metrics can
         #: surface breaker state without metrics importing the breaker.
@@ -247,6 +263,31 @@ class ServiceMetrics:
     def record_slow_query(self) -> None:
         with self._lock:
             self.slow_queries += 1
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Account one lifecycle stage duration under its label."""
+        with self._lock:
+            hist = self.stage_latency.get(stage)
+            if hist is None:
+                hist = self.stage_latency[stage] = LatencyHistogram()
+            hist.record(seconds)
+
+    def record_stages_ns(self, durations_ns: Dict[str, int]) -> None:
+        """Account one request's whole stage timeline (values in
+        nanoseconds) under one lock acquisition — the flight recorder
+        commits 6-9 stages per request, and a lock round-trip plus a
+        unit-conversion dict for each would tax the serving path."""
+        with self._lock:
+            for stage, ns in durations_ns.items():
+                hist = self.stage_latency.get(stage)
+                if hist is None:
+                    hist = self.stage_latency[stage] = LatencyHistogram()
+                hist.record(ns / 1e9)
+
+    def record_worker_wait(self, seconds: float) -> None:
+        """Account one wait for a free evaluator worker."""
+        with self._lock:
+            self.worker_wait.record(seconds)
 
     def record_plan(self, cached: bool) -> None:
         """Account a plan-only request (``PLAN`` verb, ``:plan``)."""
@@ -333,6 +374,14 @@ class ServiceMetrics:
         subscribers = sub_provider() if sub_provider is not None else None
         worker_provider = self.worker_provider
         workers = worker_provider() if worker_provider is not None else None
+        loop_provider = self.eventloop_provider
+        eventloop = loop_provider() if loop_provider is not None else None
+        # Catch the stage histograms up with the flight recorder's
+        # pending commits (record_stages_ns takes our lock itself, so
+        # drain before entering it).
+        drain = self.stage_drain
+        if drain is not None:
+            drain()
         with self._lock:
             snap = {
                 "queries": self.queries,
@@ -360,6 +409,11 @@ class ServiceMetrics:
                     verb: hist.as_dict()
                     for verb, hist in sorted(self.verb_latency.items())
                 },
+                "stage_latency": {
+                    stage: hist.as_dict()
+                    for stage, hist in sorted(self.stage_latency.items())
+                },
+                "worker_wait_histogram": self.worker_wait.as_dict(),
                 "slow_queries": self.slow_queries,
                 "rejected": self.rejected,
                 "rejected_by_verb": dict(self.rejected_by_verb),
@@ -383,6 +437,8 @@ class ServiceMetrics:
             snap["subscribers"] = subscribers
         if workers is not None:
             snap["workers"] = workers
+        if eventloop is not None:
+            snap["eventloop"] = eventloop
         return snap
 
     def reset(self) -> None:
@@ -398,6 +454,8 @@ class ServiceMetrics:
             self.latency_histogram = LatencyHistogram()
             self.evaluated_latency_histogram = LatencyHistogram()
             self.verb_latency = {}
+            self.stage_latency = {}
+            self.worker_wait = LatencyHistogram()
             self.slow_queries = 0
             self.rejected = 0
             self.rejected_by_verb = {}

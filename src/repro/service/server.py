@@ -39,6 +39,11 @@ PROFILE   a query                     evaluate with span profiling on; the
 SLOWLOG   ``CLEAR`` (optional)        retained slow-query entries (span
                                       profile attached), most recent
                                       first; ``CLEAR`` drops them
+REQLOG    a limit (optional) or       the flight recorder's per-request
+          ``CLEAR``                   stage timelines (read/parse/
+                                      admission/eval/serialize/flush
+                                      milliseconds per request), most
+                                      recent first; ``CLEAR`` drops them
 HEALTH    —                           liveness/pressure summary (uptime,
                                       error/timeout/slow-query counts,
                                       cache and database state)
@@ -47,9 +52,10 @@ HEALTH    —                           liveness/pressure summary (uptime,
 Raw HTTP ``GET`` request lines on the same port are answered with a
 minimal ``HTTP/1.0`` response (connection closed afterwards):
 ``/metrics`` carries the Prometheus text page, ``/healthz`` the HEALTH
-summary as JSON, ``/slowlog`` the slow-query log as JSON — so the TCP
-port doubles as a scrape/probe target for ``curl``/Prometheus without
-a separate HTTP server.
+summary as JSON, ``/slowlog`` the slow-query log and ``/reqlog`` the
+flight-recorder ring as JSON — so the TCP port doubles as a
+scrape/probe target for ``curl``/Prometheus without a separate HTTP
+server.
 
 Every reply is ``{"ok": true, "verb": ..., ...}`` or
 ``{"ok": false, "verb": ..., "error": {"type": ..., "message": ...}}`` —
@@ -105,6 +111,7 @@ workers, see :mod:`repro.service.eventloop`.
 from __future__ import annotations
 
 import json
+import logging
 import queue
 import select
 import socket
@@ -118,8 +125,19 @@ from typing import Dict, List, Optional, Tuple
 from ..datalog.literals import Predicate
 from ..datalog.parser import parse_rule
 from ..engine.database import Database, MutationBatch
+from ..observe import (
+    RequestRecord,
+    activate,
+    current_id,
+    get_logger,
+    log_event,
+    mark_stage,
+    set_verb,
+)
 from ..resilience import AdmissionController, Budget, BudgetExceeded, CircuitBreaker
 from .session import QuerySession
+
+_log = get_logger("server")
 
 __all__ = ["ClientDisconnected", "QueryServer", "serve"]
 
@@ -217,11 +235,15 @@ def http_response(session: QuerySession, raw: bytes) -> bytes:
         status = b"200 OK"
         content_type = b"application/json; charset=utf-8"
         body = json.dumps(session.slowlog()).encode("utf-8")
+    elif path == "/reqlog":
+        status = b"200 OK"
+        content_type = b"application/json; charset=utf-8"
+        body = json.dumps(session.reqlog()).encode("utf-8")
     else:
         status = b"404 Not Found"
         content_type = b"text/plain; charset=utf-8"
         body = (
-            f"no route {path}; try /metrics, /healthz or /slowlog\n"
+            f"no route {path}; try /metrics, /healthz, /slowlog or /reqlog\n"
         ).encode("utf-8")
     return (
         b"HTTP/1.0 " + status + b"\r\n"
@@ -379,6 +401,7 @@ class _Handler(socketserver.StreamRequestHandler):
         super().setup()
 
     def handle(self) -> None:
+        query_server = self.server.query_server
         while True:
             try:
                 raw = self.rfile.readline(MAX_LINE_BYTES + 1)
@@ -389,11 +412,22 @@ class _Handler(socketserver.StreamRequestHandler):
             if raw.startswith(b"GET "):
                 # One-shot HTTP request on the line-protocol port:
                 # minimal HTTP/1.0 response, then close.  /metrics is
-                # the Prometheus scrape; /healthz and /slowlog serve
-                # the probes next to it.
-                self._handle_http(raw)
+                # the Prometheus scrape; /healthz, /slowlog and
+                # /reqlog serve the probes next to it.
+                record = self._mint_record()
+                if record is not None:
+                    record.verb = "HTTP"
+                    try:
+                        record.detail = raw.split()[1].decode(
+                            "ascii", errors="replace"
+                        )[:200]
+                    except IndexError:
+                        record.detail = "/"
+                    record.mark("parse")
+                self._handle_http(raw, record)
                 return
             close_after_reply = False
+            record: Optional[RequestRecord] = None
             if len(raw) > MAX_LINE_BYTES:
                 # readline() returned a *partial* line; drain the rest
                 # so the tail is not parsed as a second request (one
@@ -417,25 +451,46 @@ class _Handler(socketserver.StreamRequestHandler):
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
+                record = self._mint_record()
+                if record is not None:
+                    record.detail = line[:200]
+                    # Guarded at the call site: fires per request, and
+                    # even a disabled log_event costs a kwargs dict.
+                    if _log.isEnabledFor(logging.DEBUG):
+                        log_event(
+                            _log, logging.DEBUG, "dispatch",
+                            request_id=record.id, line=record.detail,
+                        )
                 try:
-                    reply = self.server.query_server.handle_line(
-                        line, connection=self.connection
-                    )
+                    with activate(record):
+                        reply = query_server.handle_line(
+                            line, connection=self.connection
+                        )
                 except ClientDisconnected:
                     # Budget already cancelled and disconnect recorded
                     # by the wait loop; nothing left to reply to.
+                    self._finalize(record, "disconnected")
                     return
+                if record is not None:
+                    record.mark("eval")
+            wire = json.dumps(reply).encode("utf-8") + b"\n"
+            if record is not None:
+                record.mark("serialize")
             try:
                 # The connection's write lock keeps the reply line from
                 # interleaving with DELTA pushes on the same socket.
-                with self.server.query_server.subscriptions.lock_for(
-                    self.connection
-                ):
-                    self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+                with query_server.subscriptions.lock_for(self.connection):
+                    if record is not None:
+                        record.mark("outbox")
+                    self.wfile.write(wire)
                     self.wfile.flush()
             except (ConnectionError, OSError):
-                self.server.query_server.session.metrics.record_disconnect()
+                query_server.session.metrics.record_disconnect()
+                self._finalize(record, "aborted")
                 return
+            if record is not None:
+                record.mark("flush")
+            self._finalize(record, "ok")
             if close_after_reply:
                 return
 
@@ -443,14 +498,55 @@ class _Handler(socketserver.StreamRequestHandler):
         self.server.query_server.subscriptions.drop_connection(self.connection)
         super().finish()
 
-    def _handle_http(self, raw: bytes) -> None:
+    def _mint_record(self) -> Optional[RequestRecord]:
+        """Mint a lifecycle record for the line just read.
+
+        The blocking ``readline`` gives no frame-arrival stamp, so the
+        record is anchored at readline's return: the threaded front end
+        has no dispatch queue, read and queue are stamped zero-width.
+        """
+        session = self.server.query_server.session
+        if not session.lifecycle.enabled:
+            return None
         try:
-            self.wfile.write(
-                http_response(self.server.query_server.session, raw)
-            )
+            client = self._client_label
+        except AttributeError:
+            try:
+                host, port = self.client_address[:2]
+                client = f"{host}:{port}"
+            except (TypeError, ValueError, IndexError):
+                client = None
+            self._client_label = client
+        record = session.lifecycle.begin(
+            client=client, start_ns=time.perf_counter_ns()
+        )
+        if record is not None:
+            record.mark("read")
+            record.mark("queue")
+        return record
+
+    def _finalize(self, record: Optional[RequestRecord], status: str) -> None:
+        if record is not None:
+            record.finish(status)
+            session = self.server.query_server.session
+            session.lifecycle.commit(record, session.metrics)
+
+    def _handle_http(
+        self, raw: bytes, record: Optional[RequestRecord] = None
+    ) -> None:
+        try:
+            response = http_response(self.server.query_server.session, raw)
+            if record is not None:
+                record.mark("eval")
+                record.mark("serialize")
+            self.wfile.write(response)
             self.wfile.flush()
         except (ConnectionError, OSError):
-            pass
+            self._finalize(record, "aborted")
+            return
+        if record is not None:
+            record.mark("flush")
+        self._finalize(record, "ok")
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -497,6 +593,9 @@ class QueryServer:
         push_timeout: Optional[float] = 5.0,
     ):
         self.session = session
+        # Flight-recorder records minted by this front end are labelled
+        # with the serving model (the session default says "async").
+        session.lifecycle.origin = "threaded"
         self.timeout = timeout
         self.max_depth = max_depth
         self.budget = budget
@@ -705,6 +804,8 @@ class QueryServer:
         verb, _, argument = line.partition(" ")
         verb = verb.upper()
         argument = argument.strip()
+        set_verb(verb)
+        mark_stage("parse")
         handler = {
             "QUERY": self._do_query,
             "PLAN": self._do_plan,
@@ -718,6 +819,7 @@ class QueryServer:
             "METRICS": self._do_metrics,
             "PROFILE": self._do_profile,
             "SLOWLOG": self._do_slowlog,
+            "REQLOG": self._do_reqlog,
             "HEALTH": self._do_health,
         }.get(verb)
         if handler is None:
@@ -725,7 +827,7 @@ class QueryServer:
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
                 "expected QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, "
                 "UNSUBSCRIBE, STATS, EXPLAIN, TRACE, METRICS, PROFILE, "
-                "SLOWLOG or HEALTH"
+                "SLOWLOG, REQLOG or HEALTH"
             )
         metered = self.admission is not None and verb in HEAVY_VERBS
         if metered and not self.admission.try_acquire(verb):
@@ -736,6 +838,7 @@ class QueryServer:
             )
             reply["retry_after"] = self.retry_after
             return reply
+        mark_stage("admission")
         try:
             return handler(argument, connection)
         except ClientDisconnected:
@@ -766,13 +869,19 @@ class QueryServer:
         """A fresh per-request budget — always one, even limitless,
         so the wait loop has a cancellation handle."""
         if self.budget is not None:
-            return self.budget.fork()
-        if self.timeout is not None:
+            budget = self.budget.fork()
+        elif self.timeout is not None:
             # Belt and braces: the worker's own deadline matches the
             # server timeout, so an abandoned evaluation self-aborts
             # even if the cancel signal were missed.
-            return Budget(timeout=self.timeout)
-        return Budget()
+            budget = Budget(timeout=self.timeout)
+        else:
+            budget = Budget()
+        # The evaluation runs on a pool thread where the handler
+        # thread's active record is invisible; the budget carries the
+        # request id across so slowlog entries stay correlated.
+        budget.request_id = current_id()
+        return budget
 
     @staticmethod
     def _peer_vanished(connection: socket.socket) -> bool:
@@ -810,6 +919,11 @@ class QueryServer:
                 pass
             if deadline is not None and time.monotonic() >= deadline:
                 budget.cancel("request timeout")
+                log_event(
+                    _log, logging.INFO, "cancel",
+                    reason="request timeout",
+                    request_id=getattr(budget, "request_id", None),
+                )
                 raise FutureTimeoutError()
             if (
                 connection is not None
@@ -820,6 +934,11 @@ class QueryServer:
                 # pusher may be mid-write on the same socket, and their
                 # liveness is established by the push path itself.
                 budget.cancel("client disconnected")
+                log_event(
+                    _log, logging.INFO, "cancel",
+                    reason="client disconnected",
+                    request_id=getattr(budget, "request_id", None),
+                )
                 self.session.metrics.record_disconnect()
                 raise ClientDisconnected("client disconnected mid-request")
 
@@ -886,6 +1005,7 @@ class QueryServer:
         )
         try:
             result = self._await(future, budget, connection)
+            mark_stage("eval")
         except BudgetExceeded as exc:
             if self.breaker is not None and key is not None:
                 self.breaker.record_blowout(key)
@@ -1107,6 +1227,28 @@ class QueryServer:
             "entries": self.session.slowlog(),
         }
 
+    def _do_reqlog(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
+        if argument.upper() == "CLEAR":
+            dropped = self.session.lifecycle.clear()
+            return {"ok": True, "verb": "REQLOG", "cleared": dropped}
+        limit = None
+        if argument:
+            try:
+                limit = int(argument)
+            except ValueError:
+                return _error_envelope(
+                    "REQLOG", "ProtocolError",
+                    "REQLOG takes an optional integer limit, or CLEAR",
+                )
+        return {
+            "ok": True,
+            "verb": "REQLOG",
+            "size": self.session.lifecycle.size,
+            "records": self.session.reqlog(limit),
+        }
+
     def _do_health(
         self, argument: str, connection: Optional[socket.socket] = None
     ) -> Dict[str, object]:
@@ -1121,6 +1263,7 @@ def serve(
     max_depth: Optional[int] = None,
     slow_query_ms: Optional[float] = None,
     slowlog_size: int = 8,
+    reqlog_size: int = 256,
     budget: Optional[Budget] = None,
     max_pending: Optional[int] = 64,
     idle_timeout: Optional[float] = None,
@@ -1138,7 +1281,7 @@ def serve(
     return QueryServer(
         QuerySession(
             database, slow_query_ms=slow_query_ms, slowlog_size=slowlog_size,
-            ivm=ivm,
+            reqlog_size=reqlog_size, ivm=ivm,
         ),
         host=host, port=port,
         timeout=timeout, max_depth=max_depth,

@@ -56,7 +56,15 @@ from ..datalog.unify import unify_sequences
 from ..engine.builtins import BuiltinRegistry
 from ..engine.counters import Counters
 from ..engine.database import Database
-from ..observe import EngineTracer, build_report, prometheus_text
+from ..observe import (
+    EngineTracer,
+    FlightRecorder,
+    build_report,
+    current_id,
+    merge_worker_trace,
+    prometheus_text,
+    register_session,
+)
 from ..profile import SpanProfiler, chrome_trace, profile_report
 from ..resilience import Budget, BudgetExceeded
 from .metrics import ServiceMetrics
@@ -109,6 +117,7 @@ class QuerySession:
         slowlog_size: int = 8,
         budget: Optional[Budget] = None,
         ivm: bool = False,
+        reqlog_size: int = 256,
     ):
         self.database = database
         self.planner = Planner(
@@ -130,6 +139,22 @@ class QuerySession:
         self._slowlog: Deque[Dict[str, object]] = deque(
             maxlen=max(1, slowlog_size)
         )
+        #: Where this session's slowlog entries are evaluated: "inline"
+        #: for in-process sessions, "worker" inside a forked evaluator
+        #: (set by the pool's child bootstrap).  Entries carry it so a
+        #: merged parent slowlog stays attributable.
+        self.slowlog_origin = "inline"
+        #: Always-on per-request stage-timeline ring (REQLOG verb,
+        #: ``GET /reqlog``).  Servers mint records into it; committed
+        #: records feed the stage-latency histograms.  ``reqlog_size=0``
+        #: disables recording.
+        self.lifecycle = FlightRecorder(reqlog_size)
+        # Commit parks each record on a pending queue; the histograms
+        # catch up lazily whenever the metrics are actually read.
+        self.metrics.stage_drain = (
+            lambda: self.lifecycle.drain_metrics(self.metrics)
+        )
+        register_session(self)
         #: Wall-clock start stamp, for display only (slowlog-style "at"
         #: fields).  Uptime is tracked on the monotonic clock so HEALTH
         #: never jumps or goes negative across NTP steps.
@@ -464,6 +489,9 @@ class QuerySession:
                     elapsed,
                     counters if counters is not None else Counters(),
                     profiler,
+                    request_id=(
+                        getattr(budget, "request_id", None) or current_id()
+                    ),
                 )
             return QueryResult(
                 plan,
@@ -484,6 +512,7 @@ class QuerySession:
         elapsed: float,
         counters: Counters,
         profiler: SpanProfiler,
+        request_id: Optional[str] = None,
     ) -> None:
         """Append one slowlog entry (lock held by the caller)."""
         entry: Dict[str, object] = {
@@ -494,6 +523,8 @@ class QuerySession:
             "threshold_ms": self.slow_query_ms,
             "answers": len(rows),
             "plan_cached": plan_cached,
+            "origin": self.slowlog_origin,
+            "request_id": request_id,
             "counters": counters.as_dict(),
             "profile": profile_report(profiler, counters),
             "chrome_trace": chrome_trace(
@@ -718,6 +749,40 @@ class QuerySession:
             self._slowlog.clear()
             return dropped
 
+    def adopt_slowlog(self, entries, record=None) -> int:
+        """Fold worker-produced slowlog entries into this session's ring.
+
+        A pooled query's slow-query forensics happen inside the forked
+        evaluator, whose session (and slowlog) dies with the worker;
+        the pool ships new entries back as an envelope sidecar and the
+        parent adopts them here so ``SLOWLOG`` covers pooled queries
+        exactly like in-process ones.  When the adopting request's
+        lifecycle ``record`` is supplied, each entry's chrome trace is
+        spliced with the parent's event-loop stage spans
+        (:func:`~repro.observe.merge_worker_trace`) — one Perfetto view
+        across both processes, correlated by the shared request id.
+        """
+        adopted = 0
+        with self._lock:
+            for entry in entries or ():
+                entry = dict(entry)
+                trace = entry.get("chrome_trace")
+                if record is not None:
+                    if entry.get("request_id") is None:
+                        entry["request_id"] = record.id
+                    if isinstance(trace, dict):
+                        entry["chrome_trace"] = merge_worker_trace(
+                            trace, record
+                        )
+                self._slowlog.append(entry)
+                self.metrics.record_slow_query()
+                adopted += 1
+        return adopted
+
+    def reqlog(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Recent request lifecycle records, most recent first."""
+        return self.lifecycle.records(limit)
+
     def health(self) -> Dict[str, object]:
         """A cheap liveness/pressure summary (the ``/healthz`` body)."""
         snap = self.metrics.snapshot()
@@ -736,6 +801,7 @@ class QuerySession:
             "slow_queries": snap["slow_queries"],
             "slow_query_ms": self.slow_query_ms,
             "slowlog": slowlog_len,
+            "reqlog": len(self.lifecycle),
             "caches": caches,
             "database": {
                 "edb_version": self.database.edb_version,
@@ -744,6 +810,25 @@ class QuerySession:
                 "rules": len(self.database.program),
             },
         }
+        workers = snap.get("workers")
+        if workers is not None:
+            health["workers"] = workers
+            # A pool stuck in kill-and-respawn loops must degrade
+            # health rather than report ok: dead workers, or a burst of
+            # recent respawns, both count.
+            reasons = []
+            size = workers.get("size", workers.get("workers", 0))
+            alive = workers.get("alive")
+            if alive is not None and size and alive < size:
+                reasons.append(f"{size - alive}/{size} workers dead")
+            recent = workers.get("recent_restarts")
+            if recent is not None and recent >= 3:
+                reasons.append(
+                    f"{recent} worker respawns in the last minute"
+                )
+            if reasons:
+                health["status"] = "degraded"
+                health["degraded_reason"] = "; ".join(reasons)
         if self.views is not None:
             health["ivm_views"] = self.views.snapshot()
         return health

@@ -50,15 +50,20 @@ a busy worker.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import threading
 import time
+from collections import deque
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Dict, List, Optional
 
 from ..engine.database import Database
+from ..observe import current_id, get_logger, log_event, mark_stage
 from ..resilience import Budget, BudgetExceeded
 from .session import QuerySession
+
+_log = get_logger("workers")
 
 __all__ = [
     "WorkerPool",
@@ -146,8 +151,9 @@ def _serve_one(
     source = payload["source"]
     max_depth = payload.get("max_depth")
     if verb == "QUERY":
+        slow_before = session.metrics.slow_queries
         result = session.execute(source, max_depth, budget)
-        return {
+        reply = {
             "strategy": result.strategy,
             "answers": _render_rows(result.rows),
             "count": len(result.rows),
@@ -160,6 +166,17 @@ def _serve_one(
                 else None
             ),
         }
+        # Slow-query forensics happen *here*, in the forked evaluator,
+        # whose slowlog dies with the worker.  Ship any entries this
+        # request produced back as an envelope sidecar; the dispatcher
+        # pops it before building the client reply and folds it into
+        # the parent session's ring (`adopt_slowlog`), so SLOWLOG /
+        # PROFILE cover pooled queries exactly like in-process ones.
+        added = session.metrics.slow_queries - slow_before
+        if added > 0:
+            entries = list(session._slowlog)[-added:]
+            reply["slowlog"] = entries
+        return reply
     if verb == "PLAN":
         start = time.perf_counter()
         plan, cached = session.plan(source)
@@ -177,14 +194,34 @@ def _serve_one(
     raise ValueError(f"worker cannot serve verb {verb!r}")
 
 
-def _worker_main(database: Database, max_depth, pipe, cancel_seq, cancel_code):
+def _worker_main(
+    database: Database,
+    max_depth,
+    pipe,
+    cancel_seq,
+    cancel_code,
+    slow_query_ms=None,
+    slowlog_size: int = 8,
+):
     """Child process loop: recv request, evaluate, send reply.
 
     The session is built *here*, over the forked database snapshot, so
     the worker owns fresh plan/result caches and never shares mutable
-    evaluator state with the parent.
+    evaluator state with the parent.  It inherits the parent's
+    slow-query threshold so pooled queries are profiled under the same
+    policy as in-process ones; the resulting entries cross back as the
+    reply sidecar (see :func:`_serve_one`).  ``reqlog_size=0``: the
+    parent records the lifecycle, a per-worker ring would be dead
+    weight.
     """
-    session = QuerySession(database, max_depth=max_depth)
+    session = QuerySession(
+        database,
+        max_depth=max_depth,
+        slow_query_ms=slow_query_ms,
+        slowlog_size=slowlog_size,
+        reqlog_size=0,
+    )
+    session.slowlog_origin = "worker"
     while True:
         try:
             message = pipe.recv()
@@ -196,6 +233,10 @@ def _worker_main(database: Database, max_depth, pipe, cancel_seq, cancel_code):
         budget = _RemoteBudget(
             seq, cancel_seq, cancel_code, payload.get("limits")
         )
+        # Correlation: the dispatcher stamped the lifecycle request id
+        # on the payload; carrying it on the budget lets the worker's
+        # slowlog entries join the parent's REQLOG and chrome trace.
+        budget.request_id = payload.get("request_id")
         try:
             reply = ("ok", seq, _serve_one(session, verb, payload, budget))
         except BudgetExceeded as exc:
@@ -301,6 +342,9 @@ class WorkerPool:
         self.refreshes = 0
         self.dispatches = 0
         self._queue_depth = 0
+        #: Monotonic stamps of recent respawns, for health degradation
+        #: (a pool stuck in kill-and-respawn loops must not report ok).
+        self._restart_times: deque = deque(maxlen=32)
         with self._lock:
             self._refresh_locked(force=True)
         self._reaper = threading.Thread(
@@ -324,16 +368,34 @@ class WorkerPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def snapshot(self) -> Dict[str, int]:
-        """The /metrics gauge payload (``stats["workers"]``)."""
+    def snapshot(self) -> Dict[str, object]:
+        """The /metrics gauge payload (``stats["workers"]``).
+
+        Beyond the dispatch counters, this carries the pool-liveness
+        fields HEALTH degrades on: ``alive`` (workers whose process is
+        actually running), ``recent_restarts`` (respawns in the last
+        minute) and ``last_restart_age_s``.
+        """
+        now = time.monotonic()
         with self._lock:
-            return {
-                "workers": len(self._workers),
+            workers = list(self._workers)
+            restart_times = list(self._restart_times)
+            snap: Dict[str, object] = {
+                "workers": len(workers),
+                "size": self.size,
                 "queue_depth": self._queue_depth,
                 "restarts": self.restarts,
                 "refreshes": self.refreshes,
                 "dispatches": self.dispatches,
             }
+        snap["alive"] = sum(1 for w in workers if w.proc.is_alive())
+        snap["recent_restarts"] = sum(
+            1 for stamp in restart_times if now - stamp < 60.0
+        )
+        snap["last_restart_age_s"] = (
+            now - restart_times[-1] if restart_times else None
+        )
+        return snap
 
     # -- forking --------------------------------------------------------
     def _current_key(self):
@@ -362,6 +424,8 @@ class WorkerPool:
                     child_pipe,
                     cancel_seq,
                     cancel_code,
+                    self.session.slow_query_ms,
+                    self.session._slowlog.maxlen,
                 ),
                 name=f"repro-worker-g{generation}",
                 daemon=True,
@@ -378,6 +442,10 @@ class WorkerPool:
         self._generation += 1
         if not force:
             self.refreshes += 1
+            log_event(
+                _log, logging.DEBUG, "pool_refresh",
+                generation=self._generation,
+            )
         for worker in self._workers:
             if worker.busy:
                 # Mid-request on the old snapshot: let it finish (its
@@ -469,6 +537,12 @@ class WorkerPool:
             except ValueError:
                 pass
             self.restarts += 1
+            self._restart_times.append(time.monotonic())
+            log_event(
+                _log, logging.INFO, "worker_respawn",
+                pid=worker.proc.pid, generation=worker.generation,
+                restarts=self.restarts,
+            )
             if (
                 not self._closed
                 and worker.generation == self._generation
@@ -506,7 +580,15 @@ class WorkerPool:
             payload["limits"] = {
                 key: value for key, value in limits.items() if value is not None
             }
+        request_id = current_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        wait_start = time.perf_counter()
         worker = self._acquire(hash(source))
+        self.session.metrics.record_worker_wait(
+            time.perf_counter() - wait_start
+        )
+        mark_stage("worker")
         worker.seq = seq
         try:
             worker.pipe.send((seq, verb, payload))

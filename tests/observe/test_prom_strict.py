@@ -1,0 +1,195 @@
+"""Strict Prometheus text-exposition validation of ``/metrics``.
+
+Earlier tests grepped for substrings; a malformed page (TYPE before
+HELP, a sample outside its family block, unordered or non-cumulative
+histogram buckets) still passes those but breaks real scrapers.  This
+suite parses the whole page under format rules and validates every
+family — including the new ``repro_stage_latency_seconds`` histogram
+vector and the event-loop/worker gauges.
+"""
+
+import json
+import math
+import re
+import socket
+
+import pytest
+
+from repro.engine.database import Database
+from repro.service import AsyncQueryServer, QuerySession
+
+SOURCE = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+parent(ann, carol). parent(bob, dan). sibling(carol, dan).
+"""
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(?:\{(.*)\})?"                     # optional label block
+    r" (-?(?:[0-9.eE+-]+|\+Inf|-Inf|NaN))$"  # value
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class Family:
+    def __init__(self, name, help_text):
+        self.name = name
+        self.help = help_text
+        self.type = None
+        self.samples = []  # (sample_name, labels_dict, value)
+
+
+def parse_exposition(text):
+    """Parse the page, enforcing format rules as it goes."""
+    families = {}
+    current = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in families, f"duplicate HELP for {name}"
+            current = families[name] = Family(name, help_text)
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_text = rest.partition(" ")
+            assert current is not None and name == current.name, (
+                f"line {lineno}: TYPE {name} does not follow its HELP"
+            )
+            assert current.type is None, f"duplicate TYPE for {name}"
+            assert type_text in {"counter", "gauge", "histogram", "summary"}
+            current.type = type_text
+        elif line.startswith("#"):
+            continue  # comments are legal anywhere
+        else:
+            match = _SAMPLE.match(line)
+            assert match, f"line {lineno}: unparsable sample {line!r}"
+            sample_name, label_text, value_text = match.groups()
+            assert current is not None, (
+                f"line {lineno}: sample before any HELP/TYPE"
+            )
+            allowed = {current.name}
+            if current.type == "histogram":
+                allowed |= {
+                    current.name + suffix
+                    for suffix in ("_bucket", "_sum", "_count")
+                }
+            assert sample_name in allowed, (
+                f"line {lineno}: sample {sample_name} outside its "
+                f"family block ({current.name})"
+            )
+            labels = dict(_LABEL.findall(label_text)) if label_text else {}
+            families[current.name].samples.append(
+                (sample_name, labels, float(value_text))
+            )
+    for family in families.values():
+        assert family.type is not None, f"{family.name} has HELP but no TYPE"
+        assert family.help, f"{family.name} has an empty HELP"
+    return families
+
+
+def check_histogram(family):
+    """le-ordered, cumulative buckets ending at +Inf == _count."""
+    groups = {}
+    counts = {}
+    sums = {}
+    for sample_name, labels, value in family.samples:
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        if sample_name == family.name + "_bucket":
+            assert "le" in labels, "bucket sample without le"
+            groups.setdefault(key, []).append((labels["le"], value))
+        elif sample_name == family.name + "_count":
+            counts[key] = value
+        elif sample_name == family.name + "_sum":
+            sums[key] = value
+    assert groups, f"{family.name}: histogram with no buckets"
+    for key, buckets in groups.items():
+        les = [le for le, _ in buckets]
+        assert les[-1] == "+Inf", f"{family.name}{key}: last le not +Inf"
+        bounds = [float(le) for le in les[:-1]]
+        assert bounds == sorted(bounds), (
+            f"{family.name}{key}: le not ascending: {les}"
+        )
+        values = [v for _, v in buckets]
+        assert values == sorted(values), (
+            f"{family.name}{key}: buckets not cumulative: {values}"
+        )
+        assert key in counts and key in sums, (
+            f"{family.name}{key}: missing _count or _sum"
+        )
+        assert values[-1] == counts[key], (
+            f"{family.name}{key}: +Inf bucket {values[-1]} != "
+            f"_count {counts[key]}"
+        )
+
+
+@pytest.fixture(scope="module")
+def metrics_text():
+    """A page from a server that exercised most of the surface."""
+    db = Database()
+    db.load_source(SOURCE)
+    session = QuerySession(db, slow_query_ms=0.0)
+    with AsyncQueryServer(session, workers=0) as server:
+        with socket.create_connection(server.address, timeout=10) as sock:
+            file = sock.makefile("rw", encoding="utf-8")
+            for line in (
+                "QUERY sg(ann, Y)", "QUERY sg(ann, Y)", "PLAN sg(ann, Y)",
+                "QUERY sg(", "STATS", "HEALTH", "REQLOG", "NOPE",
+            ):
+                file.write(line + "\n")
+                file.flush()
+                json.loads(file.readline())
+        text = session.metrics_text()
+    return text
+
+
+class TestStrictExposition:
+    def test_page_parses_under_format_rules(self, metrics_text):
+        families = parse_exposition(metrics_text)
+        assert len(families) > 10
+
+    def test_every_histogram_family_is_wellformed(self, metrics_text):
+        families = parse_exposition(metrics_text)
+        histograms = [f for f in families.values() if f.type == "histogram"]
+        assert histograms
+        for family in histograms:
+            check_histogram(family)
+
+    def test_expected_families_present_and_typed(self, metrics_text):
+        families = parse_exposition(metrics_text)
+        expect = {
+            "repro_queries_total": "counter",
+            "repro_errors_total": "counter",
+            "repro_slow_queries_total": "counter",
+            "repro_request_latency_seconds": "histogram",
+            "repro_stage_latency_seconds": "histogram",
+            "repro_eventloop_lag_seconds": "gauge",
+            "repro_connections": "gauge",
+            "repro_outbox_bytes": "gauge",
+        }
+        for name, family_type in expect.items():
+            assert name in families, f"missing family {name}"
+            assert families[name].type == family_type
+
+    def test_stage_vector_covers_the_request_pipeline(self, metrics_text):
+        families = parse_exposition(metrics_text)
+        family = families["repro_stage_latency_seconds"]
+        stages = {
+            labels["stage"]
+            for name, labels, _ in family.samples
+            if name.endswith("_bucket")
+        }
+        assert stages >= {"read", "parse", "admission", "eval",
+                          "serialize", "flush"}
+
+    def test_no_nan_or_negative_counters(self, metrics_text):
+        families = parse_exposition(metrics_text)
+        for family in families.values():
+            for sample_name, _labels, value in family.samples:
+                assert not math.isnan(value), f"{sample_name} is NaN"
+                if family.type == "counter":
+                    assert value >= 0, f"{sample_name} negative"
