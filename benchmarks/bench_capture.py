@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Workload-capture overhead benchmark: recorder active vs. inert.
+
+The workload recorder (``repro.observe.capture``) is always available
+on every session and can be switched on against live traffic (RECORD
+START / ``--record``), so its cost while *active* is what bounds
+"capture in production" — the acceptance bar is < 5% of the sg/scsg
+serving workload's median round trip.  Methodology mirrors
+``bench_lifecycle.py``:
+
+1. **Per-request tax.**  Request-level p50 latency with the recorder
+   swapped between a started archive and an inert one *every other
+   request* over fully cached QUERYs.  Adjacent requests see identical
+   machine state, so the p50 delta isolates the recorder's absolute
+   per-request cost (digest + dict build + buffered append) from
+   scheduler noise.
+
+2. **Serving overhead** (gated): that fixed tax against the serving
+   workload's median round trip — distinct bound-first sg/scsg probes,
+   caches cleared before every pass so each pass does the same real
+   evaluation work.  The direct on/off p50 ratio over the serving
+   passes is reported too, but eval-time variance makes it the noisier
+   estimator, so the stable one is gated.
+
+The fully-cached worst case (the recorder against the smallest
+possible RTT) is gated loosely as a regression backstop, same as the
+flight recorder's.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_capture.py [--quick] \
+        [--max-overhead FRACTION] [--max-cached-overhead FRACTION] \
+        [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_lifecycle import CACHED_PROBES, _Lane, serving_pool
+
+from repro.observe import WorkloadRecorder, snapshot_database
+
+
+def _started_recorder(lane: _Lane, path: str) -> WorkloadRecorder:
+    recorder = WorkloadRecorder()
+    recorder.start(
+        path,
+        snapshot_database(lane.session.database),
+        origin="bench",
+    )
+    return recorder
+
+
+def _measure_serving(
+    lane: _Lane,
+    rec_on: WorkloadRecorder,
+    rec_off: WorkloadRecorder,
+    rounds: int,
+) -> Dict[str, object]:
+    """Per-request RTTs over the evaluating workload, both modes.
+
+    Passes alternate recorder on/off in ABBA order on the one server
+    and connection; caches are cleared before every pass so each pass
+    re-evaluates the identical probe set.
+    """
+    pool = serving_pool()
+    session = lane.session
+    lane.pass_qps(pool)  # warm plans and the server once
+    on_ns: List[int] = []
+    off_ns: List[int] = []
+    for index in range(rounds):
+        order = (
+            [(rec_on, on_ns), (rec_off, off_ns)]
+            if index % 2 == 0
+            else [(rec_off, off_ns), (rec_on, on_ns)]
+        )
+        for recorder, sink in order:
+            session.capture = recorder
+            session.clear_caches()
+            sink.extend(lane.request_ns(probe) for probe in pool)
+            # Barrier: let the writer thread drain its backlog before
+            # the swap, so its digest work never bleeds into (and
+            # flatters) the inert pass it is being compared against.
+            while recorder.status().get("pending"):
+                time.sleep(0.002)
+    session.capture = rec_off
+    on_ns.sort()
+    off_ns.sort()
+    p50_on = on_ns[len(on_ns) // 2]
+    p50_off = off_ns[len(off_ns) // 2]
+    direct = p50_on / p50_off - 1.0
+    return {
+        "probes": len(pool),
+        "rounds": rounds,
+        "p50_on_us": round(p50_on / 1e3, 1),
+        "p50_off_us": round(p50_off / 1e3, 1),
+        "direct_p50_overhead_pct": round(direct * 100, 2),
+    }
+
+
+def _measure_cached(
+    lane: _Lane,
+    rec_on: WorkloadRecorder,
+    rec_off: WorkloadRecorder,
+    requests: int,
+) -> Dict[str, object]:
+    session = lane.session
+    for probe in CACHED_PROBES:
+        lane.request_ns(probe)  # warm the result cache
+    on_ns: List[int] = []
+    off_ns: List[int] = []
+    for index in range(requests):
+        # Toggle per request: adjacent requests see identical machine
+        # state, so p50(on) vs p50(off) isolates the recorder's tax.
+        if index % 2 == 0:
+            session.capture = rec_on
+            sink = on_ns
+        else:
+            session.capture = rec_off
+            sink = off_ns
+        sink.append(lane.request_ns(CACHED_PROBES[index % len(CACHED_PROBES)]))
+    session.capture = rec_off
+    on_ns.sort()
+    off_ns.sort()
+    p50_on = on_ns[len(on_ns) // 2]
+    p50_off = off_ns[len(off_ns) // 2]
+    overhead = p50_on / p50_off - 1.0
+    return {
+        "requests": requests,
+        "p50_on_us": round(p50_on / 1e3, 1),
+        "p50_off_us": round(p50_off / 1e3, 1),
+        "tax_us": round((p50_on - p50_off) / 1e3, 1),
+        "overhead": round(overhead, 4),
+        "overhead_pct": round(overhead * 100, 2),
+    }
+
+
+def run_bench(quick: bool) -> Dict[str, object]:
+    lane = _Lane(reqlog_size=256)
+    rec_off = lane.session.capture  # the inert default
+    with tempfile.TemporaryDirectory(prefix="repro-bench-capture-") as tmp:
+        rec_on = _started_recorder(lane, str(Path(tmp) / "bench.jsonl"))
+        try:
+            serving = _measure_serving(
+                lane, rec_on, rec_off, rounds=4 if quick else 10
+            )
+            cached = _measure_cached(
+                lane, rec_on, rec_off, requests=6000 if quick else 16000
+            )
+            archive = rec_on.stop()
+        finally:
+            lane.close()
+    tax_us = max(cached["tax_us"], 0.0)
+    overhead = tax_us / serving["p50_off_us"]
+    serving["overhead"] = round(overhead, 4)
+    serving["overhead_pct"] = round(overhead * 100, 2)
+    return {
+        "benchmark": "capture: workload recorder active vs inert",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "tax_us": tax_us,
+        "serving": serving,
+        "cached_worst_case": cached,
+        "archive": {
+            "requests": archive["requests"],
+            "bytes": archive["bytes"],
+            "fsyncs": archive["fsyncs"],
+            "errors": archive["errors"],
+        },
+        "overhead": serving["overhead"],
+        "overhead_pct": serving["overhead_pct"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer and shorter runs (CI smoke)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit non-zero when active capture's overhead on the sg/scsg "
+        "serving workload exceeds this fraction (acceptance bar: 0.05)",
+    )
+    parser.add_argument(
+        "--max-cached-overhead",
+        type=float,
+        default=0.20,
+        metavar="FRACTION",
+        help="gate on the fully-cached worst case (pure result-cache "
+        "hits, the recorder's absolute tax against the smallest RTT); "
+        "sized to catch gross regressions, default 0.20",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report to this file (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = run_bench(args.quick)
+    except AssertionError as error:
+        print(f"workload failure: {error}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    failed = False
+    if args.max_overhead is not None and report["overhead"] > args.max_overhead:
+        print(
+            f"capture serving overhead {report['overhead_pct']}% "
+            f"exceeds the {args.max_overhead * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = True
+    cached = report["cached_worst_case"]
+    if cached["overhead"] > args.max_cached_overhead:
+        print(
+            f"capture cached worst-case overhead "
+            f"{cached['overhead_pct']}% exceeds the "
+            f"{args.max_cached_overhead * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ Usage::
     python -m repro program.pl -q "..." --metrics       # Prometheus text
     python -m repro program.pl                          # REPL
     python -m repro program.pl --serve --port 8473      # TCP query server
+    python -m repro program.pl --serve --record cap.jsonl   # + capture
+    python -m repro replay cap.jsonl --pacing recorded  # deterministic replay
 
 Every mode runs through one :class:`~repro.service.QuerySession`, so
 repeated queries (REPL lines, stacked ``-q`` flags, server requests)
@@ -277,7 +279,119 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long a tripped circuit stays open before a probe "
         "(default 5)",
     )
+    parser.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="with --serve: snapshot the EDB and record every completed "
+        "request to this replayable JSONL archive (see 'repro replay'); "
+        "RECORD STOP or server shutdown closes it",
+    )
     return parser
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro replay <archive>`` subcommand."""
+    from .observe.replay import PACINGS
+
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Replay a captured workload archive against a fresh "
+        "in-process server (or a live one with --target), check response "
+        "digest parity, and report recorded-vs-replayed latency "
+        "distributions per verb and per plan shape.",
+    )
+    parser.add_argument("archive", help="JSONL archive written by RECORD/--record")
+    parser.add_argument(
+        "--pacing",
+        choices=PACINGS,
+        default="max",
+        help="recorded = honor captured arrival offsets, accelerated = "
+        "divide them by --speed, max = back-to-back (default)",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=10.0,
+        metavar="FACTOR",
+        help="time-compression factor for --pacing accelerated (default 10)",
+    )
+    parser.add_argument(
+        "--target",
+        default=None,
+        metavar="HOST:PORT",
+        help="replay over the wire against a live server (which must "
+        "already hold the archive's EDB state) instead of in-process",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help="replayed/recorded p50 ratio above which a row is flagged "
+        "REGRESSION (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-delta-us",
+        type=float,
+        default=500.0,
+        metavar="US",
+        help="absolute p50 delta a REGRESSION verdict also requires "
+        "(default 500us; filters scheduler noise on microsecond verbs)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the JSON replay report to this file",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero on latency REGRESSION verdicts too, not just "
+        "digest parity mismatches",
+    )
+    return parser
+
+
+def _replay_main(argv: Sequence[str], out: IO[str]) -> int:
+    args = build_replay_parser().parse_args(argv)
+    from .observe import render_replay_report, replay_archive
+
+    try:
+        report = replay_archive(
+            args.archive,
+            pacing=args.pacing,
+            speed=args.speed,
+            target=args.target,
+            tolerance=args.tolerance,
+            min_delta_us=args.min_delta_us,
+        )
+    except (OSError, ValueError, ConnectionError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(render_replay_report(report), file=out)
+    if args.out is not None:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=out)
+            return 2
+    if not report["ok"]:
+        print(
+            f"replay FAILED: {report['parity']['mismatched']} digest "
+            "mismatch(es)",
+            file=out,
+        )
+        return 1
+    if args.fail_on_regression and report["regressions"]:
+        print(
+            f"replay latency: {report['regressions']} REGRESSION verdict(s)",
+            file=out,
+        )
+        return 1
+    return 0
 
 
 def _load_database(path: Optional[str], out: IO[str]) -> Optional[Database]:
@@ -522,9 +636,12 @@ def main(
     stdin: Optional[IO[str]] = None,
     stdout: Optional[IO[str]] = None,
 ) -> int:
-    args = build_parser().parse_args(argv)
-    inp = stdin if stdin is not None else sys.stdin
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     out = stdout if stdout is not None else sys.stdout
+    if raw_argv and raw_argv[0] == "replay":
+        return _replay_main(raw_argv[1:], out)
+    args = build_parser().parse_args(raw_argv)
+    inp = stdin if stdin is not None else sys.stdin
 
     from .observe import configure_logging
 
@@ -572,6 +689,10 @@ def main(
         ivm=args.ivm,
     )
 
+    if args.record is not None and not args.serve:
+        print("error: --record requires --serve", file=out)
+        return 1
+
     if args.serve:
         common = dict(
             host=args.host,
@@ -594,14 +715,32 @@ def main(
             from .service.eventloop import AsyncQueryServer
 
             server = AsyncQueryServer(session, workers=args.workers, **common)
+        if args.record is not None:
+            try:
+                info = session.start_capture(
+                    args.record, origin=session.lifecycle.origin
+                )
+            except OSError as exc:
+                print(f"error: cannot record to {args.record}: {exc}", file=out)
+                server.shutdown()
+                return 1
         host, port = server.address
+        # Scripts parse the bound port (--port 0) from this first line,
+        # so nothing may print before it.
         print(
             f"repro serving on {host}:{port} "
             "(verbs: QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, UNSUBSCRIBE, "
             "STATS, EXPLAIN, TRACE, METRICS, PROFILE, SLOWLOG, REQLOG, "
-            "HEALTH; one JSON reply per line)",
+            "HEALTH, RECORD; one JSON reply per line)",
             file=out,
         )
+        if args.record is not None:
+            print(
+                f"recording workload to {info['path']} "
+                f"(snapshot: {info['snapshot_facts']} facts, "
+                f"{info['snapshot_rules']} rules)",
+                file=out,
+            )
         # Scripts discover the bound port (--port 0) from this line, so
         # it must not sit in a block-buffered pipe.
         if hasattr(out, "flush"):

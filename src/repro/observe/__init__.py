@@ -17,11 +17,26 @@ Three pieces:
   context (:func:`current_id` / :func:`mark_stage`), and the
   cross-process chrome-trace merge (:func:`merge_worker_trace`);
 * :mod:`~repro.observe.jsonlog` — structured event logging with
-  request-id correlation (``--log-json`` / ``--log-level``).
+  request-id correlation (``--log-json`` / ``--log-level``);
+* :mod:`~repro.observe.capture` — the always-available workload
+  recorder (:class:`WorkloadRecorder`) that rides the lifecycle tap
+  and persists live traffic to a versioned JSONL archive;
+* :mod:`~repro.observe.replay` — :func:`replay_archive` drives a
+  fresh server through a captured stream and
+  :func:`render_replay_report` prints the parity + latency report.
 
 See ``docs/observability.md`` for the event vocabulary and formats.
 """
 
+from .capture import (
+    ARCHIVE_VERSION,
+    DETERMINISTIC_VERBS,
+    WorkloadRecorder,
+    digest_reply,
+    load_archive,
+    restore_database,
+    snapshot_database,
+)
 from .jsonlog import configure_logging, get_logger, log_event
 from .lifecycle import (
     STAGES,
@@ -39,6 +54,7 @@ from .lifecycle import (
     set_verb,
 )
 from .prom import prometheus_text
+from .replay import replay_archive, render_replay_report
 from .report import build_report, render_report
 from .tracer import EngineTracer, TraceEvent, Tracer, stage_profile
 
@@ -66,4 +82,13 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "log_event",
+    "ARCHIVE_VERSION",
+    "DETERMINISTIC_VERBS",
+    "WorkloadRecorder",
+    "digest_reply",
+    "load_archive",
+    "snapshot_database",
+    "restore_database",
+    "replay_archive",
+    "render_replay_report",
 ]

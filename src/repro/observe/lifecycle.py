@@ -462,10 +462,19 @@ def dump_diagnostics(directory: str, label: str = "failure") -> List[str]:
         )[-120:]
         for index, session in enumerate(list(_LIVE_SESSIONS)):
             payload: Dict[str, Any] = {"label": label, "at": time.time()}
+            # Land the deferred stage-latency samples in the histograms
+            # first: the stats snapshot below (and any later scrape of
+            # the same metrics object) must not silently miss the tail
+            # of requests committed after the last drain.
+            try:
+                session.lifecycle.drain_metrics(session.metrics)
+            except Exception:
+                pass
             for field, getter in (
                 ("reqlog", lambda: session.reqlog()),
                 ("slowlog", lambda: session.slowlog()),
                 ("health", lambda: session.health()),
+                ("stats", lambda: session.stats()),
             ):
                 try:
                     payload[field] = getter()

@@ -388,4 +388,23 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
         )
         w.sample(full, database.get("edb_version", 0), {"kind": "edb"})
         w.sample(full, database.get("idb_version", 0), {"kind": "idb"})
+
+    build = stats.get("build") or {}
+    if build:
+        # The standard build_info idiom: constant 1, identity as labels.
+        w.gauge(
+            "build_info",
+            "Server build identity; constant 1 with version labels.",
+            1,
+            {
+                "version": str(build.get("version", "unknown")),
+                "python": str(build.get("python", "unknown")),
+            },
+        )
+    if "uptime_s" in stats:
+        w.gauge(
+            "uptime_seconds",
+            "Seconds since the session started (monotonic clock).",
+            float(stats.get("uptime_s") or 0.0),
+        )
     return w.text()

@@ -70,6 +70,7 @@ from .server import (
     MAX_DRAIN_BYTES,
     MAX_LINE_BYTES,
     ClientDisconnected,
+    _do_record_verb,
     _error_envelope,
     _Subscriptions,
     http_response,
@@ -288,6 +289,12 @@ class AsyncQueryServer:
         self._wake_r.close()
         self._wake_w.close()
         self._selector.close()
+        # Final-snapshot hygiene (mirrors the threaded server): land
+        # the deferred stage-latency samples in the histograms and
+        # close any live capture archive cleanly.
+        self.session.lifecycle.drain_metrics(self.session.metrics)
+        if self.session.capture.active:
+            self.session.capture.stop()
 
     def __enter__(self) -> "AsyncQueryServer":
         return self.start()
@@ -713,6 +720,7 @@ class AsyncQueryServer:
                 # the request up — FIFO wait plus executor scheduling.
                 record.mark("queue")
             close_after = False
+            capture_line: Optional[str] = None
             if raw in (_OVERSIZED, _OVERSIZED_CLOSE):
                 reply = _error_envelope(
                     "?", "ProtocolError",
@@ -762,9 +770,16 @@ class AsyncQueryServer:
                         set_active(None)
                 if record is not None:
                     record.mark("eval")
+                capture_line = line
             wire = json.dumps(reply).encode("utf-8") + b"\n"
             if record is not None:
                 record.mark("serialize")
+            if capture_line is not None:
+                # After serialization so the recorder's writer thread
+                # can digest the exact wire bytes without re-dumping.
+                capture = self.session.capture
+                if capture.active:
+                    capture.record(capture_line, reply, record, wire)
             self._send_bytes(conn, wire, close_after=close_after, record=record)
         except Exception:
             # A dispatch crash must never leak the connection's FIFO
@@ -806,13 +821,14 @@ class AsyncQueryServer:
             "SLOWLOG": self._do_slowlog,
             "REQLOG": self._do_reqlog,
             "HEALTH": self._do_health,
+            "RECORD": self._do_record,
         }.get(verb)
         if handler is None:
             return _error_envelope(
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
                 "expected QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, "
                 "UNSUBSCRIBE, STATS, EXPLAIN, TRACE, METRICS, PROFILE, "
-                "SLOWLOG, REQLOG or HEALTH"
+                "SLOWLOG, REQLOG, HEALTH or RECORD"
             )
         metered = self.admission is not None and verb in HEAVY_VERBS
         if metered and not self.admission.try_acquire(verb):
@@ -1338,6 +1354,11 @@ class AsyncQueryServer:
         self, argument: str, conn: Optional[_Connection] = None
     ) -> Dict[str, object]:
         return {"ok": True, "verb": "HEALTH", "health": self.session.health()}
+
+    def _do_record(
+        self, argument: str, conn: Optional[_Connection] = None
+    ) -> Dict[str, object]:
+        return _do_record_verb(self.session, argument)
 
     # ------------------------------------------------------------------
     # Delta push channel

@@ -47,6 +47,12 @@ REQLOG    a limit (optional) or       the flight recorder's per-request
 HEALTH    —                           liveness/pressure summary (uptime,
                                       error/timeout/slow-query counts,
                                       cache and database state)
+RECORD    ``START <path>``,           workload capture control: START
+          ``STOP`` or ``STATUS``      snapshots the EDB and records every
+          (optional)                  completed request to a replayable
+                                      JSONL archive at ``path``; STOP
+                                      flushes and closes it; STATUS (or
+                                      no argument) reports the recorder
 ========  ==========================  =======================================
 
 Raw HTTP ``GET`` request lines on the same port are answered with a
@@ -427,6 +433,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 self._handle_http(raw, record)
                 return
             close_after_reply = False
+            capture_line: Optional[str] = None
             record: Optional[RequestRecord] = None
             if len(raw) > MAX_LINE_BYTES:
                 # readline() returned a *partial* line; drain the rest
@@ -473,9 +480,16 @@ class _Handler(socketserver.StreamRequestHandler):
                     return
                 if record is not None:
                     record.mark("eval")
+                capture_line = line
             wire = json.dumps(reply).encode("utf-8") + b"\n"
             if record is not None:
                 record.mark("serialize")
+            if capture_line is not None:
+                # After serialization so the recorder's writer thread
+                # can digest the exact wire bytes without re-dumping.
+                capture = query_server.session.capture
+                if capture.active:
+                    capture.record(capture_line, reply, record, wire)
             try:
                 # The connection's write lock keeps the reply line from
                 # interleaving with DELTA pushes on the same socket.
@@ -680,6 +694,13 @@ class QueryServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        # Final-snapshot hygiene: push the deferred stage-latency
+        # samples into the histograms so a scrape of the metrics object
+        # after shutdown sees every committed request, and close any
+        # live capture archive (flush + fsync) instead of leaking it.
+        self.session.lifecycle.drain_metrics(self.session.metrics)
+        if self.session.capture.active:
+            self.session.capture.stop()
 
     def __enter__(self) -> "QueryServer":
         return self.start()
@@ -821,13 +842,14 @@ class QueryServer:
             "SLOWLOG": self._do_slowlog,
             "REQLOG": self._do_reqlog,
             "HEALTH": self._do_health,
+            "RECORD": self._do_record,
         }.get(verb)
         if handler is None:
             return _error_envelope(
                 verb, "ProtocolError", f"unknown verb {verb!r}; "
                 "expected QUERY, PLAN, FACT, RETRACT, SUBSCRIBE, "
                 "UNSUBSCRIBE, STATS, EXPLAIN, TRACE, METRICS, PROFILE, "
-                "SLOWLOG, REQLOG or HEALTH"
+                "SLOWLOG, REQLOG, HEALTH or RECORD"
             )
         metered = self.admission is not None and verb in HEAVY_VERBS
         if metered and not self.admission.try_acquire(verb):
@@ -1253,6 +1275,48 @@ class QueryServer:
         self, argument: str, connection: Optional[socket.socket] = None
     ) -> Dict[str, object]:
         return {"ok": True, "verb": "HEALTH", "health": self.session.health()}
+
+    def _do_record(
+        self, argument: str, connection: Optional[socket.socket] = None
+    ) -> Dict[str, object]:
+        return _do_record_verb(self.session, argument)
+
+
+def _do_record_verb(session: QuerySession, argument: str) -> Dict[str, object]:
+    """RECORD START/STOP/STATUS — shared by both front ends.
+
+    The verb itself is never written to the archive (a replay would
+    re-start capture mid-replay), so control and capture compose.
+    """
+    action, _, rest = argument.partition(" ")
+    action = action.upper()
+    rest = rest.strip()
+    if action == "START":
+        if not rest:
+            return _error_envelope(
+                "RECORD", "ProtocolError", "RECORD START needs an archive path"
+            )
+        try:
+            info = session.start_capture(
+                rest, origin=session.lifecycle.origin
+            )
+        except (RuntimeError, OSError) as exc:
+            return _error_envelope("RECORD", "CaptureError", str(exc))
+        return {"ok": True, "verb": "RECORD", "recording": True, **info}
+    if action == "STOP":
+        if not session.capture.active:
+            return _error_envelope(
+                "RECORD", "CaptureError", "no capture is active"
+            )
+        summary = session.stop_capture()
+        return {"ok": True, "verb": "RECORD", "recording": False, **summary}
+    if action in ("", "STATUS"):
+        return {"ok": True, "verb": "RECORD", **session.capture.status()}
+    return _error_envelope(
+        "RECORD", "ProtocolError",
+        f"unknown RECORD action {action!r}; expected START <path>, "
+        "STOP or STATUS",
+    )
 
 
 def serve(

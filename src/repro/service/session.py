@@ -41,6 +41,7 @@ therefore share a single session, which is exactly how
 
 from __future__ import annotations
 
+import platform
 import threading
 import time
 from collections import deque
@@ -59,11 +60,13 @@ from ..engine.database import Database
 from ..observe import (
     EngineTracer,
     FlightRecorder,
+    WorkloadRecorder,
     build_report,
     current_id,
     merge_worker_trace,
     prometheus_text,
     register_session,
+    snapshot_database,
 )
 from ..profile import SpanProfiler, chrome_trace, profile_report
 from ..resilience import Budget, BudgetExceeded
@@ -154,6 +157,10 @@ class QuerySession:
         self.metrics.stage_drain = (
             lambda: self.lifecycle.drain_metrics(self.metrics)
         )
+        #: Always-available workload recorder (RECORD verb,
+        #: ``--record``); inert until :meth:`start_capture` opens an
+        #: archive, after which both servers' lifecycle taps feed it.
+        self.capture = WorkloadRecorder()
         register_session(self)
         #: Wall-clock start stamp, for display only (slowlog-style "at"
         #: fields).  Uptime is tracked on the monotonic clock so HEALTH
@@ -934,6 +941,24 @@ class QuerySession:
         self.metrics.record_verb("FACT", time.perf_counter() - start)
 
     # ------------------------------------------------------------------
+    # Workload capture
+    # ------------------------------------------------------------------
+    def start_capture(self, path: str, origin: str = "unknown") -> Dict[str, object]:
+        """Snapshot the EDB and start recording traffic to ``path``.
+
+        The snapshot is taken under the session lock so no mutation
+        lands between the recorded state and the first recorded
+        request — the invariant replay correctness rests on.
+        """
+        with self._lock:
+            snapshot = snapshot_database(self.database)
+            return self.capture.start(path, snapshot, origin=origin)
+
+    def stop_capture(self) -> Dict[str, object]:
+        """Flush, fsync and close the active archive (idempotent)."""
+        return self.capture.stop()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -949,6 +974,15 @@ class QuerySession:
         }
         if self.views is not None:
             snap["ivm_views"] = self.views.snapshot()
+        snap["uptime_s"] = time.monotonic() - self._started_monotonic
+        # Lazy: the package __init__ imports the service layer, so a
+        # module-level import here would be circular.
+        from .. import __version__
+
+        snap["build"] = {
+            "version": __version__,
+            "python": platform.python_version(),
+        }
         return snap
 
     def __repr__(self) -> str:

@@ -1,0 +1,23 @@
+"""On test failure, dump flight-recorder + slowlog diagnostics.
+
+Same hook as ``tests/service/conftest.py``: when ``REPRO_DIAG_DIR``
+is set (CI does this for the smoke jobs), every failing test triggers
+:func:`repro.observe.dump_diagnostics` so server state — and, for the
+replay smoke, the replay report it stashes there — is uploaded as a
+workflow artifact instead of lost with the runner.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    directory = os.environ.get("REPRO_DIAG_DIR")
+    if directory and report.when == "call" and report.failed:
+        from repro.observe import dump_diagnostics
+
+        dump_diagnostics(directory, label=item.nodeid)

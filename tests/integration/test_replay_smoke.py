@@ -1,0 +1,114 @@
+"""End-to-end capture -> replay smoke over a real sg/scsg session.
+
+The CI ``replay-smoke`` job runs this module: a live event-loop server
+over the synthetic family population records a scripted session mixing
+chain-split-relevant recursion (sg bound-first, scsg through its weak
+linkage), planning, mutation and introspection; the archive is then
+replayed in-process and the envelope parity the capture subsystem
+promises — bit-identical replies for deterministic verbs — is asserted
+for the whole script.  The replay report lands in ``REPRO_DIAG_DIR``
+(when set) so a parity failure uploads the full latency/mismatch
+breakdown as a CI artifact.
+"""
+
+import json
+import os
+import socket
+
+import pytest
+
+from repro.observe import load_archive, render_replay_report, replay_archive
+from repro.service import AsyncQueryServer, QuerySession
+from repro.workloads import SG, SCSG, FamilyConfig, family_database
+
+
+def _scripted_session(path):
+    """Record a scripted sg/scsg workload; returns the script length."""
+    config = FamilyConfig(levels=4, width=8, seed=7)
+    db = family_database(config, program=SG + SCSG)
+    session = QuerySession(db, slow_query_ms=0.0)
+    bound = config.person(0, 0)
+    other = config.person(0, 2)
+    script = [
+        f"QUERY sg({bound}, Y)",
+        f"QUERY scsg({bound}, Y)",
+        f"PLAN sg({bound}, Y)",
+        f"PLAN scsg({bound}, Y)",
+        f"QUERY sg({other}, Y)",
+        f"FACT sibling({bound}, {other})",
+        f"QUERY sg({bound}, Y)",       # answers shifted by the new fact
+        f"RETRACT sibling({bound}, {other})",
+        f"QUERY sg({bound}, Y)",       # and shifted back
+        "QUERY sg(X, Y)",              # unbound: the full relation
+        "STATS",
+        "HEALTH",
+    ]
+    with AsyncQueryServer(session, workers=0) as server:
+        with socket.create_connection(server.address, timeout=10) as sock:
+            file = sock.makefile("rw", encoding="utf-8")
+
+            def issue(line):
+                file.write(line + "\n")
+                file.flush()
+                reply = json.loads(file.readline())
+                assert reply.get("verb"), f"unframed reply to {line!r}"
+                return reply
+
+            assert issue(f"RECORD START {path}")["ok"]
+            for line in script:
+                issue(line)
+            stopped = issue("RECORD STOP")
+            assert stopped["ok"] and stopped["requests"] == len(script)
+    return len(script)
+
+
+def _stash_report(report):
+    directory = os.environ.get("REPRO_DIAG_DIR")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, "replay-smoke")
+    with open(base + ".json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    with open(base + ".txt", "w", encoding="utf-8") as handle:
+        handle.write(render_replay_report(report) + "\n")
+
+
+def test_capture_replay_envelope_parity(tmp_path):
+    path = str(tmp_path / "smoke.jsonl")
+    script_len = _scripted_session(path)
+
+    header, entries = load_archive(path)
+    assert len(entries) == script_len
+    # Every deterministic verb in the script carried an exact digest.
+    exact = [e for e in entries if e["digest"]["mode"] == "exact"]
+    assert {e["verb"] for e in exact} == {"QUERY", "PLAN", "FACT", "RETRACT"}
+    # Arrival offsets are monotone on the recording clock.
+    offsets = [e["t_offset_us"] for e in entries]
+    assert offsets == sorted(offsets)
+
+    report = replay_archive(path, pacing="max")
+    _stash_report(report)
+    parity = report["parity"]
+    assert parity["mismatched"] == 0, (
+        f"envelope parity broken:\n{render_replay_report(report)}"
+    )
+    assert parity["compared"] == script_len
+    assert parity["matched"] == script_len
+    assert report["ok"] is True
+
+    # The report carries recorded-vs-replayed distributions per verb
+    # and per plan shape, regress.py-style.
+    verbs = {row["label"] for row in report["latency"]["verbs"]}
+    assert {"QUERY", "PLAN", "FACT", "RETRACT", "STATS"} <= verbs
+    assert len(report["latency"]["shapes"]) >= 3  # sg bound/unbound, scsg
+
+
+def test_replay_is_stable_across_runs(tmp_path):
+    """Replaying the same archive twice matches both times."""
+    path = str(tmp_path / "smoke.jsonl")
+    _scripted_session(path)
+    first = replay_archive(path, pacing="max")
+    second = replay_archive(path, pacing="max")
+    assert first["ok"] and second["ok"]
+    assert first["parity"]["matched"] == second["parity"]["matched"]

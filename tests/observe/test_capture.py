@@ -1,0 +1,284 @@
+"""Workload capture: digests, snapshots, the recorder, the archive."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine.database import Database
+from repro.observe import (
+    ARCHIVE_VERSION,
+    WorkloadRecorder,
+    digest_reply,
+    load_archive,
+    restore_database,
+    snapshot_database,
+)
+from repro.observe.capture import (
+    _strip_volatile_wire,
+    exact_digest,
+    structural_digest,
+)
+
+SOURCE = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+parent(ann, carol). parent(bob, dan). sibling(carol, dan).
+likes(ann, "red wine").
+age(ann, 41).
+"""
+
+
+def _database():
+    db = Database()
+    db.load_source(SOURCE)
+    return db
+
+
+class TestDigests:
+    def test_exact_digest_ignores_elapsed_ms(self):
+        a = {"ok": True, "verb": "QUERY", "answers": [["x"]], "elapsed_ms": 1.0}
+        b = {"ok": True, "verb": "QUERY", "answers": [["x"]], "elapsed_ms": 9.9}
+        assert exact_digest(a) == exact_digest(b)
+
+    def test_exact_digest_sees_payload_changes(self):
+        a = {"ok": True, "verb": "QUERY", "answers": [["x"]]}
+        b = {"ok": True, "verb": "QUERY", "answers": [["y"]]}
+        assert exact_digest(a) != exact_digest(b)
+
+    def test_exact_digest_from_wire_matches_dict_path(self):
+        reply = {"ok": True, "verb": "QUERY", "answers": [["x", "y"]],
+                 "count": 1, "elapsed_ms": 3.25}
+        wire = json.dumps(reply).encode("utf-8") + b"\n"
+        assert exact_digest(reply, wire) == exact_digest(reply)
+
+    def test_strip_volatile_wire_handles_positions(self):
+        # middle, last, only, absent
+        for reply in (
+            {"a": 1, "elapsed_ms": 2.5, "b": 2},
+            {"a": 1, "elapsed_ms": 2.5},
+            {"elapsed_ms": 2.5},
+            {"a": 1},
+        ):
+            wire = json.dumps(reply).encode("utf-8")
+            stripped = _strip_volatile_wire(wire)
+            expect = {k: v for k, v in reply.items() if k != "elapsed_ms"}
+            assert json.loads(stripped or b"{}") == expect
+
+    def test_strip_volatile_ignores_payload_strings(self):
+        # The key as *data* is not followed by a colon on the wire.
+        reply = {"ok": True, "answers": [["elapsed_ms"]], "elapsed_ms": 1.0}
+        stripped = json.loads(_strip_volatile_wire(
+            json.dumps(reply).encode("utf-8")
+        ))
+        assert stripped == {"ok": True, "answers": [["elapsed_ms"]]}
+
+    def test_structural_digest_ignores_values_not_shape(self):
+        a = {"ok": True, "verb": "STATS", "queries": 5}
+        b = {"ok": True, "verb": "STATS", "queries": 99}
+        c = {"ok": True, "verb": "STATS", "queries": 5, "extra": 1}
+        assert structural_digest(a) == structural_digest(b)
+        assert structural_digest(a) != structural_digest(c)
+
+    def test_structural_digest_distinguishes_error_types(self):
+        a = {"ok": False, "verb": "QUERY",
+             "error": {"type": "Timeout", "message": "x"}}
+        b = {"ok": False, "verb": "QUERY",
+             "error": {"type": "PlanningError", "message": "x"}}
+        assert structural_digest(a) != structural_digest(b)
+
+    def test_digest_reply_mode_selection(self):
+        ok_query = {"ok": True, "verb": "QUERY", "answers": []}
+        assert digest_reply("QUERY", ok_query)["mode"] == "exact"
+        failed_query = {"ok": False, "verb": "QUERY",
+                        "error": {"type": "Timeout", "message": "x"}}
+        assert digest_reply("QUERY", failed_query)["mode"] == "structural"
+        stats = {"ok": True, "verb": "STATS"}
+        assert digest_reply("STATS", stats)["mode"] == "structural"
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_facts_rules_and_versions(self):
+        db = _database()
+        db.add_fact("parent", ["eve", "ann"])
+        snapshot = snapshot_database(db)
+        restored = restore_database(snapshot)
+        assert snapshot_database(restored) == snapshot
+        assert restored.edb_version == db.edb_version
+        assert restored.idb_version == db.idb_version
+        assert restored.total_facts() == db.total_facts()
+        assert len(restored.program) == len(db.program)
+
+    def test_snapshot_preserves_quoted_strings_and_numbers(self):
+        restored = restore_database(snapshot_database(_database()))
+        likes = restored.relation("likes", 2)
+        assert [[str(v) for v in row] for row in likes.rows()] == [
+            ["ann", '"red wine"']
+        ]
+        age = restored.relation("age", 2)
+        assert [[str(v) for v in row] for row in age.rows()] == [["ann", "41"]]
+
+    def test_restored_database_answers_identically(self):
+        from repro.service import QuerySession
+
+        db = _database()
+        recorded = QuerySession(db).execute("sg(ann, Y)")
+        replayed = QuerySession(
+            restore_database(snapshot_database(db))
+        ).execute("sg(ann, Y)")
+        assert [list(map(str, r)) for r in recorded.rows] == [
+            list(map(str, r)) for r in replayed.rows
+        ]
+
+
+class _FakeRecord:
+    def __init__(self, request_id="req-1"):
+        self.id = request_id
+        self.created_ns = time.perf_counter_ns()
+
+
+class TestWorkloadRecorder:
+    def test_inert_by_default(self):
+        recorder = WorkloadRecorder()
+        assert not recorder.active
+        recorder.record("QUERY x(Y)", {"ok": True})  # no-op, no error
+        assert recorder.status()["requests"] == 0
+        assert recorder.stop()["path"] is None
+
+    def test_capture_round_trip(self, tmp_path):
+        path = str(tmp_path / "cap.jsonl")
+        recorder = WorkloadRecorder()
+        info = recorder.start(path, snapshot_database(_database()),
+                              origin="test")
+        assert info["version"] == ARCHIVE_VERSION
+        assert recorder.active
+        reply = {"ok": True, "verb": "QUERY", "answers": [["a"]],
+                 "elapsed_ms": 1.5}
+        recorder.record("QUERY sg(ann, Y)", reply, _FakeRecord())
+        summary = recorder.stop()
+        assert summary["requests"] == 1
+        assert summary["errors"] == 0
+        assert not recorder.active
+
+        header, entries = load_archive(path)
+        assert header["version"] == ARCHIVE_VERSION
+        assert header["origin"] == "test"
+        assert header["snapshot"]["rules"]
+        (entry,) = entries
+        assert entry["verb"] == "QUERY"
+        assert entry["line"] == "QUERY sg(ann, Y)"
+        assert entry["id"] == "req-1"
+        assert entry["seq"] == 1
+        assert entry["ok"] is True
+        assert entry["digest"]["mode"] == "exact"
+        assert entry["digest"]["sha256"] == exact_digest(reply)
+
+    def test_record_verb_is_never_captured(self, tmp_path):
+        path = str(tmp_path / "cap.jsonl")
+        recorder = WorkloadRecorder()
+        recorder.start(path, {"rules": [], "facts": {}})
+        recorder.record("RECORD STATUS", {"ok": True, "verb": "RECORD"})
+        recorder.record("STATS", {"ok": True, "verb": "STATS"})
+        assert recorder.stop()["requests"] == 1
+        _, entries = load_archive(path)
+        assert [e["verb"] for e in entries] == ["STATS"]
+
+    def test_double_start_raises_and_leaves_capture_running(self, tmp_path):
+        recorder = WorkloadRecorder()
+        recorder.start(str(tmp_path / "one.jsonl"), {"rules": [], "facts": {}})
+        with pytest.raises(RuntimeError):
+            recorder.start(str(tmp_path / "two.jsonl"),
+                           {"rules": [], "facts": {}})
+        assert recorder.active
+        assert recorder.path.endswith("one.jsonl")
+        recorder.stop()
+
+    def test_unwritable_path_raises_oserror(self):
+        recorder = WorkloadRecorder()
+        with pytest.raises(OSError):
+            recorder.start("/nonexistent-dir/cap.jsonl",
+                           {"rules": [], "facts": {}})
+        assert not recorder.active
+
+    def test_stop_is_idempotent(self, tmp_path):
+        recorder = WorkloadRecorder()
+        recorder.start(str(tmp_path / "cap.jsonl"), {"rules": [], "facts": {}})
+        first = recorder.stop()
+        second = recorder.stop()
+        assert second["requests"] == first["requests"]
+
+    def test_seq_is_dense_under_concurrent_records(self, tmp_path):
+        path = str(tmp_path / "cap.jsonl")
+        recorder = WorkloadRecorder(flush_every=7)
+        recorder.start(path, {"rules": [], "facts": {}})
+
+        def pump(tag):
+            for i in range(50):
+                recorder.record(
+                    f"QUERY p_{tag}_{i}(X)",
+                    {"ok": True, "verb": "QUERY", "answers": []},
+                )
+
+        threads = [
+            threading.Thread(target=pump, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.stop()["requests"] == 200
+        _, entries = load_archive(path)
+        assert [e["seq"] for e in entries] == list(range(1, 201))
+
+    def test_bounded_queue_drops_and_counts(self, tmp_path):
+        recorder = WorkloadRecorder(max_queue=5)
+        recorder.start(str(tmp_path / "cap.jsonl"),
+                       {"rules": [], "facts": {}})
+        # Stall the writer by stuffing the queue faster than one poll.
+        for i in range(5000):
+            recorder.record(f"QUERY q{i}(X)",
+                            {"ok": True, "verb": "QUERY", "answers": []})
+        summary = recorder.stop()
+        assert summary["requests"] + summary["dropped"] == 5000
+        assert summary["errors"] == 0
+
+
+class TestLoadArchive:
+    def test_rejects_non_archive(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(ValueError, match="not a workload archive"):
+            load_archive(str(path))
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text('{"kind": "request", "seq": 1}\n')
+        with pytest.raises(ValueError, match="not an archive header"):
+            load_archive(str(path))
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 999}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_archive(str(path))
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty archive"):
+            load_archive(str(path))
+
+    def test_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        lines = [
+            json.dumps({"kind": "header", "version": ARCHIVE_VERSION,
+                        "snapshot": {"rules": [], "facts": {}}}),
+            json.dumps({"kind": "request", "seq": 1, "verb": "STATS",
+                        "line": "STATS"}),
+            '{"kind": "request", "seq": 2, "verb": "QUE',  # torn write
+        ]
+        path.write_text("\n".join(lines))
+        header, entries = load_archive(str(path))
+        assert header["version"] == ARCHIVE_VERSION
+        assert [e["seq"] for e in entries] == [1]

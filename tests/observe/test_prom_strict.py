@@ -170,10 +170,28 @@ class TestStrictExposition:
             "repro_eventloop_lag_seconds": "gauge",
             "repro_connections": "gauge",
             "repro_outbox_bytes": "gauge",
+            "repro_build_info": "gauge",
+            "repro_uptime_seconds": "gauge",
         }
         for name, family_type in expect.items():
             assert name in families, f"missing family {name}"
             assert families[name].type == family_type
+
+    def test_build_info_and_uptime(self, metrics_text):
+        families = parse_exposition(metrics_text)
+        build = families["repro_build_info"]
+        assert len(build.samples) == 1
+        _, labels, value = build.samples[0]
+        assert value == 1.0
+        import repro
+
+        assert labels["version"] == repro.__version__
+        import platform
+
+        assert labels["python"] == platform.python_version()
+        uptime = families["repro_uptime_seconds"]
+        assert len(uptime.samples) == 1
+        assert uptime.samples[0][2] >= 0.0
 
     def test_stage_vector_covers_the_request_pipeline(self, metrics_text):
         families = parse_exposition(metrics_text)

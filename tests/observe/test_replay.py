@@ -1,0 +1,180 @@
+"""Deterministic replay: parity, pacing, verdict rows, the report."""
+
+import json
+import socket
+
+import pytest
+
+from repro.engine.database import Database
+from repro.observe import load_archive, replay_archive, render_replay_report
+from repro.observe.replay import _verdict_row
+from repro.service import AsyncQueryServer, QuerySession
+
+SOURCE = """
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+parent(ann, carol). parent(bob, dan). sibling(carol, dan).
+"""
+
+SCRIPT = (
+    "QUERY sg(ann, Y)",
+    "PLAN sg(ann, Y)",
+    "FACT parent(eve, ann)",
+    "QUERY sg(eve, Z)",
+    "RETRACT parent(eve, ann)",
+    "QUERY sg(eve, Z)",
+    "SUBSCRIBE sg(ann, Y)",
+    "UNSUBSCRIBE sg(ann, Y)",
+    "QUERY sg(",
+    "STATS",
+    "HEALTH",
+)
+
+
+def _record_workload(path):
+    """Drive a scripted session against a live server, recording it."""
+    db = Database()
+    db.load_source(SOURCE)
+    session = QuerySession(db, slow_query_ms=0.0)
+    with AsyncQueryServer(session, workers=0) as server:
+        with socket.create_connection(server.address, timeout=10) as sock:
+            file = sock.makefile("rw", encoding="utf-8")
+
+            def issue(line):
+                file.write(line + "\n")
+                file.flush()
+                return json.loads(file.readline())
+
+            started = issue(f"RECORD START {path}")
+            assert started["ok"], started
+            for line in SCRIPT:
+                issue(line)
+            stopped = issue("RECORD STOP")
+            assert stopped["ok"], stopped
+            assert stopped["requests"] == len(SCRIPT)
+    return path
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    path = tmp_path_factory.mktemp("replay") / "workload.jsonl"
+    return str(_record_workload(path))
+
+
+class TestInProcessReplay:
+    def test_parity_and_report_shape(self, archive):
+        report = replay_archive(archive, pacing="max")
+        assert report["ok"] is True
+        parity = report["parity"]
+        # SUBSCRIBE/UNSUBSCRIBE are recorded but not re-issued.
+        assert parity["skipped"] == 2
+        assert parity["compared"] == len(SCRIPT) - 2
+        assert parity["matched"] == parity["compared"]
+        assert parity["mismatched"] == 0
+        assert parity["mismatches"] == []
+        assert report["mode"] == "in-process"
+        assert report["archive"]["requests"] == len(SCRIPT)
+
+    def test_latency_rows_cover_verbs_and_shapes(self, archive):
+        report = replay_archive(archive, pacing="max")
+        verbs = {row["label"] for row in report["latency"]["verbs"]}
+        assert {"QUERY", "PLAN", "FACT", "RETRACT", "STATS"} <= verbs
+        shapes = report["latency"]["shapes"]
+        assert shapes, "QUERY latencies must be grouped per plan shape"
+        assert any("<unparsed>" == row["label"] for row in shapes)
+        for row in report["latency"]["verbs"] + shapes:
+            for side in ("recorded", "replayed"):
+                assert set(row[side]) == {"n", "p50_us", "p95_us", "p99_us"}
+            assert row["status"] in {"ok", "REGRESSION"}
+
+    def test_accelerated_pacing_respects_offsets(self, archive):
+        # Offsets are microseconds apart at 1000x; just prove the path.
+        report = replay_archive(archive, pacing="accelerated", speed=1000.0)
+        assert report["ok"] is True
+        assert report["pacing"] == {"mode": "accelerated", "speed": 1000.0}
+
+    def test_unknown_pacing_rejected(self, archive):
+        with pytest.raises(ValueError, match="pacing"):
+            replay_archive(archive, pacing="warp")
+
+    def test_tampered_digest_breaks_parity(self, archive, tmp_path):
+        lines = []
+        with open(archive, encoding="utf-8") as handle:
+            for raw in handle:
+                entry = json.loads(raw)
+                if entry.get("line") == "QUERY sg(ann, Y)":
+                    entry["digest"]["sha256"] = "0" * 64
+                lines.append(json.dumps(entry))
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+
+        report = replay_archive(str(tampered), pacing="max")
+        assert report["ok"] is False
+        parity = report["parity"]
+        assert parity["mismatched"] == 1
+        (detail,) = parity["mismatches"]
+        assert detail["line"] == "QUERY sg(ann, Y)"
+        assert detail["mode"] == "exact"
+        assert detail["recorded_sha256"] == "0" * 64
+        assert detail["replayed_sha256"] != "0" * 64
+
+
+class TestWireReplay:
+    def test_parity_against_live_server(self, archive):
+        from repro.observe import restore_database
+
+        header, _ = load_archive(archive)
+        session = QuerySession(restore_database(header["snapshot"]))
+        with AsyncQueryServer(session, workers=0) as server:
+            host, port = server.address
+            report = replay_archive(
+                archive, pacing="max", target=f"{host}:{port}"
+            )
+        assert report["ok"] is True
+        assert report["mode"] == f"wire:{host}:{port}"
+        assert report["parity"]["mismatched"] == 0
+
+
+class TestVerdictRows:
+    def test_regression_needs_ratio_and_delta(self):
+        rec = [1000.0] * 10
+        # Ratio breached, delta breached -> REGRESSION.
+        row = _verdict_row("v", rec, [5000.0] * 10, 1.5, 500.0)
+        assert row["status"] == "REGRESSION"
+        assert row["problems"]
+        # Ratio breached but absolute delta tiny -> ok (noise guard).
+        row = _verdict_row("v", [10.0] * 10, [50.0] * 10, 1.5, 500.0)
+        assert row["status"] == "ok"
+        # Delta large but within the tolerance band -> ok.
+        row = _verdict_row("v", rec, [1400.0] * 10, 1.5, 300.0)
+        assert row["status"] == "ok"
+
+    def test_row_fields(self):
+        row = _verdict_row("QUERY", [100.0, 200.0], [150.0, 250.0], 1.5, 500.0)
+        assert row["label"] == "QUERY"
+        assert row["recorded"]["n"] == 2
+        assert row["replayed"]["n"] == 2
+        assert row["p50_ratio"] > 0
+
+
+class TestRenderReport:
+    def test_render_contains_tables_and_verdict(self, archive):
+        report = replay_archive(archive, pacing="max")
+        text = render_replay_report(report)
+        assert "parity" in text
+        assert "QUERY" in text
+        assert "p50" in text
+        assert "ok" in text
+
+    def test_render_flags_mismatches(self, archive, tmp_path):
+        lines = []
+        with open(archive, encoding="utf-8") as handle:
+            for raw in handle:
+                entry = json.loads(raw)
+                if entry.get("verb") == "PLAN":
+                    entry["digest"]["sha256"] = "f" * 64
+                lines.append(json.dumps(entry))
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+        text = render_replay_report(replay_archive(str(tampered)))
+        assert "mismatch" in text.lower()

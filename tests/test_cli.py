@@ -306,3 +306,66 @@ class TestFactsLoading:
         )
         assert code == 1
         assert "cannot load" in output
+
+
+class TestReplaySubcommand:
+    @pytest.fixture
+    def archive(self, tmp_path):
+        """A tiny archive recorded over a live server's RECORD verb."""
+        import json
+        import socket
+
+        from repro.engine.database import Database
+        from repro.service import QueryServer, QuerySession
+
+        db = Database()
+        db.load_source(SG_SOURCE)
+        path = str(tmp_path / "workload.jsonl")
+        with QueryServer(QuerySession(db), port=0) as server:
+            with socket.create_connection(
+                server.address, timeout=10
+            ) as sock:
+                file = sock.makefile("rw", encoding="utf-8")
+                for line in (
+                    f"RECORD START {path}",
+                    "QUERY sg(ann, Y)",
+                    "STATS",
+                    "RECORD STOP",
+                ):
+                    file.write(line + "\n")
+                    file.flush()
+                    reply = json.loads(file.readline())
+                    assert reply["ok"], reply
+        return path
+
+    def test_replay_reports_parity(self, archive):
+        code, output = run(["replay", archive])
+        assert code == 0
+        assert "parity" in output
+        assert "QUERY" in output
+
+    def test_replay_writes_json_report(self, archive, tmp_path):
+        out_file = tmp_path / "report.json"
+        code, _ = run(["replay", archive, "--out", str(out_file)])
+        assert code == 0
+        import json as _json
+
+        report = _json.loads(out_file.read_text())
+        assert report["ok"] is True
+        assert report["parity"]["mismatched"] == 0
+
+    def test_replay_missing_archive_exits_2(self, tmp_path):
+        code, output = run(["replay", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "error" in output
+
+    def test_replay_bad_archive_exits_2(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not an archive\n")
+        code, output = run(["replay", str(path)])
+        assert code == 2
+
+    def test_record_requires_serve(self, program_file):
+        code, output = run([program_file, "--record", "x.jsonl"])
+        assert code == 1
+        assert "--record" in output
