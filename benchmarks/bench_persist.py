@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Durability tax and recovery-replay speed for the WAL/snapshot store.
+
+Two questions bound ``--data-dir`` in production:
+
+1. **Mutation tax.**  What does logging every FACT/RETRACT cost at
+   each fsync policy?  Four lanes run the *same* mutation sequence —
+   no WAL at all, then ``--fsync off`` / ``interval`` / ``always`` —
+   and every op is timed individually with the lane order rotated per
+   op, so adjacent samples see identical machine state and the p50s
+   isolate the append/flush/fsync cost from scheduler drift.  The
+   acceptance gate is the **interval-vs-off** delta (< 10%): both
+   lanes write and flush every record, so the delta is exactly the
+   amortized-fsync tax a deployment pays for bounded power-loss
+   exposure.  The no-WAL lane is reported for context only — raw
+   append+flush overhead against a bare dict insert is well over 10%
+   and is the price of durability, not a regression signal.
+
+2. **Recovery speed.**  How long does replaying a pure-WAL log (no
+   covering snapshot — the post-kill worst case) take?  The bench
+   builds a 100k-fact log (10k in ``--quick``), recovers it, and
+   reports wall time and records/second.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py [--quick] \
+        [--max-tax FRACTION] [--out FILE] [--update-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.database import Database
+from repro.persist import PersistenceManager, recover_database
+from repro.service import QuerySession
+
+PROGRAM = """\
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+
+#: Lane order: the no-WAL reference first, then the three policies.
+POLICIES = ("nowal", "off", "interval", "always")
+
+
+class _Lane:
+    """One session over one store (or none, for the no-WAL lane)."""
+
+    def __init__(self, policy: str):
+        self.policy = policy
+        self.manager: Optional[PersistenceManager] = None
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if policy == "nowal":
+            database = Database()
+            database.load_source(PROGRAM)
+            self.session = QuerySession(database)
+        else:
+            self._tmp = tempfile.TemporaryDirectory(
+                prefix=f"repro-bench-persist-{policy}-"
+            )
+            self.manager = PersistenceManager.open(
+                self._tmp.name,
+                fsync=policy,
+                snapshot_every=10**9,  # measure the log, not checkpoints
+                checkpoint_on_close=False,
+            )
+            self.manager.database.load_source(PROGRAM)
+            self.session = QuerySession(self.manager.database)
+            self.session.attach_persistence(self.manager)
+
+    def close(self) -> None:
+        if self.manager is not None:
+            self.manager.close()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+
+
+def _p50(samples: List[int]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _measure_mutations(ops: int) -> Dict[str, object]:
+    """FACT then RETRACT p50 per lane, identical sequences, rotated order."""
+    lanes = [_Lane(policy) for policy in POLICIES]
+    fact_ns: Dict[str, List[int]] = {policy: [] for policy in POLICIES}
+    retract_ns: Dict[str, List[int]] = {policy: [] for policy in POLICIES}
+    try:
+        for i in range(ops):
+            values = (f"a{i}", f"b{i}")
+            for lane in _rotated(lanes, i):
+                start = time.perf_counter_ns()
+                added = lane.session.add_fact("edge", values)
+                fact_ns[lane.policy].append(time.perf_counter_ns() - start)
+                assert added, lane.policy
+        for i in range(ops):
+            values = (f"a{i}", f"b{i}")
+            for lane in _rotated(lanes, i):
+                start = time.perf_counter_ns()
+                removed = lane.session.retract_fact("edge", values)
+                retract_ns[lane.policy].append(time.perf_counter_ns() - start)
+                assert removed, lane.policy
+        wal_stats = {
+            lane.policy: {
+                "records": lane.manager.wal.stats()["records"],
+                "bytes": lane.manager.wal.stats()["bytes"],
+                "fsyncs": lane.manager.wal.stats()["fsyncs"],
+            }
+            for lane in lanes
+            if lane.manager is not None
+        }
+    finally:
+        for lane in lanes:
+            lane.close()
+    return {
+        "ops": ops,
+        "fact_p50_us": {
+            policy: round(_p50(fact_ns[policy]) / 1e3, 2)
+            for policy in POLICIES
+        },
+        "retract_p50_us": {
+            policy: round(_p50(retract_ns[policy]) / 1e3, 2)
+            for policy in POLICIES
+        },
+        "wal": wal_stats,
+    }
+
+
+def _rotated(lanes, index):
+    pivot = index % len(lanes)
+    return lanes[pivot:] + lanes[:pivot]
+
+
+def _measure_recovery(facts: int) -> Dict[str, object]:
+    """Recover a WAL-only log: the post-SIGKILL worst case."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recover-") as tmp:
+        manager = PersistenceManager.open(
+            tmp,
+            fsync="off",
+            snapshot_every=10**9,
+            checkpoint_on_close=False,
+        )
+        manager.database.load_source(PROGRAM)
+        for i in range(facts):
+            manager.database.add_fact("edge", (f"n{i}", f"n{i + 1}"))
+        records = manager.wal.stats()["records"]
+        manager.wal.close()
+        start = time.perf_counter()
+        database, info = recover_database(tmp)
+        elapsed = time.perf_counter() - start
+        assert info.replayed == records
+        assert len(database.relation("edge", 2)) == facts
+    return {
+        "facts": facts,
+        "wal_records": records,
+        "seconds": round(elapsed, 3),
+        "records_per_sec": round(records / elapsed),
+    }
+
+
+def _tax(case: Dict[str, object]) -> Dict[str, float]:
+    """interval-vs-off overhead fractions, the gated number."""
+    taxes = {}
+    for kind in ("fact", "retract"):
+        p50 = case[f"{kind}_p50_us"]
+        taxes[kind] = round(max(p50["interval"] / p50["off"] - 1.0, 0.0), 4)
+    taxes["max"] = max(taxes.values())
+    return taxes
+
+
+def run_bench(quick: bool) -> Dict[str, object]:
+    mutations = _measure_mutations(ops=1500 if quick else 5000)
+    recovery = _measure_recovery(facts=10_000 if quick else 100_000)
+    tax = _tax(mutations)
+    return {
+        "benchmark": "persist: WAL fsync policy tax and recovery replay",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "mutations": mutations,
+        "recovery": recovery,
+        "interval_tax": tax,
+        "interval_tax_pct": round(tax["max"] * 100, 2),
+    }
+
+
+def update_baseline(path: Path, quick: bool, report: Dict[str, object]) -> None:
+    """Write ``report`` into its mode slot, regress.py baseline layout."""
+    existing: Dict[str, object] = {}
+    if path.exists():
+        existing = json.loads(path.read_text())
+    runs = existing.get("runs")
+    if not isinstance(runs, dict):
+        runs = {}
+    runs["quick" if quick else "full"] = report
+    out = {
+        "benchmark": report["benchmark"],
+        "runs": {mode: runs[mode] for mode in sorted(runs)},
+    }
+    path.write_text(json.dumps(out, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer ops and a 10k-fact recovery log (CI smoke)",
+    )
+    parser.add_argument(
+        "--max-tax",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="exit non-zero when the interval-vs-off fsync tax exceeds "
+        "this fraction (acceptance bar: 0.10); negative disables",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report to this file (default: stdout only)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"write this mode's run into {DEFAULT_BASELINE.name}",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = run_bench(args.quick)
+    except AssertionError as error:
+        print(f"workload failure: {error}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    if args.update_baseline:
+        update_baseline(DEFAULT_BASELINE, args.quick, report)
+        print(
+            f"baseline updated: {DEFAULT_BASELINE} "
+            f"[{'quick' if args.quick else 'full'}]"
+        )
+    if args.max_tax is not None and 0 <= args.max_tax < report[
+        "interval_tax"
+    ]["max"]:
+        print(
+            f"interval fsync tax {report['interval_tax_pct']}% exceeds "
+            f"the {args.max_tax * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

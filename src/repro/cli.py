@@ -13,6 +13,8 @@ Usage::
     python -m repro program.pl --serve --port 8473      # TCP query server
     python -m repro program.pl --serve --record cap.jsonl   # + capture
     python -m repro replay cap.jsonl --pacing recorded  # deterministic replay
+    python -m repro program.pl --serve --data-dir ./state   # durable store
+    python -m repro recover ./state --verify            # inspect/verify it
 
 Every mode runs through one :class:`~repro.service.QuerySession`, so
 repeated queries (REPL lines, stacked ``-q`` flags, server requests)
@@ -287,6 +289,50 @@ def build_parser() -> argparse.ArgumentParser:
         "request to this replayable JSONL archive (see 'repro replay'); "
         "RECORD STOP or server shutdown closes it",
     )
+    parser.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="durable store: write-ahead-log every committed mutation "
+        "under DIR and, on startup, restore the latest snapshot and "
+        "replay the WAL tail (see 'repro recover'); with an existing "
+        "store, --program/--facts are skipped — state comes from "
+        "recovery",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=["always", "interval", "off"],
+        default="interval",
+        help="WAL fsync policy for --data-dir: always = fsync every "
+        "record (power-loss durable, slowest), interval = fsync at most "
+        "every --fsync-interval seconds (default), off = OS page cache "
+        "only; every policy survives process kills, the policy only "
+        "bounds what a power loss can take",
+    )
+    parser.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="with --fsync interval: maximum age of unsynced WAL records "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="checkpoint the --data-dir store (cut a snapshot, truncate "
+        "fully-covered WAL segments) every N logged mutations "
+        "(default 4096)",
+    )
+    parser.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        metavar="BYTES",
+        help="rotate --data-dir WAL segments at this size (default 4MiB)",
+    )
     return parser
 
 
@@ -394,8 +440,155 @@ def _replay_main(argv: Sequence[str], out: IO[str]) -> int:
     return 0
 
 
-def _load_database(path: Optional[str], out: IO[str]) -> Optional[Database]:
-    database = Database()
+def build_recover_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro recover <data-dir>`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro recover",
+        description="Inspect a --data-dir durable store without serving: "
+        "restore the latest valid snapshot, replay the WAL tail, and "
+        "report what a restart would recover.  Read-only — safe to run "
+        "against the store a crashed server left behind.",
+    )
+    parser.add_argument(
+        "data_dir", help="store directory a server wrote with --data-dir"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="strict mode: fail on any corruption (a torn final WAL "
+        "record included, reporting the bad LSN), check every retained "
+        "snapshot's digest — not just the newest — and rebuild the IVM "
+        "materializations over the recovered state",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recovery report as one JSON object instead of text",
+    )
+    return parser
+
+
+def _recover_main(argv: Sequence[str], out: IO[str]) -> int:
+    args = build_recover_parser().parse_args(argv)
+    from .persist import (
+        RecoveryError,
+        SnapshotCorruptionError,
+        WalCorruptionError,
+        list_snapshots,
+        load_snapshot_file,
+        recover_database,
+    )
+
+    report: dict = {"data_dir": args.data_dir, "verify": args.verify}
+    try:
+        database, info = recover_database(args.data_dir, strict=args.verify)
+        if args.verify:
+            # Strict recovery only reads the newest snapshot; --verify
+            # promises every retained one is still restorable.
+            snapshots = list_snapshots(args.data_dir)
+            for _, path in snapshots:
+                load_snapshot_file(path)
+            report["snapshots_verified"] = len(snapshots)
+    except WalCorruptionError as exc:
+        print(
+            f"recover FAILED: WAL corruption at lsn {exc.lsn} "
+            f"in {exc.path}: {exc.reason}",
+            file=out,
+        )
+        return 1
+    except SnapshotCorruptionError as exc:
+        print(
+            f"recover FAILED: snapshot corruption in {exc.path}: {exc.reason}",
+            file=out,
+        )
+        return 1
+    except RecoveryError as exc:
+        lsn = f" (lsn {exc.lsn})" if exc.lsn is not None else ""
+        print(f"recover FAILED{lsn}: {exc}", file=out)
+        return 1
+
+    report.update(info.as_dict())
+    report["rules"] = sum(
+        1 for rule in database.program if not rule.is_fact()
+    )
+    report["relations"] = {
+        str(predicate): len(relation)
+        for predicate, relation in sorted(
+            database.relations.items(), key=lambda kv: str(kv[0])
+        )
+    }
+    report["facts"] = sum(report["relations"].values())
+    if args.verify:
+        # Warm every maintainable materialization over the recovered
+        # state — proves the recovered program still evaluates, and
+        # mirrors what a restarted --ivm server would rebuild.
+        from .ivm.manager import ViewManager
+
+        views = ViewManager(database)
+        warmed = 0
+        heads = {
+            rule.head.predicate
+            for rule in database.program
+            if not rule.is_fact()
+        }
+        for predicate in sorted(heads, key=str):
+            if views.relations_for_query(predicate) is not None:
+                warmed += 1
+        views.rebuild()
+        views.close()
+        report["ivm_rebuilt"] = warmed
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        return 0
+    if info.snapshot_path is not None:
+        print(
+            f"snapshot: {info.snapshot_path} (covers lsn {info.snapshot_lsn})",
+            file=out,
+        )
+    else:
+        print("snapshot: none", file=out)
+    for skipped in info.skipped_snapshots:
+        print(
+            f"  skipped corrupt snapshot {skipped['path']}: "
+            f"{skipped['reason']}",
+            file=out,
+        )
+    print(
+        f"wal: replayed {info.replayed} record(s) through lsn "
+        f"{info.last_lsn} in {info.elapsed_s * 1000:.1f}ms",
+        file=out,
+    )
+    if info.torn_tail is not None:
+        torn = info.torn_tail
+        print(
+            f"  torn tail tolerated at {torn['path']}:{torn['line']} "
+            f"(lsn {torn['lsn']}): {torn['reason']}",
+            file=out,
+        )
+    print(
+        f"state: {report['facts']} fact(s) across "
+        f"{len(report['relations'])} relation(s), "
+        f"{report['rules']} rule(s)",
+        file=out,
+    )
+    for name, count in report["relations"].items():
+        print(f"  {name}: {count} facts", file=out)
+    if args.verify:
+        print(
+            f"verify: {report['snapshots_verified']} snapshot(s) checked, "
+            f"{report['ivm_rebuilt']} materialization(s) rebuilt",
+            file=out,
+        )
+    print("recover OK", file=out)
+    return 0
+
+
+def _load_database(
+    path: Optional[str], out: IO[str], database: Optional[Database] = None
+) -> Optional[Database]:
+    if database is None:
+        database = Database()
     if path is not None:
         try:
             with open(path) as handle:
@@ -640,6 +833,8 @@ def main(
     out = stdout if stdout is not None else sys.stdout
     if raw_argv and raw_argv[0] == "replay":
         return _replay_main(raw_argv[1:], out)
+    if raw_argv and raw_argv[0] == "recover":
+        return _recover_main(raw_argv[1:], out)
     args = build_parser().parse_args(raw_argv)
     inp = stdin if stdin is not None else sys.stdin
 
@@ -647,13 +842,67 @@ def main(
 
     configure_logging(json_mode=args.log_json, level=args.log_level)
 
-    database = _load_database(args.program, out)
-    if database is None:
-        return 1
+    manager = None
+    restore_note = None
+    if args.data_dir is not None:
+        from .persist import (
+            PersistenceManager,
+            RecoveryError,
+            SnapshotCorruptionError,
+            WalCorruptionError,
+        )
+
+        try:
+            manager = PersistenceManager.open(
+                args.data_dir,
+                fsync=args.fsync,
+                fsync_interval_s=args.fsync_interval,
+                segment_bytes=args.wal_segment_bytes,
+                snapshot_every=args.snapshot_every,
+            )
+        except (SnapshotCorruptionError, WalCorruptionError) as exc:
+            print(
+                f"error: {args.data_dir} is corrupt: {exc} "
+                "(run 'repro recover' to inspect)",
+                file=out,
+            )
+            return 1
+        except (RecoveryError, OSError) as exc:
+            print(f"error: cannot open {args.data_dir}: {exc}", file=out)
+            return 1
+        database = manager.database
+        recovery = manager.recovery
+        if not recovery.fresh:
+            if args.program is not None or args.facts:
+                restore_note = (
+                    f"note: {args.data_dir} already holds state; "
+                    "--program/--facts ignored (state comes from recovery)"
+                )
+                if args.serve:
+                    # The serve banner must stay the first stdout line
+                    # (scripts parse the bound port from it); the note
+                    # is printed after it instead.
+                    pass
+                else:
+                    print(restore_note, file=out)
+                    restore_note = None
+            args.program, args.facts = None, []
+    else:
+        database = _load_database(args.program, out)
+        if database is None:
+            return 1
+    if args.program is not None and manager is not None:
+        # A fresh durable store seeded from a program file: every fact
+        # and rule is WAL-logged as it loads.
+        if _load_database(args.program, out, database=database) is None:
+            manager.close()
+            return 1
     for spec in args.facts:
         name, _, path = spec.partition("=")
         if not name or not path:
             print(f"error: --facts expects PRED=FILE.csv, got {spec!r}", file=out)
+            if manager is not None:
+                manager.close()
             return 1
         try:
             from .engine.io import load_facts_csv
@@ -662,7 +911,15 @@ def main(
             print(f"loaded {count} {name} facts from {path}", file=out)
         except (OSError, ValueError) as exc:
             print(f"error: cannot load {spec}: {exc}", file=out)
+            if manager is not None:
+                manager.close()
             return 1
+    if manager is not None and (args.program is not None or args.facts):
+        # Bulk CSV loads write relations directly, bypassing the WAL —
+        # an immediate checkpoint folds the seeded state into a
+        # snapshot so a crash before the first periodic checkpoint
+        # cannot lose it.
+        manager.checkpoint()
 
     budget = None
     if any(
@@ -688,9 +945,13 @@ def main(
         budget=budget,
         ivm=args.ivm,
     )
+    if manager is not None:
+        session.attach_persistence(manager)
 
     if args.record is not None and not args.serve:
         print("error: --record requires --serve", file=out)
+        if manager is not None:
+            manager.close()
         return 1
 
     if args.serve:
@@ -724,6 +985,9 @@ def main(
                 print(f"error: cannot record to {args.record}: {exc}", file=out)
                 server.shutdown()
                 return 1
+        from .service.server import install_signal_handlers
+
+        install_signal_handlers(server)
         host, port = server.address
         # Scripts parse the bound port (--port 0) from this first line,
         # so nothing may print before it.
@@ -734,6 +998,23 @@ def main(
             "HEALTH, RECORD; one JSON reply per line)",
             file=out,
         )
+        if manager is not None:
+            recovery = manager.recovery
+            print(
+                f"durable store at {manager.data_dir} "
+                f"(fsync {manager.fsync}): recovered "
+                f"{recovery.replayed} WAL record(s) past snapshot lsn "
+                f"{recovery.snapshot_lsn}, resuming at lsn "
+                f"{recovery.last_lsn}"
+                + (
+                    " [torn tail repaired]"
+                    if recovery.torn_tail is not None
+                    else ""
+                ),
+                file=out,
+            )
+            if restore_note is not None:
+                print(restore_note, file=out)
         if args.record is not None:
             print(
                 f"recording workload to {info['path']} "
@@ -801,7 +1082,11 @@ def main(
                     ok = False
         if args.metrics:
             print(session.metrics_text(), file=out)
+        if manager is not None:
+            manager.close()
         return 0 if ok else 1
 
     _repl(session, inp, out)
+    if manager is not None:
+        manager.close()
     return 0

@@ -130,6 +130,14 @@ class Database:
         #: something changed, these say *what* — the granularity
         #: selective cache invalidation and view maintenance need.
         self.relation_versions: Dict[Predicate, int] = {}
+        #: Optional write-ahead log (``repro.persist``).  When attached,
+        #: every committed mutation is appended — and made durable per
+        #: the log's fsync policy — *before* listeners run or the
+        #: mutating call returns, so no acknowledgement can outlive the
+        #: record that justifies it.
+        self.wal = None
+        #: LSN of the most recent logged mutation (0 without a WAL).
+        self.last_lsn: int = 0
         self._mutation_listeners: List[Callable[[MutationBatch], None]] = []
         if program is not None:
             self.load_program(program)
@@ -155,6 +163,15 @@ class Database:
             lo, hi = 0, relation.mark()
         self.edb_version += 1
         self._bump_relation(predicate)
+        if self.wal is not None:
+            self.last_lsn = self.wal.append(
+                {
+                    "op": "relation",
+                    "name": predicate.name,
+                    "arity": predicate.arity,
+                    "rows": [[str(value) for value in row] for row in added],
+                }
+            )
         if added and self._mutation_listeners:
             self._notify(
                 {predicate: RelationDelta(predicate, added, [], (lo, hi))}
@@ -180,6 +197,10 @@ class Database:
         predicate = Predicate(name, len(row))
         self.edb_version += 1
         self._bump_relation(predicate)
+        if self.wal is not None:
+            self.last_lsn = self.wal.append(
+                {"op": "fact", "name": name, "row": [str(v) for v in row]}
+            )
         if self._mutation_listeners:
             self._notify(
                 {
@@ -199,6 +220,10 @@ class Database:
             return False
         self.edb_version += 1
         self._bump_relation(predicate)
+        if self.wal is not None:
+            self.last_lsn = self.wal.append(
+                {"op": "retract", "name": name, "row": [str(v) for v in row]}
+            )
         if self._mutation_listeners:
             mark = relation.mark()
             self._notify(
@@ -229,7 +254,15 @@ class Database:
             desired.setdefault(predicate, {})[row] = op == "add"
         deltas: Dict[Predicate, RelationDelta] = {}
         for predicate, wants in desired.items():
-            relation = self.relation(predicate.name, predicate.arity)
+            relation = self.relations.get(predicate)
+            if relation is None:
+                if not any(wants.values()):
+                    # Retract-only misses on an undeclared relation:
+                    # declaring it here would be an observable state
+                    # change (edb_predicates) that no WAL record logs,
+                    # so a recovered database could never reproduce it.
+                    continue
+                relation = self.relation(predicate.name, predicate.arity)
             removed = [
                 row
                 for row, want in wants.items()
@@ -247,6 +280,24 @@ class Database:
             self.edb_version += 1
             for predicate in deltas:
                 self._bump_relation(predicate)
+            if self.wal is not None:
+                # The *normalized* wants, in first-seen order: replaying
+                # them through apply_batch re-derives identical deltas,
+                # windows and version bumps against the same prior state.
+                self.last_lsn = self.wal.append(
+                    {
+                        "op": "batch",
+                        "muts": [
+                            [
+                                "add" if want else "retract",
+                                predicate.name,
+                                [str(v) for v in row],
+                            ]
+                            for predicate, wants in desired.items()
+                            for row, want in wants.items()
+                        ],
+                    }
+                )
             if self._mutation_listeners:
                 self._notify(deltas)
         return MutationBatch(deltas, self.edb_version)
@@ -303,6 +354,10 @@ class Database:
         else:
             self.program.add(rule)
             self.idb_version += 1
+            if self.wal is not None:
+                self.last_lsn = self.wal.append(
+                    {"op": "rule", "text": str(rule)}
+                )
 
     # ------------------------------------------------------------------
     # Constraints

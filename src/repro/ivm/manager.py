@@ -121,6 +121,25 @@ class ViewManager:
             if self.materializable(predicate):
                 self.ensure_pinned(predicate)
 
+    def rebuild(self, budget=None) -> int:
+        """Recompute every registered materialization from base state.
+
+        The crash-recovery path: a database restored from a snapshot +
+        WAL replay carries correct *relations*, but any materialization
+        attached to it (a manager re-bound after restore, or ``repro
+        recover --verify`` warming views) reflects the pre-crash run
+        and must be rebuilt, not trusted.  Pending deltas are dropped
+        for the same reason.  Returns the number refreshed.
+        """
+        self._check_program()
+        self.pending.clear()
+        rebuilt = 0
+        for fix in self.fixpoints.values():
+            fix.dirty = True
+            fix.refresh(budget=budget)
+            rebuilt += 1
+        return rebuilt
+
     # ------------------------------------------------------------------
     # Serving-layer entry points
     # ------------------------------------------------------------------

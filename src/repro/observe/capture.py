@@ -195,57 +195,15 @@ def replay_digest(entry: Dict[str, Any], reply: Dict[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
-# EDB snapshot
+# EDB snapshot — the codec itself lives in repro.persist.snapshot (one
+# implementation for capture archives *and* durability checkpoints, so
+# the two formats cannot drift); re-exported here because the archive
+# header is where it first grew up.
 # ----------------------------------------------------------------------
-def snapshot_database(database) -> Dict[str, Any]:
-    """The database as parseable text: rules plus per-relation rows.
-
-    Term rendering round-trips (``str(Const('"x"'))`` keeps its
-    quotes, infix arithmetic is re-parenthesized), so the snapshot is
-    plain datalog the parser reloads verbatim.  Callers must hold
-    whatever lock guards the database against concurrent mutation.
-    """
-    facts: Dict[str, List[List[str]]] = {}
-    for predicate, relation in sorted(
-        database.relations.items(), key=lambda kv: str(kv[0])
-    ):
-        facts[f"{predicate.name}/{predicate.arity}"] = sorted(
-            [str(value) for value in row] for row in relation.rows()
-        )
-    return {
-        "rules": [str(rule) for rule in database.program],
-        "facts": facts,
-        "edb_version": database.edb_version,
-        "idb_version": database.idb_version,
-    }
-
-
-def restore_database(snapshot: Dict[str, Any]):
-    """A fresh :class:`~repro.engine.database.Database` from a snapshot."""
-    from ..datalog.parser import parse_rule
-    from ..engine.database import Database
-
-    database = Database()
-    for text in snapshot.get("rules", ()):
-        database.add_rule(parse_rule(text))
-    for spec, rows in (snapshot.get("facts") or {}).items():
-        name = spec.rsplit("/", 1)[0]
-        for row in rows:
-            if row:
-                clause = f"{name}({', '.join(row)})."
-            else:
-                clause = f"{name}."
-            rule = parse_rule(clause)
-            database.add_fact(rule.head.name, rule.head.args)
-    # Pin the version counters to the captured values: FACT/RETRACT
-    # replies embed version stamps, and exact-digest parity needs the
-    # replayed counters to continue from the recorded baseline, not
-    # from however many mutations the rebuild above happened to make.
-    if "edb_version" in snapshot:
-        database.edb_version = snapshot["edb_version"]
-    if "idb_version" in snapshot:
-        database.idb_version = snapshot["idb_version"]
-    return database
+from ..persist.snapshot import (  # noqa: E402  (after module docstring constants)
+    restore_database,
+    snapshot_database,
+)
 
 
 # ----------------------------------------------------------------------

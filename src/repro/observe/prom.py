@@ -389,6 +389,70 @@ def prometheus_text(stats: Dict[str, object], namespace: str = "repro") -> str:
         w.sample(full, database.get("edb_version", 0), {"kind": "edb"})
         w.sample(full, database.get("idb_version", 0), {"kind": "idb"})
 
+    persist = stats.get("persist") or {}
+    if persist:
+        wal = persist.get("wal") or {}
+        if wal:
+            w.counter(
+                "wal_records_total",
+                "Mutation records appended to the write-ahead log.",
+                wal.get("records", 0),
+            )
+            w.counter(
+                "wal_bytes_total",
+                "Bytes appended to the write-ahead log.",
+                wal.get("bytes", 0),
+            )
+            w.counter(
+                "wal_fsyncs_total",
+                "fsync calls issued by the write-ahead log.",
+                wal.get("fsyncs", 0),
+            )
+            w.counter(
+                "wal_rotations_total",
+                "WAL segment files opened (rotations plus the first).",
+                wal.get("rotations", 0),
+            )
+            w.gauge(
+                "wal_segments",
+                "WAL segment files currently on disk.",
+                wal.get("segments", 0),
+            )
+            w.gauge(
+                "wal_last_lsn",
+                "Highest log sequence number appended to the WAL.",
+                wal.get("last_lsn", 0),
+            )
+        snapshot = persist.get("snapshot") or {}
+        if snapshot:
+            w.counter(
+                "snapshot_checkpoints_total",
+                "Snapshot checkpoints cut over the durable store.",
+                snapshot.get("checkpoints", 0),
+            )
+            w.counter(
+                "snapshot_truncated_segments_total",
+                "Fully-covered WAL segments deleted by checkpoints.",
+                snapshot.get("truncated_segments", 0),
+            )
+            w.gauge(
+                "snapshot_last_lsn",
+                "LSN covered by the most recent snapshot checkpoint.",
+                snapshot.get("last_lsn", 0),
+            )
+            w.gauge(
+                "snapshot_last_seconds",
+                "Wall-clock duration of the most recent checkpoint.",
+                snapshot.get("last_seconds", 0.0),
+            )
+        if persist.get("recovery_seconds") is not None:
+            w.gauge(
+                "recovery_seconds",
+                "Wall-clock time startup recovery took (snapshot restore "
+                "plus WAL replay).",
+                persist.get("recovery_seconds", 0.0),
+            )
+
     build = stats.get("build") or {}
     if build:
         # The standard build_info idiom: constant 1, identity as labels.

@@ -1,0 +1,53 @@
+"""Durability: write-ahead fact log, snapshot checkpoints, recovery.
+
+The engine's state — EDB facts, IDB rules, the version counters every
+cache and client-visible envelope is stamped with — lives in one
+process.  This package makes it survive that process: every committed
+mutation is appended to a write-ahead log (:mod:`repro.persist.wal`)
+*before* the caller sees an acknowledgement, periodic checkpoints
+(:mod:`repro.persist.manager`) snapshot the whole database with the
+same parser-round-trip codec workload capture uses
+(:mod:`repro.persist.snapshot`), and startup recovery restores the
+latest valid snapshot and replays the WAL tail past it — tolerating a
+torn final record, refusing (loudly, with the bad LSN) anything worse.
+"""
+
+from .manager import (
+    PersistenceManager,
+    RecoveryError,
+    RecoveryInfo,
+    list_snapshots,
+    recover_database,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotCorruptionError,
+    load_snapshot_file,
+    restore_database,
+    snapshot_database,
+    write_snapshot_file,
+)
+from .wal import (
+    FSYNC_POLICIES,
+    WalCorruptionError,
+    WriteAheadLog,
+    scan_wal,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "PersistenceManager",
+    "RecoveryError",
+    "RecoveryInfo",
+    "SNAPSHOT_VERSION",
+    "SnapshotCorruptionError",
+    "WalCorruptionError",
+    "WriteAheadLog",
+    "list_snapshots",
+    "load_snapshot_file",
+    "recover_database",
+    "restore_database",
+    "scan_wal",
+    "snapshot_database",
+    "write_snapshot_file",
+]

@@ -1,0 +1,187 @@
+"""The EDB snapshot codec: one format for capture and durability.
+
+Workload-capture archive headers (:mod:`repro.observe.capture`) and
+durability checkpoints (:mod:`repro.persist.manager`) both need the
+whole database as data; this module is the single implementation both
+ride, so the two can never drift in format.  The codec renders rules
+and facts as *parseable datalog text* — term rendering round-trips
+through the parser (``str(Const('"x"'))`` keeps its quotes, infix
+arithmetic is re-parenthesized), so a restore rebuilds bit-identical
+state by re-parsing — and pins every version counter
+(``edb_version``/``idb_version`` and the per-relation counters), so
+version-stamped reply envelopes stay coherent across a capture replay
+*or* a crash-recovery restart.
+
+On top of the dict codec sit the checkpoint-file helpers: a snapshot
+on disk is one JSON document wrapping the codec dict with the LSN it
+covers and a sha256 over the canonical payload bytes.  Checkpoints
+are written to a temp name and atomically renamed, so a kill mid-write
+can leave garbage only under a name recovery never considers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotCorruptionError",
+    "load_snapshot_file",
+    "restore_database",
+    "snapshot_database",
+    "write_snapshot_file",
+]
+
+#: Bump when the checkpoint file schema changes; recovery refuses
+#: unknown versions instead of misreading them.
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotCorruptionError(RuntimeError):
+    """A checkpoint file that fails structural or sha256 verification."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"{path}: snapshot corrupt: {reason}")
+
+
+# ----------------------------------------------------------------------
+# The dict codec (shared with workload capture)
+# ----------------------------------------------------------------------
+def snapshot_database(database) -> Dict[str, Any]:
+    """The database as parseable text: rules plus per-relation rows.
+
+    Callers must hold whatever lock guards the database against
+    concurrent mutation.
+    """
+    facts: Dict[str, List[List[str]]] = {}
+    for predicate, relation in sorted(
+        database.relations.items(), key=lambda kv: str(kv[0])
+    ):
+        facts[f"{predicate.name}/{predicate.arity}"] = sorted(
+            [str(value) for value in row] for row in relation.rows()
+        )
+    return {
+        "rules": [str(rule) for rule in database.program],
+        "facts": facts,
+        "edb_version": database.edb_version,
+        "idb_version": database.idb_version,
+        "relation_versions": {
+            f"{predicate.name}/{predicate.arity}": version
+            for predicate, version in sorted(
+                database.relation_versions.items(), key=lambda kv: str(kv[0])
+            )
+        },
+    }
+
+
+def restore_database(snapshot: Dict[str, Any]):
+    """A fresh :class:`~repro.engine.database.Database` from a snapshot."""
+    from ..datalog.literals import Predicate
+    from ..datalog.parser import parse_rule
+    from ..engine.database import Database
+
+    database = Database()
+    for text in snapshot.get("rules", ()):
+        database.add_rule(parse_rule(text))
+    for spec, rows in (snapshot.get("facts") or {}).items():
+        name, _, arity = spec.rpartition("/")
+        # Materialize the relation even when it has no surviving rows:
+        # an emptied-by-retraction relation is still *declared*, and a
+        # restore that dropped it would change edb_predicates().
+        database.relation(name, int(arity))
+        for row in rows:
+            if row:
+                clause = f"{name}({', '.join(row)})."
+            else:
+                clause = f"{name}."
+            rule = parse_rule(clause)
+            database.add_fact(rule.head.name, rule.head.args)
+    # Pin the version counters to the captured values: FACT/RETRACT
+    # replies embed version stamps, and both exact-digest replay parity
+    # and post-restart envelope coherence need the counters to continue
+    # from the recorded baseline, not from however many mutations the
+    # rebuild above happened to make.
+    if "edb_version" in snapshot:
+        database.edb_version = snapshot["edb_version"]
+    if "idb_version" in snapshot:
+        database.idb_version = snapshot["idb_version"]
+    for spec, version in (snapshot.get("relation_versions") or {}).items():
+        name, _, arity = spec.rpartition("/")
+        database.relation_versions[Predicate(name, int(arity))] = version
+    return database
+
+
+# ----------------------------------------------------------------------
+# Checkpoint files
+# ----------------------------------------------------------------------
+def _payload_digest(lsn: int, snapshot: Dict[str, Any]) -> str:
+    body = json.dumps(
+        {"lsn": lsn, "snapshot": snapshot},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(body).hexdigest()
+
+
+def write_snapshot_file(path: str, lsn: int, snapshot: Dict[str, Any]) -> None:
+    """Atomically persist one checkpoint covering the WAL up to ``lsn``.
+
+    temp-write + fsync + rename + directory fsync: a crash at any point
+    leaves either the previous checkpoint set intact or the new file
+    fully in place — never a half-written file under a live name.
+    """
+    document = {
+        "kind": "repro-snapshot",
+        "version": SNAPSHOT_VERSION,
+        "lsn": lsn,
+        "sha256": _payload_digest(lsn, snapshot),
+        "snapshot": snapshot,
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    directory_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+
+
+def load_snapshot_file(path: str) -> Dict[str, Any]:
+    """Parse + verify one checkpoint; ``{"lsn", "snapshot"}`` on success.
+
+    Raises :class:`SnapshotCorruptionError` on a torn write, a foreign
+    file, an unsupported version, or a sha256 mismatch — recovery then
+    falls back to the next-older checkpoint rather than loading it.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SnapshotCorruptionError(path, f"unreadable: {exc}") from exc
+    if not isinstance(document, dict) or document.get("kind") != "repro-snapshot":
+        raise SnapshotCorruptionError(path, "not a repro snapshot file")
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotCorruptionError(
+            path, f"unsupported snapshot version {document.get('version')!r}"
+        )
+    lsn = document.get("lsn")
+    snapshot = document.get("snapshot")
+    if not isinstance(lsn, int) or not isinstance(snapshot, dict):
+        raise SnapshotCorruptionError(path, "malformed snapshot document")
+    digest = _payload_digest(lsn, snapshot)
+    if digest != document.get("sha256"):
+        raise SnapshotCorruptionError(
+            path,
+            f"sha256 mismatch (stored {document.get('sha256')!r}, "
+            f"computed {digest!r})",
+        )
+    return {"lsn": lsn, "snapshot": snapshot}

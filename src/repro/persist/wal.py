@@ -1,0 +1,381 @@
+"""The write-ahead fact log: append-only JSONL segments, CRC32, LSNs.
+
+Every committed mutation becomes one JSON line in the current segment
+file::
+
+    {"crc": 2814763520, "lsn": 42, "op": "fact", "name": "edge",
+     "row": ["1", "2"]}
+
+``lsn`` is a monotonically increasing log sequence number (no gaps,
+ever — a gap on read means a lost segment).  ``crc`` is the CRC32 of
+the record's canonical JSON (sorted keys, no whitespace) *without* the
+``crc`` field, so any flipped bit anywhere in the line — payload, LSN,
+or the checksum itself — fails verification.  Segments are named by
+the LSN of their first record (``wal-%020d.jsonl``) so the reader can
+order them, detect truncation-created gaps, and report the expected
+LSN of a damaged record even when the damage ate the LSN field.
+
+Durability discipline: :meth:`WriteAheadLog.append` always pushes the
+line through the userspace buffer into the OS page cache (``flush``)
+before returning, so a SIGKILL after an acknowledged mutation never
+loses it; whether the *kernel* buffer also reaches the platter before
+the ack is the pluggable fsync policy (``always`` / ``interval`` /
+``off``) — the classic durability-vs-latency trade
+(:doc:`/docs/durability` has the measured tax).
+
+Read-side contract (:func:`scan_wal`): a damaged record at the very
+tail of the last segment is the one buffer a crash may legitimately
+tear — it is dropped and reported, never loaded.  Damage anywhere
+*before* intact records raises :class:`WalCorruptionError` carrying
+the bad LSN: recovery must fail loudly rather than resurrect a state
+no client was ever acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalCorruptionError",
+    "WriteAheadLog",
+    "canonical_record_bytes",
+    "list_segments",
+    "record_crc",
+    "scan_wal",
+    "truncate_torn_tail",
+]
+
+#: Accepted values for the ``fsync`` policy knob.
+FSYNC_POLICIES = ("always", "interval", "off")
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{20})\.jsonl$")
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"wal-{first_lsn:020d}.jsonl"
+
+
+def segment_first_lsn(path: str) -> int:
+    """The LSN of a segment's first record, from its filename."""
+    match = _SEGMENT_RE.match(os.path.basename(path))
+    if match is None:
+        raise ValueError(f"{path}: not a WAL segment filename")
+    return int(match.group(1))
+
+
+def list_segments(directory: str) -> List[str]:
+    """WAL segment paths under ``directory``, in LSN order."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    segments = [name for name in names if _SEGMENT_RE.match(name)]
+    segments.sort()  # zero-padded LSNs: lexicographic == numeric
+    return [os.path.join(directory, name) for name in segments]
+
+
+def canonical_record_bytes(record: Dict[str, Any]) -> bytes:
+    """The record as canonical JSON — the bytes the CRC covers."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def record_crc(record: Dict[str, Any]) -> int:
+    """CRC32 over the canonical record bytes (sans ``crc`` itself)."""
+    return zlib.crc32(canonical_record_bytes(record)) & 0xFFFFFFFF
+
+
+class WalCorruptionError(RuntimeError):
+    """Mid-stream WAL damage: the log cannot be loaded safely.
+
+    ``lsn`` is the sequence number the damaged record was expected to
+    carry (derived from the last intact record, or the segment's
+    filename when the damage hit the segment head) — the handle an
+    operator needs to decide what acknowledged suffix is at risk.
+    """
+
+    def __init__(self, path: str, lsn: int, reason: str):
+        self.path = path
+        self.lsn = lsn
+        self.reason = reason
+        super().__init__(f"{path}: WAL corrupt at lsn {lsn}: {reason}")
+
+
+def _check_line(raw: bytes) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Parse + verify one line; ``(record, None)`` or ``(None, why)``."""
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None, "unparsable JSON (torn write?)"
+    if not isinstance(obj, dict):
+        return None, "record is not a JSON object"
+    crc = obj.pop("crc", None)
+    if not isinstance(crc, int):
+        return None, "record has no integer crc field"
+    actual = record_crc(obj)
+    if actual != crc:
+        return None, f"crc mismatch (stored {crc}, computed {actual})"
+    lsn = obj.get("lsn")
+    if not isinstance(lsn, int) or lsn <= 0:
+        return None, f"record has invalid lsn {lsn!r}"
+    return obj, None
+
+
+def scan_wal(
+    directory: str,
+    after_lsn: int = 0,
+    strict: bool = False,
+) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """Read every verified record with ``lsn > after_lsn``.
+
+    Returns ``(records, torn)``: the records in LSN order (each still
+    carrying its ``lsn`` key) and, when the final record of the final
+    segment failed verification, a ``{"path", "lsn", "reason"}`` dict
+    describing the tolerated torn tail (``None`` when the log ended
+    cleanly).  With ``strict=True`` even a torn tail raises — the
+    ``repro recover --verify`` mode, where "probably just a crash"
+    is not an acceptable answer.
+
+    Raises :class:`WalCorruptionError` for damage with intact records
+    after it, an LSN gap, or a non-monotonic LSN.
+    """
+    records: List[Dict[str, Any]] = []
+    previous_lsn: Optional[int] = None
+    segments = list_segments(directory)
+    for seg_index, path in enumerate(segments):
+        with open(path, "rb") as handle:
+            data = handle.read()
+        lines = [
+            (line_index, raw)
+            for line_index, raw in enumerate(data.split(b"\n"), 1)
+            if raw.strip()
+        ]
+        last_segment = seg_index == len(segments) - 1
+        for pos, (line_index, raw) in enumerate(lines):
+            record, damage = _check_line(raw)
+            if damage is not None:
+                expected = (
+                    previous_lsn + 1
+                    if previous_lsn is not None
+                    else segment_first_lsn(path)
+                )
+                at_tail = last_segment and pos == len(lines) - 1
+                if at_tail and not strict:
+                    return records, {
+                        "path": path,
+                        "line": line_index,
+                        "lsn": expected,
+                        "reason": damage,
+                    }
+                raise WalCorruptionError(path, expected, damage)
+            lsn = record["lsn"]
+            if previous_lsn is not None and lsn != previous_lsn + 1:
+                raise WalCorruptionError(
+                    path,
+                    previous_lsn + 1,
+                    f"LSN gap: expected {previous_lsn + 1}, found {lsn}",
+                )
+            if previous_lsn is None and pos == 0:
+                named = segment_first_lsn(path)
+                if lsn != named:
+                    raise WalCorruptionError(
+                        path,
+                        named,
+                        f"segment named for lsn {named} starts at {lsn}",
+                    )
+            previous_lsn = lsn
+            if lsn > after_lsn:
+                records.append(record)
+    return records, None
+
+
+def truncate_torn_tail(torn: Dict[str, Any]) -> None:
+    """Cut a tolerated torn record out of its segment before reuse.
+
+    Run by recovery after :func:`scan_wal` reports a torn tail: the
+    damaged bytes are truncated away (or the segment deleted when
+    nothing verified precedes them) so a restarted writer can never
+    collide with a half-written segment name, and a second crash-free
+    scan sees a clean log.  In-place ``truncate`` is crash-safe here —
+    interrupting it leaves a shorter (or identical) torn tail, which
+    the next recovery tolerates again.
+    """
+    path = torn["path"]
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+    keep = sum(len(line) + 1 for line in lines[: torn["line"] - 1])
+    if keep == 0:
+        os.remove(path)
+        return
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class WriteAheadLog:
+    """Appender over a directory of JSONL WAL segments.
+
+    Not thread-safe by itself — the serving layer already serializes
+    mutations under the session lock, and the :class:`Database` calls
+    :meth:`append` from inside that critical section.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        segment_bytes: int = 4 * 1024 * 1024,
+        start_lsn: int = 0,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.fsync_policy = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.segment_bytes = segment_bytes
+        self.last_lsn = start_lsn
+        #: Monotonic stamp of the last fsync (``interval`` policy).
+        self._last_fsync = time.monotonic()
+        self._handle = None
+        self._segment_size = 0
+        self._synced = True
+        # Counters for /metrics (repro_wal_*).
+        self.records = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, payload: Dict[str, Any]) -> int:
+        """Durably append one mutation record; returns its LSN.
+
+        A fresh segment is always started on the first append after
+        open — never appending into a file that may end in a torn
+        record keeps the "only the final record of the final segment
+        may be damaged" read-side invariant trivially true.
+        """
+        lsn = self.last_lsn + 1
+        record = {"lsn": lsn, **payload}
+        record["crc"] = record_crc(record)
+        line = canonical_record_bytes(record) + b"\n"
+        if self._handle is None or self._segment_size >= self.segment_bytes:
+            self._rotate(lsn)
+        self._handle.write(line)
+        # Out of the userspace buffer on every append: a SIGKILL after
+        # the ack must not lose the record (fsync only decides whether
+        # it also survives power loss).
+        self._handle.flush()
+        self._synced = False
+        self._segment_size += len(line)
+        self.last_lsn = lsn
+        self.records += 1
+        self.bytes_written += len(line)
+        if self.fsync_policy == "always":
+            self.sync()
+        elif self.fsync_policy == "interval":
+            now = time.monotonic()
+            if now - self._last_fsync >= self.fsync_interval_s:
+                self.sync()
+        return lsn
+
+    def _rotate(self, first_lsn: int) -> None:
+        """Close the current segment and open ``wal-<first_lsn>``."""
+        if self._handle is not None:
+            self._close_handle()
+            self.rotations += 1
+        path = os.path.join(self.directory, _segment_name(first_lsn))
+        # "x" catches the impossible double-open of one LSN range early
+        # instead of silently interleaving two writers.  One legitimate
+        # survivor is tolerated: a kill between segment creation and
+        # the first record's write leaves an *empty* file under exactly
+        # this name (the mid-rotation crash window), which is safe to
+        # adopt.
+        try:
+            self._handle = open(path, "xb")
+        except FileExistsError:
+            if os.path.getsize(path) != 0:
+                raise
+            self._handle = open(path, "ab")
+        self._segment_size = 0
+
+    def sync(self) -> None:
+        """fsync the current segment (no-op when already clean)."""
+        if self._handle is None or self._synced:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._synced = True
+        self.fsyncs += 1
+        self._last_fsync = time.monotonic()
+
+    def _close_handle(self) -> None:
+        handle, self._handle = self._handle, None
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.fsyncs += 1
+        handle.close()
+        self._synced = True
+
+    def close(self) -> None:
+        """Flush, fsync and close the active segment (idempotent)."""
+        if self._handle is not None:
+            self._close_handle()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def segments(self) -> List[str]:
+        return list_segments(self.directory)
+
+    def truncate_through(self, lsn: int) -> int:
+        """Delete segments whose records are all covered by ``lsn``.
+
+        A segment is removable when the *next* segment starts at or
+        before ``lsn + 1`` (so every record it holds is ``<= lsn``);
+        the newest segment always survives — it is either active or
+        the only carrier of the tail.  Returns the number deleted.
+        """
+        segments = self.segments()
+        removed = 0
+        for path, next_path in zip(segments, segments[1:]):
+            if segment_first_lsn(next_path) <= lsn + 1:
+                os.remove(path)
+                removed += 1
+            else:
+                break
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "records": self.records,
+            "bytes": self.bytes_written,
+            "fsyncs": self.fsyncs,
+            "rotations": self.rotations,
+            "segments": len(self.segments()),
+            "last_lsn": self.last_lsn,
+            "fsync_policy": self.fsync_policy,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.directory!r}, lsn={self.last_lsn}, "
+            f"fsync={self.fsync_policy!r})"
+        )

@@ -269,6 +269,14 @@ class AsyncQueryServer:
         self._thread.start()
         return self
 
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to return; safe from a signal
+        handler (just an Event set plus a self-pipe write).  The
+        caller's ``finally: server.shutdown()`` then runs the one real
+        teardown path — same contract as the threaded server."""
+        self._stop.set()
+        self._wake()
+
     def shutdown(self) -> None:
         self.session.database.remove_mutation_listener(self._on_mutation)
         self._stop.set()
@@ -276,7 +284,15 @@ class AsyncQueryServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
-        self._executor.shutdown(wait=False)
+        # Graceful dispatcher drain: requests already running on a
+        # dispatch thread finish (their WAL records are already
+        # durable), queued-but-unstarted ones are cancelled — they were
+        # never acknowledged, so dropping them loses nothing a client
+        # was promised.
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # Python < 3.9: no cancel_futures
+            self._executor.shutdown(wait=False)
         if self.pool is not None:
             self.pool.close()
         for conn in list(self._conns):
@@ -290,11 +306,15 @@ class AsyncQueryServer:
         self._wake_w.close()
         self._selector.close()
         # Final-snapshot hygiene (mirrors the threaded server): land
-        # the deferred stage-latency samples in the histograms and
-        # close any live capture archive cleanly.
+        # the deferred stage-latency samples in the histograms, close
+        # any live capture archive cleanly, and flush + fsync +
+        # checkpoint the durability store.
         self.session.lifecycle.drain_metrics(self.session.metrics)
         if self.session.capture.active:
             self.session.capture.stop()
+        persist = getattr(self.session, "persist", None)
+        if persist is not None:
+            persist.close()
 
     def __enter__(self) -> "AsyncQueryServer":
         return self.start()

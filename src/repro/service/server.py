@@ -145,7 +145,45 @@ from .session import QuerySession
 
 _log = get_logger("server")
 
-__all__ = ["ClientDisconnected", "QueryServer", "serve"]
+__all__ = [
+    "ClientDisconnected",
+    "QueryServer",
+    "install_signal_handlers",
+    "serve",
+]
+
+
+def install_signal_handlers(server, signals=None) -> bool:
+    """Route SIGTERM/SIGINT into the server's graceful shutdown path.
+
+    Today only an explicit ``shutdown()`` call flushes the WAL,
+    finalizes a running capture, drains the deferred stage-latency
+    queue and reaps workers; a signal would skip all of it.  This
+    wires the signals to ``request_shutdown()`` — which merely makes
+    ``serve_forever()`` return, so the *one* teardown path (the
+    caller's ``finally: server.shutdown()``) runs for signals exactly
+    as it does for KeyboardInterrupt and normal exit.
+
+    Both front ends (:class:`QueryServer` here and the event loop's
+    ``AsyncQueryServer``) expose the same ``request_shutdown()``
+    surface, so one installer covers both.  Returns ``False`` (and
+    installs nothing) off the main thread, where CPython refuses
+    signal handler registration.
+    """
+    import signal as signal_module
+
+    if signals is None:
+        signals = (signal_module.SIGTERM, signal_module.SIGINT)
+
+    def _handle(signum, frame):  # noqa: ARG001 (signal handler shape)
+        server.request_shutdown()
+
+    try:
+        for signum in signals:
+            signal_module.signal(signum, _handle)
+    except ValueError:  # not the main thread
+        return False
+    return True
 
 #: Refuse absurd request lines instead of buffering them.
 MAX_LINE_BYTES = 64 * 1024
@@ -684,6 +722,20 @@ class QueryServer:
         self._thread.start()
         return self
 
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to return; safe from a signal
+        handler.
+
+        ``socketserver.shutdown()`` blocks until the serve loop exits,
+        and a signal handler runs *on* the thread sitting in that loop
+        — calling it inline would deadlock, so it is bounced to a
+        throwaway thread.  The caller's ``finally: server.shutdown()``
+        then performs the one real teardown path.
+        """
+        threading.Thread(
+            target=self._tcp.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
     def shutdown(self) -> None:
         self.session.database.remove_mutation_listener(self._on_mutation)
         self._push_queue.put(None)
@@ -696,11 +748,16 @@ class QueryServer:
             self._thread = None
         # Final-snapshot hygiene: push the deferred stage-latency
         # samples into the histograms so a scrape of the metrics object
-        # after shutdown sees every committed request, and close any
-        # live capture archive (flush + fsync) instead of leaking it.
+        # after shutdown sees every committed request, close any live
+        # capture archive (flush + fsync) instead of leaking it, and
+        # flush + fsync + checkpoint the durability store so a restart
+        # recovers from a snapshot instead of a full WAL replay.
         self.session.lifecycle.drain_metrics(self.session.metrics)
         if self.session.capture.active:
             self.session.capture.stop()
+        persist = getattr(self.session, "persist", None)
+        if persist is not None:
+            persist.close()
 
     def __enter__(self) -> "QueryServer":
         return self.start()

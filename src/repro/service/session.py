@@ -161,6 +161,11 @@ class QuerySession:
         #: ``--record``); inert until :meth:`start_capture` opens an
         #: archive, after which both servers' lifecycle taps feed it.
         self.capture = WorkloadRecorder()
+        #: Optional durability manager (``repro.persist``), installed by
+        #: :meth:`attach_persistence`.  The WAL itself hangs off the
+        #: database's mutation path; the session's role is checkpoint
+        #: pacing (under its lock) and exposing persist stats.
+        self.persist = None
         register_session(self)
         #: Wall-clock start stamp, for display only (slowlog-style "at"
         #: fields).  Uptime is tracked on the monotonic clock so HEALTH
@@ -838,6 +843,13 @@ class QuerySession:
                 health["degraded_reason"] = "; ".join(reasons)
         if self.views is not None:
             health["ivm_views"] = self.views.snapshot()
+        if self.persist is not None:
+            persist = self.persist.stats()
+            health["persist"] = {
+                "last_lsn": (persist.get("wal") or {}).get("last_lsn", 0),
+                "checkpoints": persist["snapshot"]["checkpoints"],
+                "recovery_seconds": persist.get("recovery_seconds"),
+            }
         return health
 
     @property
@@ -888,6 +900,7 @@ class QuerySession:
         start = time.perf_counter()
         with self._lock:
             added = self.database.add_fact(name, values)
+            self._maybe_checkpoint()
         self.metrics.record_verb("FACT", time.perf_counter() - start)
         return added
 
@@ -896,6 +909,7 @@ class QuerySession:
         start = time.perf_counter()
         with self._lock:
             removed = self.database.retract_fact(name, values)
+            self._maybe_checkpoint()
         self.metrics.record_verb("RETRACT", time.perf_counter() - start)
         return removed
 
@@ -904,6 +918,7 @@ class QuerySession:
         start = time.perf_counter()
         with self._lock:
             batch = self.database.apply_batch(mutations)
+            self._maybe_checkpoint()
         self.metrics.record_verb("BATCH", time.perf_counter() - start)
         return batch
 
@@ -932,13 +947,34 @@ class QuerySession:
         start = time.perf_counter()
         with self._lock:
             self.database.add_rule(rule)
+            self._maybe_checkpoint()
         self.metrics.record_verb("FACT", time.perf_counter() - start)
 
     def load_source(self, source: str) -> None:
         start = time.perf_counter()
         with self._lock:
             self.database.load_source(source)
+            self._maybe_checkpoint()
         self.metrics.record_verb("FACT", time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def attach_persistence(self, manager) -> None:
+        """Adopt a :class:`~repro.persist.PersistenceManager`.
+
+        The manager's WAL is already attached to the database (every
+        mutation above logs before returning); the session adds the
+        two things that need its lock: checkpoint pacing after
+        mutations, and a consistent snapshot when one is cut.
+        """
+        with self._lock:
+            self.persist = manager
+
+    def _maybe_checkpoint(self) -> None:
+        """Cut a checkpoint when due.  Caller holds the session lock."""
+        if self.persist is not None:
+            self.persist.maybe_checkpoint()
 
     # ------------------------------------------------------------------
     # Workload capture
@@ -974,6 +1010,8 @@ class QuerySession:
         }
         if self.views is not None:
             snap["ivm_views"] = self.views.snapshot()
+        if self.persist is not None:
+            snap["persist"] = self.persist.stats()
         snap["uptime_s"] = time.monotonic() - self._started_monotonic
         # Lazy: the package __init__ imports the service layer, so a
         # module-level import here would be circular.

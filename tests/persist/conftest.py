@@ -1,0 +1,33 @@
+"""On test failure, dump diagnostics plus the durable store itself.
+
+When ``REPRO_DIAG_DIR`` is set (CI does this for the smoke jobs),
+every failing test triggers :func:`repro.observe.dump_diagnostics`,
+and any ``tmp_path``-based data directory the test was using is copied
+under the same directory — so a kill-storm failure ships the exact WAL
+segments and snapshots that failed to recover, not just the assertion
+message.
+"""
+
+import os
+import shutil
+
+import pytest
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    directory = os.environ.get("REPRO_DIAG_DIR")
+    if directory and report.when == "call" and report.failed:
+        from repro.observe import dump_diagnostics
+
+        dump_diagnostics(directory, label=item.nodeid)
+        label = item.nodeid.replace("/", "_").replace(":", "_")
+        for name, value in getattr(item, "funcargs", {}).items():
+            if name in ("tmp_path", "data_dir") and value is not None:
+                target = os.path.join(directory, f"{label}.store")
+                try:
+                    shutil.copytree(str(value), target, dirs_exist_ok=True)
+                except OSError:
+                    pass

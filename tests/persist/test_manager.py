@@ -1,0 +1,296 @@
+"""PersistenceManager: checkpoints, pruning, and crash recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.persist import (
+    PersistenceManager,
+    RecoveryError,
+    WalCorruptionError,
+    list_snapshots,
+    recover_database,
+)
+from repro.persist.manager import SNAPSHOT_SUBDIR, WAL_SUBDIR
+from repro.persist.wal import list_segments
+
+PROGRAM = """
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+
+def _fingerprint(database):
+    return (
+        {
+            str(p): sorted(map(str, rel.rows()))
+            for p, rel in database.relations.items()
+        },
+        database.edb_version,
+        database.idb_version,
+        {str(p): v for p, v in database.relation_versions.items()},
+        sorted(str(rule) for rule in database.program),
+        database.last_lsn,
+    )
+
+
+def _seed(data_dir, facts=10, **kwargs):
+    manager = PersistenceManager.open(str(data_dir), fsync="off", **kwargs)
+    manager.database.load_source(PROGRAM)
+    for i in range(facts):
+        manager.database.add_fact("edge", (f"n{i}", f"n{i + 1}"))
+    return manager
+
+
+def test_fresh_open_and_recover(tmp_path):
+    manager = _seed(tmp_path)
+    assert manager.recovery.fresh
+    reference = _fingerprint(manager.database)
+    manager.close()
+    database, info = recover_database(str(tmp_path))
+    assert _fingerprint(database) == reference
+    assert not info.fresh
+
+
+def test_recovery_without_clean_close(tmp_path):
+    """Recovery replays the WAL tail a kill left behind."""
+    manager = _seed(tmp_path)
+    reference = _fingerprint(manager.database)
+    manager.wal.close()  # just the file handle — no final checkpoint
+    database, info = recover_database(str(tmp_path))
+    assert _fingerprint(database) == reference
+    assert info.snapshot_path is None
+    assert info.replayed == 2 + 10  # 2 rules + 10 facts
+
+
+def test_periodic_checkpoints_and_truncation(tmp_path):
+    manager = _seed(tmp_path, facts=0, snapshot_every=8, segment_bytes=256)
+    for i in range(40):
+        manager.database.add_fact("edge", (f"n{i}", f"n{i + 1}"))
+        manager.maybe_checkpoint()
+    assert manager.checkpoints >= 4
+    assert manager.truncated_segments > 0
+    # Pruned to keep_snapshots (default 2).
+    assert len(list_snapshots(str(tmp_path))) <= 2
+    reference = _fingerprint(manager.database)
+    manager.wal.close()
+    database, info = recover_database(str(tmp_path))
+    assert _fingerprint(database) == reference
+    assert info.snapshot_lsn > 0
+
+
+def test_checkpoint_on_close_enables_snapshot_restart(tmp_path):
+    manager = _seed(tmp_path)
+    reference = _fingerprint(manager.database)
+    manager.close()
+    database, info = recover_database(str(tmp_path))
+    assert info.snapshot_path is not None
+    assert info.replayed == 0  # the close checkpoint covered everything
+    assert _fingerprint(database) == reference
+
+
+def test_close_is_idempotent_and_detaches(tmp_path):
+    manager = _seed(tmp_path)
+    database = manager.database
+    manager.close()
+    assert database.wal is None
+    checkpoints = manager.checkpoints
+    manager.close()
+    assert manager.checkpoints == checkpoints
+
+
+def test_reopen_resumes_lsn_sequence(tmp_path):
+    manager = _seed(tmp_path)
+    last = manager.database.last_lsn
+    manager.close()
+    reopened = PersistenceManager.open(str(tmp_path), fsync="off")
+    assert reopened.database.last_lsn == last
+    reopened.database.add_fact("edge", ("x", "y"))
+    assert reopened.database.last_lsn == last + 1
+    reference = _fingerprint(reopened.database)
+    reopened.close()
+    database, _ = recover_database(str(tmp_path))
+    assert _fingerprint(database) == reference
+
+
+def test_open_repairs_torn_tail(tmp_path):
+    manager = _seed(tmp_path)
+    expected_facts = 10 - 1  # the torn record's fact will be lost
+    manager.wal.close()
+    segment = list_segments(os.path.join(tmp_path, WAL_SUBDIR))[-1]
+    data = open(segment, "rb").read()
+    with open(segment, "wb") as handle:
+        handle.write(data[:-7])  # tear the final record
+    reopened = PersistenceManager.open(str(tmp_path), fsync="off")
+    assert reopened.recovery.torn_tail is not None
+    relation = reopened.database.relation("edge", 2)
+    assert len(relation) == expected_facts
+    # The repaired log accepts new appends and scans cleanly.
+    reopened.database.add_fact("edge", ("n9", "n10"))
+    reference = _fingerprint(reopened.database)
+    reopened.close()
+    database, info = recover_database(str(tmp_path))
+    assert info.torn_tail is None
+    assert _fingerprint(database) == reference
+
+
+def test_mid_checkpoint_crash_leftover_tmp_ignored(tmp_path):
+    manager = _seed(tmp_path)
+    reference = _fingerprint(manager.database)
+    # A kill between temp-write and rename leaves only a .tmp file.
+    leftover = os.path.join(
+        str(tmp_path), SNAPSHOT_SUBDIR, "snapshot-00000000000000000099.json.tmp"
+    )
+    with open(leftover, "w") as handle:
+        handle.write("{half a snapsh")
+    manager.wal.close()
+    database, info = recover_database(str(tmp_path))
+    assert info.snapshot_path is None  # the torn temp was never considered
+    assert _fingerprint(database) == reference
+
+
+def test_corrupt_snapshot_falls_back_to_older(tmp_path):
+    manager = _seed(tmp_path, snapshot_every=1, keep_snapshots=5)
+    for i in range(3):
+        manager.database.add_fact("edge", (f"x{i}", f"y{i}"))
+        manager.maybe_checkpoint()
+    reference = _fingerprint(manager.database)
+    manager.wal.close()
+    snapshots = list_snapshots(str(tmp_path))
+    assert len(snapshots) >= 2
+    newest = snapshots[0][1]
+    with open(newest, "w") as handle:
+        handle.write("garbage")
+    database, info = recover_database(str(tmp_path))
+    assert info.skipped_snapshots and info.skipped_snapshots[0]["path"] == newest
+    assert info.snapshot_path == snapshots[1][1]
+    # Older snapshot + longer WAL replay still lands on the same state.
+    assert _fingerprint(database) == reference
+
+
+def test_missing_segment_reports_gap(tmp_path):
+    manager = _seed(
+        tmp_path, facts=40, snapshot_every=10_000, segment_bytes=256
+    )
+    manager.wal.close()
+    segments = list_segments(os.path.join(tmp_path, WAL_SUBDIR))
+    assert len(segments) >= 3
+    os.remove(segments[1])
+    with pytest.raises((WalCorruptionError, RecoveryError)):
+        recover_database(str(tmp_path))
+
+
+def test_mid_stream_corruption_refused_with_lsn(tmp_path):
+    manager = _seed(tmp_path)
+    manager.wal.close()
+    segment = list_segments(os.path.join(tmp_path, WAL_SUBDIR))[-1]
+    lines = open(segment, "rb").read().splitlines()
+    victim = len(lines) // 2
+    lines[victim] = lines[victim].replace(b'"edge"', b'"edgy"')
+    with open(segment, "wb") as handle:
+        handle.write(b"\n".join(lines) + b"\n")
+    with pytest.raises(WalCorruptionError) as excinfo:
+        recover_database(str(tmp_path))
+    assert excinfo.value.lsn == victim + 1
+
+
+def test_unknown_wal_op_refused(tmp_path):
+    from repro.engine.database import Database
+    from repro.persist.manager import apply_wal_record
+
+    with pytest.raises(RecoveryError) as excinfo:
+        apply_wal_record(Database(), {"op": "explode", "lsn": 17})
+    assert excinfo.value.lsn == 17
+
+
+def test_batch_and_rule_ops_replay(tmp_path):
+    manager = _seed(tmp_path, facts=4)
+    database = manager.database
+    database.apply_batch(
+        [
+            ("add", "edge", ("q1", "q2")),
+            ("retract", "edge", ("n0", "n1")),
+            ("add", "edge", ("q1", "q2")),  # duplicate normalizes away
+        ]
+    )
+    from repro.datalog.parser import parse_rule
+
+    database.add_rule(parse_rule("reach(X, Y) :- path(X, Y)."))
+    reference = _fingerprint(database)
+    manager.wal.close()
+    recovered, _ = recover_database(str(tmp_path))
+    assert _fingerprint(recovered) == reference
+
+
+def test_relation_op_replays(tmp_path):
+    from repro.engine.relation import Relation, wrap_term
+
+    manager = PersistenceManager.open(str(tmp_path), fsync="off")
+    relation = Relation("bulk", 2)
+    relation.add((wrap_term("a"), wrap_term("b")))
+    relation.add((wrap_term("c"), wrap_term("d")))
+    manager.database.add_relation(relation)
+    reference = _fingerprint(manager.database)
+    manager.wal.close()
+    recovered, _ = recover_database(str(tmp_path))
+    assert _fingerprint(recovered) == reference
+
+
+def test_stats_shape(tmp_path):
+    manager = _seed(tmp_path, snapshot_every=4)
+    for i in range(8):
+        manager.database.add_fact("edge", (f"s{i}", f"t{i}"))
+        manager.maybe_checkpoint()
+    stats = manager.stats()
+    assert stats["data_dir"] == str(tmp_path)
+    assert stats["wal"]["records"] > 0
+    assert stats["snapshot"]["checkpoints"] >= 1
+    assert stats["recovery_seconds"] is not None
+    assert stats["recovery"]["replayed"] == 0
+    json.dumps(stats)  # must be JSON-serializable for STATS envelopes
+    manager.close()
+
+
+def test_stats_and_metrics_exposition(tmp_path):
+    from repro.service import QuerySession
+
+    manager = _seed(tmp_path, snapshot_every=4)
+    session = QuerySession(manager.database)
+    session.attach_persistence(manager)
+    for i in range(6):
+        session.add_fact("edge", (f"m{i}", f"k{i}"))
+    stats = session.stats()
+    assert stats["persist"]["wal"]["records"] > 0
+    health = session.health()
+    assert health["persist"]["last_lsn"] == manager.database.last_lsn
+    text = session.metrics_text()
+    for family in (
+        "repro_wal_records_total",
+        "repro_wal_bytes_total",
+        "repro_wal_fsyncs_total",
+        "repro_wal_segments",
+        "repro_wal_last_lsn",
+        "repro_snapshot_checkpoints_total",
+        "repro_snapshot_last_lsn",
+        "repro_recovery_seconds",
+    ):
+        assert family in text, family
+    manager.close()
+
+
+def test_recover_database_is_read_only(tmp_path):
+    manager = _seed(tmp_path)
+    manager.wal.close()
+
+    def tree(root):
+        listing = {}
+        for base, _, files in os.walk(root):
+            for name in files:
+                path = os.path.join(base, name)
+                listing[path] = (os.path.getsize(path), open(path, "rb").read())
+        return listing
+
+    before = tree(str(tmp_path))
+    recover_database(str(tmp_path))
+    assert tree(str(tmp_path)) == before

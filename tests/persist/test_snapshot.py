@@ -1,0 +1,144 @@
+"""The snapshot codec and checkpoint files."""
+
+import json
+
+import pytest
+
+from repro.engine.database import Database
+from repro.persist import (
+    SnapshotCorruptionError,
+    load_snapshot_file,
+    restore_database,
+    snapshot_database,
+    write_snapshot_file,
+)
+
+PROGRAM = """
+edge(a, b). edge(b, c). edge(c, d).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+
+def _fingerprint(database):
+    return (
+        {
+            str(p): sorted(map(str, rel.rows()))
+            for p, rel in database.relations.items()
+        },
+        database.edb_version,
+        database.idb_version,
+        {str(p): v for p, v in database.relation_versions.items()},
+        sorted(str(rule) for rule in database.program),
+    )
+
+
+def test_codec_round_trip():
+    database = Database()
+    database.load_source(PROGRAM)
+    database.add_fact("weight", ("a", "b", 3))
+    database.retract_fact("edge", ("c", "d"))
+    restored = restore_database(snapshot_database(database))
+    assert _fingerprint(restored) == _fingerprint(database)
+
+
+def test_codec_keeps_emptied_relations():
+    database = Database()
+    database.add_fact("edge", ("a", "b"))
+    database.retract_fact("edge", ("a", "b"))
+    assert database.edb_predicates()
+    restored = restore_database(snapshot_database(database))
+    assert restored.edb_predicates() == database.edb_predicates()
+    assert _fingerprint(restored) == _fingerprint(database)
+
+
+def test_codec_pins_version_counters():
+    database = Database()
+    database.load_source(PROGRAM)
+    for _ in range(3):
+        database.add_fact("edge", ("x", "y"))
+        database.retract_fact("edge", ("x", "y"))
+    restored = restore_database(snapshot_database(database))
+    assert restored.edb_version == database.edb_version
+    assert restored.idb_version == database.idb_version
+    assert restored.relation_versions == database.relation_versions
+
+
+def test_capture_shares_the_codec():
+    """Workload capture and durability must never drift in format."""
+    from repro.observe import capture
+
+    assert capture.snapshot_database is snapshot_database
+    assert capture.restore_database is restore_database
+
+
+def test_snapshot_file_round_trip(tmp_path):
+    database = Database()
+    database.load_source(PROGRAM)
+    snapshot = snapshot_database(database)
+    path = str(tmp_path / "snapshot-00000000000000000007.json")
+    write_snapshot_file(path, 7, snapshot)
+    loaded = load_snapshot_file(path)
+    assert loaded["lsn"] == 7
+    assert loaded["snapshot"] == snapshot
+    assert _fingerprint(restore_database(loaded["snapshot"])) == _fingerprint(
+        database
+    )
+
+
+def test_snapshot_file_detects_bit_flip(tmp_path):
+    database = Database()
+    database.load_source(PROGRAM)
+    path = str(tmp_path / "snap.json")
+    write_snapshot_file(path, 3, snapshot_database(database))
+    data = open(path, "rb").read()
+    assert b'["a","b"]' in data
+    with open(path, "wb") as handle:
+        handle.write(data.replace(b'["a","b"]', b'["a","e"]', 1))
+    with pytest.raises(SnapshotCorruptionError) as excinfo:
+        load_snapshot_file(path)
+    assert "sha256 mismatch" in excinfo.value.reason
+
+
+def test_snapshot_file_detects_truncation(tmp_path):
+    database = Database()
+    database.load_source(PROGRAM)
+    path = str(tmp_path / "snap.json")
+    write_snapshot_file(path, 3, snapshot_database(database))
+    data = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(data[: len(data) // 2])
+    with pytest.raises(SnapshotCorruptionError) as excinfo:
+        load_snapshot_file(path)
+    assert "unreadable" in excinfo.value.reason
+
+
+def test_snapshot_file_refuses_foreign_and_future(tmp_path):
+    foreign = tmp_path / "foreign.json"
+    foreign.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(SnapshotCorruptionError):
+        load_snapshot_file(str(foreign))
+
+    future = tmp_path / "future.json"
+    future.write_text(
+        json.dumps(
+            {
+                "kind": "repro-snapshot",
+                "version": 999,
+                "lsn": 1,
+                "sha256": "",
+                "snapshot": {},
+            }
+        )
+    )
+    with pytest.raises(SnapshotCorruptionError) as excinfo:
+        load_snapshot_file(str(future))
+    assert "unsupported" in excinfo.value.reason
+
+
+def test_write_is_atomic_no_tmp_leftover(tmp_path):
+    database = Database()
+    database.add_fact("edge", ("a", "b"))
+    path = str(tmp_path / "snap.json")
+    write_snapshot_file(path, 1, snapshot_database(database))
+    assert not (tmp_path / "snap.json.tmp").exists()

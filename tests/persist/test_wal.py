@@ -1,0 +1,279 @@
+"""The write-ahead log: append/scan round trips and damage handling."""
+
+import os
+
+import pytest
+
+from repro.persist import WalCorruptionError, WriteAheadLog, scan_wal
+from repro.persist.wal import (
+    canonical_record_bytes,
+    list_segments,
+    record_crc,
+    segment_first_lsn,
+    truncate_torn_tail,
+)
+
+
+def _append_facts(wal, count, start=0):
+    for i in range(start, start + count):
+        wal.append({"op": "fact", "name": "edge", "row": [f"a{i}", f"b{i}"]})
+
+
+def test_append_scan_round_trip(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 5)
+    wal.close()
+    records, torn = scan_wal(str(tmp_path))
+    assert torn is None
+    assert [r["lsn"] for r in records] == [1, 2, 3, 4, 5]
+    assert records[2]["row"] == ["a2", "b2"]
+    assert all(r["op"] == "fact" for r in records)
+
+
+def test_scan_after_lsn_filters(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 6)
+    wal.close()
+    records, _ = scan_wal(str(tmp_path), after_lsn=4)
+    assert [r["lsn"] for r in records] == [5, 6]
+
+
+def test_start_lsn_resumes_sequence(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 3)
+    wal.close()
+    resumed = WriteAheadLog(str(tmp_path), fsync="off", start_lsn=3)
+    _append_facts(resumed, 2, start=3)
+    resumed.close()
+    records, torn = scan_wal(str(tmp_path))
+    assert torn is None
+    assert [r["lsn"] for r in records] == [1, 2, 3, 4, 5]
+    # The resumed writer opened a fresh segment rather than appending
+    # into a file whose tail it cannot vouch for.
+    assert len(list_segments(str(tmp_path))) == 2
+
+
+def test_rotation_by_segment_size(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off", segment_bytes=200)
+    _append_facts(wal, 20)
+    wal.close()
+    segments = list_segments(str(tmp_path))
+    assert len(segments) > 1
+    assert wal.rotations == len(segments) - 1
+    # Segment names carry their first record's LSN.
+    firsts = [segment_first_lsn(path) for path in segments]
+    assert firsts[0] == 1 and firsts == sorted(firsts)
+    records, torn = scan_wal(str(tmp_path))
+    assert torn is None
+    assert [r["lsn"] for r in records] == list(range(1, 21))
+
+
+def test_truncate_through_removes_covered_segments(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off", segment_bytes=200)
+    _append_facts(wal, 20)
+    before = wal.segments()
+    removed = wal.truncate_through(wal.last_lsn)
+    # Everything but the newest (active) segment is covered.
+    assert removed == len(before) - 1
+    assert wal.segments() == [before[-1]]
+    # The survivors still scan cleanly past the truncation point.
+    covered_lsn = segment_first_lsn(before[-1]) - 1
+    records, torn = scan_wal(str(tmp_path), after_lsn=covered_lsn)
+    assert torn is None
+    assert records[0]["lsn"] == covered_lsn + 1
+    wal.close()
+
+
+def test_truncate_through_keeps_uncovered(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off", segment_bytes=200)
+    _append_facts(wal, 20)
+    segments = wal.segments()
+    # A checkpoint that only covers the first segment's records must
+    # not delete anything later.
+    first_lsn_of_second = segment_first_lsn(segments[1])
+    removed = wal.truncate_through(first_lsn_of_second - 1)
+    assert removed == 1
+    assert wal.segments() == segments[1:]
+    wal.close()
+
+
+def test_torn_tail_tolerated_and_reported(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 4)
+    wal.close()
+    path = list_segments(str(tmp_path))[-1]
+    data = open(path, "rb").read()
+    # Tear the final record mid-line, as a crash mid-write would.
+    with open(path, "wb") as handle:
+        handle.write(data[:-10])
+    records, torn = scan_wal(str(tmp_path))
+    assert [r["lsn"] for r in records] == [1, 2, 3]
+    assert torn is not None
+    assert torn["lsn"] == 4 and torn["path"] == path
+    with pytest.raises(WalCorruptionError) as excinfo:
+        scan_wal(str(tmp_path), strict=True)
+    assert excinfo.value.lsn == 4
+
+
+def test_mid_stream_damage_refused_with_lsn(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 5)
+    wal.close()
+    path = list_segments(str(tmp_path))[-1]
+    lines = open(path, "rb").read().splitlines()
+    assert b"a2" in lines[2]
+    lines[2] = lines[2].replace(b"a2", b"aX")  # damage lsn 3's payload
+    with open(path, "wb") as handle:
+        handle.write(b"\n".join(lines) + b"\n")
+    with pytest.raises(WalCorruptionError) as excinfo:
+        scan_wal(str(tmp_path))
+    assert excinfo.value.lsn == 3
+    assert "crc mismatch" in excinfo.value.reason
+
+
+def test_lsn_gap_refused(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 5)
+    wal.close()
+    path = list_segments(str(tmp_path))[-1]
+    lines = open(path, "rb").read().splitlines()
+    del lines[2]  # drop lsn 3 entirely: gap, not damage
+    with open(path, "wb") as handle:
+        handle.write(b"\n".join(lines) + b"\n")
+    with pytest.raises(WalCorruptionError) as excinfo:
+        scan_wal(str(tmp_path))
+    assert excinfo.value.lsn == 3
+    assert "gap" in excinfo.value.reason
+
+
+def test_missing_segment_refused(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off", segment_bytes=200)
+    _append_facts(wal, 20)
+    wal.close()
+    segments = list_segments(str(tmp_path))
+    assert len(segments) >= 3
+    os.remove(segments[1])
+    with pytest.raises(WalCorruptionError):
+        scan_wal(str(tmp_path))
+
+
+def test_segment_head_damage_uses_filename_lsn(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off", segment_bytes=200)
+    _append_facts(wal, 20)
+    wal.close()
+    victim = list_segments(str(tmp_path))[1]
+    lines = open(victim, "rb").read().splitlines()
+    lines[0] = b"garbage"
+    with open(victim, "wb") as handle:
+        handle.write(b"\n".join(lines) + b"\n")
+    with pytest.raises(WalCorruptionError) as excinfo:
+        scan_wal(str(tmp_path))
+    assert excinfo.value.lsn == segment_first_lsn(victim)
+
+
+def test_truncate_torn_tail_repairs_segment(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 4)
+    wal.close()
+    path = list_segments(str(tmp_path))[-1]
+    data = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(data[:-10])
+    _, torn = scan_wal(str(tmp_path))
+    truncate_torn_tail(torn)
+    records, torn = scan_wal(str(tmp_path))
+    assert torn is None
+    assert [r["lsn"] for r in records] == [1, 2, 3]
+
+
+def test_truncate_torn_tail_removes_all_torn_segment(tmp_path):
+    """A segment whose only record is torn is deleted outright."""
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 2)
+    wal.close()
+    wal2 = WriteAheadLog(str(tmp_path), fsync="off", start_lsn=2)
+    _append_facts(wal2, 1, start=2)
+    wal2.close()
+    path = list_segments(str(tmp_path))[-1]
+    data = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(data[: len(data) // 2])
+    _, torn = scan_wal(str(tmp_path))
+    assert torn is not None and torn["path"] == path
+    truncate_torn_tail(torn)
+    assert not os.path.exists(path)
+    records, torn = scan_wal(str(tmp_path))
+    assert torn is None and [r["lsn"] for r in records] == [1, 2]
+
+
+def test_rotate_adopts_empty_leftover_segment(tmp_path):
+    """The mid-rotation crash window: an empty segment file survives."""
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 2)
+    wal.close()
+    leftover = os.path.join(tmp_path, "wal-00000000000000000003.jsonl")
+    open(leftover, "wb").close()
+    resumed = WriteAheadLog(str(tmp_path), fsync="off", start_lsn=2)
+    _append_facts(resumed, 1, start=2)
+    resumed.close()
+    records, torn = scan_wal(str(tmp_path))
+    assert torn is None
+    assert [r["lsn"] for r in records] == [1, 2, 3]
+
+
+def test_rotate_refuses_nonempty_collision(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 2)
+    wal.close()
+    leftover = os.path.join(tmp_path, "wal-00000000000000000003.jsonl")
+    with open(leftover, "wb") as handle:
+        handle.write(b"not empty\n")
+    resumed = WriteAheadLog(str(tmp_path), fsync="off", start_lsn=2)
+    with pytest.raises(FileExistsError):
+        resumed.append({"op": "fact", "name": "edge", "row": ["x", "y"]})
+
+
+def test_fsync_policies(tmp_path):
+    always = WriteAheadLog(str(tmp_path / "a"), fsync="always")
+    _append_facts(always, 5)
+    assert always.fsyncs == 5
+    always.close()
+
+    off = WriteAheadLog(str(tmp_path / "b"), fsync="off")
+    _append_facts(off, 5)
+    assert off.fsyncs == 0
+    off.close()  # close still fsyncs the final state
+    assert off.fsyncs == 1
+
+    interval = WriteAheadLog(
+        str(tmp_path / "c"), fsync="interval", fsync_interval_s=0.0
+    )
+    _append_facts(interval, 5)
+    assert 1 <= interval.fsyncs <= 5
+    interval.close()
+
+    with pytest.raises(ValueError):
+        WriteAheadLog(str(tmp_path / "d"), fsync="sometimes")
+
+
+def test_crc_covers_every_field(tmp_path):
+    record = {"lsn": 7, "op": "fact", "name": "edge", "row": ["a", "b"]}
+    crc = record_crc(record)
+    assert record_crc({**record, "lsn": 8}) != crc
+    assert record_crc({**record, "row": ["a", "c"]}) != crc
+    # Canonical form is key-order independent.
+    reordered = {"row": ["a", "b"], "name": "edge", "op": "fact", "lsn": 7}
+    assert record_crc(reordered) == crc
+    assert canonical_record_bytes(record) == canonical_record_bytes(reordered)
+
+
+def test_stats_shape(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="off")
+    _append_facts(wal, 3)
+    stats = wal.stats()
+    assert stats["records"] == 3
+    assert stats["last_lsn"] == 3
+    assert stats["segments"] == 1
+    assert stats["fsync_policy"] == "off"
+    assert stats["bytes"] > 0
+    wal.close()
